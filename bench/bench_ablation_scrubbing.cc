@@ -1,0 +1,68 @@
+// Ablation bench for the two scrubbing design choices this implementation
+// adds on top of the paper's algorithm (both called out in DESIGN.md /
+// EXPERIMENTS.md):
+//   1. confidence smoothing: moving-average the per-frame NN confidences
+//      before ranking (events span many frames; per-frame error is ~iid);
+//   2. conjunction mode: combine multi-head tail probabilities as the
+//      paper's sum vs. the joint product.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/baselines.h"
+#include "core/scrubbing.h"
+
+int main() {
+  using namespace blazeit;
+  using namespace blazeit::bench;
+  VideoCatalog catalog = BuildCatalog({"taipei"});
+  StreamData* s = catalog.GetStream("taipei").value();
+  PrintHeader(
+      "Ablation: scrubbing design choices (taipei, LIMIT 10, detection "
+      "calls; lower is better)");
+
+  // Pick a single-class query with enough events.
+  int n = 6;
+  while (n > 1 &&
+         CountRequirementInstances(*s, {{kCar, n}}).events < 12) {
+    --n;
+  }
+  std::vector<ClassCountRequirement> single = {{kCar, n}};
+  auto naive = NaiveScrub(s, single, 10, 300);
+  std::printf("single-class query: >=%d cars (naive: %lld calls)\n", n,
+              static_cast<long long>(naive.detection_calls));
+  std::printf("  %-28s %12s\n", "variant", "det calls");
+  for (int64_t smoothing : {0, 2, 8, 32}) {
+    ScrubOptions opt;
+    opt.confidence_smoothing = smoothing;
+    ScrubbingExecutor ex(s, opt);
+    auto r = ex.Run(single, 10, 300).value();
+    std::printf("  smoothing half-width %-7lld %12lld\n",
+                static_cast<long long>(smoothing),
+                static_cast<long long>(r.detection_calls));
+  }
+
+  // Conjunction mode on the multi-class query.
+  int m = 5;
+  while (m > 1 && CountRequirementInstances(
+                      *s, {{kBus, 1}, {kCar, m}})
+                          .events < 12) {
+    --m;
+  }
+  std::vector<ClassCountRequirement> multi = {{kBus, 1}, {kCar, m}};
+  auto naive_multi = NaiveScrub(s, multi, 10, 300);
+  std::printf("\nconjunctive query: >=1 bus AND >=%d cars (naive: %lld "
+              "calls)\n",
+              m, static_cast<long long>(naive_multi.detection_calls));
+  std::printf("  %-28s %12s\n", "variant", "det calls");
+  for (bool product : {false, true}) {
+    ScrubOptions opt;
+    opt.conjunctive_product = product;
+    ScrubbingExecutor ex(s, opt);
+    auto r = ex.Run(multi, 10, 300).value();
+    std::printf("  %-28s %12lld\n",
+                product ? "product (joint probability)"
+                        : "sum (paper's formulation)",
+                static_cast<long long>(r.detection_calls));
+  }
+  return 0;
+}

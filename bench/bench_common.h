@@ -1,0 +1,71 @@
+#ifndef BLAZEIT_BENCH_BENCH_COMMON_H_
+#define BLAZEIT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "util/logging.h"
+#include "video/datasets.h"
+
+namespace blazeit {
+namespace bench {
+
+/// Paper-scale day lengths, scaled down per DESIGN.md: one hour of 30 fps
+/// test video (the paper uses 24-33h); training and threshold days of 20
+/// minutes each. All speedup factors are length-invariant.
+inline DayLengths PaperDays() {
+  DayLengths lengths;
+  lengths.train = 36000;
+  lengths.held_out = 36000;
+  lengths.test = 108000;
+  return lengths;
+}
+
+/// Builds a catalog with the given streams (all six when empty).
+inline VideoCatalog BuildCatalog(std::vector<std::string> names = {},
+                                 DayLengths lengths = PaperDays()) {
+  Logger::set_level(LogLevel::kWarning);
+  VideoCatalog catalog;
+  if (names.empty()) {
+    for (const StreamConfig& cfg : AllStreamConfigs()) {
+      names.push_back(cfg.name);
+    }
+  }
+  for (const std::string& name : names) {
+    auto cfg = StreamConfigByName(name);
+    if (!cfg.ok()) {
+      std::fprintf(stderr, "unknown stream %s\n", name.c_str());
+      std::abort();
+    }
+    Status st = catalog.AddStream(cfg.value(), lengths);
+    if (!st.ok()) {
+      std::fprintf(stderr, "AddStream(%s): %s\n", name.c_str(),
+                   st.ToString().c_str());
+      std::abort();
+    }
+  }
+  return catalog;
+}
+
+/// Prints a separator + title, matching the other harness binaries.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================\n");
+}
+
+/// Pretty "Nx" speedup formatting used in the runtime tables.
+inline std::string Speedup(double baseline_seconds, double method_seconds) {
+  if (method_seconds <= 0) return "inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx",
+                baseline_seconds / method_seconds);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace blazeit
+
+#endif  // BLAZEIT_BENCH_BENCH_COMMON_H_

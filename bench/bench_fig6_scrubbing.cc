@@ -1,0 +1,83 @@
+// Reproduces Figure 6 and Table 6: end-to-end runtime of single-class
+// scrubbing queries (LIMIT 10, GAP 300) under Naive / NoScope-oracle /
+// BlazeIt / BlazeIt (indexed), plus the per-query instance counts.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/baselines.h"
+#include "core/scrubbing.h"
+
+int main() {
+  using namespace blazeit;
+  using namespace blazeit::bench;
+  VideoCatalog catalog = BuildCatalog();
+  PrintHeader(
+      "Figure 6 / Table 6: scrubbing queries, LIMIT 10 GAP 300 "
+      "(simulated seconds; speedups vs naive)");
+
+  struct Row {
+    const char* stream;
+    int class_id;
+    int paper_n;  // Table 6's queried count
+  };
+  const Row rows[] = {{"taipei", kCar, 6},      {"night-street", kCar, 5},
+                      {"rialto", kBoat, 7},     {"grand-canal", kBoat, 5},
+                      {"amsterdam", kCar, 4},   {"archie", kCar, 4}};
+
+  // Events that the GAP constraint can actually separate: greedy count of
+  // matching frames at least `gap` apart.
+  auto gap_separated_events = [](StreamData* s,
+                                 const std::vector<ClassCountRequirement>&
+                                     reqs,
+                                 int64_t gap) {
+    int64_t count = 0, last = -gap - 1;
+    for (int64_t t = 0; t < s->test_day->num_frames(); ++t) {
+      if (t - last < gap) continue;
+      if (SatisfiesRequirements(*s, t, reqs)) {
+        ++count;
+        last = t;
+      }
+    }
+    return count;
+  };
+
+  std::printf("%-14s %-10s %9s %9s %10s %10s %10s %12s %6s\n", "Video",
+              "Query", "Frames", "Events", "Naive", "NoScope", "BlazeIt",
+              "BlazeIt(ix)", "Found");
+  for (const Row& row : rows) {
+    StreamData* s = catalog.GetStream(row.stream).value();
+    // The paper chose counts with >= 10 events in its (much longer) test
+    // days; on our 1h days, lower N until at least 12 GAP-separable
+    // events exist (otherwise every method exhausts the video).
+    int n = row.paper_n;
+    RequirementStats stats;
+    while (n > 1) {
+      stats = CountRequirementInstances(*s, {{row.class_id, n}});
+      if (stats.events >= 12 &&
+          gap_separated_events(s, {{row.class_id, n}}, 300) >= 12) {
+        break;
+      }
+      --n;
+    }
+    std::vector<ClassCountRequirement> reqs = {{row.class_id, n}};
+    auto naive = NaiveScrub(s, reqs, 10, 300);
+    auto oracle = NoScopeOracleScrub(s, reqs, 10, 300);
+    ScrubbingExecutor ex(s, {});
+    auto r = ex.Run(reqs, 10, 300).value();
+    std::printf("%-14s >=%d %-4s %9lld %9lld %9.0fs %9.0fs %9.0fs %11.0fs %6zu\n",
+                row.stream, n, ClassName(row.class_id),
+                static_cast<long long>(stats.matching_frames),
+                static_cast<long long>(stats.events),
+                naive.cost.TotalSeconds(), oracle.cost.TotalSeconds(),
+                r.cost.TotalSeconds(), r.indexed_seconds, r.frames.size());
+    std::printf("%-25s %29s %10s %10s %12s\n", "  speedup vs naive:", "1.0x",
+                Speedup(naive.cost.TotalSeconds(),
+                        oracle.cost.TotalSeconds())
+                    .c_str(),
+                Speedup(naive.cost.TotalSeconds(), r.cost.TotalSeconds())
+                    .c_str(),
+                Speedup(naive.cost.TotalSeconds(), r.indexed_seconds)
+                    .c_str());
+  }
+  return 0;
+}

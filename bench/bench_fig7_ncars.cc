@@ -1,0 +1,39 @@
+// Reproduces Figure 7: sample complexity (object-detection calls) of
+// Naive / NoScope-oracle / BlazeIt when scrubbing for at least N cars in
+// taipei, N = 1..6, LIMIT 10.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/baselines.h"
+#include "core/scrubbing.h"
+
+int main() {
+  using namespace blazeit;
+  using namespace blazeit::bench;
+  VideoCatalog catalog = BuildCatalog({"taipei"});
+  StreamData* s = catalog.GetStream("taipei").value();
+  PrintHeader(
+      "Figure 7: sample complexity vs N when searching for >= N cars in "
+      "taipei (LIMIT 10, detection calls)");
+  std::printf("%-4s %9s %9s %10s %10s %10s\n", "N", "Frames", "Events",
+              "Naive", "NoScope", "BlazeIt");
+  for (int n = 1; n <= 6; ++n) {
+    std::vector<ClassCountRequirement> reqs = {{kCar, n}};
+    auto stats = CountRequirementInstances(*s, reqs);
+    auto naive = NaiveScrub(s, reqs, 10, 0);
+    auto oracle = NoScopeOracleScrub(s, reqs, 10, 0);
+    ScrubbingExecutor ex(s, {});
+    auto r = ex.Run(reqs, 10, 0).value();
+    std::printf("%-4d %9lld %9lld %10lld %10lld %10lld%s\n", n,
+                static_cast<long long>(stats.matching_frames),
+                static_cast<long long>(stats.events),
+                static_cast<long long>(naive.detection_calls),
+                static_cast<long long>(oracle.detection_calls),
+                static_cast<long long>(r.detection_calls),
+                r.found_all ? "" : " (exhausted)");
+  }
+  std::printf(
+      "\nShape check (paper): naive/NoScope complexity grows steeply with "
+      "N; BlazeIt stays near-flat until events become extremely rare.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 9: sample complexity as a function of the requested
+// number of clips (LIMIT), for the bus-and-cars conjunction on taipei.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/baselines.h"
+#include "core/scrubbing.h"
+
+int main() {
+  using namespace blazeit;
+  using namespace blazeit::bench;
+  VideoCatalog catalog = BuildCatalog({"taipei"});
+  StreamData* s = catalog.GetStream("taipei").value();
+  PrintHeader(
+      "Figure 9: sample complexity vs LIMIT for >=1 bus AND >=N cars in "
+      "taipei (detection calls)");
+
+  int n = 5;
+  RequirementStats stats;
+  while (n > 1) {
+    stats = CountRequirementInstances(*s, {{kBus, 1}, {kCar, n}});
+    if (stats.events >= 25) break;
+    --n;
+  }
+  std::vector<ClassCountRequirement> reqs = {{kBus, 1}, {kCar, n}};
+  std::printf("query: >=1 bus AND >=%d cars (%lld events available)\n\n", n,
+              static_cast<long long>(stats.events));
+
+  // Train once; re-rank for every LIMIT by re-running (the executor's NN
+  // seed is fixed so training is identical; detections replay via the
+  // cache, so wall-clock stays low while charges remain per-run).
+  std::printf("%-8s %12s %12s %12s\n", "LIMIT", "Naive", "NoScope",
+              "BlazeIt");
+  for (int64_t limit : {1, 5, 10, 15, 20, 25, 30}) {
+    auto naive = NaiveScrub(s, reqs, limit, 0);
+    auto oracle = NoScopeOracleScrub(s, reqs, limit, 0);
+    ScrubbingExecutor ex(s, {});
+    auto r = ex.Run(reqs, limit, 0).value();
+    std::printf("%-8lld %12lld %12lld %12lld%s\n",
+                static_cast<long long>(limit),
+                static_cast<long long>(naive.detection_calls),
+                static_cast<long long>(oracle.detection_calls),
+                static_cast<long long>(r.detection_calls),
+                r.found_all ? "" : " (exhausted)");
+  }
+  std::printf(
+      "\nShape check (paper): BlazeIt's complexity stays orders of "
+      "magnitude below the scans for small LIMITs and converges toward "
+      "them as LIMIT approaches the number of available events.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark) for the per-frame building blocks:
+// rendering, feature extraction, specialized-NN inference, filters, and the
+// simulated detector. These are the wall-clock costs of the simulator; the
+// *modeled* costs used in the experiment harnesses come from sim/cost_model.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/labeled_set.h"
+#include "core/udf.h"
+#include "detect/simulated_detector.h"
+#include "nn/specialized_nn.h"
+#include "stats/control_variates.h"
+#include "stats/sampler.h"
+#include "video/datasets.h"
+
+namespace blazeit {
+namespace {
+
+const SyntheticVideo& Video() {
+  static auto video =
+      SyntheticVideo::Create(TaipeiConfig(), 1, 36000).value().release();
+  return *video;
+}
+
+void BM_RenderFrame(benchmark::State& state) {
+  int64_t frame = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Video().RenderFrame(frame++ % 36000, 64, 64));
+  }
+}
+BENCHMARK(BM_RenderFrame);
+
+void BM_FrameFeatures(benchmark::State& state) {
+  int64_t frame = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FrameFeatures(Video(), frame++ % 36000, 32, 32));
+  }
+}
+BENCHMARK(BM_FrameFeatures);
+
+void BM_SimulatedDetector(benchmark::State& state) {
+  SimulatedDetector det;
+  int64_t frame = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.Detect(Video(), frame++ % 36000));
+  }
+}
+BENCHMARK(BM_SimulatedDetector);
+
+void BM_GroundTruth(benchmark::State& state) {
+  int64_t frame = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Video().GroundTruth(frame++ % 36000));
+  }
+}
+BENCHMARK(BM_GroundTruth);
+
+void BM_RednessUdf(benchmark::State& state) {
+  Image img = Video().RenderFrame(0, 64, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(UdfRegistry::Redness(img));
+  }
+}
+BENCHMARK(BM_RednessUdf);
+
+void BM_SpecializedNNInference(benchmark::State& state) {
+  static SpecializedNN* nn = [] {
+    SimulatedDetector det;
+    LabeledSet labels(&Video(), &det, 0.5);
+    SpecializedNNConfig cfg;
+    cfg.max_train_frames = 4000;
+    return new SpecializedNN(
+        SpecializedNN::Train(Video(), {labels.Counts(kCar)}, cfg).value());
+  }();
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<int64_t> frames(static_cast<size_t>(batch));
+  std::iota(frames.begin(), frames.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn->ExpectedCountsForFrames(Video(), frames));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SpecializedNNInference)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_AdaptiveSampler(benchmark::State& state) {
+  // Sampler loop cost on a pre-computed array (no detector in the loop).
+  std::vector<double> values(100000);
+  Rng rng(3);
+  for (auto& v : values) v = rng.Poisson(1.0);
+  for (auto _ : state) {
+    SamplingConfig cfg;
+    cfg.error = 0.05;
+    cfg.value_range = 8;
+    cfg.seed = 1;
+    benchmark::DoNotOptimize(AdaptiveSample(
+        100000,
+        [&](int64_t f) { return values[static_cast<size_t>(f)]; }, cfg));
+  }
+}
+BENCHMARK(BM_AdaptiveSampler);
+
+}  // namespace
+}  // namespace blazeit
+
+BENCHMARK_MAIN();

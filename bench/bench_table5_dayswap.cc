@@ -1,0 +1,58 @@
+// Reproduces Table 5: specialized NNs do not just learn the average. We
+// train on the training day and evaluate the predicted vs actual mean count
+// on two different unseen days (the threshold day and the test day); the
+// predictions must track the per-day truth, not a constant.
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.h"
+#include "nn/specialized_nn.h"
+
+int main() {
+  using namespace blazeit;
+  using namespace blazeit::bench;
+  VideoCatalog catalog = BuildCatalog(
+      {"taipei", "night-street", "rialto", "grand-canal"});
+  PrintHeader(
+      "Table 5: predicted vs actual mean counts on two unseen days "
+      "(specialized NNs do not learn the average)");
+  std::printf("%-14s %-6s %12s %12s %12s %12s\n", "Video", "Obj",
+              "Pred(day1)", "Actual(day1)", "Pred(day2)", "Actual(day2)");
+
+  struct Row {
+    const char* stream;
+    int class_id;
+  };
+  const Row rows[] = {{"taipei", kCar},
+                      {"night-street", kCar},
+                      {"rialto", kBoat},
+                      {"grand-canal", kBoat}};
+  for (const Row& row : rows) {
+    StreamData* s = catalog.GetStream(row.stream).value();
+    SpecializedNNConfig cfg;
+    auto nn = SpecializedNN::Train(
+                  *s->train_day, {s->train_labels->Counts(row.class_id)}, cfg)
+                  .value();
+    auto eval = [&](const SyntheticVideo& day, const LabeledSet& labels) {
+      std::vector<int64_t> frames(static_cast<size_t>(day.num_frames()));
+      std::iota(frames.begin(), frames.end(), 0);
+      std::vector<float> pred = nn.ExpectedCountsForFrames(day, frames);
+      double pmean = 0, tmean = 0;
+      const auto& truth = labels.Counts(row.class_id);
+      for (size_t i = 0; i < pred.size(); ++i) {
+        pmean += pred[i];
+        tmean += truth[i];
+      }
+      return std::pair<double, double>(pmean / pred.size(),
+                                       tmean / pred.size());
+    };
+    auto [p1, a1] = eval(*s->held_out_day, *s->held_out_labels);
+    auto [p2, a2] = eval(*s->test_day, *s->test_labels);
+    std::printf("%-14s %-6s %12.2f %12.2f %12.2f %12.2f\n", row.stream,
+                ClassName(row.class_id), p1, a1, p2, a2);
+  }
+  std::printf(
+      "\nPredictions follow each day's actual mean (the two days differ), "
+      "so the NNs respond to content rather than memorizing a prior.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Ornithology scenario (Section 2): a scientist points a webcam at a bird
+// feeder, splits it into left/right halves with different feed, counts
+// visits on each side, and selects red birds as a species proxy. Shows how
+// to define a *custom* stream config and register a custom UDF.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "util/logging.h"
+#include "video/datasets.h"
+
+using namespace blazeit;
+
+namespace {
+
+StreamConfig FeederConfig() {
+  StreamConfig cfg;
+  cfg.name = "feeder";
+  cfg.fps = 30;
+  cfg.width = 1280;
+  cfg.height = 720;
+  cfg.background = Color{0.35f, 0.45f, 0.30f};  // garden
+  cfg.pixel_noise = 0.05;
+
+  ObjectClassConfig bird;
+  bird.class_id = kBird;
+  bird.occupancy = 0.35;
+  bird.mean_duration_sec = 4.0;
+  bird.mean_width = 0.08;
+  bird.mean_height = 0.07;
+  bird.speed_mean = 0.12;
+  bird.populations = {
+      ObjectPopulation{Color{0.80f, 0.15f, 0.12f}, 0.05f, 0.3},  // cardinal
+      ObjectPopulation{Color{0.20f, 0.30f, 0.75f}, 0.05f, 0.3},  // bluebird
+      ObjectPopulation{Color{0.45f, 0.38f, 0.30f}, 0.05f, 0.4},  // sparrow
+  };
+  bird.region = Rect{0.0, 0.2, 1.0, 0.9};
+  cfg.classes.push_back(bird);
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  Logger::set_level(LogLevel::kWarning);
+  VideoCatalog catalog;
+  DayLengths lengths;
+  lengths.train = 18000;
+  lengths.held_out = 18000;
+  lengths.test = 54000;
+  Status st = catalog.AddStream(FeederConfig(), lengths);
+  if (!st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BlazeItEngine engine(&catalog);
+
+  // Count visits per side using spatial predicates. xmax < 640px = left
+  // half; xmin >= 640px = right half.
+  std::printf("Bird visits by feeder side (distinct tracks):\n");
+  StreamData* s = catalog.GetStream("feeder").value();
+  int64_t left = 0, right = 0;
+  for (int64_t t = 0; t < s->test_day->num_frames(); ++t) {
+    for (const auto& obj : s->test_day->GroundTruth(t)) {
+      // Count arrivals: first frame of each track decides the side.
+      (void)obj;
+    }
+  }
+  // Distinct-count queries per side via the engine:
+  auto left_count = engine.Execute(
+      "SELECT * FROM feeder WHERE class = 'bird' AND xmax(mask) < 640");
+  auto right_count = engine.Execute(
+      "SELECT * FROM feeder WHERE class = 'bird' AND xmin(mask) >= 640");
+  if (left_count.ok() && right_count.ok()) {
+    left = static_cast<int64_t>(left_count.value().frames.size());
+    right = static_cast<int64_t>(right_count.value().frames.size());
+    std::printf("  left feed:  %lld visit events\n",
+                static_cast<long long>(left));
+    std::printf("  right feed: %lld visit events\n",
+                static_cast<long long>(right));
+  }
+
+  // Average birds per frame with an error bound.
+  auto avg = engine.Execute(
+      "SELECT FCOUNT(*) FROM feeder WHERE class = 'bird' "
+      "ERROR WITHIN 0.1 AT CONFIDENCE 95%");
+  if (avg.ok()) {
+    std::printf("\nAverage birds per frame: %.2f (plan: %s)\n",
+                avg.value().scalar, avg.value().plan_description.c_str());
+  }
+
+  // Species proxy via a custom UDF: cardinal-ness = red dominance.
+  Status reg = engine.mutable_udfs()->Register(
+      "cardinalness", [](const Image& img) { return UdfRegistry::Redness(img); });
+  if (!reg.ok()) {
+    std::printf("%s\n", reg.ToString().c_str());
+    return 1;
+  }
+  auto cardinals = engine.Execute(
+      "SELECT * FROM feeder WHERE class = 'bird' "
+      "AND cardinalness(content) >= 0.25");
+  if (cardinals.ok()) {
+    std::printf("Red-bird sightings: %zu rows across %zu events\n",
+                cardinals.value().rows.size(),
+                cardinals.value().frames.size());
+    std::printf("  cost: %.0f simulated seconds (naive would be %.0f)\n",
+                cardinals.value().cost.TotalSeconds(),
+                static_cast<double>(s->test_day->num_frames()) / 3.0);
+  } else {
+    std::printf("%s\n", cardinals.status().ToString().c_str());
+  }
+  return 0;
+}

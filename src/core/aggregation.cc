@@ -1,0 +1,179 @@
+#include "core/aggregation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/control_variates.h"
+#include "stats/online_stats.h"
+#include "stats/sampler.h"
+#include "util/logging.h"
+
+namespace blazeit {
+
+const char* AggregateMethodName(AggregateMethod method) {
+  switch (method) {
+    case AggregateMethod::kQueryRewrite:
+      return "query-rewrite";
+    case AggregateMethod::kControlVariates:
+      return "control-variates";
+    case AggregateMethod::kPlainAqp:
+      return "plain-aqp";
+  }
+  return "?";
+}
+
+AggregationExecutor::AggregationExecutor(StreamData* stream,
+                                         AggregateOptions options)
+    : stream_(stream), options_(options) {}
+
+Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
+                                                 double confidence) {
+  if (error <= 0 || confidence <= 0 || confidence >= 1) {
+    return Status::InvalidArgument(
+        "aggregation requires error > 0 and confidence in (0,1)");
+  }
+  nn_counts_.clear();
+  nn_bootstrap_.reset();
+  CostMeter meter;
+
+  // --- sufficiency of training data (Algorithm 1 precondition) ---
+  const std::vector<int>& train_counts =
+      stream_->train_labels->Counts(class_id);
+  int64_t positives = 0;
+  for (int c : train_counts) {
+    if (c > 0) ++positives;
+  }
+  if (positives < options_.min_positive_examples) {
+    BLAZEIT_LOG(kDebug) << "insufficient training data for class "
+                        << ClassName(class_id) << " (" << positives
+                        << " positive frames); defaulting to AQP";
+    return RunPlainAqp(class_id, error, confidence, meter);
+  }
+
+  // --- train the specialized counting NN on the labeled day ---
+  SpecializedNNConfig nn_config = options_.nn;
+  nn_config.train.seed = HashCombine(options_.seed, 0xaaaa);
+  auto trained = SpecializedNN::Train(*stream_->train_day, {train_counts},
+                                      nn_config);
+  BLAZEIT_RETURN_NOT_OK(trained.status());
+  SpecializedNN nn = std::move(trained).value();
+  meter.ChargeTraining(nn.trained_frames());
+
+  // --- estimate the NN's error on the held-out day via the bootstrap ---
+  const SyntheticVideo& held_out = *stream_->held_out_day;
+  const std::vector<int>& held_truth =
+      stream_->held_out_labels->Counts(class_id);
+  std::vector<int64_t> held_frames(static_cast<size_t>(held_out.num_frames()));
+  std::iota(held_frames.begin(), held_frames.end(), 0);
+  std::vector<float> held_pred =
+      nn.ExpectedCountsForFrames(held_out, held_frames);
+  std::vector<double> predicted(held_pred.begin(), held_pred.end());
+  std::vector<double> truth(held_truth.begin(), held_truth.end());
+  meter.ChargeSpecializedNN(held_out.num_frames());
+  meter.ChargeThresholding(held_out.num_frames());
+  auto boot = BootstrapAbsError(predicted, truth, confidence,
+                                options_.bootstrap_resamples,
+                                HashCombine(options_.seed, 0xbbbb));
+  BLAZEIT_RETURN_NOT_OK(boot.status());
+  nn_bootstrap_ = boot.value();
+
+  // --- run the NN over the unseen test day (both paths need it) ---
+  const SyntheticVideo& test = *stream_->test_day;
+  std::vector<int64_t> test_frames(static_cast<size_t>(test.num_frames()));
+  std::iota(test_frames.begin(), test_frames.end(), 0);
+  nn_counts_ = nn.ExpectedCountsForFrames(test, test_frames);
+  meter.ChargeSpecializedNN(test.num_frames());
+
+  AggregateResult result;
+  result.nn_error_bound = nn_bootstrap_->error_quantile;
+
+  // --- Algorithm 1 branch: rewrite if the NN is provably accurate ---
+  if (options_.allow_query_rewrite && nn_bootstrap_->error_quantile < error) {
+    OnlineStats stats;
+    for (float v : nn_counts_) stats.Add(v);
+    result.estimate = stats.Mean();
+    result.method = AggregateMethod::kQueryRewrite;
+    result.cost = meter;
+    result.detection_calls = meter.detection_calls();
+    return result;
+  }
+
+  if (!options_.allow_control_variates) {
+    return RunPlainAqp(class_id, error, confidence, meter);
+  }
+
+  // --- control variates: NN as the cheap correlated auxiliary ---
+  const std::vector<int>& test_truth = stream_->test_labels->Counts(class_id);
+  ControlVariate cv;
+  {
+    OnlineStats proxy_stats;
+    for (float v : nn_counts_) proxy_stats.Add(v);
+    cv.tau = proxy_stats.Mean();
+    cv.variance = proxy_stats.PopulationVariance();
+  }
+  cv.proxy = [this](int64_t frame) {
+    return static_cast<double>(nn_counts_[static_cast<size_t>(frame)]);
+  };
+  CostMeter* meter_ptr = &meter;
+  FrameOracle oracle = [&test_truth, meter_ptr](int64_t frame) {
+    meter_ptr->ChargeDetection();
+    return static_cast<double>(test_truth[static_cast<size_t>(frame)]);
+  };
+  SamplingConfig sampling;
+  sampling.error = error;
+  sampling.confidence = confidence;
+  sampling.value_range =
+      static_cast<double>(stream_->train_labels->MaxCount(class_id)) + 1.0;
+  sampling.growth = options_.growth;
+  sampling.seed = HashCombine(options_.seed, 0xcccc);
+  auto estimate =
+      ControlVariateSample(test.num_frames(), oracle, cv, sampling);
+  BLAZEIT_RETURN_NOT_OK(estimate.status());
+
+  // Correlation over all frames (diagnostic, used by Figure 5 analysis).
+  OnlineCovariance corr;
+  for (int64_t t = 0; t < test.num_frames(); ++t) {
+    corr.Add(static_cast<double>(test_truth[static_cast<size_t>(t)]),
+             static_cast<double>(nn_counts_[static_cast<size_t>(t)]));
+  }
+
+  result.estimate = estimate.value().estimate;
+  result.method = AggregateMethod::kControlVariates;
+  result.samples_used = estimate.value().samples_used;
+  result.nn_correlation = corr.Correlation();
+  result.cost = meter;
+  result.detection_calls = meter.detection_calls();
+  return result;
+}
+
+Result<AggregateResult> AggregationExecutor::RunPlainAqp(int class_id,
+                                                         double error,
+                                                         double confidence,
+                                                         CostMeter meter) {
+  const SyntheticVideo& test = *stream_->test_day;
+  const std::vector<int>& test_truth = stream_->test_labels->Counts(class_id);
+  CostMeter* meter_ptr = &meter;
+  FrameOracle oracle = [&test_truth, meter_ptr](int64_t frame) {
+    meter_ptr->ChargeDetection();
+    return static_cast<double>(test_truth[static_cast<size_t>(frame)]);
+  };
+  SamplingConfig sampling;
+  sampling.error = error;
+  sampling.confidence = confidence;
+  sampling.value_range =
+      static_cast<double>(stream_->train_labels->MaxCount(class_id)) + 1.0;
+  sampling.growth = options_.growth;
+  sampling.seed = HashCombine(options_.seed, 0xdddd);
+  auto estimate = AdaptiveSample(test.num_frames(), oracle, sampling);
+  BLAZEIT_RETURN_NOT_OK(estimate.status());
+
+  AggregateResult result;
+  result.estimate = estimate.value().estimate;
+  result.method = AggregateMethod::kPlainAqp;
+  result.samples_used = estimate.value().samples_used;
+  result.cost = meter;
+  result.detection_calls = meter.detection_calls();
+  return result;
+}
+
+}  // namespace blazeit

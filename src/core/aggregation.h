@@ -1,0 +1,89 @@
+#ifndef BLAZEIT_CORE_AGGREGATION_H_
+#define BLAZEIT_CORE_AGGREGATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/catalog.h"
+#include "nn/specialized_nn.h"
+#include "sim/cost_model.h"
+#include "stats/bootstrap.h"
+#include "util/status.h"
+
+namespace blazeit {
+
+/// Which path Algorithm 1 ended up taking.
+enum class AggregateMethod {
+  kQueryRewrite,     // specialized NN accurate enough; ran it alone
+  kControlVariates,  // NN as control variate + detector sampling
+  kPlainAqp,         // no/insufficient training data: naive AQP
+};
+
+const char* AggregateMethodName(AggregateMethod method);
+
+struct AggregateOptions {
+  SpecializedNNConfig nn;
+  /// Sample-size growth per adaptive round.
+  double growth = 0.2;
+  int bootstrap_resamples = 200;
+  /// Minimum number of positive training frames for specialization
+  /// ("sufficient training data" test of Algorithm 1).
+  int64_t min_positive_examples = 50;
+  /// Ablation knobs for the Section 10.2 comparisons.
+  bool allow_query_rewrite = true;
+  bool allow_control_variates = true;
+  uint64_t seed = 1;
+};
+
+struct AggregateResult {
+  /// Frame-averaged count estimate (FCOUNT semantics).
+  double estimate = 0.0;
+  AggregateMethod method = AggregateMethod::kPlainAqp;
+  /// Simulated cost of the run (the paper's runtime).
+  CostMeter cost;
+  /// Object-detection calls consumed (sample complexity).
+  int64_t detection_calls = 0;
+  /// Bootstrap error bound of the specialized NN on the held-out day (only
+  /// meaningful when a NN was trained).
+  double nn_error_bound = 0.0;
+  /// Pearson correlation between NN and detector counts over the sampled
+  /// frames (control-variates path).
+  double nn_correlation = 0.0;
+  int64_t samples_used = 0;
+};
+
+/// Executes aggregation queries per Algorithm 1: train a specialized
+/// counting NN if the training data allows; rewrite the query onto the NN
+/// when its held-out bootstrap error is inside the user's tolerance;
+/// otherwise use the NN as a control variate for adaptive sampling; with
+/// no usable NN, fall back to plain AQP.
+class AggregationExecutor {
+ public:
+  /// `stream` must outlive the executor.
+  AggregationExecutor(StreamData* stream, AggregateOptions options = {});
+
+  /// Runs FCOUNT(class) ERROR WITHIN `error` AT CONFIDENCE `confidence`.
+  Result<AggregateResult> Run(int class_id, double error, double confidence);
+
+  /// Per-test-frame expected counts from the NN trained by the last Run
+  /// (empty if the plain-AQP path was taken); used by benchmarks.
+  const std::vector<float>& nn_counts() const { return nn_counts_; }
+
+  /// The held-out bootstrap result from the last Run, if a NN was trained.
+  const std::optional<BootstrapResult>& nn_bootstrap() const {
+    return nn_bootstrap_;
+  }
+
+ private:
+  Result<AggregateResult> RunPlainAqp(int class_id, double error,
+                                      double confidence, CostMeter meter);
+
+  StreamData* stream_;
+  AggregateOptions options_;
+  std::vector<float> nn_counts_;
+  std::optional<BootstrapResult> nn_bootstrap_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_CORE_AGGREGATION_H_

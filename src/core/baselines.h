@@ -1,0 +1,78 @@
+#ifndef BLAZEIT_CORE_BASELINES_H_
+#define BLAZEIT_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/selection.h"
+#include "core/udf.h"
+#include "frameql/analyzer.h"
+#include "sim/cost_model.h"
+#include "util/status.h"
+
+namespace blazeit {
+
+/// Result of a non-sampling baseline.
+struct BaselineResult {
+  double estimate = 0.0;
+  CostMeter cost;
+  int64_t detection_calls = 0;
+};
+
+/// Naive aggregation: full object detection on every test frame
+/// (Section 10.2's "Naive" row). Exact by construction.
+BaselineResult NaiveAggregate(StreamData* stream, int class_id);
+
+/// NoScope-oracle aggregation: a free, perfect binary-presence oracle
+/// skips empty frames; detection runs on every frame where the class is
+/// present (Section 10.1.1 — NoScope cannot distinguish one object from
+/// several, so occupied frames still need detection).
+BaselineResult NoScopeOracleAggregate(StreamData* stream, int class_id);
+
+/// Naive AQP aggregation: adaptive sampling with the detector as oracle
+/// and no variance reduction.
+struct AqpResult {
+  double estimate = 0.0;
+  CostMeter cost;
+  int64_t samples_used = 0;
+};
+Result<AqpResult> NaiveAqpAggregate(StreamData* stream, int class_id,
+                                    double error, double confidence,
+                                    uint64_t seed);
+
+/// Scrubbing baselines share this result shape.
+struct ScrubBaselineResult {
+  std::vector<int64_t> frames;
+  CostMeter cost;
+  int64_t detection_calls = 0;
+  bool found_all = false;
+};
+
+/// Naive scrubbing: sequential scan with detection on every frame until
+/// LIMIT matches (GAP apart) are found.
+ScrubBaselineResult NaiveScrub(StreamData* stream,
+                               const std::vector<ClassCountRequirement>& reqs,
+                               int64_t limit, int64_t gap);
+
+/// NoScope-oracle scrubbing: the free presence oracle skips frames missing
+/// any required class entirely; detection verifies the rest in order.
+ScrubBaselineResult NoScopeOracleScrub(
+    StreamData* stream, const std::vector<ClassCountRequirement>& reqs,
+    int64_t limit, int64_t gap);
+
+/// Naive selection: detection on every test frame, predicate evaluated on
+/// the detections (Section 10.4's "Naive").
+Result<SelectionResult> NaiveSelection(StreamData* stream,
+                                       const UdfRegistry* udfs,
+                                       const AnalyzedQuery& query);
+
+/// NoScope-oracle selection: detection only on frames where the class is
+/// present per the free oracle; other filter classes unavailable
+/// (Section 10.1.1).
+Result<SelectionResult> NoScopeOracleSelection(StreamData* stream,
+                                               const UdfRegistry* udfs,
+                                               const AnalyzedQuery& query);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_CORE_BASELINES_H_

@@ -1,0 +1,66 @@
+#ifndef BLAZEIT_CORE_CATALOG_H_
+#define BLAZEIT_CORE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/labeled_set.h"
+#include "detect/cached_detector.h"
+#include "detect/simulated_detector.h"
+#include "util/status.h"
+#include "video/datasets.h"
+#include "video/synthetic_video.h"
+
+namespace blazeit {
+
+/// Everything BlazeIt holds per registered stream: three generated days
+/// (train / threshold / test, the paper's protocol), the configured object
+/// detection method, and the labeled sets over each day.
+struct StreamData {
+  StreamConfig config;
+  std::unique_ptr<SyntheticVideo> train_day;
+  std::unique_ptr<SyntheticVideo> held_out_day;
+  std::unique_ptr<SyntheticVideo> test_day;
+  std::unique_ptr<SimulatedDetector> detector_impl;
+  std::unique_ptr<CachedDetector> detector;
+  std::unique_ptr<LabeledSet> train_labels;
+  std::unique_ptr<LabeledSet> held_out_labels;
+  /// Labeled set of the test day = the detector's output replayed during
+  /// evaluation; executors *charge* detection cost per logical access.
+  std::unique_ptr<LabeledSet> test_labels;
+
+  double score_threshold() const { return config.detection_threshold; }
+};
+
+/// Number of frames generated for each of a stream's three days.
+struct DayLengths {
+  int64_t train = kDefaultTrainFrames;
+  int64_t held_out = kDefaultHeldOutFrames;
+  int64_t test = kDefaultTestFrames;
+};
+
+/// Registry of streams, the FROM-clause namespace of FrameQL.
+class VideoCatalog {
+ public:
+  /// Generates the three days of the stream and registers it. Fails if a
+  /// stream of the same name exists or the config is invalid.
+  Status AddStream(const StreamConfig& config,
+                   DayLengths lengths = DayLengths(),
+                   DetectorNoiseConfig detector_noise = DetectorNoiseConfig());
+
+  Result<StreamData*> GetStream(const std::string& name);
+
+  std::vector<std::string> StreamNames() const;
+  bool Contains(const std::string& name) const {
+    return streams_.count(name) > 0;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<StreamData>> streams_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_CORE_CATALOG_H_

@@ -1,0 +1,173 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "filters/calibration.h"
+#include "filters/label_filter.h"
+#include "frameql/parser.h"
+#include "track/iou_tracker.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace blazeit {
+
+BlazeItEngine::BlazeItEngine(VideoCatalog* catalog, EngineOptions options)
+    : catalog_(catalog), options_(options) {}
+
+Result<QueryOutput> BlazeItEngine::Execute(const std::string& frameql) {
+  BLAZEIT_ASSIGN_OR_RETURN(FrameQLQuery parsed, ParseFrameQL(frameql));
+  BLAZEIT_ASSIGN_OR_RETURN(StreamData * stream,
+                           catalog_->GetStream(parsed.table));
+  BLAZEIT_ASSIGN_OR_RETURN(AnalyzedQuery query,
+                           AnalyzeQuery(parsed, stream->config));
+  PlanChoice plan = ChoosePlan(query, stream);
+  BLAZEIT_LOG(kDebug) << "plan: " << PlanKindName(plan.kind) << " — "
+                      << plan.rationale;
+
+  QueryOutput out;
+  out.kind = query.kind;
+  out.plan = plan.kind;
+  out.plan_description = plan.rationale;
+
+  switch (query.kind) {
+    case QueryKind::kAggregate: {
+      AggregationExecutor executor(stream, options_.aggregate);
+      BLAZEIT_ASSIGN_OR_RETURN(
+          AggregateResult agg,
+          executor.Run(query.agg_class, query.error, query.confidence));
+      out.scalar = agg.estimate;
+      if (query.scale_to_total) {
+        out.scalar *= static_cast<double>(stream->test_day->num_frames());
+      }
+      out.cost = agg.cost;
+      return out;
+    }
+    case QueryKind::kCountDistinct:
+      return ExecuteCountDistinct(stream, query);
+    case QueryKind::kScrubbing: {
+      ScrubbingExecutor executor(stream, options_.scrub);
+      BLAZEIT_ASSIGN_OR_RETURN(
+          ScrubResult scrub,
+          executor.Run(query.requirements, query.limit, query.gap));
+      out.frames = scrub.frames;
+      out.cost = scrub.cost;
+      return out;
+    }
+    case QueryKind::kSelection: {
+      SelectionExecutor executor(stream, &udfs_, options_.selection);
+      BLAZEIT_ASSIGN_OR_RETURN(SelectionResult sel, executor.Run(query));
+      out.rows = std::move(sel.rows);
+      for (const SelectionEvent& event : sel.events) {
+        out.frames.push_back(event.first_frame);
+      }
+      out.cost = sel.cost;
+      out.plan_description += " | " + sel.plan;
+      return out;
+    }
+    case QueryKind::kBinarySelect:
+      return ExecuteBinarySelect(stream, query);
+    case QueryKind::kExhaustive:
+      return ExecuteFullScan(stream, query);
+  }
+  return Status::Internal("unhandled query kind");
+}
+
+Result<QueryOutput> BlazeItEngine::ExecuteCountDistinct(
+    StreamData* stream, const AnalyzedQuery& query) {
+  // Entity resolution requires consecutive-frame detections, so this runs
+  // the detector over the full video (the paper does not optimize distinct
+  // counts; they are supported for completeness of FrameQL).
+  QueryOutput out;
+  out.kind = query.kind;
+  out.plan = PlanKind::kTrackerCountDistinct;
+  IouTracker tracker;
+  int64_t distinct = 0;
+  const SyntheticVideo& test = *stream->test_day;
+  for (int64_t t = 0; t < test.num_frames(); ++t) {
+    out.cost.ChargeDetection();
+    std::vector<Detection> dets = FilterClass(
+        stream->test_labels->DetectionsAt(t), query.agg_class,
+        /*score_threshold=*/0.0);  // already thresholded by the labeled set
+    int64_t before = tracker.next_track_id();
+    tracker.Update(dets);
+    distinct += tracker.next_track_id() - before;
+  }
+  out.scalar = static_cast<double>(distinct);
+  return out;
+}
+
+Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
+    StreamData* stream, const AnalyzedQuery& query) {
+  // NoScope replication: a specialized NN filters frames; the detector
+  // verifies everything the NN lets through, so false positives are
+  // eliminated and the false-negative rate is controlled by calibrating
+  // the NN threshold on the held-out day.
+  QueryOutput out;
+  out.kind = query.kind;
+  out.plan = PlanKind::kBinaryDetection;
+
+  const std::vector<int>& train_counts =
+      stream->train_labels->Counts(query.sel_class);
+  int64_t positives = 0;
+  for (int c : train_counts) {
+    if (c > 0) ++positives;
+  }
+  const SyntheticVideo& test = *stream->test_day;
+  const std::vector<int>& test_counts =
+      stream->test_labels->Counts(query.sel_class);
+  if (positives == 0) {
+    // Cannot specialize: verify every frame.
+    for (int64_t t = 0; t < test.num_frames(); ++t) {
+      out.cost.ChargeDetection();
+      if (test_counts[static_cast<size_t>(t)] > 0) out.frames.push_back(t);
+    }
+    return out;
+  }
+
+  SpecializedNNConfig nn_config = options_.selection.nn;
+  nn_config.train.seed = HashCombine(options_.selection.seed, 0xb1de);
+  auto trained =
+      SpecializedNN::Train(*stream->train_day, {train_counts}, nn_config);
+  BLAZEIT_RETURN_NOT_OK(trained.status());
+  out.cost.ChargeTraining(trained.value().trained_frames());
+  LabelFilter filter(std::move(trained).value(), {1});
+
+  std::vector<char> positive_mask;
+  positive_mask.reserve(
+      static_cast<size_t>(stream->held_out_day->num_frames()));
+  const std::vector<int>& held_counts =
+      stream->held_out_labels->Counts(query.sel_class);
+  for (int c : held_counts) positive_mask.push_back(c > 0 ? 1 : 0);
+  auto calib = CalibrateNoFalseNegatives(&filter, *stream->held_out_day,
+                                         positive_mask);
+  BLAZEIT_RETURN_NOT_OK(calib.status());
+  out.cost.ChargeSpecializedNN(stream->held_out_day->num_frames());
+
+  std::vector<int64_t> test_frames(static_cast<size_t>(test.num_frames()));
+  std::iota(test_frames.begin(), test_frames.end(), 0);
+  std::vector<double> scores = filter.ScoreBatch(test, test_frames);
+  out.cost.ChargeSpecializedNN(test.num_frames());
+  for (int64_t t = 0; t < test.num_frames(); ++t) {
+    if (scores[static_cast<size_t>(t)] < filter.threshold()) continue;
+    out.cost.ChargeDetection();
+    if (test_counts[static_cast<size_t>(t)] > 0) out.frames.push_back(t);
+  }
+  return out;
+}
+
+Result<QueryOutput> BlazeItEngine::ExecuteFullScan(
+    StreamData* stream, const AnalyzedQuery& query) {
+  QueryOutput out;
+  out.kind = query.kind;
+  out.plan = PlanKind::kFullScan;
+  const SyntheticVideo& test = *stream->test_day;
+  for (int64_t t = 0; t < test.num_frames(); ++t) {
+    out.cost.ChargeDetection();
+    std::vector<Detection> dets = stream->test_labels->DetectionsAt(t);
+    if (!dets.empty()) out.frames.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace blazeit

@@ -1,0 +1,80 @@
+#ifndef BLAZEIT_CORE_ENGINE_H_
+#define BLAZEIT_CORE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/catalog.h"
+#include "core/optimizer.h"
+#include "core/scrubbing.h"
+#include "core/selection.h"
+#include "core/udf.h"
+#include "sim/cost_model.h"
+#include "util/status.h"
+
+namespace blazeit {
+
+/// Per-query execution options forwarded to the executors.
+struct EngineOptions {
+  AggregateOptions aggregate;
+  ScrubOptions scrub;
+  SelectionOptions selection;
+};
+
+/// Everything a FrameQL query can return.
+struct QueryOutput {
+  QueryKind kind = QueryKind::kExhaustive;
+  PlanKind plan = PlanKind::kFullScan;
+  /// Aggregates: the (frame-averaged or total) count estimate.
+  double scalar = 0.0;
+  /// Scrubbing / binary selection / exhaustive: matching frames.
+  std::vector<int64_t> frames;
+  /// Content-based selection: matching (frame, detection) rows.
+  std::vector<SelectionRow> rows;
+  /// Simulated cost of executing the query.
+  CostMeter cost;
+  /// The optimizer's plan description.
+  std::string plan_description;
+};
+
+/// The BlazeIt engine: the public entry point tying everything together.
+/// Parse -> analyze -> rule-based plan choice -> execute (Figure 2).
+///
+///   VideoCatalog catalog;
+///   catalog.AddStream(TaipeiConfig());
+///   BlazeItEngine engine(&catalog);
+///   auto out = engine.Execute(
+///       "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+///       "ERROR WITHIN 0.1 AT CONFIDENCE 95%");
+class BlazeItEngine {
+ public:
+  /// `catalog` must outlive the engine.
+  explicit BlazeItEngine(VideoCatalog* catalog, EngineOptions options = {});
+
+  /// Parses, optimizes, and executes one FrameQL query.
+  Result<QueryOutput> Execute(const std::string& frameql);
+
+  /// UDFs available to queries (register custom ones here).
+  UdfRegistry* mutable_udfs() { return &udfs_; }
+  const UdfRegistry& udfs() const { return udfs_; }
+
+  const EngineOptions& options() const { return options_; }
+  EngineOptions* mutable_options() { return &options_; }
+
+ private:
+  Result<QueryOutput> ExecuteCountDistinct(StreamData* stream,
+                                           const AnalyzedQuery& query);
+  Result<QueryOutput> ExecuteBinarySelect(StreamData* stream,
+                                          const AnalyzedQuery& query);
+  Result<QueryOutput> ExecuteFullScan(StreamData* stream,
+                                      const AnalyzedQuery& query);
+
+  VideoCatalog* catalog_;
+  EngineOptions options_;
+  UdfRegistry udfs_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_CORE_ENGINE_H_

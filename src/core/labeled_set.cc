@@ -1,0 +1,58 @@
+#include "core/labeled_set.h"
+
+#include <algorithm>
+
+namespace blazeit {
+
+LabeledSet::LabeledSet(const SyntheticVideo* day,
+                       const ObjectDetector* detector,
+                       double score_threshold)
+    : day_(day), detector_(detector), score_threshold_(score_threshold) {}
+
+void LabeledSet::BuildAllCounts() const {
+  if (built_) return;
+  for (int c = 0; c < kNumClasses; ++c) {
+    counts_[c].assign(static_cast<size_t>(day_->num_frames()), 0);
+  }
+  for (int64_t t = 0; t < day_->num_frames(); ++t) {
+    for (const Detection& det : detector_->Detect(*day_, t)) {
+      if (det.score >= score_threshold_) {
+        ++counts_[det.class_id][static_cast<size_t>(t)];
+      }
+    }
+  }
+  built_ = true;
+}
+
+const std::vector<int>& LabeledSet::Counts(int class_id) const {
+  BuildAllCounts();
+  return counts_.at(class_id);
+}
+
+std::vector<Detection> LabeledSet::DetectionsAt(int64_t frame) const {
+  std::vector<Detection> out;
+  for (const Detection& det : detector_->Detect(*day_, frame)) {
+    if (det.score >= score_threshold_) out.push_back(det);
+  }
+  return out;
+}
+
+double LabeledSet::Occupancy(int class_id) const {
+  const std::vector<int>& counts = Counts(class_id);
+  int64_t occupied = 0;
+  for (int c : counts) {
+    if (c > 0) ++occupied;
+  }
+  return counts.empty() ? 0.0
+                        : static_cast<double>(occupied) /
+                              static_cast<double>(counts.size());
+}
+
+int LabeledSet::MaxCount(int class_id) const {
+  const std::vector<int>& counts = Counts(class_id);
+  int max_c = 0;
+  for (int c : counts) max_c = std::max(max_c, c);
+  return max_c;
+}
+
+}  // namespace blazeit

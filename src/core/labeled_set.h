@@ -1,0 +1,53 @@
+#ifndef BLAZEIT_CORE_LABELED_SET_H_
+#define BLAZEIT_CORE_LABELED_SET_H_
+
+#include <map>
+#include <vector>
+
+#include "detect/detector.h"
+#include "video/synthetic_video.h"
+
+namespace blazeit {
+
+/// The labeled set of Section 2: one day of video annotated by the full
+/// object detector, used to train specialized NNs, calibrate filter
+/// thresholds, and (on the test day) replay pre-computed detections during
+/// sampler evaluation. Built once, offline; its construction time is
+/// excluded from all reported runtimes, exactly as in the paper.
+class LabeledSet {
+ public:
+  /// Does not take ownership; `day` and `detector` must outlive this.
+  LabeledSet(const SyntheticVideo* day, const ObjectDetector* detector,
+             double score_threshold);
+
+  int64_t num_frames() const { return day_->num_frames(); }
+  double score_threshold() const { return score_threshold_; }
+  const SyntheticVideo& day() const { return *day_; }
+
+  /// Per-frame detection count of the class at the score threshold;
+  /// computed lazily (one detector pass over the day) and cached.
+  const std::vector<int>& Counts(int class_id) const;
+
+  /// Detections in one frame (thresholded).
+  std::vector<Detection> DetectionsAt(int64_t frame) const;
+
+  /// Fraction of frames with at least one instance of the class.
+  double Occupancy(int class_id) const;
+
+  /// Maximum per-frame count of the class over the day (the range K used
+  /// in the epsilon-net sample-size bound).
+  int MaxCount(int class_id) const;
+
+ private:
+  void BuildAllCounts() const;
+
+  const SyntheticVideo* day_;
+  const ObjectDetector* detector_;
+  double score_threshold_;
+  mutable std::map<int, std::vector<int>> counts_;
+  mutable bool built_ = false;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_CORE_LABELED_SET_H_

@@ -1,0 +1,126 @@
+#include "core/optimizer.h"
+
+#include "util/string_util.h"
+
+namespace blazeit {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSpecializedAggregation:
+      return "specialized-aggregation";
+    case PlanKind::kAqpAggregation:
+      return "aqp-aggregation";
+    case PlanKind::kTrackerCountDistinct:
+      return "tracker-count-distinct";
+    case PlanKind::kImportanceScrubbing:
+      return "importance-scrubbing";
+    case PlanKind::kScanScrubbing:
+      return "scan-scrubbing";
+    case PlanKind::kFilteredSelection:
+      return "filtered-selection";
+    case PlanKind::kBinaryDetection:
+      return "binary-detection";
+    case PlanKind::kFullScan:
+      return "full-scan";
+  }
+  return "?";
+}
+
+namespace {
+
+int64_t PositiveTrainingFrames(StreamData* stream, int class_id) {
+  int64_t positives = 0;
+  for (int c : stream->train_labels->Counts(class_id)) {
+    if (c > 0) ++positives;
+  }
+  return positives;
+}
+
+int64_t JointTrainingInstances(StreamData* stream,
+                               const std::vector<ClassCountRequirement>& reqs) {
+  int64_t instances = 0;
+  for (int64_t t = 0; t < stream->train_day->num_frames(); ++t) {
+    bool match = true;
+    for (const ClassCountRequirement& req : reqs) {
+      if (stream->train_labels->Counts(req.class_id)[static_cast<size_t>(
+              t)] < req.min_count) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ++instances;
+  }
+  return instances;
+}
+
+}  // namespace
+
+PlanChoice ChoosePlan(const AnalyzedQuery& query, StreamData* stream) {
+  PlanChoice choice;
+  switch (query.kind) {
+    case QueryKind::kAggregate: {
+      int64_t positives = PositiveTrainingFrames(stream, query.agg_class);
+      if (positives >= 50) {
+        choice.kind = PlanKind::kSpecializedAggregation;
+        choice.rationale = StrFormat(
+            "aggregate with error tolerance %.3g; %lld positive training "
+            "frames -> train specialized NN (Algorithm 1)",
+            query.error, static_cast<long long>(positives));
+      } else {
+        choice.kind = PlanKind::kAqpAggregation;
+        choice.rationale = StrFormat(
+            "aggregate, but only %lld positive training frames -> plain AQP",
+            static_cast<long long>(positives));
+      }
+      return choice;
+    }
+    case QueryKind::kCountDistinct:
+      choice.kind = PlanKind::kTrackerCountDistinct;
+      choice.rationale =
+          "COUNT(DISTINCT trackid) requires entity resolution over every "
+          "frame -> detector + motion-IOU tracker";
+      return choice;
+    case QueryKind::kScrubbing: {
+      int64_t instances = JointTrainingInstances(stream, query.requirements);
+      if (instances > 0) {
+        choice.kind = PlanKind::kImportanceScrubbing;
+        choice.rationale = StrFormat(
+            "scrubbing with LIMIT %lld; %lld matching training frames -> "
+            "importance sampling on specialized-NN confidence",
+            static_cast<long long>(query.limit),
+            static_cast<long long>(instances));
+      } else {
+        choice.kind = PlanKind::kScanScrubbing;
+        choice.rationale =
+            "scrubbing, but no matching frames in the training set -> "
+            "sequential scan with applicable filters";
+      }
+      return choice;
+    }
+    case QueryKind::kSelection: {
+      choice.kind = PlanKind::kFilteredSelection;
+      std::string filters;
+      if (query.persistence_frames > 2) filters += " temporal";
+      if (query.has_roi) filters += " spatial";
+      if (!query.udf_predicates.empty()) filters += " content";
+      filters += " label";
+      choice.rationale = StrFormat(
+          "content-based selection; inferred filter classes:%s",
+          filters.c_str());
+      return choice;
+    }
+    case QueryKind::kBinarySelect:
+      choice.kind = PlanKind::kBinaryDetection;
+      choice.rationale = StrFormat(
+          "binary detection with FNR<=%.3g FPR<=%.3g (NoScope replication)",
+          query.fnr, query.fpr);
+      return choice;
+    case QueryKind::kExhaustive:
+      choice.kind = PlanKind::kFullScan;
+      choice.rationale = "no optimization applies; full detection scan";
+      return choice;
+  }
+  return choice;
+}
+
+}  // namespace blazeit

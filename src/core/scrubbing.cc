@@ -1,0 +1,184 @@
+#include "core/scrubbing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace blazeit {
+
+bool SatisfiesRequirements(const StreamData& stream, int64_t frame,
+                           const std::vector<ClassCountRequirement>& reqs) {
+  for (const ClassCountRequirement& req : reqs) {
+    const std::vector<int>& counts = stream.test_labels->Counts(req.class_id);
+    if (counts[static_cast<size_t>(frame)] < req.min_count) return false;
+  }
+  return true;
+}
+
+RequirementStats CountRequirementInstances(
+    const StreamData& stream,
+    const std::vector<ClassCountRequirement>& reqs) {
+  RequirementStats out;
+  bool in_event = false;
+  for (int64_t t = 0; t < stream.test_day->num_frames(); ++t) {
+    bool match = SatisfiesRequirements(stream, t, reqs);
+    if (match) {
+      ++out.matching_frames;
+      if (!in_event) ++out.events;
+    }
+    in_event = match;
+  }
+  return out;
+}
+
+namespace {
+
+/// GAP bookkeeping: accepted frames kept sorted; a candidate is admissible
+/// if no accepted frame lies within `gap` of it.
+bool GapAdmissible(const std::vector<int64_t>& accepted_sorted, int64_t frame,
+                   int64_t gap) {
+  if (gap <= 0) return true;
+  auto it = std::lower_bound(accepted_sorted.begin(), accepted_sorted.end(),
+                             frame);
+  if (it != accepted_sorted.end() && *it - frame < gap) return false;
+  if (it != accepted_sorted.begin() && frame - *(it - 1) < gap) return false;
+  return true;
+}
+
+void InsertSorted(std::vector<int64_t>* accepted, int64_t frame) {
+  accepted->insert(
+      std::upper_bound(accepted->begin(), accepted->end(), frame), frame);
+}
+
+}  // namespace
+
+ScrubbingExecutor::ScrubbingExecutor(StreamData* stream, ScrubOptions options)
+    : stream_(stream), options_(options) {}
+
+Result<ScrubResult> ScrubbingExecutor::Run(
+    const std::vector<ClassCountRequirement>& reqs, int64_t limit,
+    int64_t gap) {
+  if (reqs.empty())
+    return Status::InvalidArgument("scrubbing needs at least one class");
+  if (limit <= 0) return Status::InvalidArgument("limit must be positive");
+  confidences_.clear();
+  CostMeter meter;
+
+  // --- training-data check (Section 7.1): any instance in the train day?
+  int64_t train_instances = 0;
+  for (int64_t t = 0; t < stream_->train_day->num_frames(); ++t) {
+    bool match = true;
+    for (const ClassCountRequirement& req : reqs) {
+      if (stream_->train_labels->Counts(req.class_id)[static_cast<size_t>(
+              t)] < req.min_count) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ++train_instances;
+  }
+  if (train_instances == 0) {
+    BLAZEIT_LOG(kDebug) << "no instances of the scrubbing query in the "
+                           "training set; falling back to sequential scan";
+    return RunSequentialFallback(reqs, limit, gap, meter);
+  }
+
+  // --- train one NN with a count head per class ---
+  std::vector<std::vector<int>> head_labels;
+  std::vector<int> min_counts;
+  head_labels.reserve(reqs.size());
+  for (const ClassCountRequirement& req : reqs) {
+    head_labels.push_back(stream_->train_labels->Counts(req.class_id));
+    min_counts.push_back(req.min_count);
+  }
+  SpecializedNNConfig nn_config = options_.nn;
+  nn_config.train.seed = HashCombine(options_.seed, 0x5c4b);
+  auto trained =
+      SpecializedNN::Train(*stream_->train_day, head_labels, nn_config);
+  BLAZEIT_RETURN_NOT_OK(trained.status());
+  SpecializedNN nn = std::move(trained).value();
+  meter.ChargeTraining(nn.trained_frames());
+
+  // --- score all unseen frames and rank by confidence ---
+  const SyntheticVideo& test = *stream_->test_day;
+  std::vector<int64_t> test_frames(static_cast<size_t>(test.num_frames()));
+  std::iota(test_frames.begin(), test_frames.end(), 0);
+  auto mode = options_.conjunctive_product && reqs.size() > 1
+                  ? SpecializedNN::ConjunctionMode::kProduct
+                  : SpecializedNN::ConjunctionMode::kSum;
+  confidences_ =
+      nn.QueryConfidencesForFrames(test, test_frames, min_counts, mode);
+  meter.ChargeSpecializedNN(test.num_frames());
+
+  // Rank by the (optionally smoothed) confidence signal.
+  std::vector<float> ranking_signal = confidences_;
+  if (options_.confidence_smoothing > 0) {
+    const int64_t w = options_.confidence_smoothing;
+    const int64_t n = test.num_frames();
+    std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
+    for (int64_t t = 0; t < n; ++t) {
+      prefix[static_cast<size_t>(t) + 1] =
+          prefix[static_cast<size_t>(t)] +
+          confidences_[static_cast<size_t>(t)];
+    }
+    for (int64_t t = 0; t < n; ++t) {
+      int64_t lo = std::max<int64_t>(0, t - w);
+      int64_t hi = std::min<int64_t>(n - 1, t + w);
+      ranking_signal[static_cast<size_t>(t)] = static_cast<float>(
+          (prefix[static_cast<size_t>(hi) + 1] -
+           prefix[static_cast<size_t>(lo)]) /
+          static_cast<double>(hi - lo + 1));
+    }
+  }
+  std::vector<int64_t> order(static_cast<size_t>(test.num_frames()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&ranking_signal](int64_t a, int64_t b) {
+                     return ranking_signal[static_cast<size_t>(a)] >
+                            ranking_signal[static_cast<size_t>(b)];
+                   });
+
+  // --- verify candidates with the full detector, best-first ---
+  ScrubResult result;
+  std::vector<int64_t> accepted_sorted;
+  for (int64_t frame : order) {
+    if (static_cast<int64_t>(result.frames.size()) >= limit) break;
+    if (!GapAdmissible(accepted_sorted, frame, gap)) continue;
+    meter.ChargeDetection();
+    if (SatisfiesRequirements(*stream_, frame, reqs)) {
+      result.frames.push_back(frame);
+      InsertSorted(&accepted_sorted, frame);
+    }
+  }
+  result.found_all = static_cast<int64_t>(result.frames.size()) >= limit;
+  result.indexed_seconds = meter.detection_seconds();
+  result.detection_calls = meter.detection_calls();
+  result.cost = meter;
+  return result;
+}
+
+Result<ScrubResult> ScrubbingExecutor::RunSequentialFallback(
+    const std::vector<ClassCountRequirement>& reqs, int64_t limit,
+    int64_t gap, CostMeter meter) {
+  ScrubResult result;
+  result.fell_back_to_scan = true;
+  std::vector<int64_t> accepted_sorted;
+  for (int64_t t = 0; t < stream_->test_day->num_frames(); ++t) {
+    if (static_cast<int64_t>(result.frames.size()) >= limit) break;
+    if (!GapAdmissible(accepted_sorted, t, gap)) continue;
+    meter.ChargeDetection();
+    if (SatisfiesRequirements(*stream_, t, reqs)) {
+      result.frames.push_back(t);
+      InsertSorted(&accepted_sorted, t);
+    }
+  }
+  result.found_all = static_cast<int64_t>(result.frames.size()) >= limit;
+  result.indexed_seconds = meter.detection_seconds();
+  result.detection_calls = meter.detection_calls();
+  result.cost = meter;
+  return result;
+}
+
+}  // namespace blazeit

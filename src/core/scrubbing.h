@@ -1,0 +1,90 @@
+#ifndef BLAZEIT_CORE_SCRUBBING_H_
+#define BLAZEIT_CORE_SCRUBBING_H_
+
+#include <vector>
+
+#include "core/catalog.h"
+#include "frameql/analyzer.h"
+#include "nn/specialized_nn.h"
+#include "sim/cost_model.h"
+#include "util/status.h"
+
+namespace blazeit {
+
+struct ScrubOptions {
+  SpecializedNNConfig nn;
+  /// Half-width (frames) of the moving average applied to the per-frame
+  /// confidences before ranking. Useful when the NN's per-frame error is
+  /// noise-dominated; with the pooled-feature NNs the ablation bench shows
+  /// raw confidences rank better, so smoothing is off by default.
+  int64_t confidence_smoothing = 0;
+  /// Combine multi-class tail probabilities as a product (joint event)
+  /// instead of the paper's sum. Off by default: the sum matches the paper
+  /// and measures better in bench_ablation_scrubbing.
+  bool conjunctive_product = false;
+  uint64_t seed = 1;
+};
+
+struct ScrubResult {
+  /// Frames satisfying the predicate, in discovery (confidence) order —
+  /// the paper notes results are not returned in temporal order.
+  std::vector<int64_t> frames;
+  /// Full simulated cost including NN training and inference.
+  CostMeter cost;
+  /// Detection-only seconds: the cost if the specialized NN's scores were
+  /// pre-indexed ("BlazeIt (indexed)" in Figure 6).
+  double indexed_seconds = 0.0;
+  /// Sample complexity: object-detection calls consumed.
+  int64_t detection_calls = 0;
+  /// False when the video was exhausted before LIMIT frames were found.
+  bool found_all = false;
+  /// True when the training day had no instances of the query and the
+  /// executor fell back to a sequential scan (Section 7.1).
+  bool fell_back_to_scan = false;
+};
+
+/// Executes cardinality-limited scrubbing queries (Section 7): trains one
+/// specialized NN with a count head per queried class, scores every unseen
+/// frame by the summed probability of meeting the per-class minimum
+/// counts, and runs the full detector down the confidence ranking until
+/// LIMIT verified frames (GAP apart) are found. Only true positives are
+/// ever returned because every candidate is verified by the detector.
+class ScrubbingExecutor {
+ public:
+  /// `stream` must outlive the executor.
+  ScrubbingExecutor(StreamData* stream, ScrubOptions options = {});
+
+  Result<ScrubResult> Run(const std::vector<ClassCountRequirement>& reqs,
+                          int64_t limit, int64_t gap);
+
+  /// Per-test-frame confidence scores from the last Run (empty if the
+  /// executor fell back to a scan); used by benchmarks.
+  const std::vector<float>& confidences() const { return confidences_; }
+
+ private:
+  Result<ScrubResult> RunSequentialFallback(
+      const std::vector<ClassCountRequirement>& reqs, int64_t limit,
+      int64_t gap, CostMeter meter);
+
+  StreamData* stream_;
+  ScrubOptions options_;
+  std::vector<float> confidences_;
+};
+
+/// True if the frame's per-class counts satisfy every requirement.
+bool SatisfiesRequirements(const StreamData& stream, int64_t frame,
+                           const std::vector<ClassCountRequirement>& reqs);
+
+/// Number of test-day frames satisfying the requirements, and the number
+/// of distinct events (maximal runs of consecutive satisfying frames) —
+/// the "Instances" column of Table 6.
+struct RequirementStats {
+  int64_t matching_frames = 0;
+  int64_t events = 0;
+};
+RequirementStats CountRequirementInstances(
+    const StreamData& stream, const std::vector<ClassCountRequirement>& reqs);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_CORE_SCRUBBING_H_

@@ -1,0 +1,70 @@
+#include "core/udf.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace blazeit {
+
+namespace {
+
+double ChannelContrast(const Image& image, int channel) {
+  if (image.Empty()) return 0.0;
+  double sum = 0.0;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      double target = image.At(x, y, channel);
+      double others = 0.0;
+      for (int c = 0; c < 3; ++c) {
+        if (c != channel) others += image.At(x, y, c);
+      }
+      sum += std::max(0.0, target - others / 2.0);
+    }
+  }
+  return sum / (static_cast<double>(image.width()) * image.height());
+}
+
+}  // namespace
+
+UdfRegistry::UdfRegistry() {
+  udfs_["redness"] = [](const Image& img) { return Redness(img); };
+  udfs_["greenness"] = [](const Image& img) { return Greenness(img); };
+  udfs_["blueness"] = [](const Image& img) { return Blueness(img); };
+  udfs_["brightness"] = [](const Image& img) { return Brightness(img); };
+}
+
+Status UdfRegistry::Register(const std::string& name, ImageUdf udf) {
+  if (name.empty()) return Status::InvalidArgument("UDF name must be non-empty");
+  if (!udf) return Status::InvalidArgument("UDF must be callable");
+  udfs_[ToLower(name)] = std::move(udf);
+  return Status::OK();
+}
+
+Result<ImageUdf> UdfRegistry::Get(const std::string& name) const {
+  auto it = udfs_.find(ToLower(name));
+  if (it == udfs_.end()) {
+    return Status::NotFound(StrFormat("unknown UDF '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+bool UdfRegistry::Contains(const std::string& name) const {
+  return udfs_.count(ToLower(name)) > 0;
+}
+
+double UdfRegistry::Redness(const Image& image) {
+  return ChannelContrast(image, 0);
+}
+double UdfRegistry::Greenness(const Image& image) {
+  return ChannelContrast(image, 1);
+}
+double UdfRegistry::Blueness(const Image& image) {
+  return ChannelContrast(image, 2);
+}
+double UdfRegistry::Brightness(const Image& image) {
+  return (image.MeanChannel(0) + image.MeanChannel(1) +
+          image.MeanChannel(2)) /
+         3.0;
+}
+
+}  // namespace blazeit

@@ -1,0 +1,46 @@
+#ifndef BLAZEIT_CORE_UDF_H_
+#define BLAZEIT_CORE_UDF_H_
+
+#include <map>
+#include <string>
+
+#include "filters/content_filter.h"
+#include "util/status.h"
+#include "video/image.h"
+
+namespace blazeit {
+
+/// Registry of user-defined functions over pixel content (Section 3:
+/// "UDFs are functions that accept a timestamp, mask, and rectangular set
+/// of pixels"). UDFs return continuous values so BlazeIt can lift them to
+/// frame-level filters (Section 8.1). The same function is applied to a
+/// mask crop (predicate evaluation) or a whole frame (content filter).
+class UdfRegistry {
+ public:
+  /// Constructs with the built-ins registered: redness, greenness,
+  /// blueness, brightness.
+  UdfRegistry();
+
+  /// Registers or replaces a UDF.
+  Status Register(const std::string& name, ImageUdf udf);
+
+  Result<ImageUdf> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Built-in: mean over pixels of max(0, R - (G+B)/2) — high for
+  /// distinctly red content such as tour buses, near zero for white or
+  /// gray content (the per-channel mean alone would rank white buses
+  /// *above* red ones).
+  static double Redness(const Image& image);
+  static double Greenness(const Image& image);
+  static double Blueness(const Image& image);
+  /// Built-in: mean over all channels.
+  static double Brightness(const Image& image);
+
+ private:
+  std::map<std::string, ImageUdf> udfs_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_CORE_UDF_H_

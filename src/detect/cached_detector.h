@@ -1,0 +1,41 @@
+#ifndef BLAZEIT_DETECT_CACHED_DETECTOR_H_
+#define BLAZEIT_DETECT_CACHED_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace blazeit {
+
+/// Memoizing wrapper around an ObjectDetector. The paper pre-computed all
+/// object detections once and replayed them when evaluating samplers
+/// (Section 10.2: "we ran the object detection method once and recorded
+/// the results"); this wrapper is the equivalent. Simulated cost is still
+/// charged per *logical* call by the executors, so caching affects
+/// wall-clock only, never the reported runtimes.
+class CachedDetector : public ObjectDetector {
+ public:
+  /// Does not take ownership; `inner` must outlive this object.
+  explicit CachedDetector(const ObjectDetector* inner) : inner_(inner) {}
+
+  std::vector<Detection> Detect(const SyntheticVideo& video,
+                                int64_t frame) const override;
+
+  std::string name() const override { return inner_->name() + "+cache"; }
+
+  size_t cache_size() const { return cache_.size(); }
+  void ClearCache() { cache_.clear(); }
+
+ private:
+  const ObjectDetector* inner_;
+  /// Key mixes the video seed and the frame, so one cache instance can
+  /// serve multiple days of the same stream.
+  mutable std::unordered_map<uint64_t, std::vector<Detection>> cache_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_DETECT_CACHED_DETECTOR_H_

@@ -1,0 +1,32 @@
+#ifndef BLAZEIT_DETECT_DETECTOR_H_
+#define BLAZEIT_DETECT_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "detect/detection.h"
+#include "video/synthetic_video.h"
+
+namespace blazeit {
+
+/// Interface for the full object detection method (the configurable
+/// reference method of Section 3; Mask R-CNN / FGFA in the paper).
+/// Implementations must be deterministic per (video, frame) so repeated
+/// calls and pre-computation give identical results. Cost accounting is
+/// done by callers through CostMeter — exactly mirroring the paper's
+/// "runtime = number of detection calls x per-call cost" methodology.
+class ObjectDetector {
+ public:
+  virtual ~ObjectDetector() = default;
+
+  /// Runs detection on one frame and returns all detections (unthresholded;
+  /// callers apply the per-stream score threshold from Table 3).
+  virtual std::vector<Detection> Detect(const SyntheticVideo& video,
+                                        int64_t frame) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_DETECT_DETECTOR_H_

@@ -1,0 +1,56 @@
+#include "filters/calibration.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace blazeit {
+
+Result<CalibrationResult> CalibrateNoFalseNegatives(
+    FrameFilter* filter, const SyntheticVideo& held_out,
+    const std::vector<char>& positive_mask, double safety_margin) {
+  if (filter == nullptr)
+    return Status::InvalidArgument("filter must not be null");
+  if (static_cast<int64_t>(positive_mask.size()) != held_out.num_frames())
+    return Status::InvalidArgument(
+        "positive_mask must cover every held-out frame");
+
+  double min_pos = std::numeric_limits<double>::infinity();
+  double max_pos = -std::numeric_limits<double>::infinity();
+  int64_t positives = 0;
+  std::vector<int64_t> all_frames(positive_mask.size());
+  for (size_t i = 0; i < all_frames.size(); ++i) {
+    all_frames[i] = static_cast<int64_t>(i);
+  }
+  std::vector<double> scores = filter->ScoreBatch(held_out, all_frames);
+  for (int64_t t = 0; t < held_out.num_frames(); ++t) {
+    double s = scores[static_cast<size_t>(t)];
+    if (positive_mask[static_cast<size_t>(t)]) {
+      ++positives;
+      min_pos = std::min(min_pos, s);
+      max_pos = std::max(max_pos, s);
+    }
+  }
+  if (positives == 0)
+    return Status::NotFound(
+        "no positive frames on the held-out day; filter cannot be "
+        "calibrated");
+
+  CalibrationResult out;
+  out.positives = positives;
+  // Shift the threshold below the weakest positive by a fraction of the
+  // positive score range, hedging against distribution shift on the test
+  // day (the paper assumes no model drift but still thresholds to err on
+  // the side of false positives).
+  out.threshold = min_pos - safety_margin * std::max(0.0, max_pos - min_pos);
+  filter->set_threshold(out.threshold);
+
+  int64_t passing = 0;
+  for (double s : scores) {
+    if (s >= out.threshold) ++passing;
+  }
+  out.selectivity =
+      static_cast<double>(passing) / static_cast<double>(scores.size());
+  return out;
+}
+
+}  // namespace blazeit

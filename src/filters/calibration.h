@@ -1,0 +1,36 @@
+#ifndef BLAZEIT_FILTERS_CALIBRATION_H_
+#define BLAZEIT_FILTERS_CALIBRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "filters/filter.h"
+#include "util/status.h"
+
+namespace blazeit {
+
+/// Result of calibrating a filter threshold on the held-out day.
+struct CalibrationResult {
+  /// Threshold achieving zero false negatives on the held-out positives.
+  double threshold = 0.0;
+  /// Fraction of all held-out frames passing at that threshold; the
+  /// optimizer uses this to decide whether the filter pays for itself.
+  double selectivity = 1.0;
+  /// Number of positive frames observed during calibration.
+  int64_t positives = 0;
+};
+
+/// Sets the filter threshold to the minimum score over positive held-out
+/// frames (optionally shifted down by `safety_margin` times the positive
+/// score range), so the filter has no false negatives on the held-out set
+/// — BlazeIt's operating point (Section 8). `positive_mask[i]` marks frame
+/// i of the held-out day as satisfying the query predicate (computed from
+/// the labeled set). Fails with NotFound if no positives exist, in which
+/// case the optimizer must skip the filter.
+Result<CalibrationResult> CalibrateNoFalseNegatives(
+    FrameFilter* filter, const SyntheticVideo& held_out,
+    const std::vector<char>& positive_mask, double safety_margin = 0.05);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_FILTERS_CALIBRATION_H_

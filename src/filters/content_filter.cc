@@ -1,0 +1,3 @@
+#include "filters/content_filter.h"
+
+// Implementation is inline; this file anchors the vtable.

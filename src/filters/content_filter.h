@@ -1,0 +1,48 @@
+#ifndef BLAZEIT_FILTERS_CONTENT_FILTER_H_
+#define BLAZEIT_FILTERS_CONTENT_FILTER_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "filters/filter.h"
+#include "video/image.h"
+
+namespace blazeit {
+
+/// A continuous image statistic (e.g. redness); the content filter lifts
+/// the per-mask UDF of the query to the whole frame (Section 8.1: apply
+/// the UDF over the entire frame and filter frames that cannot satisfy it).
+using ImageUdf = std::function<double(const Image&)>;
+
+/// Content-based filtering: scores each frame by a cheap visual statistic
+/// inferred from the query's UDF predicate, e.g. the frame-level redness
+/// when searching for red buses. Only meaningful for UDFs returning
+/// continuous values (the paper's restriction); threshold calibration on
+/// the held-out set discovers whether the lifted UDF is actually selective.
+class ContentFilter : public FrameFilter {
+ public:
+  /// `raster` is the render size used to evaluate the statistic.
+  ContentFilter(std::string udf_name, ImageUdf udf, int raster_width = 32,
+                int raster_height = 32)
+      : udf_name_(std::move(udf_name)),
+        udf_(std::move(udf)),
+        raster_width_(raster_width),
+        raster_height_(raster_height) {}
+
+  std::string name() const override { return "content(" + udf_name_ + ")"; }
+
+  double Score(const SyntheticVideo& video, int64_t frame) const override {
+    return udf_(video.RenderFrame(frame, raster_width_, raster_height_));
+  }
+
+ private:
+  std::string udf_name_;
+  ImageUdf udf_;
+  int raster_width_;
+  int raster_height_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_FILTERS_CONTENT_FILTER_H_

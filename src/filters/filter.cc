@@ -1,0 +1,4 @@
+#include "filters/filter.h"
+
+// FrameFilter is header-only today; this translation unit anchors the
+// vtable so the library exports a single copy.

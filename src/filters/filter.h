@@ -1,0 +1,53 @@
+#ifndef BLAZEIT_FILTERS_FILTER_H_
+#define BLAZEIT_FILTERS_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "video/synthetic_video.h"
+
+namespace blazeit {
+
+/// A per-frame scoring filter used to discard frames before object
+/// detection (Section 8). Filters expose a continuous score; the threshold
+/// is calibrated on the held-out day so that no positive frame scores
+/// below it (the no-false-negatives regime the paper evaluates).
+class FrameFilter {
+ public:
+  virtual ~FrameFilter() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Relevance score for the frame; higher means more likely to satisfy
+  /// the query predicate.
+  virtual double Score(const SyntheticVideo& video, int64_t frame) const = 0;
+
+  /// Scores many frames; the default loops Score, NN-backed filters
+  /// override with batched inference.
+  virtual std::vector<double> ScoreBatch(
+      const SyntheticVideo& video, const std::vector<int64_t>& frames) const {
+    std::vector<double> out;
+    out.reserve(frames.size());
+    for (int64_t frame : frames) out.push_back(Score(video, frame));
+    return out;
+  }
+
+  /// True for specialized-NN-backed filters (charged at the NN rate in the
+  /// cost model) as opposed to simple filters (filter rate).
+  virtual bool IsNeuralNetwork() const { return false; }
+
+  double threshold() const { return threshold_; }
+  void set_threshold(double threshold) { threshold_ = threshold; }
+
+  /// Frames scoring at or above the calibrated threshold survive.
+  bool Pass(const SyntheticVideo& video, int64_t frame) const {
+    return Score(video, frame) >= threshold_;
+  }
+
+ private:
+  double threshold_ = 0.0;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_FILTERS_FILTER_H_

@@ -1,0 +1,3 @@
+#include "filters/label_filter.h"
+
+// Implementation is inline; this file anchors the vtable.

@@ -1,0 +1,47 @@
+#ifndef BLAZEIT_FILTERS_LABEL_FILTER_H_
+#define BLAZEIT_FILTERS_LABEL_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "filters/filter.h"
+#include "nn/specialized_nn.h"
+
+namespace blazeit {
+
+/// Label-based filtering (Section 8, the NoScope-style filter class): a
+/// specialized NN scores each frame by the probability that the queried
+/// classes are present in the required multiplicity. Frames the NN is
+/// confident are irrelevant are discarded before detection.
+class LabelFilter : public FrameFilter {
+ public:
+  /// `min_counts[h]` is the required count for the NN's head `h`.
+  LabelFilter(SpecializedNN nn, std::vector<int> min_counts)
+      : nn_(std::move(nn)), min_counts_(std::move(min_counts)) {}
+
+  std::string name() const override { return "label"; }
+
+  double Score(const SyntheticVideo& video, int64_t frame) const override {
+    return nn_.QueryConfidence(video, frame, min_counts_);
+  }
+
+  std::vector<double> ScoreBatch(
+      const SyntheticVideo& video,
+      const std::vector<int64_t>& frames) const override {
+    std::vector<float> scores =
+        nn_.QueryConfidencesForFrames(video, frames, min_counts_);
+    return std::vector<double>(scores.begin(), scores.end());
+  }
+
+  bool IsNeuralNetwork() const override { return true; }
+
+  const SpecializedNN& nn() const { return nn_; }
+
+ private:
+  SpecializedNN nn_;
+  std::vector<int> min_counts_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_FILTERS_LABEL_FILTER_H_

@@ -1,0 +1,48 @@
+#include "filters/spatial_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blazeit {
+
+SpatialFilter::SpatialFilter(const Rect& roi, int frame_width,
+                             int frame_height)
+    : roi_(roi.ClampToUnit()),
+      frame_width_(frame_width),
+      frame_height_(frame_height) {
+  // Work in pixels.
+  double w_px = roi_.width() * frame_width_;
+  double h_px = roi_.height() * frame_height_;
+  double cx = roi_.CenterX() * frame_width_;
+  double cy = roi_.CenterY() * frame_height_;
+  // Expand the smaller dimension toward a square; the extra scene content
+  // is harmless, and a squarer input minimizes pixels after the detector's
+  // short-edge resize.
+  double target = std::max(w_px, h_px);
+  double new_w = std::min<double>(target, frame_width_);
+  double new_h = std::min<double>(target, frame_height_);
+  new_w = std::max(new_w, w_px);
+  new_h = std::max(new_h, h_px);
+  // Re-center, clamped to the frame.
+  double x0 = std::clamp(cx - new_w / 2, 0.0, frame_width_ - new_w);
+  double y0 = std::clamp(cy - new_h / 2, 0.0, frame_height_ - new_h);
+  effective_crop_ = Rect{x0 / frame_width_, y0 / frame_height_,
+                         (x0 + new_w) / frame_width_,
+                         (y0 + new_h) / frame_height_};
+  double long_edge = std::max(new_w, new_h);
+  double short_edge = std::min(new_w, new_h);
+  aspect_ = short_edge > 0 ? long_edge / short_edge : 1.0;
+}
+
+double SpatialFilter::Speedup() const {
+  double full_aspect =
+      static_cast<double>(std::max(frame_width_, frame_height_)) /
+      static_cast<double>(std::min(frame_width_, frame_height_));
+  return full_aspect / aspect_;
+}
+
+bool SpatialFilter::Contains(const Detection& detection) const {
+  return roi_.Contains(detection.rect.CenterX(), detection.rect.CenterY());
+}
+
+}  // namespace blazeit

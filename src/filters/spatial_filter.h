@@ -1,0 +1,47 @@
+#ifndef BLAZEIT_FILTERS_SPATIAL_FILTER_H_
+#define BLAZEIT_FILTERS_SPATIAL_FILTER_H_
+
+#include "detect/detection.h"
+#include "video/geometry.h"
+
+namespace blazeit {
+
+/// Spatial filtering (Section 8): a user-specified region of interest
+/// lets BlazeIt (a) crop frames before detection — detectors resize the
+/// short edge to a fixed size, so making the input squarer reduces cost —
+/// and (b) drop detections outside the ROI.
+class SpatialFilter {
+ public:
+  /// `roi` in normalized coordinates; frame dimensions are the stream's
+  /// nominal resolution (the aspect-ratio math is in pixels).
+  SpatialFilter(const Rect& roi, int frame_width, int frame_height);
+
+  const Rect& roi() const { return roi_; }
+
+  /// The crop actually sent to the detector: the ROI expanded toward a
+  /// square (the paper's "make images more square" rule; e.g. a 1280x720
+  /// frame with xmax < 720 becomes a 720x720 crop).
+  const Rect& effective_crop() const { return effective_crop_; }
+
+  /// Long-edge / short-edge ratio of the effective crop, in pixels. The
+  /// cost model charges detection proportionally to this.
+  double AspectRatio() const { return aspect_; }
+
+  /// Detection-cost speedup relative to the uncropped frame.
+  double Speedup() const;
+
+  /// True if the detection (clipped to the frame) lies inside the ROI
+  /// (its center must be inside).
+  bool Contains(const Detection& detection) const;
+
+ private:
+  Rect roi_;
+  Rect effective_crop_;
+  int frame_width_;
+  int frame_height_;
+  double aspect_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_FILTERS_SPATIAL_FILTER_H_

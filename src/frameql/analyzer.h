@@ -1,0 +1,84 @@
+#ifndef BLAZEIT_FRAMEQL_ANALYZER_H_
+#define BLAZEIT_FRAMEQL_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "frameql/ast.h"
+#include "util/status.h"
+#include "video/geometry.h"
+#include "video/scene_model.h"
+
+namespace blazeit {
+
+/// The query classes BlazeIt's rule-based optimizer recognizes
+/// (Sections 5-8). Anything else runs exhaustively.
+enum class QueryKind {
+  kAggregate,      // FCOUNT/COUNT with an error tolerance (Section 6)
+  kCountDistinct,  // COUNT(DISTINCT trackid)
+  kScrubbing,      // timestamp selection with class-count HAVING + LIMIT
+                   // (Section 7)
+  kSelection,      // SELECT * with content predicates (Section 8)
+  kBinarySelect,   // NoScope-style timestamp selection with FNR/FPR bounds
+  kExhaustive,     // no optimization applies
+};
+
+const char* QueryKindName(QueryKind kind);
+
+/// "At least N instances of this class" requirement extracted from a
+/// scrubbing query's HAVING clauses.
+struct ClassCountRequirement {
+  int class_id = kCar;
+  int min_count = 1;
+};
+
+/// Semantic summary of a FrameQL query against a specific stream: what the
+/// optimizer consumes. Spatial predicates are folded into an ROI,
+/// timestamp predicates into a time range, pixel-valued thresholds are
+/// normalized using the stream's nominal resolution.
+struct AnalyzedQuery {
+  QueryKind kind = QueryKind::kExhaustive;
+  std::string table;
+
+  // --- aggregation ---
+  int agg_class = -1;
+  double error = 0.1;
+  double confidence = 0.95;
+  /// True for COUNT(*) (scaled by frame count); false for FCOUNT(*).
+  bool scale_to_total = false;
+
+  // --- scrubbing ---
+  std::vector<ClassCountRequirement> requirements;
+  int64_t limit = 0;
+  int64_t gap = 0;
+
+  // --- selection ---
+  int sel_class = -1;
+  /// Content UDF conjuncts (kUdf predicates).
+  std::vector<Predicate> udf_predicates;
+  /// Minimum pixel area from area(mask) predicates; 0 if absent.
+  double min_area_px = 0.0;
+  /// ROI folded from spatial predicates; the unit rect if absent.
+  Rect roi{0, 0, 1, 1};
+  bool has_roi = false;
+  /// Minimum track persistence (frames) from HAVING COUNT(*) on trackid.
+  int64_t persistence_frames = 0;
+  /// Time range in seconds; end < 0 means "to the end".
+  double begin_sec = 0.0;
+  double end_sec = -1.0;
+
+  // --- binary select ---
+  double fnr = 0.0;
+  double fpr = 0.0;
+
+  /// The parsed query this analysis came from.
+  FrameQLQuery raw;
+};
+
+/// Classifies and validates a parsed query against a stream's schema.
+Result<AnalyzedQuery> AnalyzeQuery(const FrameQLQuery& query,
+                                   const StreamConfig& stream);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_FRAMEQL_ANALYZER_H_

@@ -1,0 +1,89 @@
+#ifndef BLAZEIT_FRAMEQL_AST_H_
+#define BLAZEIT_FRAMEQL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blazeit {
+
+/// Comparison operators of FrameQL predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// Evaluates `lhs op rhs` for numeric comparisons.
+bool EvalCmp(double lhs, CmpOp op, double rhs);
+
+/// What the query projects.
+enum class Projection {
+  kStar,                // SELECT *
+  kTimestamp,           // SELECT timestamp
+  kFcount,              // SELECT FCOUNT(*)   (frame-averaged count)
+  kCountStar,           // SELECT COUNT(*)
+  kCountDistinctTrack,  // SELECT COUNT(DISTINCT trackid)
+};
+
+const char* ProjectionName(Projection projection);
+
+/// One conjunct of the WHERE clause.
+struct Predicate {
+  enum class Kind {
+    kClassEq,    // class = 'bus'
+    kUdf,        // redness(content) >= 0.3
+    kUdfString,  // classify(content) = 'sedan'
+    kArea,       // area(mask) > 50000          (pixel units)
+    kSpatial,    // xmax(mask) < 720            (field name in `name`)
+    kTimestamp,  // timestamp >= 600            (seconds)
+  };
+  Kind kind = Kind::kClassEq;
+  /// UDF name, spatial field (xmin/xmax/ymin/ymax), or empty.
+  std::string name;
+  CmpOp op = CmpOp::kEq;
+  double value = 0.0;
+  /// For kClassEq / kUdfString.
+  std::string str_value;
+
+  std::string ToString() const;
+};
+
+/// One conjunct of the HAVING clause.
+struct HavingClause {
+  enum class Kind {
+    kClassCount,  // SUM(class='bus') >= 1   (per-timestamp group)
+    kGroupSize,   // COUNT(*) > 15           (per-trackid group)
+  };
+  Kind kind = Kind::kClassCount;
+  std::string class_name;
+  CmpOp op = CmpOp::kGe;
+  double value = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Parsed FrameQL query (Section 4, Table 2). Syntactic sugar beyond
+/// standard SQL: FCOUNT, ERROR WITHIN, [AT] CONFIDENCE, FNR/FPR WITHIN,
+/// LIMIT ... GAP.
+struct FrameQLQuery {
+  Projection projection = Projection::kStar;
+  std::string table;
+  std::vector<Predicate> where;
+  /// Empty, "timestamp", or "trackid".
+  std::string group_by;
+  std::vector<HavingClause> having;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> gap;
+  std::optional<double> error_within;
+  /// Confidence level in (0,1); `CONFIDENCE 95%` parses to 0.95.
+  std::optional<double> confidence;
+  std::optional<double> fnr_within;
+  std::optional<double> fpr_within;
+
+  /// Round-trips to readable FrameQL (not necessarily token-identical).
+  std::string ToString() const;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_FRAMEQL_AST_H_

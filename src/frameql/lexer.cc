@@ -1,0 +1,96 @@
+#include "frameql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace blazeit {
+
+bool Token::IsKeyword(const char* keyword) const {
+  return type == TokenType::kIdentifier && ToUpper(text) == keyword;
+}
+
+Result<std::vector<Token>> LexFrameQL(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < n ? query[i + off] : '\0';
+  };
+
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // SQL comment.
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '_' || query[i] == '-')) {
+        // Allow '-' inside identifiers for stream names like night-street,
+        // but not as a trailing character (so `-- comment` still works).
+        if (query[i] == '-' &&
+            !(i + 1 < n &&
+              (std::isalnum(static_cast<unsigned char>(query[i + 1])) ||
+               query[i + 1] == '_'))) {
+          break;
+        }
+        ++i;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = query.substr(start, i - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '.')) {
+        ++i;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = query.substr(start, i - start);
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+    } else if (c == '\'') {
+      size_t start = ++i;
+      while (i < n && query[i] != '\'') ++i;
+      if (i >= n) {
+        return Status::ParseError(StrFormat(
+            "unterminated string literal at offset %zu", tok.position));
+      }
+      tok.type = TokenType::kString;
+      tok.text = query.substr(start, i - start);
+      ++i;  // closing quote
+    } else {
+      tok.type = TokenType::kSymbol;
+      // Two-character operators first.
+      if ((c == '<' && peek(1) == '=') || (c == '>' && peek(1) == '=') ||
+          (c == '!' && peek(1) == '=') || (c == '<' && peek(1) == '>')) {
+        tok.text = query.substr(i, 2);
+        if (tok.text == "<>") tok.text = "!=";
+        i += 2;
+      } else if (std::string("()*,=<>%;").find(c) != std::string::npos) {
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError(StrFormat(
+            "unexpected character '%c' at offset %zu", c, i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace blazeit

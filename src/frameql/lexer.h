@@ -1,0 +1,18 @@
+#ifndef BLAZEIT_FRAMEQL_LEXER_H_
+#define BLAZEIT_FRAMEQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "frameql/token.h"
+#include "util/status.h"
+
+namespace blazeit {
+
+/// Tokenizes a FrameQL query string. The final token is always kEnd.
+/// Comments (`-- ...` to end of line) are skipped.
+Result<std::vector<Token>> LexFrameQL(const std::string& query);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_FRAMEQL_LEXER_H_

@@ -1,0 +1,414 @@
+#include "frameql/parser.h"
+
+#include <cmath>
+
+#include "frameql/lexer.h"
+#include "util/string_util.h"
+
+namespace blazeit {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(double lhs, CmpOp op, double rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+const char* ProjectionName(Projection projection) {
+  switch (projection) {
+    case Projection::kStar:
+      return "*";
+    case Projection::kTimestamp:
+      return "timestamp";
+    case Projection::kFcount:
+      return "FCOUNT(*)";
+    case Projection::kCountStar:
+      return "COUNT(*)";
+    case Projection::kCountDistinctTrack:
+      return "COUNT(DISTINCT trackid)";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kClassEq:
+      return StrFormat("class = '%s'", str_value.c_str());
+    case Kind::kUdf:
+      return StrFormat("%s(content) %s %g", name.c_str(), CmpOpName(op),
+                       value);
+    case Kind::kUdfString:
+      return StrFormat("%s(content) = '%s'", name.c_str(),
+                       str_value.c_str());
+    case Kind::kArea:
+      return StrFormat("area(mask) %s %g", CmpOpName(op), value);
+    case Kind::kSpatial:
+      return StrFormat("%s(mask) %s %g", name.c_str(), CmpOpName(op), value);
+    case Kind::kTimestamp:
+      return StrFormat("timestamp %s %g", CmpOpName(op), value);
+  }
+  return "?";
+}
+
+std::string HavingClause::ToString() const {
+  if (kind == Kind::kClassCount) {
+    return StrFormat("SUM(class='%s') %s %g", class_name.c_str(),
+                     CmpOpName(op), value);
+  }
+  return StrFormat("COUNT(*) %s %g", CmpOpName(op), value);
+}
+
+std::string FrameQLQuery::ToString() const {
+  std::string out =
+      StrFormat("SELECT %s FROM %s", ProjectionName(projection),
+                table.c_str());
+  if (!where.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i) out += " AND ";
+      out += where[i].ToString();
+    }
+  }
+  if (!group_by.empty()) out += " GROUP BY " + group_by;
+  if (!having.empty()) {
+    out += " HAVING ";
+    for (size_t i = 0; i < having.size(); ++i) {
+      if (i) out += " AND ";
+      out += having[i].ToString();
+    }
+  }
+  if (limit) out += StrFormat(" LIMIT %lld", static_cast<long long>(*limit));
+  if (gap) out += StrFormat(" GAP %lld", static_cast<long long>(*gap));
+  if (error_within) out += StrFormat(" ERROR WITHIN %g", *error_within);
+  if (confidence) out += StrFormat(" AT CONFIDENCE %g%%", *confidence * 100);
+  if (fnr_within) out += StrFormat(" FNR WITHIN %g", *fnr_within);
+  if (fpr_within) out += StrFormat(" FPR WITHIN %g", *fpr_within);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<FrameQLQuery> Parse() {
+    FrameQLQuery query;
+    BLAZEIT_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    BLAZEIT_RETURN_NOT_OK(ParseProjection(&query));
+    BLAZEIT_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    BLAZEIT_RETURN_NOT_OK(ExpectIdentifier(&query.table));
+    BLAZEIT_RETURN_NOT_OK(ParseClauses(&query));
+    if (!Peek().IsSymbol(";") && Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t off = 0) const {
+    size_t idx = pos_ + off;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool MatchKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& message) const {
+    return Status::ParseError(StrFormat("%s (near offset %zu, token '%s')",
+                                        message.c_str(), Peek().position,
+                                        Peek().text.c_str()));
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) return Error(StrFormat("expected %s", kw));
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!MatchSymbol(sym)) return Error(StrFormat("expected '%s'", sym));
+    return Status::OK();
+  }
+  Status ExpectIdentifier(std::string* out) {
+    if (Peek().type != TokenType::kIdentifier)
+      return Error("expected identifier");
+    *out = Advance().text;
+    return Status::OK();
+  }
+  Status ExpectNumber(double* out) {
+    if (Peek().type != TokenType::kNumber) return Error("expected number");
+    *out = Advance().number;
+    return Status::OK();
+  }
+  Status ExpectString(std::string* out) {
+    if (Peek().type != TokenType::kString)
+      return Error("expected string literal");
+    *out = Advance().text;
+    return Status::OK();
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    const Token& tok = Peek();
+    if (tok.type != TokenType::kSymbol)
+      return Error("expected comparison operator");
+    CmpOp op;
+    if (tok.text == "=") {
+      op = CmpOp::kEq;
+    } else if (tok.text == "!=") {
+      op = CmpOp::kNe;
+    } else if (tok.text == "<") {
+      op = CmpOp::kLt;
+    } else if (tok.text == "<=") {
+      op = CmpOp::kLe;
+    } else if (tok.text == ">") {
+      op = CmpOp::kGt;
+    } else if (tok.text == ">=") {
+      op = CmpOp::kGe;
+    } else {
+      return Error("expected comparison operator");
+    }
+    ++pos_;
+    return op;
+  }
+
+  Status ParseProjection(FrameQLQuery* query) {
+    if (MatchSymbol("*")) {
+      query->projection = Projection::kStar;
+      return Status::OK();
+    }
+    if (MatchKeyword("FCOUNT")) {
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol("("));
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol("*"));
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol(")"));
+      query->projection = Projection::kFcount;
+      return Status::OK();
+    }
+    if (MatchKeyword("COUNT")) {
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol("("));
+      if (MatchSymbol("*")) {
+        query->projection = Projection::kCountStar;
+      } else if (MatchKeyword("DISTINCT")) {
+        std::string field;
+        BLAZEIT_RETURN_NOT_OK(ExpectIdentifier(&field));
+        if (ToLower(field) != "trackid")
+          return Error("only COUNT(DISTINCT trackid) is supported");
+        query->projection = Projection::kCountDistinctTrack;
+      } else {
+        return Error("expected * or DISTINCT inside COUNT()");
+      }
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol(")"));
+      return Status::OK();
+    }
+    std::string field;
+    BLAZEIT_RETURN_NOT_OK(ExpectIdentifier(&field));
+    if (ToLower(field) != "timestamp")
+      return Error("projection must be *, timestamp, FCOUNT(*) or COUNT");
+    query->projection = Projection::kTimestamp;
+    return Status::OK();
+  }
+
+  Status ParsePredicate(FrameQLQuery* query) {
+    Predicate pred;
+    std::string name;
+    if (Peek().type != TokenType::kIdentifier)
+      return Error("expected predicate");
+    name = Advance().text;
+    std::string lower = ToLower(name);
+
+    if (MatchSymbol("(")) {
+      // UDF-style predicate: name(arg) op value.
+      std::string arg;
+      BLAZEIT_RETURN_NOT_OK(ExpectIdentifier(&arg));
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol(")"));
+      std::string arg_lower = ToLower(arg);
+      BLAZEIT_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+      pred.op = op;
+      if (Peek().type == TokenType::kString) {
+        if (pred.op != CmpOp::kEq)
+          return Error("string UDF predicates support '=' only");
+        pred.kind = Predicate::Kind::kUdfString;
+        pred.name = lower;
+        BLAZEIT_RETURN_NOT_OK(ExpectString(&pred.str_value));
+      } else {
+        double value = 0;
+        BLAZEIT_RETURN_NOT_OK(ExpectNumber(&value));
+        pred.value = value;
+        if (arg_lower == "mask") {
+          if (lower == "area") {
+            pred.kind = Predicate::Kind::kArea;
+          } else if (lower == "xmin" || lower == "xmax" || lower == "ymin" ||
+                     lower == "ymax") {
+            pred.kind = Predicate::Kind::kSpatial;
+            pred.name = lower;
+          } else {
+            return Error(
+                StrFormat("unknown mask predicate '%s'", name.c_str()));
+          }
+        } else if (arg_lower == "content") {
+          pred.kind = Predicate::Kind::kUdf;
+          pred.name = lower;
+        } else {
+          return Error(
+              StrFormat("UDF argument must be content or mask, got '%s'",
+                        arg.c_str()));
+        }
+      }
+    } else if (lower == "class") {
+      BLAZEIT_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+      if (op != CmpOp::kEq) return Error("class supports '=' only");
+      pred.kind = Predicate::Kind::kClassEq;
+      pred.op = op;
+      BLAZEIT_RETURN_NOT_OK(ExpectString(&pred.str_value));
+    } else if (lower == "timestamp") {
+      BLAZEIT_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+      pred.kind = Predicate::Kind::kTimestamp;
+      pred.op = op;
+      BLAZEIT_RETURN_NOT_OK(ExpectNumber(&pred.value));
+    } else {
+      return Error(StrFormat("unknown predicate '%s'", name.c_str()));
+    }
+    query->where.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  Status ParseHaving(FrameQLQuery* query) {
+    HavingClause clause;
+    if (MatchKeyword("SUM")) {
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol("("));
+      std::string field;
+      BLAZEIT_RETURN_NOT_OK(ExpectIdentifier(&field));
+      if (ToLower(field) != "class")
+        return Error("HAVING SUM supports class='...' only");
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol("="));
+      BLAZEIT_RETURN_NOT_OK(ExpectString(&clause.class_name));
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol(")"));
+      clause.kind = HavingClause::Kind::kClassCount;
+    } else if (MatchKeyword("COUNT")) {
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol("("));
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol("*"));
+      BLAZEIT_RETURN_NOT_OK(ExpectSymbol(")"));
+      clause.kind = HavingClause::Kind::kGroupSize;
+    } else {
+      return Error("expected SUM(...) or COUNT(*) in HAVING");
+    }
+    BLAZEIT_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+    clause.op = op;
+    BLAZEIT_RETURN_NOT_OK(ExpectNumber(&clause.value));
+    query->having.push_back(std::move(clause));
+    return Status::OK();
+  }
+
+  Status ParseClauses(FrameQLQuery* query) {
+    while (true) {
+      if (MatchKeyword("WHERE")) {
+        BLAZEIT_RETURN_NOT_OK(ParsePredicate(query));
+        while (MatchKeyword("AND")) {
+          BLAZEIT_RETURN_NOT_OK(ParsePredicate(query));
+        }
+      } else if (MatchKeyword("GROUP")) {
+        BLAZEIT_RETURN_NOT_OK(ExpectKeyword("BY"));
+        std::string field;
+        BLAZEIT_RETURN_NOT_OK(ExpectIdentifier(&field));
+        field = ToLower(field);
+        if (field != "timestamp" && field != "trackid")
+          return Error("GROUP BY supports timestamp or trackid");
+        query->group_by = field;
+      } else if (MatchKeyword("HAVING")) {
+        BLAZEIT_RETURN_NOT_OK(ParseHaving(query));
+        while (MatchKeyword("AND")) {
+          BLAZEIT_RETURN_NOT_OK(ParseHaving(query));
+        }
+      } else if (MatchKeyword("LIMIT")) {
+        double value = 0;
+        BLAZEIT_RETURN_NOT_OK(ExpectNumber(&value));
+        query->limit = static_cast<int64_t>(value);
+        if (MatchKeyword("GAP")) {
+          BLAZEIT_RETURN_NOT_OK(ExpectNumber(&value));
+          query->gap = static_cast<int64_t>(value);
+        }
+      } else if (MatchKeyword("GAP")) {
+        double value = 0;
+        BLAZEIT_RETURN_NOT_OK(ExpectNumber(&value));
+        query->gap = static_cast<int64_t>(value);
+      } else if (MatchKeyword("ERROR")) {
+        BLAZEIT_RETURN_NOT_OK(ExpectKeyword("WITHIN"));
+        double value = 0;
+        BLAZEIT_RETURN_NOT_OK(ExpectNumber(&value));
+        query->error_within = value;
+        // Inline `... ERROR WITHIN 0.1 CONFIDENCE 95%` handled by the loop.
+      } else if (MatchKeyword("AT") || Peek().IsKeyword("CONFIDENCE")) {
+        BLAZEIT_RETURN_NOT_OK(ExpectKeyword("CONFIDENCE"));
+        double value = 0;
+        BLAZEIT_RETURN_NOT_OK(ExpectNumber(&value));
+        if (MatchSymbol("%")) value /= 100.0;
+        if (value > 1.0) value /= 100.0;  // tolerate missing '%'
+        query->confidence = value;
+      } else if (MatchKeyword("FNR")) {
+        BLAZEIT_RETURN_NOT_OK(ExpectKeyword("WITHIN"));
+        double value = 0;
+        BLAZEIT_RETURN_NOT_OK(ExpectNumber(&value));
+        query->fnr_within = value;
+      } else if (MatchKeyword("FPR")) {
+        BLAZEIT_RETURN_NOT_OK(ExpectKeyword("WITHIN"));
+        double value = 0;
+        BLAZEIT_RETURN_NOT_OK(ExpectNumber(&value));
+        query->fpr_within = value;
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FrameQLQuery> ParseFrameQL(const std::string& query) {
+  BLAZEIT_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexFrameQL(query));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace blazeit

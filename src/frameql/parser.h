@@ -1,0 +1,29 @@
+#ifndef BLAZEIT_FRAMEQL_PARSER_H_
+#define BLAZEIT_FRAMEQL_PARSER_H_
+
+#include <string>
+
+#include "frameql/ast.h"
+#include "util/status.h"
+
+namespace blazeit {
+
+/// Parses a FrameQL query string into an AST. Supports the full surface
+/// used in the paper (Figures 3a-3c and the Section 4 examples):
+///
+///   SELECT FCOUNT(*) FROM taipei WHERE class = 'car'
+///     ERROR WITHIN 0.1 AT CONFIDENCE 95%
+///
+///   SELECT timestamp FROM taipei GROUP BY timestamp
+///     HAVING SUM(class='bus') >= 1 AND SUM(class='car') >= 5
+///     LIMIT 10 GAP 300
+///
+///   SELECT * FROM taipei
+///     WHERE class = 'bus' AND redness(content) >= 0.3
+///       AND area(mask) > 50000
+///     GROUP BY trackid HAVING COUNT(*) > 15
+Result<FrameQLQuery> ParseFrameQL(const std::string& query);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_FRAMEQL_PARSER_H_

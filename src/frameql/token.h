@@ -1,0 +1,35 @@
+#ifndef BLAZEIT_FRAMEQL_TOKEN_H_
+#define BLAZEIT_FRAMEQL_TOKEN_H_
+
+#include <string>
+
+namespace blazeit {
+
+/// Lexical token kinds of FrameQL.
+enum class TokenType {
+  kIdentifier,  // SELECT, taipei, redness, ... (keywords resolved later)
+  kNumber,      // 0.1, 300, 95
+  kString,      // 'bus'
+  kSymbol,      // ( ) , * = != < <= > >= %
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  /// Raw text (upper-cased for identifiers is done by the parser on
+  /// keyword checks; the original case is preserved here).
+  std::string text;
+  double number = 0.0;
+  /// Byte offset in the query string, for error messages.
+  size_t position = 0;
+
+  bool IsSymbol(const char* symbol) const {
+    return type == TokenType::kSymbol && text == symbol;
+  }
+  /// Case-insensitive keyword check for identifiers.
+  bool IsKeyword(const char* keyword) const;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_FRAMEQL_TOKEN_H_

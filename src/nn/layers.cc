@@ -1,0 +1,99 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace blazeit {
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      w_(in_dim, out_dim),
+      w_grad_(in_dim, out_dim),
+      b_(static_cast<size_t>(out_dim), 0.0f),
+      b_grad_(b_.size(), 0.0f) {
+  // He initialization for ReLU networks.
+  double stddev = std::sqrt(2.0 / in_dim);
+  for (float& w : w_.data()) w = static_cast<float>(rng->Normal(0.0, stddev));
+}
+
+Matrix Linear::Forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = MatMul(input, w_);
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    for (int c = 0; c < out_dim_; ++c) row[c] += b_[static_cast<size_t>(c)];
+  }
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& grad_output) {
+  // dW += X^T dY ; db += colsum(dY) ; dX = dY W^T.
+  Matrix dw = MatMulTransposeA(cached_input_, grad_output);
+  for (size_t i = 0; i < w_grad_.data().size(); ++i) {
+    w_grad_.data()[i] += dw.data()[i];
+  }
+  for (int r = 0; r < grad_output.rows(); ++r) {
+    const float* row = grad_output.Row(r);
+    for (int c = 0; c < out_dim_; ++c) b_grad_[static_cast<size_t>(c)] += row[c];
+  }
+  return MatMulTransposeB(grad_output, w_);
+}
+
+std::vector<ParamRef> Linear::Params() {
+  return {{&w_.data(), &w_grad_.data()}, {&b_, &b_grad_}};
+}
+
+Matrix ReLU::Forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input;
+  for (float& v : out.data()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Matrix ReLU::Backward(const Matrix& grad_output) {
+  Matrix out = grad_output;
+  const std::vector<float>& x = cached_input_.data();
+  std::vector<float>& g = out.data();
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return out;
+}
+
+Matrix Sequential::Forward(const Matrix& input) {
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> Sequential::Params() {
+  std::vector<ParamRef> params;
+  for (auto& layer : layers_) {
+    for (ParamRef p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::unique_ptr<Sequential> BuildMlp(int input_dim,
+                                     const std::vector<int>& hidden_dims,
+                                     int num_classes, Rng* rng) {
+  auto model = std::make_unique<Sequential>();
+  int dim = input_dim;
+  for (int hidden : hidden_dims) {
+    model->Add(std::make_unique<Linear>(dim, hidden, rng));
+    model->Add(std::make_unique<ReLU>());
+    dim = hidden;
+  }
+  model->Add(std::make_unique<Linear>(dim, num_classes, rng));
+  return model;
+}
+
+}  // namespace blazeit

@@ -1,0 +1,90 @@
+#ifndef BLAZEIT_NN_LAYERS_H_
+#define BLAZEIT_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/random.h"
+
+namespace blazeit {
+
+/// A trainable parameter buffer and its gradient, exposed to the optimizer.
+struct ParamRef {
+  std::vector<float>* value;
+  std::vector<float>* grad;
+};
+
+/// Base class for differentiable layers. Forward caches whatever Backward
+/// needs; layers are therefore stateful per batch and not thread-safe.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Matrix Forward(const Matrix& input) = 0;
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input).
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+  virtual std::vector<ParamRef> Params() { return {}; }
+};
+
+/// Fully-connected layer: y = x W + b, with He-initialized weights.
+class Linear : public Layer {
+ public:
+  Linear(int in_dim, int out_dim, Rng* rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<ParamRef> Params() override;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+  /// Weight matrix, [in_dim, out_dim].
+  const Matrix& weights() const { return w_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  Matrix w_, w_grad_;
+  std::vector<float> b_, b_grad_;
+  Matrix cached_input_;
+};
+
+/// Rectified linear activation.
+class ReLU : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+/// A simple layer pipeline.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  void Add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<ParamRef> Params() override;
+
+  size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Builds the "tiny" MLP used for specialization: input -> hidden ReLU
+/// blocks -> num_classes logits. The paper's tiny ResNet plays the same
+/// role (cheap, imperfect, correlated); see DESIGN.md.
+std::unique_ptr<Sequential> BuildMlp(int input_dim,
+                                     const std::vector<int>& hidden_dims,
+                                     int num_classes, Rng* rng);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_NN_LAYERS_H_

@@ -1,0 +1,51 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace blazeit {
+
+Matrix Softmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    float max_v = row[0];
+    for (int c = 1; c < out.cols(); ++c) max_v = std::max(max_v, row[c]);
+    float sum = 0.0f;
+    for (int c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    for (int c = 0; c < out.cols(); ++c) row[c] /= sum;
+  }
+  return out;
+}
+
+double SoftmaxCrossEntropy::Forward(const Matrix& logits,
+                                    const std::vector<int>& labels) {
+  assert(static_cast<int>(labels.size()) == logits.rows());
+  probs_ = Softmax(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  for (int r = 0; r < logits.rows(); ++r) {
+    assert(labels[static_cast<size_t>(r)] >= 0 &&
+           labels[static_cast<size_t>(r)] < logits.cols());
+    float p = probs_.At(r, labels[static_cast<size_t>(r)]);
+    loss -= std::log(std::max(p, 1e-12f));
+  }
+  return loss / logits.rows();
+}
+
+Matrix SoftmaxCrossEntropy::Backward() const {
+  Matrix grad = probs_;
+  const float inv_n = 1.0f / grad.rows();
+  for (int r = 0; r < grad.rows(); ++r) {
+    float* row = grad.Row(r);
+    row[labels_[static_cast<size_t>(r)]] -= 1.0f;
+    for (int c = 0; c < grad.cols(); ++c) row[c] *= inv_n;
+  }
+  return grad;
+}
+
+}  // namespace blazeit

@@ -1,0 +1,34 @@
+#ifndef BLAZEIT_NN_LOSS_H_
+#define BLAZEIT_NN_LOSS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace blazeit {
+
+/// Row-wise softmax with the max-subtraction trick.
+Matrix Softmax(const Matrix& logits);
+
+/// Softmax cross-entropy over a batch; the standard training loss of the
+/// paper's specialized NNs (Section 9).
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes mean loss over the batch; `labels.size()` must equal
+  /// `logits.rows()` and every label must be in [0, logits.cols()).
+  double Forward(const Matrix& logits, const std::vector<int>& labels);
+
+  /// Gradient of the mean loss w.r.t. the logits: (softmax - onehot) / n.
+  Matrix Backward() const;
+
+  /// Softmax probabilities from the last Forward call.
+  const Matrix& probs() const { return probs_; }
+
+ private:
+  Matrix probs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_NN_LOSS_H_

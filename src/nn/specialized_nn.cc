@@ -1,0 +1,355 @@
+#include "nn/specialized_nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace blazeit {
+
+std::vector<float> FrameFeatures(const SyntheticVideo& video, int64_t frame,
+                                 int width, int height) {
+  // The paper's tiny ResNet learns local pooled features in its first
+  // convolutions; our fixed equivalent renders at 2x the grid resolution
+  // and pools each 2x2 block into (mean R, mean G, mean B, mean
+  // |deviation from the frame average|). The deviation channel is a
+  // foreground map — counting objects is then a near-linear function of
+  // it — while pooling averages the sensor noise down. Channels are
+  // normalized as in Section 9 ("standard ImageNet normalization").
+  constexpr int kPool = 2;
+  constexpr float kMean = 0.45f;
+  constexpr float kStd = 0.22f;
+  Image img = video.RenderFrame(frame, width * kPool, height * kPool);
+  const double mean_r = img.MeanChannel(0);
+  const double mean_g = img.MeanChannel(1);
+  const double mean_b = img.MeanChannel(2);
+  std::vector<float> features;
+  features.reserve(static_cast<size_t>(width) * height * 4);
+  for (int cy = 0; cy < height; ++cy) {
+    for (int cx = 0; cx < width; ++cx) {
+      double r = 0, g = 0, b = 0, dev = 0;
+      for (int dy = 0; dy < kPool; ++dy) {
+        for (int dx = 0; dx < kPool; ++dx) {
+          int x = cx * kPool + dx;
+          int y = cy * kPool + dy;
+          double pr = img.At(x, y, 0);
+          double pg = img.At(x, y, 1);
+          double pb = img.At(x, y, 2);
+          r += pr;
+          g += pg;
+          b += pb;
+          dev += std::abs(pr - mean_r) + std::abs(pg - mean_g) +
+                 std::abs(pb - mean_b);
+        }
+      }
+      const double inv = 1.0 / (kPool * kPool);
+      features.push_back(
+          static_cast<float>(((r * inv) - kMean) / kStd));
+      features.push_back(
+          static_cast<float>(((g * inv) - kMean) / kStd));
+      features.push_back(
+          static_cast<float>(((b * inv) - kMean) / kStd));
+      // Noise-only cells average ~0.1 absolute deviation at typical sensor
+      // noise; objects reach 0.5-1.5. Scale to keep activations O(1).
+      features.push_back(static_cast<float>((dev * inv - 0.1) / 0.3));
+    }
+  }
+  return features;
+}
+
+int ChooseNumClasses(const std::vector<int>& counts, double min_fraction) {
+  if (counts.empty()) return 1;
+  std::map<int, int64_t> hist;
+  for (int c : counts) ++hist[std::max(0, c)];
+  const double n = static_cast<double>(counts.size());
+  int chosen = 0;
+  int max_count = 0;
+  for (const auto& [count, freq] : hist) {
+    max_count = std::max(max_count, count);
+    if (static_cast<double>(freq) / n >= min_fraction) {
+      chosen = std::max(chosen, count);
+    }
+  }
+  if (chosen == 0 && max_count > 0 && hist[0] / n < 1.0) {
+    // Degenerate histogram (every non-zero bin below the cutoff): fall back
+    // to covering everything seen.
+    chosen = max_count;
+  }
+  return chosen + 1;
+}
+
+struct SpecializedNN::Impl {
+  SpecializedNNConfig config;
+  std::unique_ptr<Sequential> trunk;
+  std::vector<std::unique_ptr<Linear>> heads;
+  std::vector<int> head_classes;
+  int64_t trained_frames = 0;
+  int input_dim = 0;
+};
+
+Result<SpecializedNN> SpecializedNN::Train(
+    const SyntheticVideo& train_day,
+    const std::vector<std::vector<int>>& head_labels,
+    const SpecializedNNConfig& config) {
+  if (head_labels.empty())
+    return Status::InvalidArgument("at least one head required");
+  const int64_t n_labeled = static_cast<int64_t>(head_labels[0].size());
+  if (n_labeled == 0)
+    return Status::InvalidArgument("labeled set must be non-empty");
+  for (const auto& labels : head_labels) {
+    if (static_cast<int64_t>(labels.size()) != n_labeled)
+      return Status::InvalidArgument("all heads need equally many labels");
+  }
+  if (n_labeled > train_day.num_frames())
+    return Status::InvalidArgument(
+        "more labels than frames in the training day");
+
+  auto impl = std::make_shared<Impl>();
+  impl->config = config;
+  // 4 channels per grid cell: pooled R, G, B + foreground deviation.
+  impl->input_dim = config.raster_width * config.raster_height * 4;
+
+  // Subsample the labeled set evenly if it exceeds the training budget.
+  std::vector<int64_t> indices;
+  if (n_labeled <= config.max_train_frames) {
+    indices.resize(static_cast<size_t>(n_labeled));
+    std::iota(indices.begin(), indices.end(), 0);
+  } else {
+    double stride = static_cast<double>(n_labeled) /
+                    static_cast<double>(config.max_train_frames);
+    for (int64_t i = 0; i < config.max_train_frames; ++i) {
+      indices.push_back(static_cast<int64_t>(i * stride));
+    }
+  }
+  impl->trained_frames =
+      static_cast<int64_t>(indices.size()) * config.train.epochs;
+
+  // Size each head per the paper's 1% rule and clamp labels accordingly.
+  const size_t num_heads = head_labels.size();
+  std::vector<std::vector<int>> clamped(num_heads);
+  for (size_t h = 0; h < num_heads; ++h) {
+    std::vector<int> sub;
+    sub.reserve(indices.size());
+    for (int64_t idx : indices)
+      sub.push_back(head_labels[h][static_cast<size_t>(idx)]);
+    int classes = ChooseNumClasses(sub);
+    if (config.min_classes > classes) {
+      int max_label = 0;
+      for (int c : sub) max_label = std::max(max_label, c);
+      classes = std::min(config.min_classes, max_label + 1);
+      classes = std::max(classes, 1);
+    }
+    impl->head_classes.push_back(classes);
+    for (int& c : sub) c = std::clamp(c, 0, classes - 1);
+    clamped[h] = std::move(sub);
+  }
+
+  // Build trunk and heads.
+  Rng rng(config.train.seed);
+  impl->trunk = std::make_unique<Sequential>();
+  int dim = impl->input_dim;
+  for (int hidden : config.hidden_dims) {
+    impl->trunk->Add(std::make_unique<Linear>(dim, hidden, &rng));
+    impl->trunk->Add(std::make_unique<ReLU>());
+    dim = hidden;
+  }
+  for (size_t h = 0; h < num_heads; ++h) {
+    impl->heads.push_back(
+        std::make_unique<Linear>(dim, impl->head_classes[h], &rng));
+  }
+
+  // Collect all parameters for the optimizer.
+  std::vector<ParamRef> params = impl->trunk->Params();
+  for (auto& head : impl->heads) {
+    for (ParamRef p : head->Params()) params.push_back(p);
+  }
+  SgdOptimizer opt(params, config.train.lr, config.train.momentum);
+
+  const int64_t n = static_cast<int64_t>(indices.size());
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<SoftmaxCrossEntropy> losses(num_heads);
+
+  for (int epoch = 0; epoch < config.train.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (int64_t start = 0; start < n; start += config.train.batch_size) {
+      const int batch = static_cast<int>(
+          std::min<int64_t>(config.train.batch_size, n - start));
+      Matrix x(batch, impl->input_dim);
+      std::vector<std::vector<int>> y(num_heads,
+                                      std::vector<int>(static_cast<size_t>(batch)));
+      for (int i = 0; i < batch; ++i) {
+        size_t pos = static_cast<size_t>(order[static_cast<size_t>(start + i)]);
+        int64_t frame = indices[pos];
+        std::vector<float> feat = FrameFeatures(
+            train_day, frame, config.raster_width, config.raster_height);
+        std::copy(feat.begin(), feat.end(), x.Row(i));
+        for (size_t h = 0; h < num_heads; ++h)
+          y[h][static_cast<size_t>(i)] = clamped[h][pos];
+      }
+      Matrix trunk_out = impl->trunk->Forward(x);
+      Matrix dtrunk(trunk_out.rows(), trunk_out.cols());
+      for (size_t h = 0; h < num_heads; ++h) {
+        Matrix logits = impl->heads[h]->Forward(trunk_out);
+        epoch_loss += losses[h].Forward(logits, y[h]);
+        Matrix dhead = impl->heads[h]->Backward(losses[h].Backward());
+        for (size_t j = 0; j < dtrunk.data().size(); ++j)
+          dtrunk.data()[j] += dhead.data()[j];
+      }
+      impl->trunk->Backward(dtrunk);
+      opt.Step();
+      opt.ZeroGrad();
+      ++batches;
+    }
+    BLAZEIT_LOG(kDebug) << "specialized NN epoch " << epoch << " loss "
+                        << (batches ? epoch_loss / batches : 0.0);
+    opt.set_lr(opt.lr() * config.train.lr_decay);
+  }
+  return SpecializedNN(std::move(impl));
+}
+
+int SpecializedNN::num_heads() const {
+  return static_cast<int>(impl_->heads.size());
+}
+
+int SpecializedNN::head_classes(int head) const {
+  return impl_->head_classes[static_cast<size_t>(head)];
+}
+
+int64_t SpecializedNN::trained_frames() const {
+  return impl_->trained_frames;
+}
+
+const SpecializedNNConfig& SpecializedNN::config() const {
+  return impl_->config;
+}
+
+std::vector<std::vector<float>> SpecializedNN::PredictProbs(
+    const SyntheticVideo& video, int64_t frame) const {
+  std::vector<float> feat = FrameFeatures(
+      video, frame, impl_->config.raster_width, impl_->config.raster_height);
+  Matrix x(1, impl_->input_dim);
+  std::copy(feat.begin(), feat.end(), x.Row(0));
+  Matrix trunk_out = impl_->trunk->Forward(x);
+  std::vector<std::vector<float>> out;
+  out.reserve(impl_->heads.size());
+  for (auto& head : impl_->heads) {
+    Matrix probs = Softmax(head->Forward(trunk_out));
+    out.emplace_back(probs.Row(0), probs.Row(0) + probs.cols());
+  }
+  return out;
+}
+
+double SpecializedNN::ExpectedCount(const SyntheticVideo& video,
+                                    int64_t frame, int head) const {
+  std::vector<std::vector<float>> probs = PredictProbs(video, frame);
+  const std::vector<float>& p = probs[static_cast<size_t>(head)];
+  double expected = 0;
+  for (size_t k = 0; k < p.size(); ++k)
+    expected += static_cast<double>(k) * p[k];
+  return expected;
+}
+
+int SpecializedNN::PredictCount(const SyntheticVideo& video, int64_t frame,
+                                int head) const {
+  std::vector<std::vector<float>> probs = PredictProbs(video, frame);
+  const std::vector<float>& p = probs[static_cast<size_t>(head)];
+  return static_cast<int>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+namespace {
+constexpr int kEvalBatch = 256;
+}  // namespace
+
+std::vector<float> SpecializedNN::ExpectedCountsForFrames(
+    const SyntheticVideo& video, const std::vector<int64_t>& frames,
+    int head) const {
+  std::vector<float> out;
+  out.reserve(frames.size());
+  const int w = impl_->config.raster_width;
+  const int h = impl_->config.raster_height;
+  for (size_t start = 0; start < frames.size(); start += kEvalBatch) {
+    const int batch = static_cast<int>(
+        std::min<size_t>(kEvalBatch, frames.size() - start));
+    Matrix x(batch, impl_->input_dim);
+    for (int i = 0; i < batch; ++i) {
+      std::vector<float> feat = FrameFeatures(video, frames[start + i], w, h);
+      std::copy(feat.begin(), feat.end(), x.Row(i));
+    }
+    Matrix probs = Softmax(
+        impl_->heads[static_cast<size_t>(head)]->Forward(
+            impl_->trunk->Forward(x)));
+    for (int i = 0; i < batch; ++i) {
+      double expected = 0;
+      for (int k = 0; k < probs.cols(); ++k) expected += k * probs.At(i, k);
+      out.push_back(static_cast<float>(expected));
+    }
+  }
+  return out;
+}
+
+std::vector<float> SpecializedNN::QueryConfidencesForFrames(
+    const SyntheticVideo& video, const std::vector<int64_t>& frames,
+    const std::vector<int>& min_counts, ConjunctionMode mode) const {
+  const bool product = mode == ConjunctionMode::kProduct;
+  std::vector<float> out(frames.size(), product ? 1.0f : 0.0f);
+  const int w = impl_->config.raster_width;
+  const int h = impl_->config.raster_height;
+  for (size_t start = 0; start < frames.size(); start += kEvalBatch) {
+    const int batch = static_cast<int>(
+        std::min<size_t>(kEvalBatch, frames.size() - start));
+    Matrix x(batch, impl_->input_dim);
+    for (int i = 0; i < batch; ++i) {
+      std::vector<float> feat = FrameFeatures(video, frames[start + i], w, h);
+      std::copy(feat.begin(), feat.end(), x.Row(i));
+    }
+    Matrix trunk_out = impl_->trunk->Forward(x);
+    for (size_t head = 0; head < impl_->heads.size() && head < min_counts.size();
+         ++head) {
+      Matrix probs = Softmax(impl_->heads[head]->Forward(trunk_out));
+      int min_c = std::clamp(min_counts[head], 0, probs.cols() - 1);
+      for (int i = 0; i < batch; ++i) {
+        double tail = 0;
+        for (int k = min_c; k < probs.cols(); ++k) tail += probs.At(i, k);
+        if (product) {
+          out[start + static_cast<size_t>(i)] *= static_cast<float>(tail);
+        } else {
+          out[start + static_cast<size_t>(i)] += static_cast<float>(tail);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double SpecializedNN::QueryConfidence(
+    const SyntheticVideo& video, int64_t frame,
+    const std::vector<int>& min_counts) const {
+  std::vector<std::vector<float>> probs = PredictProbs(video, frame);
+  double confidence = 0;
+  for (size_t h = 0; h < probs.size() && h < min_counts.size(); ++h) {
+    const std::vector<float>& p = probs[h];
+    // P(count >= min). Counts at or above the top class accumulate in the
+    // top bin, so a clamp on min keeps the signal meaningful even when the
+    // queried count exceeds the training-time class range.
+    int min_c = std::min<int>(min_counts[h],
+                              static_cast<int>(p.size()) - 1);
+    double tail = 0;
+    for (size_t k = static_cast<size_t>(std::max(0, min_c)); k < p.size();
+         ++k) {
+      tail += p[k];
+    }
+    confidence += tail;
+  }
+  return confidence;
+}
+
+}  // namespace blazeit

@@ -1,0 +1,60 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+
+namespace blazeit {
+
+void Matrix::Zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.Row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float sum = 0.0f;
+      for (int p = 0; p < k; ++p) sum += arow[p] * brow[p];
+      crow[j] = sum;
+    }
+  }
+  return c;
+}
+
+}  // namespace blazeit

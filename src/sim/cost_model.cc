@@ -1,0 +1,67 @@
+#include "sim/cost_model.h"
+
+#include "util/string_util.h"
+
+namespace blazeit {
+
+void CostMeter::ChargeDetectionAspect(double aspect) {
+  ++detection_calls_;
+  detection_seconds_ += profile_.DetectionSecondsForAspect(aspect);
+}
+
+void CostMeter::ChargeSpecializedNN(int64_t frames) {
+  specialized_nn_calls_ += frames;
+  specialized_nn_seconds_ +=
+      static_cast<double>(frames) * profile_.specialized_nn_sec_per_frame;
+}
+
+void CostMeter::ChargeFilter(int64_t frames) {
+  filter_calls_ += frames;
+  filter_seconds_ +=
+      static_cast<double>(frames) * profile_.filter_sec_per_frame;
+}
+
+void CostMeter::ChargeTraining(int64_t frames) {
+  training_frames_ += frames;
+  training_seconds_ +=
+      static_cast<double>(frames) * profile_.nn_train_sec_per_frame;
+}
+
+void CostMeter::ChargeThresholding(int64_t frames) {
+  thresholding_seconds_ +=
+      static_cast<double>(frames) * profile_.threshold_sec_per_frame;
+}
+
+double CostMeter::TotalSeconds() const {
+  return detection_seconds_ + specialized_nn_seconds_ + filter_seconds_ +
+         training_seconds_ + thresholding_seconds_;
+}
+
+double CostMeter::QuerySeconds() const {
+  return detection_seconds_ + specialized_nn_seconds_ + filter_seconds_;
+}
+
+void CostMeter::Reset() {
+  detection_calls_ = 0;
+  specialized_nn_calls_ = 0;
+  filter_calls_ = 0;
+  training_frames_ = 0;
+  detection_seconds_ = 0;
+  specialized_nn_seconds_ = 0;
+  filter_seconds_ = 0;
+  training_seconds_ = 0;
+  thresholding_seconds_ = 0;
+}
+
+std::string CostMeter::ToString() const {
+  return StrFormat(
+      "detections=%lld (%.1fs) nn=%lld (%.1fs) filters=%lld (%.1fs) "
+      "train=%lld (%.1fs) total=%.1fs",
+      static_cast<long long>(detection_calls_), detection_seconds_,
+      static_cast<long long>(specialized_nn_calls_), specialized_nn_seconds_,
+      static_cast<long long>(filter_calls_), filter_seconds_,
+      static_cast<long long>(training_frames_), training_seconds_,
+      TotalSeconds());
+}
+
+}  // namespace blazeit

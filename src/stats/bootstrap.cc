@@ -1,0 +1,54 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace blazeit {
+
+Result<BootstrapResult> BootstrapAbsError(const std::vector<double>& predicted,
+                                          const std::vector<double>& truth,
+                                          double confidence,
+                                          int num_resamples, uint64_t seed) {
+  if (predicted.size() != truth.size())
+    return Status::InvalidArgument("predicted/truth size mismatch");
+  if (predicted.empty())
+    return Status::InvalidArgument("held-out set must be non-empty");
+  if (confidence <= 0.0 || confidence >= 1.0)
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  if (num_resamples <= 0)
+    return Status::InvalidArgument("num_resamples must be positive");
+
+  const int64_t n = static_cast<int64_t>(predicted.size());
+  // Bootstrapping the mean difference only needs the per-frame differences.
+  std::vector<double> diff(predicted.size());
+  double mean_diff = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    diff[i] = predicted[i] - truth[i];
+    mean_diff += diff[i];
+  }
+  mean_diff /= static_cast<double>(n);
+
+  Rng rng(seed);
+  std::vector<double> abs_errors;
+  abs_errors.reserve(static_cast<size_t>(num_resamples));
+  for (int b = 0; b < num_resamples; ++b) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      sum += diff[static_cast<size_t>(rng.UniformInt(0, n - 1))];
+    }
+    abs_errors.push_back(std::abs(sum / static_cast<double>(n)));
+  }
+  std::sort(abs_errors.begin(), abs_errors.end());
+  size_t idx = static_cast<size_t>(
+      std::min<double>(static_cast<double>(abs_errors.size()) - 1,
+                       std::ceil(confidence * abs_errors.size())));
+
+  BootstrapResult out;
+  out.mean_abs_error = std::abs(mean_diff);
+  out.error_quantile = abs_errors[idx];
+  return out;
+}
+
+}  // namespace blazeit

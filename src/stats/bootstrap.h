@@ -1,0 +1,30 @@
+#ifndef BLAZEIT_STATS_BOOTSTRAP_H_
+#define BLAZEIT_STATS_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace blazeit {
+
+/// Bootstrap assessment of a specialized NN's aggregation error on the
+/// held-out day (Section 6.2). `predicted` and `truth` are parallel
+/// per-frame values (NN expected count vs. detector count).
+struct BootstrapResult {
+  /// Absolute error of the NN's mean on the held-out set itself.
+  double mean_abs_error = 0.0;
+  /// `confidence`-quantile of |mean(pred*) - mean(truth*)| over bootstrap
+  /// resamples: the error bound the optimizer compares against the user's
+  /// tolerance (Algorithm 1's P(err < uerr) test).
+  double error_quantile = 0.0;
+};
+
+Result<BootstrapResult> BootstrapAbsError(const std::vector<double>& predicted,
+                                          const std::vector<double>& truth,
+                                          double confidence,
+                                          int num_resamples, uint64_t seed);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_STATS_BOOTSTRAP_H_

@@ -1,0 +1,45 @@
+#ifndef BLAZEIT_STATS_CONTROL_VARIATES_H_
+#define BLAZEIT_STATS_CONTROL_VARIATES_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "stats/sampler.h"
+#include "util/status.h"
+
+namespace blazeit {
+
+/// The cheap auxiliary variable of the control-variates estimator
+/// (Section 6.3): in BlazeIt, the specialized NN's per-frame count. Because
+/// the proxy costs ~1/3000 of a detection call, its mean tau and variance
+/// over the *whole* population can be computed exactly, which is what makes
+/// control variates profitable in video analytics and pointless in a
+/// classical RDBMS (the paper's observation).
+struct ControlVariate {
+  /// Proxy value for a frame (cheap; e.g. specialized-NN expected count).
+  std::function<double(int64_t frame)> proxy;
+  /// Exact mean of the proxy over all frames.
+  double tau = 0.0;
+  /// Exact variance of the proxy over all frames.
+  double variance = 0.0;
+};
+
+/// Adaptive mean estimation with control variates: the estimator
+///   m_hat = mean(m) + c * (mean(t) - tau),  c = -Cov(m,t) / Var(t),
+/// whose variance is (1 - Corr(m,t)^2) * Var(m). The covariance is
+/// re-estimated from the samples at every round (Section 6.3); the sampler
+/// terminates on the same CLT bound as AdaptiveSample, so the variance
+/// reduction directly translates into fewer object-detection calls.
+Result<SampleEstimate> ControlVariateSample(int64_t num_frames,
+                                            const FrameOracle& oracle,
+                                            const ControlVariate& variate,
+                                            const SamplingConfig& config);
+
+/// Convenience: computes tau and variance of a proxy exactly by evaluating
+/// it on every frame (cheap by construction).
+ControlVariate MakeControlVariate(
+    int64_t num_frames, std::function<double(int64_t frame)> proxy);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_STATS_CONTROL_VARIATES_H_

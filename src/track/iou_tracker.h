@@ -1,0 +1,47 @@
+#ifndef BLAZEIT_TRACK_IOU_TRACKER_H_
+#define BLAZEIT_TRACK_IOU_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/detection.h"
+
+namespace blazeit {
+
+/// Motion-IOU entity resolution (Section 9): objects in consecutive frames
+/// are the same entity if their boxes overlap with IOU >= 0.7 and agree on
+/// class. Greedy highest-IOU matching; unmatched detections open new
+/// tracks. If an object leaves and re-enters the scene it receives a new
+/// trackid, as the FrameQL schema specifies.
+class IouTracker {
+ public:
+  explicit IouTracker(double iou_threshold = 0.7)
+      : iou_threshold_(iou_threshold) {}
+
+  /// Processes the next frame's detections (frames must be fed in temporal
+  /// order); returns the track id assigned to each detection, parallel to
+  /// the input.
+  std::vector<int64_t> Update(const std::vector<Detection>& detections);
+
+  /// Forgets all open tracks (e.g. when seeking to a different part of the
+  /// video, since IOU association is only meaningful across consecutive
+  /// frames).
+  void Reset();
+
+  int64_t next_track_id() const { return next_track_id_; }
+
+ private:
+  struct Track {
+    int64_t id;
+    int class_id;
+    Rect rect;
+  };
+
+  double iou_threshold_;
+  int64_t next_track_id_ = 1;
+  std::vector<Track> open_tracks_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_TRACK_IOU_TRACKER_H_

@@ -1,0 +1,39 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace blazeit {
+
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace blazeit

@@ -1,0 +1,42 @@
+#ifndef BLAZEIT_UTIL_LOGGING_H_
+#define BLAZEIT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace blazeit {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal leveled logger. Benchmarks set the level to kWarning so harness
+/// output stays clean; tests may raise it to kDebug.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void Log(LogLevel level, const std::string& message);
+};
+
+/// Stream-style logging helper: BLAZEIT_LOG(kInfo) << "trained " << n;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define BLAZEIT_LOG(severity) \
+  ::blazeit::LogMessage(::blazeit::LogLevel::severity)
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_UTIL_LOGGING_H_

@@ -1,0 +1,86 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace blazeit {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+int Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  return std::poisson_distribution<int>(mean)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::LogNormal(double log_mean, double log_sigma) {
+  return std::lognormal_distribution<double>(log_mean, log_sigma)(engine_);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  std::vector<int64_t> out;
+  if (n <= 0) return out;
+  if (k >= n) {
+    out.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) out[static_cast<size_t>(i)] = i;
+    return out;
+  }
+  // Floyd's algorithm: k draws, O(k) memory.
+  std::unordered_set<int64_t> seen;
+  seen.reserve(static_cast<size_t>(k));
+  for (int64_t j = n - k; j < n; ++j) {
+    int64_t t = UniformInt(0, j);
+    if (seen.count(t)) t = j;
+    seen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t salt) const {
+  // Copy the engine state hash plus salt; a const_cast-free approach is to
+  // hash the salt with a snapshot of the engine via a temporary draw from a
+  // copy (the original engine is untouched).
+  std::mt19937_64 copy = engine_;
+  uint64_t base = copy();
+  return Rng(HashCombine(base, salt));
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // SplitMix64 finalizer over the xor-combination.
+  uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace blazeit

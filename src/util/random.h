@@ -1,0 +1,57 @@
+#ifndef BLAZEIT_UTIL_RANDOM_H_
+#define BLAZEIT_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace blazeit {
+
+/// Seeded pseudo-random generator used everywhere in the library so that
+/// scene generation, detector noise, NN initialization, and sampling are all
+/// reproducible. Wraps std::mt19937_64 with the distributions we need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Standard normal draw scaled to N(mean, stddev^2).
+  double Normal(double mean, double stddev);
+  /// Poisson draw with the given mean.
+  int Poisson(double mean);
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+  /// Log-normal draw parameterized by the *target* mean and sigma of the
+  /// underlying normal; used for object dwell-time distributions.
+  double LogNormal(double log_mean, double log_sigma);
+
+  /// Samples `k` distinct indices uniformly from [0, n) (Floyd's algorithm);
+  /// if k >= n returns the full range.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Deterministically derives an independent child generator; used to give
+  /// each frame/object its own stream so frame access order is irrelevant.
+  Rng Fork(uint64_t salt) const;
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// SplitMix64 hash; used to derive per-frame deterministic seeds.
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// FNV-1a hash of a string; used to derive per-stream (not per-day)
+/// deterministic parameters such as diurnal phases.
+uint64_t HashString(const std::string& s);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_UTIL_RANDOM_H_

@@ -1,0 +1,132 @@
+#ifndef BLAZEIT_UTIL_STATUS_H_
+#define BLAZEIT_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace blazeit {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of returning rich status objects instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kParseError,
+  kInternal,
+};
+
+/// A Status holds the outcome of an operation: either OK or an error code
+/// with a human-readable message. Library code never throws; every fallible
+/// public entry point returns a Status or a Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "InvalidArgument: epsilon must be positive".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value or an error Status (Arrow's arrow::Result
+/// idiom). Access to the value of an error result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value, so `return value;` works.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates errors to the caller, RocksDB-style.
+#define BLAZEIT_RETURN_NOT_OK(expr)             \
+  do {                                          \
+    ::blazeit::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result expression; on error returns its status, otherwise
+/// moves the value into `lhs`.
+#define BLAZEIT_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto BLAZEIT_CONCAT_(_res, __LINE__) = (expr);                    \
+  if (!BLAZEIT_CONCAT_(_res, __LINE__).ok())                        \
+    return BLAZEIT_CONCAT_(_res, __LINE__).status();                \
+  lhs = std::move(BLAZEIT_CONCAT_(_res, __LINE__)).value()
+
+#define BLAZEIT_CONCAT_IMPL_(a, b) a##b
+#define BLAZEIT_CONCAT_(a, b) BLAZEIT_CONCAT_IMPL_(a, b)
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_UTIL_STATUS_H_

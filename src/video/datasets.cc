@@ -1,0 +1,219 @@
+#include "video/datasets.h"
+
+#include "util/string_util.h"
+
+namespace blazeit {
+
+namespace {
+
+ObjectPopulation GrayCar() {
+  return ObjectPopulation{Color{0.25f, 0.25f, 0.28f}, 0.06f, 0.4};
+}
+ObjectPopulation WhiteCar() {
+  return ObjectPopulation{Color{0.85f, 0.85f, 0.85f}, 0.05f, 0.3};
+}
+ObjectPopulation BlueCar() {
+  return ObjectPopulation{Color{0.25f, 0.35f, 0.70f}, 0.06f, 0.2};
+}
+ObjectPopulation RedCar() {
+  return ObjectPopulation{Color{0.60f, 0.18f, 0.18f}, 0.05f, 0.1};
+}
+
+}  // namespace
+
+StreamConfig TaipeiConfig() {
+  StreamConfig cfg;
+  cfg.name = "taipei";
+  cfg.fps = 30;
+  cfg.width = 1280;
+  cfg.height = 720;
+  cfg.background = Color{0.46f, 0.46f, 0.48f};
+  cfg.pixel_noise = 0.04;
+  cfg.lighting_variation = 0.08;
+
+  ObjectClassConfig car;
+  car.class_id = kCar;
+  car.occupancy = 0.644;
+  car.mean_duration_sec = 1.43;
+  car.mean_width = 0.11;
+  car.mean_height = 0.075;
+  car.speed_mean = 0.16;
+  // Rush-hour burstiness: high-count frames cluster, which is what makes
+  // rare "at least N cars" events findable (and realistic).
+  car.rate_modulation_amplitude = 0.5;
+  car.populations = {GrayCar(), WhiteCar(), BlueCar(), RedCar()};
+  car.region = Rect{0.0, 0.35, 1.0, 0.95};
+  cfg.classes.push_back(car);
+
+  ObjectClassConfig bus;
+  bus.class_id = kBus;
+  bus.occupancy = 0.119;
+  bus.mean_duration_sec = 2.82;
+  bus.mean_width = 0.30;
+  bus.mean_height = 0.20;
+  bus.speed_mean = 0.10;
+  // Figure 1: red tour buses vs. white transit buses. Buses keep to the
+  // bottom-right transit lane, which is what makes the spatial filter of
+  // the selection query effective.
+  bus.populations = {
+      ObjectPopulation{Color{0.78f, 0.12f, 0.12f}, 0.04f, 0.35},  // red tour
+      ObjectPopulation{Color{0.88f, 0.88f, 0.90f}, 0.04f, 0.65},  // transit
+  };
+  bus.region = Rect{0.45, 0.55, 1.0, 0.95};
+  bus.speed_mean = 0.08;
+  cfg.classes.push_back(bus);
+  return cfg;
+}
+
+StreamConfig NightStreetConfig() {
+  StreamConfig cfg;
+  cfg.name = "night-street";
+  cfg.fps = 30;
+  cfg.width = 1280;
+  cfg.height = 720;
+  cfg.background = Color{0.08f, 0.08f, 0.13f};
+  cfg.pixel_noise = 0.10;  // night video is noisy
+  cfg.lighting_variation = 0.15;
+
+  ObjectClassConfig car;
+  car.class_id = kCar;
+  car.occupancy = 0.281;
+  car.mean_duration_sec = 3.94;
+  car.mean_width = 0.12;
+  car.mean_height = 0.08;
+  car.speed_mean = 0.10;
+  // Headlights dominate at night: bright populations.
+  car.populations = {
+      ObjectPopulation{Color{0.75f, 0.73f, 0.60f}, 0.08f, 0.6},
+      ObjectPopulation{Color{0.55f, 0.55f, 0.62f}, 0.08f, 0.4},
+  };
+  car.region = Rect{0.0, 0.40, 1.0, 0.95};
+  cfg.classes.push_back(car);
+  return cfg;
+}
+
+StreamConfig RialtoConfig() {
+  StreamConfig cfg;
+  cfg.name = "rialto";
+  cfg.fps = 30;
+  cfg.width = 1280;
+  cfg.height = 720;
+  cfg.background = Color{0.30f, 0.42f, 0.50f};  // water
+  cfg.pixel_noise = 0.05;
+  cfg.lighting_variation = 0.10;
+
+  ObjectClassConfig boat;
+  boat.class_id = kBoat;
+  boat.occupancy = 0.899;
+  boat.mean_duration_sec = 10.7;
+  boat.mean_width = 0.14;
+  boat.mean_height = 0.07;
+  boat.speed_mean = 0.035;
+  boat.populations = {
+      ObjectPopulation{Color{0.55f, 0.42f, 0.30f}, 0.06f, 0.5},  // wood
+      ObjectPopulation{Color{0.85f, 0.85f, 0.85f}, 0.05f, 0.3},  // white
+      ObjectPopulation{Color{0.15f, 0.15f, 0.18f}, 0.05f, 0.2},  // gondola
+  };
+  boat.region = Rect{0.0, 0.30, 1.0, 0.95};
+  cfg.classes.push_back(boat);
+  return cfg;
+}
+
+StreamConfig GrandCanalConfig() {
+  StreamConfig cfg;
+  cfg.name = "grand-canal";
+  cfg.fps = 60;
+  cfg.width = 1920;
+  cfg.height = 1080;
+  cfg.background = Color{0.28f, 0.40f, 0.48f};
+  cfg.pixel_noise = 0.04;
+  cfg.lighting_variation = 0.08;
+
+  ObjectClassConfig boat;
+  boat.class_id = kBoat;
+  boat.occupancy = 0.577;
+  boat.mean_duration_sec = 9.5;
+  boat.mean_width = 0.12;
+  boat.mean_height = 0.06;
+  boat.speed_mean = 0.03;
+  boat.populations = {
+      ObjectPopulation{Color{0.60f, 0.45f, 0.32f}, 0.06f, 0.5},
+      ObjectPopulation{Color{0.88f, 0.88f, 0.88f}, 0.05f, 0.5},
+  };
+  boat.region = Rect{0.0, 0.35, 1.0, 0.95};
+  cfg.classes.push_back(boat);
+  return cfg;
+}
+
+StreamConfig AmsterdamConfig() {
+  StreamConfig cfg;
+  cfg.name = "amsterdam";
+  cfg.fps = 30;
+  cfg.width = 1280;
+  cfg.height = 720;
+  cfg.background = Color{0.42f, 0.44f, 0.46f};
+  cfg.pixel_noise = 0.05;
+  cfg.lighting_variation = 0.10;
+
+  ObjectClassConfig car;
+  car.class_id = kCar;
+  car.occupancy = 0.447;
+  car.mean_duration_sec = 7.88;
+  car.mean_width = 0.10;
+  car.mean_height = 0.07;
+  car.speed_mean = 0.025;  // slow street, cars linger
+  car.populations = {GrayCar(), WhiteCar(), BlueCar(), RedCar()};
+  car.region = Rect{0.0, 0.40, 1.0, 0.95};
+  cfg.classes.push_back(car);
+  return cfg;
+}
+
+StreamConfig ArchieConfig() {
+  StreamConfig cfg;
+  cfg.name = "archie";
+  cfg.fps = 30;
+  cfg.width = 3840;
+  cfg.height = 2160;
+  cfg.background = Color{0.40f, 0.42f, 0.40f};
+  cfg.pixel_noise = 0.12;  // tiny objects + heavy noise defeat the NN
+  cfg.lighting_variation = 0.12;
+  // archie's days differ: exposure drift plus day-varying static clutter
+  // (parked vehicles, shadows across a 4K wide shot). Trained NNs carry a
+  // day-level counting bias, so query rewriting misses the 0.1 error
+  // target and the optimizer falls back to control variates — matching
+  // the paper, where archie is the stream specialization cannot handle
+  // (Section 10.2).
+  cfg.day_brightness_jitter = 0.08;
+  cfg.clutter_rate = 18.0;
+
+  ObjectClassConfig car;
+  car.class_id = kCar;
+  car.occupancy = 0.518;
+  car.mean_duration_sec = 0.30;
+  car.mean_width = 0.035;  // 4K wide shot: cars are tiny in-frame
+  car.mean_height = 0.025;
+  car.speed_mean = 0.60;  // and fast
+  // Day-to-day traffic volume varies (weather): with tiny, hard-to-count
+  // objects, the trained NN's count distribution does not transfer across
+  // days, so its held-out error bound misses the 0.1 target and the
+  // optimizer falls back to control variates — archie's role in the paper.
+  car.day_rate_jitter = 0.3;
+  car.populations = {GrayCar(), WhiteCar(), BlueCar(), RedCar()};
+  car.region = Rect{0.0, 0.30, 1.0, 0.95};
+  cfg.classes.push_back(car);
+  return cfg;
+}
+
+std::vector<StreamConfig> AllStreamConfigs() {
+  return {TaipeiConfig(),     NightStreetConfig(), RialtoConfig(),
+          GrandCanalConfig(), AmsterdamConfig(),   ArchieConfig()};
+}
+
+Result<StreamConfig> StreamConfigByName(const std::string& name) {
+  for (StreamConfig& cfg : AllStreamConfigs()) {
+    if (cfg.name == name) return cfg;
+  }
+  return Status::NotFound(StrFormat("unknown stream '%s'", name.c_str()));
+}
+
+}  // namespace blazeit

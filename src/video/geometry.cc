@@ -1,0 +1,42 @@
+#include "video/geometry.h"
+
+#include "util/string_util.h"
+
+namespace blazeit {
+
+Rect Rect::ClampToUnit() const {
+  Rect out;
+  out.xmin = std::clamp(xmin, 0.0, 1.0);
+  out.ymin = std::clamp(ymin, 0.0, 1.0);
+  out.xmax = std::clamp(xmax, 0.0, 1.0);
+  out.ymax = std::clamp(ymax, 0.0, 1.0);
+  return out;
+}
+
+Rect Rect::Intersect(const Rect& other) const {
+  Rect out;
+  out.xmin = std::max(xmin, other.xmin);
+  out.ymin = std::max(ymin, other.ymin);
+  out.xmax = std::min(xmax, other.xmax);
+  out.ymax = std::min(ymax, other.ymax);
+  if (out.Empty()) return Rect{0, 0, 0, 0};
+  return out;
+}
+
+std::string Rect::ToString() const {
+  return StrFormat("[%.3f,%.3f,%.3f,%.3f]", xmin, ymin, xmax, ymax);
+}
+
+double Iou(const Rect& a, const Rect& b) {
+  double inter = a.Intersect(b).Area();
+  double uni = a.Area() + b.Area() - inter;
+  if (uni <= 0) return 0;
+  return inter / uni;
+}
+
+double PixelArea(const Rect& a, int frame_width, int frame_height) {
+  return a.Area() * static_cast<double>(frame_width) *
+         static_cast<double>(frame_height);
+}
+
+}  // namespace blazeit

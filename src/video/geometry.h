@@ -1,0 +1,62 @@
+#ifndef BLAZEIT_VIDEO_GEOMETRY_H_
+#define BLAZEIT_VIDEO_GEOMETRY_H_
+
+#include <algorithm>
+#include <string>
+
+namespace blazeit {
+
+/// Axis-aligned rectangle in *normalized* coordinates: x, y in [0, 1] with
+/// (0,0) at the top-left of the frame. Objects, detections, and spatial
+/// regions of interest all use this type; conversion to pixels happens only
+/// at render time, so the same scene works at any resolution.
+struct Rect {
+  double xmin = 0;
+  double ymin = 0;
+  double xmax = 0;
+  double ymax = 0;
+
+  double width() const { return std::max(0.0, xmax - xmin); }
+  double height() const { return std::max(0.0, ymax - ymin); }
+  double Area() const { return width() * height(); }
+  double CenterX() const { return (xmin + xmax) / 2; }
+  double CenterY() const { return (ymin + ymax) / 2; }
+
+  bool Empty() const { return xmax <= xmin || ymax <= ymin; }
+
+  /// Clamps the rectangle to the unit square.
+  Rect ClampToUnit() const;
+
+  /// Intersection rectangle (possibly empty).
+  Rect Intersect(const Rect& other) const;
+
+  /// True if `other` and this overlap with positive area.
+  bool Overlaps(const Rect& other) const {
+    return !Intersect(other).Empty();
+  }
+
+  /// True if (x, y) lies inside the rectangle.
+  bool Contains(double x, double y) const {
+    return x >= xmin && x < xmax && y >= ymin && y < ymax;
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Rect& other) const {
+    return xmin == other.xmin && ymin == other.ymin && xmax == other.xmax &&
+           ymax == other.ymax;
+  }
+};
+
+/// Intersection-over-union; the entity-resolution metric used by the motion
+/// IOU tracker (Section 9: cutoff 0.7 across consecutive frames).
+double Iou(const Rect& a, const Rect& b);
+
+/// Area of `a` in *pixels* for a frame of the given nominal resolution.
+/// FrameQL's `area(mask)` UDF is defined in pixel units (Figure 3c uses
+/// "at least 100,000 pixels" on 720p video).
+double PixelArea(const Rect& a, int frame_width, int frame_height);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_VIDEO_GEOMETRY_H_

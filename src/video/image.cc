@@ -1,0 +1,165 @@
+#include "video/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blazeit {
+
+Image::Image(int width, int height)
+    : width_(width),
+      height_(height),
+      data_(static_cast<size_t>(width) * static_cast<size_t>(height) * 3,
+            0.0f) {}
+
+void Image::SetPixel(int x, int y, const Color& color) {
+  Set(x, y, 0, color.r);
+  Set(x, y, 1, color.g);
+  Set(x, y, 2, color.b);
+}
+
+void Image::Fill(const Color& color) {
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) SetPixel(x, y, color);
+  }
+}
+
+void Image::FillRect(const Rect& rect, const Color& color) {
+  Rect r = rect.ClampToUnit();
+  if (r.Empty()) return;
+  int x0 = static_cast<int>(std::floor(r.xmin * width_));
+  int x1 = static_cast<int>(std::ceil(r.xmax * width_));
+  int y0 = static_cast<int>(std::floor(r.ymin * height_));
+  int y1 = static_cast<int>(std::ceil(r.ymax * height_));
+  x0 = std::clamp(x0, 0, width_);
+  x1 = std::clamp(x1, 0, width_);
+  y0 = std::clamp(y0, 0, height_);
+  y1 = std::clamp(y1, 0, height_);
+  for (int y = y0; y < y1; ++y) {
+    double cy = (y + 0.5) / height_;
+    for (int x = x0; x < x1; ++x) {
+      double cx = (x + 0.5) / width_;
+      if (r.Contains(cx, cy)) SetPixel(x, y, color);
+    }
+  }
+}
+
+namespace {
+
+// Pixel noise is the hottest inner loop of the renderer (thousands of
+// draws per frame), so Gaussian deviates come from a fixed lookup table
+// indexed by a SplitMix64 stream instead of std::normal_distribution.
+// Quality is ample for sensor-noise simulation and determinism is
+// preserved (the table index stream is seeded from the caller's Rng).
+constexpr int kNoiseTableBits = 14;
+constexpr int kNoiseTableSize = 1 << kNoiseTableBits;
+
+const float* NoiseTable() {
+  static float* table = [] {
+    float* t = new float[kNoiseTableSize];
+    Rng rng(0x6a09e667f3bcc908ULL);
+    for (int i = 0; i < kNoiseTableSize; ++i) {
+      t[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void Image::AddNoise(Rng* rng, double sigma) {
+  if (sigma <= 0) return;
+  const float* table = NoiseTable();
+  const float s = static_cast<float>(sigma);
+  uint64_t state = rng->engine()();  // one draw seeds the whole frame
+  for (float& v : data_) {
+    // SplitMix64 step.
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    v = std::clamp(v + s * table[z & (kNoiseTableSize - 1)], 0.0f, 1.0f);
+  }
+}
+
+void Image::ScaleBrightness(float factor) {
+  for (float& v : data_) v = std::clamp(v * factor, 0.0f, 1.0f);
+}
+
+double Image::MeanChannel(int c) const {
+  if (Empty()) return 0.0;
+  double sum = 0;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) sum += At(x, y, c);
+  }
+  return sum / (static_cast<double>(width_) * height_);
+}
+
+double Image::MeanChannelInRect(int c, const Rect& rect) const {
+  Rect r = rect.ClampToUnit();
+  if (r.Empty() || Empty()) return 0.0;
+  int x0 = std::clamp(static_cast<int>(std::floor(r.xmin * width_)), 0,
+                      width_ - 1);
+  int x1 = std::clamp(static_cast<int>(std::ceil(r.xmax * width_)), x0 + 1,
+                      width_);
+  int y0 = std::clamp(static_cast<int>(std::floor(r.ymin * height_)), 0,
+                      height_ - 1);
+  int y1 = std::clamp(static_cast<int>(std::ceil(r.ymax * height_)), y0 + 1,
+                      height_);
+  double sum = 0;
+  int count = 0;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      sum += At(x, y, c);
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+Image Image::Crop(const Rect& rect) const {
+  Rect r = rect.ClampToUnit();
+  if (r.Empty() || Empty()) return Image();
+  int x0 = std::clamp(static_cast<int>(std::floor(r.xmin * width_)), 0,
+                      width_ - 1);
+  int x1 = std::clamp(static_cast<int>(std::ceil(r.xmax * width_)), x0 + 1,
+                      width_);
+  int y0 = std::clamp(static_cast<int>(std::floor(r.ymin * height_)), 0,
+                      height_ - 1);
+  int y1 = std::clamp(static_cast<int>(std::ceil(r.ymax * height_)), y0 + 1,
+                      height_);
+  Image out(x1 - x0, y1 - y0);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      for (int c = 0; c < 3; ++c) out.Set(x - x0, y - y0, c, At(x, y, c));
+    }
+  }
+  return out;
+}
+
+Image Image::Resize(int new_width, int new_height) const {
+  Image out(new_width, new_height);
+  if (Empty() || new_width <= 0 || new_height <= 0) return out;
+  for (int y = 0; y < new_height; ++y) {
+    int sy0 = y * height_ / new_height;
+    int sy1 = std::max(sy0 + 1, (y + 1) * height_ / new_height);
+    for (int x = 0; x < new_width; ++x) {
+      int sx0 = x * width_ / new_width;
+      int sx1 = std::max(sx0 + 1, (x + 1) * width_ / new_width);
+      for (int c = 0; c < 3; ++c) {
+        double sum = 0;
+        for (int sy = sy0; sy < sy1; ++sy) {
+          for (int sx = sx0; sx < sx1; ++sx) sum += At(sx, sy, c);
+        }
+        out.Set(x, y, c,
+                static_cast<float>(sum / ((sy1 - sy0) * (sx1 - sx0))));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> Image::Flatten() const { return data_; }
+
+}  // namespace blazeit

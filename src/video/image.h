@@ -1,0 +1,89 @@
+#ifndef BLAZEIT_VIDEO_IMAGE_H_
+#define BLAZEIT_VIDEO_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "video/geometry.h"
+
+namespace blazeit {
+
+/// RGB color with channel values in [0, 1].
+struct Color {
+  float r = 0;
+  float g = 0;
+  float b = 0;
+
+  Color Scaled(float factor) const {
+    return Color{r * factor, g * factor, b * factor};
+  }
+};
+
+/// A small dense RGB raster, row-major, float channels in [0, 1]. This is
+/// the pixel substrate for everything that needs real image content: the
+/// specialized-NN features, the content-based (e.g. redness) UDF filters,
+/// and the `content` field of FrameQL records.
+class Image {
+ public:
+  Image() : width_(0), height_(0) {}
+  Image(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool Empty() const { return width_ == 0 || height_ == 0; }
+
+  /// Channel value at pixel (x, y); c in {0: red, 1: green, 2: blue}.
+  float At(int x, int y, int c) const {
+    return data_[Index(x, y, c)];
+  }
+  void Set(int x, int y, int c, float v) { data_[Index(x, y, c)] = v; }
+  void SetPixel(int x, int y, const Color& color);
+
+  /// Fills the whole image with a solid color.
+  void Fill(const Color& color);
+
+  /// Fills the normalized-coordinate rectangle with a solid color. Pixels
+  /// are covered if their center lies inside the rectangle.
+  void FillRect(const Rect& rect, const Color& color);
+
+  /// Adds i.i.d. Gaussian noise (clamped to [0,1]) to every channel.
+  void AddNoise(Rng* rng, double sigma);
+
+  /// Multiplies every channel by `factor` (clamped to [0,1]); used for
+  /// global lighting variation.
+  void ScaleBrightness(float factor);
+
+  /// Mean of channel `c` over the whole image.
+  double MeanChannel(int c) const;
+  /// Mean of channel `c` over the normalized-coordinate rectangle.
+  double MeanChannelInRect(int c, const Rect& rect) const;
+
+  /// Crops the normalized-coordinate rectangle into a new image (pixel
+  /// bounds are rounded outward; the result is at least 1x1 if the source
+  /// is non-empty and the rect is non-empty).
+  Image Crop(const Rect& rect) const;
+
+  /// Box-filter downsample to the target size. Upsampling is nearest.
+  Image Resize(int new_width, int new_height) const;
+
+  /// Flattens to a feature vector (RGB interleaved, row-major), the input
+  /// representation of the specialized NNs.
+  std::vector<float> Flatten() const;
+
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  size_t Index(int x, int y, int c) const {
+    return (static_cast<size_t>(y) * static_cast<size_t>(width_) +
+            static_cast<size_t>(x)) * 3 + static_cast<size_t>(c);
+  }
+
+  int width_;
+  int height_;
+  std::vector<float> data_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_VIDEO_IMAGE_H_

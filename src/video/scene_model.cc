@@ -1,0 +1,75 @@
+#include "video/scene_model.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace blazeit {
+
+namespace {
+constexpr const char* kClassNames[kNumClasses] = {"car", "bus", "boat",
+                                                  "person", "bird"};
+}  // namespace
+
+const char* ClassName(int class_id) {
+  if (class_id < 0 || class_id >= kNumClasses) return "unknown";
+  return kClassNames[class_id];
+}
+
+Result<int> ClassIdFromName(const std::string& name) {
+  for (int i = 0; i < kNumClasses; ++i) {
+    if (name == kClassNames[i]) return i;
+  }
+  return Status::NotFound(StrFormat("unknown object class '%s'", name.c_str()));
+}
+
+const ObjectClassConfig* StreamConfig::FindClass(int class_id) const {
+  for (const ObjectClassConfig& cls : classes) {
+    if (cls.class_id == class_id) return &cls;
+  }
+  return nullptr;
+}
+
+double ArrivalRatePerFrame(double occupancy, double mean_duration_frames) {
+  if (occupancy <= 0 || mean_duration_frames <= 0) return 0.0;
+  // Steady-state count of a Poisson arrival process with mean dwell D is
+  // Poisson(lambda * D); solve P(count >= 1) = occupancy for lambda.
+  return -std::log(1.0 - occupancy) / mean_duration_frames;
+}
+
+double ExpectedMeanCount(const ObjectClassConfig& cls, int fps) {
+  double duration_frames = cls.mean_duration_sec * fps;
+  return ArrivalRatePerFrame(cls.occupancy, duration_frames) *
+         duration_frames;
+}
+
+Status ValidateStreamConfig(const StreamConfig& config) {
+  if (config.name.empty())
+    return Status::InvalidArgument("stream name must be non-empty");
+  if (config.fps <= 0)
+    return Status::InvalidArgument("fps must be positive");
+  if (config.width <= 0 || config.height <= 0)
+    return Status::InvalidArgument("resolution must be positive");
+  if (config.classes.empty())
+    return Status::InvalidArgument("stream must have at least one class");
+  for (const ObjectClassConfig& cls : config.classes) {
+    if (cls.class_id < 0 || cls.class_id >= kNumClasses)
+      return Status::InvalidArgument("invalid class id");
+    if (cls.occupancy <= 0.0 || cls.occupancy >= 1.0)
+      return Status::InvalidArgument(StrFormat(
+          "occupancy for %s must be in (0,1)", ClassName(cls.class_id)));
+    if (cls.mean_duration_sec <= 0.0)
+      return Status::InvalidArgument("mean duration must be positive");
+    if (cls.populations.empty())
+      return Status::InvalidArgument(StrFormat(
+          "class %s must have at least one population",
+          ClassName(cls.class_id)));
+    if (cls.mean_width <= 0 || cls.mean_height <= 0)
+      return Status::InvalidArgument("object size must be positive");
+    if (cls.region.Empty())
+      return Status::InvalidArgument("class region must be non-empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace blazeit

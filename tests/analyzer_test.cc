@@ -1,0 +1,150 @@
+#include "frameql/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "frameql/parser.h"
+#include "video/datasets.h"
+
+namespace blazeit {
+namespace {
+
+AnalyzedQuery MustAnalyze(const std::string& sql,
+                          const StreamConfig& cfg = TaipeiConfig()) {
+  auto parsed = ParseFrameQL(sql);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto analyzed = AnalyzeQuery(parsed.value(), cfg);
+  EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  return analyzed.value();
+}
+
+TEST(AnalyzerTest, ClassifiesAggregate) {
+  auto q = MustAnalyze(
+      "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+      "ERROR WITHIN 0.05 AT CONFIDENCE 99%");
+  EXPECT_EQ(q.kind, QueryKind::kAggregate);
+  EXPECT_EQ(q.agg_class, kCar);
+  EXPECT_DOUBLE_EQ(q.error, 0.05);
+  EXPECT_DOUBLE_EQ(q.confidence, 0.99);
+  EXPECT_FALSE(q.scale_to_total);
+}
+
+TEST(AnalyzerTest, CountStarScalesToTotal) {
+  auto q = MustAnalyze(
+      "SELECT COUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1");
+  EXPECT_EQ(q.kind, QueryKind::kAggregate);
+  EXPECT_TRUE(q.scale_to_total);
+}
+
+TEST(AnalyzerTest, ClassifiesScrubbing) {
+  auto q = MustAnalyze(
+      "SELECT timestamp FROM taipei GROUP BY timestamp "
+      "HAVING SUM(class='bus') >= 1 AND SUM(class='car') >= 5 "
+      "LIMIT 10 GAP 300");
+  EXPECT_EQ(q.kind, QueryKind::kScrubbing);
+  ASSERT_EQ(q.requirements.size(), 2u);
+  EXPECT_EQ(q.requirements[0].class_id, kBus);
+  EXPECT_EQ(q.requirements[0].min_count, 1);
+  EXPECT_EQ(q.requirements[1].class_id, kCar);
+  EXPECT_EQ(q.requirements[1].min_count, 5);
+  EXPECT_EQ(q.limit, 10);
+  EXPECT_EQ(q.gap, 300);
+}
+
+TEST(AnalyzerTest, StrictGreaterBecomesMinCountPlusOne) {
+  auto q = MustAnalyze(
+      "SELECT timestamp FROM taipei GROUP BY timestamp "
+      "HAVING SUM(class='car') > 4 LIMIT 5");
+  EXPECT_EQ(q.requirements[0].min_count, 5);
+}
+
+TEST(AnalyzerTest, ClassifiesSelection) {
+  auto q = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'bus' "
+      "AND redness(content) >= 0.3 AND area(mask) > 50000 "
+      "GROUP BY trackid HAVING COUNT(*) > 15");
+  EXPECT_EQ(q.kind, QueryKind::kSelection);
+  EXPECT_EQ(q.sel_class, kBus);
+  ASSERT_EQ(q.udf_predicates.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.min_area_px, 50000);
+  EXPECT_EQ(q.persistence_frames, 16);  // COUNT(*) > 15
+}
+
+TEST(AnalyzerTest, SpatialPixelsNormalized) {
+  // xmax(mask) < 720 on a 1280-wide stream -> roi.xmax = 0.5625.
+  auto q = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'bus' AND xmax(mask) < 720");
+  EXPECT_TRUE(q.has_roi);
+  EXPECT_NEAR(q.roi.xmax, 720.0 / 1280.0, 1e-9);
+}
+
+TEST(AnalyzerTest, SpatialNormalizedPassThrough) {
+  auto q = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'bus' AND ymin(mask) >= 0.5");
+  EXPECT_TRUE(q.has_roi);
+  EXPECT_NEAR(q.roi.ymin, 0.5, 1e-9);
+}
+
+TEST(AnalyzerTest, EmptyRoiRejected) {
+  auto parsed = ParseFrameQL(
+      "SELECT * FROM taipei WHERE class = 'bus' AND xmax(mask) < 0.3 "
+      "AND xmin(mask) >= 0.7");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(AnalyzeQuery(parsed.value(), TaipeiConfig()).ok());
+}
+
+TEST(AnalyzerTest, TimestampRange) {
+  auto q = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' AND timestamp >= 600 "
+      "AND timestamp < 1200");
+  EXPECT_DOUBLE_EQ(q.begin_sec, 600);
+  EXPECT_DOUBLE_EQ(q.end_sec, 1200);
+}
+
+TEST(AnalyzerTest, BinarySelect) {
+  auto q = MustAnalyze(
+      "SELECT timestamp FROM taipei WHERE class = 'car' "
+      "FNR WITHIN 0.01 FPR WITHIN 0.02");
+  EXPECT_EQ(q.kind, QueryKind::kBinarySelect);
+  EXPECT_DOUBLE_EQ(q.fnr, 0.01);
+  EXPECT_DOUBLE_EQ(q.fpr, 0.02);
+}
+
+TEST(AnalyzerTest, CountDistinct) {
+  auto q = MustAnalyze(
+      "SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class = 'car'");
+  EXPECT_EQ(q.kind, QueryKind::kCountDistinct);
+}
+
+TEST(AnalyzerTest, TableMismatchRejected) {
+  auto parsed = ParseFrameQL("SELECT * FROM rialto WHERE class = 'boat'");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(AnalyzeQuery(parsed.value(), TaipeiConfig()).ok());
+}
+
+TEST(AnalyzerTest, AggregateWithoutClassRejected) {
+  auto parsed = ParseFrameQL("SELECT FCOUNT(*) FROM taipei ERROR WITHIN 0.1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(AnalyzeQuery(parsed.value(), TaipeiConfig()).ok());
+}
+
+TEST(AnalyzerTest, ConflictingClassesRejected) {
+  auto parsed = ParseFrameQL(
+      "SELECT * FROM taipei WHERE class = 'car' AND class = 'bus'");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(AnalyzeQuery(parsed.value(), TaipeiConfig()).ok());
+}
+
+TEST(AnalyzerTest, HavingWithoutGroupByRejected) {
+  auto parsed = ParseFrameQL(
+      "SELECT timestamp FROM taipei HAVING SUM(class='car') >= 1 LIMIT 5");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(AnalyzeQuery(parsed.value(), TaipeiConfig()).ok());
+}
+
+TEST(AnalyzerTest, QueryKindNames) {
+  EXPECT_STREQ(QueryKindName(QueryKind::kAggregate), "aggregate");
+  EXPECT_STREQ(QueryKindName(QueryKind::kScrubbing), "scrubbing");
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,94 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new VideoCatalog();
+    DayLengths lengths;
+    lengths.train = 3000;
+    lengths.held_out = 2000;
+    lengths.test = 6000;
+    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
+    stream_ = catalog_->GetStream("taipei").value();
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static VideoCatalog* catalog_;
+  static StreamData* stream_;
+};
+
+VideoCatalog* BaselinesTest::catalog_ = nullptr;
+StreamData* BaselinesTest::stream_ = nullptr;
+
+TEST_F(BaselinesTest, NaiveAggregateExactAndFullCost) {
+  auto r = NaiveAggregate(stream_, kCar);
+  const auto& counts = stream_->test_labels->Counts(kCar);
+  double mean = 0;
+  for (int c : counts) mean += c;
+  mean /= counts.size();
+  EXPECT_DOUBLE_EQ(r.estimate, mean);
+  EXPECT_EQ(r.detection_calls, 6000);
+}
+
+TEST_F(BaselinesTest, OracleAggregateSameEstimateFewerCalls) {
+  auto naive = NaiveAggregate(stream_, kCar);
+  auto oracle = NoScopeOracleAggregate(stream_, kCar);
+  EXPECT_DOUBLE_EQ(oracle.estimate, naive.estimate);
+  // Calls = number of occupied frames.
+  int64_t occupied = 0;
+  for (int c : stream_->test_labels->Counts(kCar)) {
+    if (c > 0) ++occupied;
+  }
+  EXPECT_EQ(oracle.detection_calls, occupied);
+}
+
+TEST_F(BaselinesTest, OracleAggregateOnAbsentClassIsFree) {
+  auto r = NoScopeOracleAggregate(stream_, kBird);
+  EXPECT_EQ(r.detection_calls, 0);
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+TEST_F(BaselinesTest, AqpSeedsGiveDifferentSamplesSameBallpark) {
+  auto a = NaiveAqpAggregate(stream_, kCar, 0.1, 0.95, 1).value();
+  auto b = NaiveAqpAggregate(stream_, kCar, 0.1, 0.95, 2).value();
+  EXPECT_NE(a.estimate, b.estimate);  // different random draws
+  EXPECT_NEAR(a.estimate, b.estimate, 0.4);
+}
+
+TEST_F(BaselinesTest, NaiveScrubStopsAtLimit) {
+  auto r = NaiveScrub(stream_, {{kCar, 1}}, 3, 0);
+  ASSERT_EQ(r.frames.size(), 3u);
+  // Sequential scan: detections = index of the 3rd match + 1.
+  EXPECT_EQ(r.detection_calls, r.frames.back() + 1);
+}
+
+TEST_F(BaselinesTest, OracleScrubSkipsAbsentFrames) {
+  auto naive = NaiveScrub(stream_, {{kCar, 2}}, 5, 0);
+  auto oracle = NoScopeOracleScrub(stream_, {{kCar, 2}}, 5, 0);
+  EXPECT_EQ(oracle.frames, naive.frames);
+  EXPECT_LT(oracle.detection_calls, naive.detection_calls);
+}
+
+TEST_F(BaselinesTest, ScrubGapEnforced) {
+  auto r = NaiveScrub(stream_, {{kCar, 1}}, 4, 500);
+  for (size_t i = 1; i < r.frames.size(); ++i) {
+    EXPECT_GE(r.frames[i] - r.frames[i - 1], 500);
+  }
+}
+
+TEST_F(BaselinesTest, ScrubImpossibleQueryExhausts) {
+  auto r = NaiveScrub(stream_, {{kBird, 1}}, 1, 0);
+  EXPECT_TRUE(r.frames.empty());
+  EXPECT_FALSE(r.found_all);
+  EXPECT_EQ(r.detection_calls, 6000);
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,146 @@
+#include "stats/control_variates.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/sampler.h"
+#include "util/random.h"
+
+namespace blazeit {
+namespace {
+
+/// Synthetic population where the proxy is a noisy version of the truth,
+/// with controllable correlation.
+struct Population {
+  std::vector<double> truth;
+  std::vector<double> proxy;
+  double mean = 0;
+};
+
+Population MakePopulation(int64_t n, double proxy_noise, uint64_t seed) {
+  Population p;
+  Rng rng(seed);
+  p.truth.resize(static_cast<size_t>(n));
+  p.proxy.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double t = rng.Poisson(1.0);
+    p.truth[static_cast<size_t>(i)] = t;
+    p.proxy[static_cast<size_t>(i)] = t + rng.Normal(0, proxy_noise);
+    p.mean += t;
+  }
+  p.mean /= static_cast<double>(n);
+  return p;
+}
+
+TEST(ControlVariatesTest, MakeControlVariateComputesExactMoments) {
+  auto pop = MakePopulation(10000, 0.5, 1);
+  auto cv = MakeControlVariate(10000, [&](int64_t f) {
+    return pop.proxy[static_cast<size_t>(f)];
+  });
+  double mean = 0;
+  for (double v : pop.proxy) mean += v;
+  mean /= pop.proxy.size();
+  EXPECT_NEAR(cv.tau, mean, 1e-9);
+  EXPECT_GT(cv.variance, 0);
+}
+
+TEST(ControlVariatesTest, PerfectProxyNeedsMinimumSamplesOnly) {
+  // t == m: the estimator variance collapses to zero, so the sampler
+  // stops at the epsilon-net floor.
+  auto pop = MakePopulation(50000, 0.0, 2);
+  auto cv = MakeControlVariate(50000, [&](int64_t f) {
+    return pop.proxy[static_cast<size_t>(f)];
+  });
+  SamplingConfig cfg;
+  cfg.error = 0.05;
+  cfg.value_range = 8;
+  auto r = ControlVariateSample(
+      50000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
+      cv, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().samples_used, 160);  // ceil(8 / 0.05)
+  EXPECT_NEAR(r.value().estimate, pop.mean, 0.05);
+}
+
+TEST(ControlVariatesTest, ReducesSamplesVsPlainAqp) {
+  auto pop = MakePopulation(100000, 0.4, 3);  // strongly correlated proxy
+  auto cv = MakeControlVariate(100000, [&](int64_t f) {
+    return pop.proxy[static_cast<size_t>(f)];
+  });
+  SamplingConfig cfg;
+  cfg.error = 0.02;
+  cfg.value_range = 8;
+  cfg.seed = 5;
+  auto with_cv = ControlVariateSample(
+      100000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
+      cv, cfg);
+  auto plain = AdaptiveSample(
+      100000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
+      cfg);
+  ASSERT_TRUE(with_cv.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_LT(with_cv.value().samples_used, plain.value().samples_used);
+  EXPECT_NEAR(with_cv.value().estimate, pop.mean, 0.04);
+}
+
+TEST(ControlVariatesTest, UselessProxyStillUnbiased) {
+  // Uncorrelated proxy: no reduction, but the estimate stays correct.
+  Population pop = MakePopulation(50000, 0.0, 4);
+  Rng noise(7);
+  for (auto& v : pop.proxy) v = noise.Normal(0, 1);  // decorrelate
+  auto cv = MakeControlVariate(50000, [&](int64_t f) {
+    return pop.proxy[static_cast<size_t>(f)];
+  });
+  SamplingConfig cfg;
+  cfg.error = 0.05;
+  cfg.value_range = 8;
+  auto r = ControlVariateSample(
+      50000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
+      cv, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().estimate, pop.mean, 0.1);
+}
+
+TEST(ControlVariatesTest, RequiresProxy) {
+  ControlVariate cv;  // proxy unset
+  SamplingConfig cfg;
+  auto r = ControlVariateSample(100, [](int64_t) { return 0.0; }, cv, cfg);
+  EXPECT_FALSE(r.ok());
+}
+
+class CorrelationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorrelationSweep, ReductionGrowsWithCorrelation) {
+  // Theory: Var(m_hat) = (1 - Corr^2) Var(m). Verify the sample count
+  // shrinks monotonically (statistically) as proxy noise drops.
+  const double noise = GetParam();
+  auto pop = MakePopulation(80000, noise, 11);
+  auto cv = MakeControlVariate(80000, [&](int64_t f) {
+    return pop.proxy[static_cast<size_t>(f)];
+  });
+  SamplingConfig cfg;
+  cfg.error = 0.02;
+  cfg.value_range = 8;
+  cfg.seed = 13;
+  auto r = ControlVariateSample(
+      80000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
+      cv, cfg);
+  ASSERT_TRUE(r.ok());
+  auto plain = AdaptiveSample(
+      80000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
+      cfg);
+  // Reduction factor should be at least (1 - corr^2) with generous slack.
+  double var_truth = 1.0;  // Poisson(1)
+  double corr2 = var_truth / (var_truth + noise * noise);
+  double expected_ratio = 1.0 - corr2 + 0.25;  // slack
+  EXPECT_LT(static_cast<double>(r.value().samples_used),
+            std::max(160.0, expected_ratio *
+                                static_cast<double>(
+                                    plain.value().samples_used) +
+                                160.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(ProxyNoise, CorrelationSweep,
+                         ::testing::Values(0.1, 0.3, 0.6, 1.0, 2.0));
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,66 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+TEST(CostMeterTest, DetectionChargedAtPaperRate) {
+  CostMeter meter;
+  for (int i = 0; i < 9; ++i) meter.ChargeDetection();
+  EXPECT_EQ(meter.detection_calls(), 9);
+  // 3 fps -> 1/3 second per frame.
+  EXPECT_NEAR(meter.detection_seconds(), 3.0, 1e-9);
+}
+
+TEST(CostMeterTest, SpecializedNNThreeOrdersCheaper) {
+  CostMeter meter;
+  meter.ChargeDetection();
+  meter.ChargeSpecializedNN(1);
+  EXPECT_GT(meter.detection_seconds() / meter.specialized_nn_seconds(), 3000);
+}
+
+TEST(CostMeterTest, FilterCheapestOfAll) {
+  CostProfile profile;
+  EXPECT_LT(profile.filter_sec_per_frame, profile.specialized_nn_sec_per_frame);
+  EXPECT_LT(profile.specialized_nn_sec_per_frame,
+            profile.detection_sec_per_frame);
+}
+
+TEST(CostMeterTest, CroppedDetectionCheaper) {
+  CostMeter meter;
+  meter.ChargeDetectionAspect(1.0);  // square crop
+  double square = meter.detection_seconds();
+  CostMeter full;
+  full.ChargeDetection();  // 16:9 full frame
+  EXPECT_LT(square, full.detection_seconds());
+  EXPECT_NEAR(full.detection_seconds() / square, 16.0 / 9.0, 1e-9);
+}
+
+TEST(CostMeterTest, TotalVsQuerySeconds) {
+  CostMeter meter;
+  meter.ChargeTraining(1000);
+  meter.ChargeDetection();
+  EXPECT_GT(meter.TotalSeconds(), meter.QuerySeconds());
+  EXPECT_NEAR(meter.QuerySeconds(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(CostMeterTest, ResetClearsEverything) {
+  CostMeter meter;
+  meter.ChargeDetection();
+  meter.ChargeSpecializedNN(10);
+  meter.ChargeFilter(10);
+  meter.ChargeTraining(10);
+  meter.Reset();
+  EXPECT_EQ(meter.detection_calls(), 0);
+  EXPECT_EQ(meter.TotalSeconds(), 0.0);
+}
+
+TEST(CostMeterTest, ToStringMentionsTotals) {
+  CostMeter meter;
+  meter.ChargeDetection();
+  EXPECT_NE(meter.ToString().find("detections=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blazeit

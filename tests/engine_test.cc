@@ -1,0 +1,147 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new VideoCatalog();
+    DayLengths lengths;
+    lengths.train = 6000;
+    lengths.held_out = 6000;
+    lengths.test = 12000;
+    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
+    EngineOptions options;
+    options.aggregate.nn.raster_width = 16;
+    options.aggregate.nn.raster_height = 16;
+    options.aggregate.nn.hidden_dims = {32};
+    options.scrub.nn = options.aggregate.nn;
+    options.selection.nn = options.aggregate.nn;
+    engine_ = new BlazeItEngine(catalog_, options);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete catalog_;
+    engine_ = nullptr;
+    catalog_ = nullptr;
+  }
+  static VideoCatalog* catalog_;
+  static BlazeItEngine* engine_;
+};
+
+VideoCatalog* EngineTest::catalog_ = nullptr;
+BlazeItEngine* EngineTest::engine_ = nullptr;
+
+TEST_F(EngineTest, AggregateQueryEndToEnd) {
+  auto out = engine_->Execute(
+      "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+      "ERROR WITHIN 0.1 AT CONFIDENCE 95%");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().kind, QueryKind::kAggregate);
+  EXPECT_GT(out.value().scalar, 0.3);
+  EXPECT_LT(out.value().scalar, 3.0);
+  EXPECT_FALSE(out.value().plan_description.empty());
+}
+
+TEST_F(EngineTest, CountStarScaled) {
+  auto fcount = engine_->Execute(
+      "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1");
+  auto count = engine_->Execute(
+      "SELECT COUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1");
+  ASSERT_TRUE(fcount.ok());
+  ASSERT_TRUE(count.ok());
+  // COUNT(*) ~ FCOUNT * num_frames (both are estimates).
+  EXPECT_NEAR(count.value().scalar / 12000.0, fcount.value().scalar, 0.3);
+}
+
+TEST_F(EngineTest, ScrubbingQueryEndToEnd) {
+  auto out = engine_->Execute(
+      "SELECT timestamp FROM taipei GROUP BY timestamp "
+      "HAVING SUM(class='car') >= 2 LIMIT 5 GAP 50");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().kind, QueryKind::kScrubbing);
+  EXPECT_EQ(out.value().frames.size(), 5u);
+  EXPECT_EQ(out.value().plan, PlanKind::kImportanceScrubbing);
+}
+
+TEST_F(EngineTest, SelectionQueryEndToEnd) {
+  auto out = engine_->Execute(
+      "SELECT * FROM taipei WHERE class = 'bus' "
+      "AND redness(content) >= 0.25 AND area(mask) > 20000 "
+      "GROUP BY trackid HAVING COUNT(*) > 15");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().kind, QueryKind::kSelection);
+  EXPECT_EQ(out.value().plan, PlanKind::kFilteredSelection);
+  for (const SelectionRow& row : out.value().rows) {
+    EXPECT_EQ(row.detection.class_id, kBus);
+  }
+}
+
+TEST_F(EngineTest, CountDistinctEndToEnd) {
+  auto out = engine_->Execute(
+      "SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class = 'car'");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Roughly the number of generated car instances (tracker fragments some).
+  int64_t actual = catalog_->GetStream("taipei")
+                       .value()
+                       ->test_day->DistinctTracks(kCar);
+  // Motion-IOU trackers fragment when the detector drops a frame of a
+  // track (each gap opens a fresh trackid, per the FrameQL schema), so the
+  // distinct count overcounts scene instances by a modest factor.
+  EXPECT_GT(out.value().scalar, actual * 0.5);
+  EXPECT_LT(out.value().scalar, actual * 10.0);
+}
+
+TEST_F(EngineTest, BinarySelectEndToEnd) {
+  auto out = engine_->Execute(
+      "SELECT timestamp FROM taipei WHERE class = 'bus' "
+      "FNR WITHIN 0.01 FPR WITHIN 0.01");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().kind, QueryKind::kBinarySelect);
+  // No false positives: every returned frame really has a bus.
+  const auto& counts = catalog_->GetStream("taipei")
+                           .value()
+                           ->test_labels->Counts(kBus);
+  for (int64_t f : out.value().frames) {
+    EXPECT_GT(counts[static_cast<size_t>(f)], 0);
+  }
+  // And detections never exceed the video length (the NN filter can only
+  // remove work; with a weak NN its calibrated threshold may pass
+  // everything, which is safe, just not fast).
+  EXPECT_LE(out.value().cost.detection_calls(), 12000);
+  EXPECT_FALSE(out.value().frames.empty());
+}
+
+TEST_F(EngineTest, UnknownStreamFails) {
+  auto out = engine_->Execute("SELECT * FROM venice WHERE class = 'boat'");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, ParseErrorPropagates) {
+  auto out = engine_->Execute("SELEC oops");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(EngineTest, CustomUdfRegistration) {
+  ASSERT_TRUE(engine_->mutable_udfs()
+                  ->Register("whiteness",
+                             [](const Image& img) {
+                               return (img.MeanChannel(0) +
+                                       img.MeanChannel(1) +
+                                       img.MeanChannel(2)) /
+                                      3.0;
+                             })
+                  .ok());
+  auto out = engine_->Execute(
+      "SELECT * FROM taipei WHERE class = 'bus' "
+      "AND whiteness(content) >= 0.6");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+}
+
+}  // namespace
+}  // namespace blazeit

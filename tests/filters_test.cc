@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/labeled_set.h"
+#include "core/udf.h"
+#include "detect/simulated_detector.h"
+#include "filters/calibration.h"
+#include "filters/content_filter.h"
+#include "filters/label_filter.h"
+#include "filters/spatial_filter.h"
+#include "filters/temporal_filter.h"
+#include "video/datasets.h"
+
+namespace blazeit {
+namespace {
+
+TEST(TemporalFilterTest, StrideFromPersistence) {
+  // Paper: objects present >= 30 frames -> sample every 14 frames.
+  EXPECT_EQ(TemporalFilter::StrideForPersistence(30), 14);
+  EXPECT_EQ(TemporalFilter::StrideForPersistence(15), 7);
+  EXPECT_EQ(TemporalFilter::StrideForPersistence(2), 1);
+  EXPECT_EQ(TemporalFilter::StrideForPersistence(0), 1);
+}
+
+TEST(TemporalFilterTest, StrideGuaranteesCoverage) {
+  // Property: any window of length K contains at least two samples when
+  // stride = (K-1)/2 and K >= 5.
+  for (int64_t k = 5; k <= 120; ++k) {
+    int64_t stride = TemporalFilter::StrideForPersistence(k);
+    // Worst-case window start just after a sample.
+    int64_t samples_in_window = (k - 1) / stride;
+    EXPECT_GE(samples_in_window, 2) << "K=" << k;
+  }
+}
+
+TEST(TemporalFilterTest, CandidateFrames) {
+  TemporalFilter f;
+  f.set_stride(10);
+  auto frames = f.CandidateFrames(35);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[3], 30);
+  EXPECT_NEAR(f.Selectivity(35), 4.0 / 35.0, 1e-9);
+}
+
+TEST(TemporalFilterTest, TimeRange) {
+  TemporalFilter f;
+  ASSERT_TRUE(f.SetTimeRange(10, 20).ok());
+  auto frames = f.CandidateFrames(100);
+  ASSERT_EQ(frames.size(), 10u);
+  EXPECT_EQ(frames.front(), 10);
+  EXPECT_EQ(frames.back(), 19);
+  EXPECT_FALSE(f.SetTimeRange(-1, 5).ok());
+  EXPECT_FALSE(f.SetTimeRange(10, 10).ok());
+}
+
+TEST(SpatialFilterTest, PaperExampleSquarification) {
+  // xmax < 720 on 1280x720: effective crop 720x720, aspect 1.
+  SpatialFilter f(Rect{0.0, 0.0, 720.0 / 1280.0, 1.0}, 1280, 720);
+  EXPECT_NEAR(f.AspectRatio(), 1.0, 0.05);
+  EXPECT_NEAR(f.Speedup(), 16.0 / 9.0, 0.1);
+}
+
+TEST(SpatialFilterTest, FullFrameNoSpeedup) {
+  SpatialFilter f(Rect{0, 0, 1, 1}, 1280, 720);
+  EXPECT_NEAR(f.Speedup(), 1.0, 1e-9);
+}
+
+TEST(SpatialFilterTest, ContainsByCenter) {
+  SpatialFilter f(Rect{0.5, 0.5, 1.0, 1.0}, 1280, 720);
+  Detection inside;
+  inside.rect = Rect{0.6, 0.6, 0.8, 0.8};
+  Detection outside;
+  outside.rect = Rect{0.0, 0.0, 0.2, 0.2};
+  EXPECT_TRUE(f.Contains(inside));
+  EXPECT_FALSE(f.Contains(outside));
+}
+
+TEST(SpatialFilterTest, CropCoversRoi) {
+  Rect roi{0.45, 0.55, 1.0, 0.95};
+  SpatialFilter f(roi, 1280, 720);
+  Rect crop = f.effective_crop();
+  EXPECT_LE(crop.xmin, roi.xmin + 1e-9);
+  EXPECT_GE(crop.xmax, roi.xmax - 1e-9);
+  EXPECT_LE(crop.ymin, roi.ymin + 1e-9);
+  EXPECT_GE(crop.ymax, roi.ymax - 1e-9);
+  EXPECT_GE(f.Speedup(), 1.0);
+}
+
+class FilterCalibrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    video_ = SyntheticVideo::Create(TaipeiConfig(), 202, 4000).value();
+    detector_ = std::make_unique<SimulatedDetector>();
+    labels_ = std::make_unique<LabeledSet>(video_.get(), detector_.get(), 0.5);
+  }
+  std::unique_ptr<SyntheticVideo> video_;
+  std::unique_ptr<SimulatedDetector> detector_;
+  std::unique_ptr<LabeledSet> labels_;
+};
+
+TEST_F(FilterCalibrationTest, ContentFilterRednessSelective) {
+  // Positives: frames with a red tour bus (population 0).
+  std::vector<char> positives(4000, 0);
+  int64_t n_pos = 0;
+  for (int64_t t = 0; t < 4000; ++t) {
+    for (const auto& obj : video_->GroundTruth(t)) {
+      if (obj.class_id == kBus && obj.population == 0) {
+        positives[static_cast<size_t>(t)] = 1;
+        ++n_pos;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(n_pos, 10) << "scene model should produce red buses";
+  ContentFilter filter("redness", UdfRegistry::Redness);
+  auto calib = CalibrateNoFalseNegatives(&filter, *video_, positives, 0.0);
+  ASSERT_TRUE(calib.ok()) << calib.status().ToString();
+  // No false negatives by construction...
+  for (int64_t t = 0; t < 4000; ++t) {
+    if (positives[static_cast<size_t>(t)]) {
+      EXPECT_TRUE(filter.Pass(*video_, t)) << t;
+    }
+  }
+  // ...and the filter must discard a large share of the video.
+  EXPECT_LT(calib.value().selectivity, 0.5);
+}
+
+TEST_F(FilterCalibrationTest, NoPositivesReturnsNotFound) {
+  ContentFilter filter("blueness", UdfRegistry::Blueness);
+  std::vector<char> positives(4000, 0);
+  auto calib = CalibrateNoFalseNegatives(&filter, *video_, positives);
+  EXPECT_FALSE(calib.ok());
+  EXPECT_EQ(calib.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FilterCalibrationTest, MaskSizeValidated) {
+  ContentFilter filter("redness", UdfRegistry::Redness);
+  std::vector<char> positives(10, 1);
+  EXPECT_FALSE(
+      CalibrateNoFalseNegatives(&filter, *video_, positives).ok());
+}
+
+TEST_F(FilterCalibrationTest, LabelFilterDiscardsEmptyFrames) {
+  SpecializedNNConfig cfg;
+  cfg.raster_width = 16;
+  cfg.raster_height = 16;
+  cfg.hidden_dims = {32};
+  auto nn =
+      SpecializedNN::Train(*video_, {labels_->Counts(kCar)}, cfg).value();
+  LabelFilter filter(std::move(nn), {1});
+  std::vector<char> positives;
+  for (int c : labels_->Counts(kCar)) positives.push_back(c > 0 ? 1 : 0);
+  auto calib = CalibrateNoFalseNegatives(&filter, *video_, positives, 0.0);
+  ASSERT_TRUE(calib.ok());
+  EXPECT_GT(calib.value().positives, 0);
+  EXPECT_LE(calib.value().selectivity, 1.0);
+  // Batch scoring agrees with per-frame scoring.
+  auto batch = filter.ScoreBatch(*video_, {0, 5, 10});
+  EXPECT_NEAR(batch[1], filter.Score(*video_, 5), 1e-5);
+}
+
+}  // namespace
+}  // namespace blazeit

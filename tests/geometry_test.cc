@@ -1,0 +1,82 @@
+#include "video/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+TEST(RectTest, BasicAccessors) {
+  Rect r{0.1, 0.2, 0.5, 0.6};
+  EXPECT_DOUBLE_EQ(r.width(), 0.4);
+  EXPECT_DOUBLE_EQ(r.height(), 0.4);
+  EXPECT_NEAR(r.Area(), 0.16, 1e-12);
+  EXPECT_DOUBLE_EQ(r.CenterX(), 0.3);
+  EXPECT_DOUBLE_EQ(r.CenterY(), 0.4);
+  EXPECT_FALSE(r.Empty());
+}
+
+TEST(RectTest, EmptyWhenInverted) {
+  Rect r{0.5, 0.5, 0.2, 0.8};
+  EXPECT_TRUE(r.Empty());
+  EXPECT_EQ(r.Area(), 0.0);
+}
+
+TEST(RectTest, ClampToUnit) {
+  Rect r{-0.5, 0.5, 1.5, 2.0};
+  Rect c = r.ClampToUnit();
+  EXPECT_EQ(c, (Rect{0.0, 0.5, 1.0, 1.0}));
+}
+
+TEST(RectTest, IntersectOverlapping) {
+  Rect a{0.0, 0.0, 0.5, 0.5};
+  Rect b{0.25, 0.25, 1.0, 1.0};
+  Rect i = a.Intersect(b);
+  EXPECT_EQ(i, (Rect{0.25, 0.25, 0.5, 0.5}));
+  EXPECT_TRUE(a.Overlaps(b));
+}
+
+TEST(RectTest, IntersectDisjointIsEmpty) {
+  Rect a{0.0, 0.0, 0.2, 0.2};
+  Rect b{0.5, 0.5, 0.9, 0.9};
+  EXPECT_TRUE(a.Intersect(b).Empty());
+  EXPECT_FALSE(a.Overlaps(b));
+}
+
+TEST(RectTest, ContainsPoint) {
+  Rect r{0.2, 0.2, 0.8, 0.8};
+  EXPECT_TRUE(r.Contains(0.5, 0.5));
+  EXPECT_TRUE(r.Contains(0.2, 0.2));  // inclusive min edge
+  EXPECT_FALSE(r.Contains(0.8, 0.5));  // exclusive max edge
+  EXPECT_FALSE(r.Contains(0.1, 0.5));
+}
+
+TEST(IouTest, IdenticalRects) {
+  Rect a{0.1, 0.1, 0.4, 0.4};
+  EXPECT_NEAR(Iou(a, a), 1.0, 1e-12);
+}
+
+TEST(IouTest, DisjointRects) {
+  EXPECT_EQ(Iou(Rect{0, 0, 0.1, 0.1}, Rect{0.5, 0.5, 0.6, 0.6}), 0.0);
+}
+
+TEST(IouTest, HalfOverlap) {
+  // Two unit-width/half-shifted boxes: intersection 0.5, union 1.5.
+  Rect a{0.0, 0.0, 1.0, 1.0};
+  Rect b{0.5, 0.0, 1.5, 1.0};
+  EXPECT_NEAR(Iou(a, b), 0.5 / 1.5, 1e-12);
+}
+
+TEST(IouTest, Symmetric) {
+  Rect a{0.1, 0.1, 0.5, 0.6};
+  Rect b{0.3, 0.2, 0.7, 0.9};
+  EXPECT_DOUBLE_EQ(Iou(a, b), Iou(b, a));
+}
+
+TEST(PixelAreaTest, ScalesWithResolution) {
+  Rect r{0.0, 0.0, 0.5, 0.5};  // quarter of the frame
+  EXPECT_NEAR(PixelArea(r, 1280, 720), 1280.0 * 720.0 / 4.0, 1e-6);
+  EXPECT_NEAR(PixelArea(r, 3840, 2160), 3840.0 * 2160.0 / 4.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,114 @@
+#include "video/image.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+TEST(ImageTest, ConstructZeroed) {
+  Image img(4, 3);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.At(2, 1, 0), 0.0f);
+  EXPECT_FALSE(img.Empty());
+  EXPECT_TRUE(Image().Empty());
+}
+
+TEST(ImageTest, FillSetsEveryPixel) {
+  Image img(5, 5);
+  img.Fill(Color{0.2f, 0.4f, 0.6f});
+  EXPECT_FLOAT_EQ(img.At(0, 0, 0), 0.2f);
+  EXPECT_FLOAT_EQ(img.At(4, 4, 1), 0.4f);
+  EXPECT_FLOAT_EQ(img.At(2, 3, 2), 0.6f);
+}
+
+TEST(ImageTest, FillRectCoversCenterContainedPixels) {
+  Image img(10, 10);
+  img.FillRect(Rect{0.0, 0.0, 0.5, 0.5}, Color{1, 1, 1});
+  // Pixels 0..4 have centers < 0.5; pixel 5 center is 0.55.
+  EXPECT_FLOAT_EQ(img.At(4, 4, 0), 1.0f);
+  EXPECT_FLOAT_EQ(img.At(5, 5, 0), 0.0f);
+}
+
+TEST(ImageTest, FillRectOutOfBoundsClamped) {
+  Image img(4, 4);
+  img.FillRect(Rect{-1.0, -1.0, 2.0, 2.0}, Color{1, 0, 0});
+  EXPECT_FLOAT_EQ(img.At(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(img.At(3, 3, 0), 1.0f);
+}
+
+TEST(ImageTest, MeanChannel) {
+  Image img(2, 2);
+  img.Set(0, 0, 0, 1.0f);
+  EXPECT_NEAR(img.MeanChannel(0), 0.25, 1e-6);
+  EXPECT_NEAR(img.MeanChannel(1), 0.0, 1e-6);
+}
+
+TEST(ImageTest, MeanChannelInRect) {
+  Image img(10, 10);
+  img.FillRect(Rect{0.0, 0.0, 0.5, 1.0}, Color{1, 0, 0});
+  EXPECT_NEAR(img.MeanChannelInRect(0, Rect{0.0, 0.0, 0.5, 1.0}), 1.0, 1e-6);
+  EXPECT_NEAR(img.MeanChannelInRect(0, Rect{0.5, 0.0, 1.0, 1.0}), 0.0, 0.25);
+}
+
+TEST(ImageTest, AddNoiseBoundedAndDeterministic) {
+  Image a(8, 8), b(8, 8);
+  a.Fill(Color{0.5f, 0.5f, 0.5f});
+  b.Fill(Color{0.5f, 0.5f, 0.5f});
+  Rng r1(9), r2(9);
+  a.AddNoise(&r1, 0.1);
+  b.AddNoise(&r2, 0.1);
+  bool any_changed = false;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_GE(a.At(x, y, c), 0.0f);
+        EXPECT_LE(a.At(x, y, c), 1.0f);
+        EXPECT_FLOAT_EQ(a.At(x, y, c), b.At(x, y, c));
+        if (a.At(x, y, c) != 0.5f) any_changed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(ImageTest, ScaleBrightnessClamped) {
+  Image img(2, 2);
+  img.Fill(Color{0.8f, 0.8f, 0.8f});
+  img.ScaleBrightness(2.0f);
+  EXPECT_FLOAT_EQ(img.At(0, 0, 0), 1.0f);
+}
+
+TEST(ImageTest, CropExtractsRegion) {
+  Image img(10, 10);
+  img.FillRect(Rect{0.5, 0.5, 1.0, 1.0}, Color{0, 1, 0});
+  Image crop = img.Crop(Rect{0.5, 0.5, 1.0, 1.0});
+  EXPECT_EQ(crop.width(), 5);
+  EXPECT_EQ(crop.height(), 5);
+  EXPECT_NEAR(crop.MeanChannel(1), 1.0, 1e-6);
+}
+
+TEST(ImageTest, CropEmptyRect) {
+  Image img(10, 10);
+  EXPECT_TRUE(img.Crop(Rect{0.5, 0.5, 0.5, 0.5}).Empty());
+}
+
+TEST(ImageTest, ResizeDownAverages) {
+  Image img(4, 4);
+  img.FillRect(Rect{0.0, 0.0, 0.5, 1.0}, Color{1, 1, 1});
+  Image small = img.Resize(2, 2);
+  EXPECT_EQ(small.width(), 2);
+  EXPECT_NEAR(small.At(0, 0, 0), 1.0, 1e-6);
+  EXPECT_NEAR(small.At(1, 0, 0), 0.0, 1e-6);
+}
+
+TEST(ImageTest, FlattenSizeAndOrder) {
+  Image img(3, 2);
+  img.Set(0, 0, 0, 0.7f);
+  std::vector<float> flat = img.Flatten();
+  ASSERT_EQ(flat.size(), 3u * 2u * 3u);
+  EXPECT_FLOAT_EQ(flat[0], 0.7f);
+}
+
+}  // namespace
+}  // namespace blazeit

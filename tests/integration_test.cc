@@ -1,0 +1,135 @@
+// Cross-module integration and invariant tests: each test exercises the
+// whole stack (generator -> detector -> labeled set -> NN -> executor) on a
+// small catalog and asserts a paper-level invariant end to end.
+#include <gtest/gtest.h>
+
+#include "core/aggregation.h"
+#include "core/baselines.h"
+#include "core/engine.h"
+#include "core/optimizer.h"
+#include "core/scrubbing.h"
+#include "frameql/parser.h"
+
+namespace blazeit {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new VideoCatalog();
+    DayLengths lengths;
+    lengths.train = 6000;
+    lengths.held_out = 6000;
+    lengths.test = 15000;
+    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
+    ASSERT_TRUE(catalog_->AddStream(RialtoConfig(), lengths).ok());
+    stream_ = catalog_->GetStream("taipei").value();
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static VideoCatalog* catalog_;
+  static StreamData* stream_;
+};
+
+VideoCatalog* IntegrationTest::catalog_ = nullptr;
+StreamData* IntegrationTest::stream_ = nullptr;
+
+TEST_F(IntegrationTest, OptimizerPicksSpecializedPlanWithTrainingData) {
+  auto parsed = ParseFrameQL(
+      "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1");
+  auto q = AnalyzeQuery(parsed.value(), stream_->config).value();
+  PlanChoice plan = ChoosePlan(q, stream_);
+  EXPECT_EQ(plan.kind, PlanKind::kSpecializedAggregation);
+  EXPECT_NE(plan.rationale.find("specialized"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, OptimizerFallsBackWithoutTrainingData) {
+  auto parsed = ParseFrameQL(
+      "SELECT FCOUNT(*) FROM taipei WHERE class = 'bird' ERROR WITHIN 0.1");
+  auto q = AnalyzeQuery(parsed.value(), stream_->config).value();
+  EXPECT_EQ(ChoosePlan(q, stream_).kind, PlanKind::kAqpAggregation);
+
+  auto scrub = ParseFrameQL(
+      "SELECT timestamp FROM taipei GROUP BY timestamp "
+      "HAVING SUM(class='bird') >= 1 LIMIT 5");
+  auto sq = AnalyzeQuery(scrub.value(), stream_->config).value();
+  EXPECT_EQ(ChoosePlan(sq, stream_).kind, PlanKind::kScanScrubbing);
+}
+
+TEST_F(IntegrationTest, CostOrderingNaiveGreaterThanNoScopeGreaterThanBlazeIt) {
+  // The headline ordering of Figure 4, end to end on real components.
+  auto naive = NaiveAggregate(stream_, kCar);
+  auto oracle = NoScopeOracleAggregate(stream_, kCar);
+  AggregateOptions opt;
+  opt.nn.raster_width = 16;
+  opt.nn.raster_height = 16;
+  opt.nn.hidden_dims = {32};
+  AggregationExecutor ex(stream_, opt);
+  auto blazeit = ex.Run(kCar, 0.1, 0.95).value();
+  EXPECT_GT(naive.cost.TotalSeconds(), oracle.cost.TotalSeconds());
+  EXPECT_GT(oracle.cost.TotalSeconds(), blazeit.cost.TotalSeconds());
+}
+
+TEST_F(IntegrationTest, NoScopeOracleSpeedupTracksOccupancy) {
+  // The NoScope-oracle speedup for aggregates is exactly 1/occupancy
+  // (Section 10.1.1: it must run detection on occupied frames).
+  auto naive = NaiveAggregate(stream_, kCar);
+  auto oracle = NoScopeOracleAggregate(stream_, kCar);
+  double occupancy = stream_->test_labels->Occupancy(kCar);
+  double speedup = naive.cost.TotalSeconds() / oracle.cost.TotalSeconds();
+  EXPECT_NEAR(speedup, 1.0 / occupancy, 0.05);
+}
+
+TEST_F(IntegrationTest, DetectionChargesDominateBaselineCost) {
+  auto naive = NaiveAggregate(stream_, kCar);
+  EXPECT_NEAR(naive.cost.TotalSeconds(), naive.cost.detection_seconds(),
+              1e-9);
+  EXPECT_EQ(naive.detection_calls, stream_->test_day->num_frames());
+}
+
+TEST_F(IntegrationTest, MultipleStreamsIndependentResults) {
+  EngineOptions options;
+  options.aggregate.nn.raster_width = 16;
+  options.aggregate.nn.raster_height = 16;
+  options.aggregate.nn.hidden_dims = {32};
+  BlazeItEngine engine(catalog_, options);
+  auto taipei = engine.Execute(
+      "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1");
+  auto rialto = engine.Execute(
+      "SELECT FCOUNT(*) FROM rialto WHERE class = 'boat' ERROR WITHIN 0.1");
+  ASSERT_TRUE(taipei.ok());
+  ASSERT_TRUE(rialto.ok());
+  // Rialto's boat density (~2.3/frame) is far above taipei's cars (~1.0).
+  EXPECT_GT(rialto.value().scalar, taipei.value().scalar);
+}
+
+TEST_F(IntegrationTest, ScrubbingDoesNotChargeForSkippedFrames) {
+  ScrubOptions opt;
+  opt.nn.raster_width = 16;
+  opt.nn.raster_height = 16;
+  opt.nn.hidden_dims = {32};
+  ScrubbingExecutor ex(stream_, opt);
+  auto r = ex.Run({{kCar, 2}}, 3, 0).value();
+  // Detection charges equal detector calls (no hidden costs).
+  EXPECT_NEAR(r.cost.detection_seconds(),
+              r.detection_calls * (1.0 / 3.0), 1e-6);
+}
+
+TEST_F(IntegrationTest, RepeatedExecutionDeterministic) {
+  AggregateOptions opt;
+  opt.nn.raster_width = 16;
+  opt.nn.raster_height = 16;
+  opt.nn.hidden_dims = {32};
+  AggregationExecutor ex1(stream_, opt);
+  AggregationExecutor ex2(stream_, opt);
+  auto a = ex1.Run(kCar, 0.1, 0.95).value();
+  auto b = ex2.Run(kCar, 0.1, 0.95).value();
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.detection_calls, b.detection_calls);
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,88 @@
+#include "frameql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+TEST(LexerTest, SimpleQuery) {
+  auto tokens = LexFrameQL("SELECT * FROM taipei");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  ASSERT_EQ(t.size(), 5u);  // SELECT * FROM taipei <end>
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(t[1].IsSymbol("*"));
+  EXPECT_TRUE(t[2].IsKeyword("FROM"));
+  EXPECT_EQ(t[3].text, "taipei");
+  EXPECT_EQ(t[4].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, CaseInsensitiveKeywords) {
+  auto tokens = LexFrameQL("select FcOuNt");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE(tokens.value()[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens.value()[1].IsKeyword("FCOUNT"));
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = LexFrameQL("0.1 300 'bus'");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  EXPECT_EQ(t[0].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(t[0].number, 0.1);
+  EXPECT_DOUBLE_EQ(t[1].number, 300);
+  EXPECT_EQ(t[2].type, TokenType::kString);
+  EXPECT_EQ(t[2].text, "bus");
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = LexFrameQL(">= <= != <> < > =");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  EXPECT_EQ(t[0].text, ">=");
+  EXPECT_EQ(t[1].text, "<=");
+  EXPECT_EQ(t[2].text, "!=");
+  EXPECT_EQ(t[3].text, "!=");  // <> normalizes
+  EXPECT_EQ(t[4].text, "<");
+  EXPECT_EQ(t[5].text, ">");
+  EXPECT_EQ(t[6].text, "=");
+}
+
+TEST(LexerTest, HyphenatedStreamNames) {
+  auto tokens = LexFrameQL("FROM night-street");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[1].text, "night-street");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = LexFrameQL("SELECT -- a comment\n *");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 3u);
+  EXPECT_TRUE(tokens.value()[1].IsSymbol("*"));
+}
+
+TEST(LexerTest, PercentSign) {
+  auto tokens = LexFrameQL("CONFIDENCE 95%");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE(tokens.value()[2].IsSymbol("%"));
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(LexFrameQL("WHERE class = 'bus").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto r = LexFrameQL("SELECT @");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, EmptyInputJustEnd) {
+  auto tokens = LexFrameQL("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 1u);
+  EXPECT_EQ(tokens.value()[0].type, TokenType::kEnd);
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,106 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "frameql/parser.h"
+
+namespace blazeit {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new VideoCatalog();
+    DayLengths lengths;
+    lengths.train = 3000;
+    lengths.held_out = 2000;
+    lengths.test = 4000;
+    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
+    stream_ = catalog_->GetStream("taipei").value();
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static AnalyzedQuery Analyze(const char* sql) {
+    auto parsed = ParseFrameQL(sql);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto analyzed = AnalyzeQuery(parsed.value(), stream_->config);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    return analyzed.value();
+  }
+  static VideoCatalog* catalog_;
+  static StreamData* stream_;
+};
+
+VideoCatalog* OptimizerTest::catalog_ = nullptr;
+StreamData* OptimizerTest::stream_ = nullptr;
+
+TEST_F(OptimizerTest, AggregateWithDataSpecializes) {
+  PlanChoice plan = ChoosePlan(
+      Analyze("SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+              "ERROR WITHIN 0.1"),
+      stream_);
+  EXPECT_EQ(plan.kind, PlanKind::kSpecializedAggregation);
+  EXPECT_FALSE(plan.rationale.empty());
+}
+
+TEST_F(OptimizerTest, AggregateWithoutDataUsesAqp) {
+  PlanChoice plan = ChoosePlan(
+      Analyze("SELECT FCOUNT(*) FROM taipei WHERE class = 'person' "
+              "ERROR WITHIN 0.1"),
+      stream_);
+  EXPECT_EQ(plan.kind, PlanKind::kAqpAggregation);
+}
+
+TEST_F(OptimizerTest, ScrubbingWithInstancesUsesImportanceSampling) {
+  PlanChoice plan = ChoosePlan(
+      Analyze("SELECT timestamp FROM taipei GROUP BY timestamp "
+              "HAVING SUM(class='car') >= 1 LIMIT 5"),
+      stream_);
+  EXPECT_EQ(plan.kind, PlanKind::kImportanceScrubbing);
+}
+
+TEST_F(OptimizerTest, ScrubbingWithoutInstancesFallsBackToScan) {
+  PlanChoice plan = ChoosePlan(
+      Analyze("SELECT timestamp FROM taipei GROUP BY timestamp "
+              "HAVING SUM(class='car') >= 50 LIMIT 5"),
+      stream_);
+  EXPECT_EQ(plan.kind, PlanKind::kScanScrubbing);
+}
+
+TEST_F(OptimizerTest, SelectionListsInferredFilters) {
+  PlanChoice plan = ChoosePlan(
+      Analyze("SELECT * FROM taipei WHERE class = 'bus' "
+              "AND redness(content) >= 0.25 AND xmin(mask) >= 0.4 "
+              "GROUP BY trackid HAVING COUNT(*) > 15"),
+      stream_);
+  EXPECT_EQ(plan.kind, PlanKind::kFilteredSelection);
+  EXPECT_NE(plan.rationale.find("temporal"), std::string::npos);
+  EXPECT_NE(plan.rationale.find("spatial"), std::string::npos);
+  EXPECT_NE(plan.rationale.find("content"), std::string::npos);
+  EXPECT_NE(plan.rationale.find("label"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, BinaryAndDistinctPlans) {
+  EXPECT_EQ(ChoosePlan(Analyze("SELECT timestamp FROM taipei WHERE "
+                               "class = 'car' FNR WITHIN 0.01"),
+                       stream_)
+                .kind,
+            PlanKind::kBinaryDetection);
+  EXPECT_EQ(ChoosePlan(Analyze("SELECT COUNT(DISTINCT trackid) FROM taipei "
+                               "WHERE class = 'car'"),
+                       stream_)
+                .kind,
+            PlanKind::kTrackerCountDistinct);
+}
+
+TEST_F(OptimizerTest, PlanKindNamesDistinct) {
+  EXPECT_STRNE(PlanKindName(PlanKind::kSpecializedAggregation),
+               PlanKindName(PlanKind::kAqpAggregation));
+  EXPECT_STRNE(PlanKindName(PlanKind::kImportanceScrubbing),
+               PlanKindName(PlanKind::kScanScrubbing));
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,142 @@
+#include "frameql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+TEST(ParserTest, Figure3aAggregation) {
+  auto q = ParseFrameQL(
+      "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+      "ERROR WITHIN 0.1 AT CONFIDENCE 95%");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const FrameQLQuery& query = q.value();
+  EXPECT_EQ(query.projection, Projection::kFcount);
+  EXPECT_EQ(query.table, "taipei");
+  ASSERT_EQ(query.where.size(), 1u);
+  EXPECT_EQ(query.where[0].kind, Predicate::Kind::kClassEq);
+  EXPECT_EQ(query.where[0].str_value, "car");
+  ASSERT_TRUE(query.error_within.has_value());
+  EXPECT_DOUBLE_EQ(*query.error_within, 0.1);
+  ASSERT_TRUE(query.confidence.has_value());
+  EXPECT_DOUBLE_EQ(*query.confidence, 0.95);
+}
+
+TEST(ParserTest, Figure3bScrubbing) {
+  auto q = ParseFrameQL(
+      "SELECT timestamp FROM taipei GROUP BY timestamp "
+      "HAVING SUM(class='bus') >= 1 AND SUM(class='car') >= 5 "
+      "LIMIT 10 GAP 300");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const FrameQLQuery& query = q.value();
+  EXPECT_EQ(query.projection, Projection::kTimestamp);
+  EXPECT_EQ(query.group_by, "timestamp");
+  ASSERT_EQ(query.having.size(), 2u);
+  EXPECT_EQ(query.having[0].class_name, "bus");
+  EXPECT_EQ(query.having[0].op, CmpOp::kGe);
+  EXPECT_DOUBLE_EQ(query.having[0].value, 1);
+  EXPECT_EQ(query.having[1].class_name, "car");
+  EXPECT_DOUBLE_EQ(query.having[1].value, 5);
+  EXPECT_EQ(query.limit.value_or(0), 10);
+  EXPECT_EQ(query.gap.value_or(0), 300);
+}
+
+TEST(ParserTest, Figure3cSelection) {
+  auto q = ParseFrameQL(
+      "SELECT * FROM taipei WHERE class = 'bus' "
+      "AND redness(content) >= 17.5 AND area(mask) > 100000 "
+      "GROUP BY trackid HAVING COUNT(*) > 15");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const FrameQLQuery& query = q.value();
+  EXPECT_EQ(query.projection, Projection::kStar);
+  ASSERT_EQ(query.where.size(), 3u);
+  EXPECT_EQ(query.where[1].kind, Predicate::Kind::kUdf);
+  EXPECT_EQ(query.where[1].name, "redness");
+  EXPECT_EQ(query.where[1].op, CmpOp::kGe);
+  EXPECT_EQ(query.where[2].kind, Predicate::Kind::kArea);
+  EXPECT_DOUBLE_EQ(query.where[2].value, 100000);
+  EXPECT_EQ(query.group_by, "trackid");
+  ASSERT_EQ(query.having.size(), 1u);
+  EXPECT_EQ(query.having[0].kind, HavingClause::Kind::kGroupSize);
+}
+
+TEST(ParserTest, CountDistinctTrackid) {
+  auto q = ParseFrameQL(
+      "SELECT COUNT (DISTINCT trackid) FROM taipei WHERE class = 'car'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().projection, Projection::kCountDistinctTrack);
+}
+
+TEST(ParserTest, NoScopeReplication) {
+  auto q = ParseFrameQL(
+      "SELECT timestamp FROM taipei WHERE class = 'car' "
+      "FNR WITHIN 0.01 FPR WITHIN 0.01");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_DOUBLE_EQ(q.value().fnr_within.value_or(0), 0.01);
+  EXPECT_DOUBLE_EQ(q.value().fpr_within.value_or(0), 0.01);
+}
+
+TEST(ParserTest, ConfidenceWithoutAtOrPercent) {
+  auto q = ParseFrameQL(
+      "SELECT COUNT(*) FROM taipei WHERE class = 'car' "
+      "ERROR WITHIN 0.1 CONFIDENCE 95%");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().projection, Projection::kCountStar);
+  EXPECT_DOUBLE_EQ(q.value().confidence.value_or(0), 0.95);
+}
+
+TEST(ParserTest, SpatialAndTimestampPredicates) {
+  auto q = ParseFrameQL(
+      "SELECT * FROM taipei WHERE class = 'bus' AND xmax(mask) < 720 "
+      "AND timestamp >= 600 AND timestamp < 1200");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q.value().where.size(), 4u);
+  EXPECT_EQ(q.value().where[1].kind, Predicate::Kind::kSpatial);
+  EXPECT_EQ(q.value().where[1].name, "xmax");
+  EXPECT_EQ(q.value().where[2].kind, Predicate::Kind::kTimestamp);
+}
+
+TEST(ParserTest, StringUdf) {
+  auto q = ParseFrameQL(
+      "SELECT * FROM taipei WHERE class = 'car' "
+      "AND classify(content) = 'sedan'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().where[1].kind, Predicate::Kind::kUdfString);
+  EXPECT_EQ(q.value().where[1].str_value, "sedan");
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const char* original =
+      "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+      "ERROR WITHIN 0.1 AT CONFIDENCE 95%";
+  auto q = ParseFrameQL(original);
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseFrameQL(q.value().ToString());
+  ASSERT_TRUE(q2.ok()) << q.value().ToString();
+  EXPECT_EQ(q2.value().projection, q.value().projection);
+  EXPECT_EQ(q2.value().where.size(), q.value().where.size());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseFrameQL("").ok());
+  EXPECT_FALSE(ParseFrameQL("FROM taipei").ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT * FROM taipei WHERE").ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT * FROM taipei WHERE class != 'x'").ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT * FROM taipei GROUP BY color").ok());
+  EXPECT_FALSE(
+      ParseFrameQL("SELECT * FROM taipei trailing garbage here").ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT COUNT(DISTINCT class) FROM t").ok());
+  EXPECT_FALSE(
+      ParseFrameQL("SELECT * FROM t WHERE bogus(mask) > 3").ok());
+}
+
+TEST(ParserTest, CmpHelpers) {
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kGt, 1));
+  EXPECT_TRUE(EvalCmp(1, CmpOp::kLe, 1));
+  EXPECT_FALSE(EvalCmp(1, CmpOp::kNe, 1));
+  EXPECT_STREQ(CmpOpName(CmpOp::kGe), ">=");
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,141 @@
+#include "stats/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace blazeit {
+namespace {
+
+TEST(SamplerTest, ValidatesConfig) {
+  SamplingConfig bad;
+  bad.error = 0;
+  EXPECT_FALSE(ValidateSamplingConfig(bad).ok());
+  bad = SamplingConfig();
+  bad.confidence = 1.0;
+  EXPECT_FALSE(ValidateSamplingConfig(bad).ok());
+  bad = SamplingConfig();
+  bad.value_range = -1;
+  EXPECT_FALSE(ValidateSamplingConfig(bad).ok());
+  EXPECT_TRUE(ValidateSamplingConfig(SamplingConfig()).ok());
+}
+
+TEST(SamplerTest, ConstantOracleTerminatesAtMinimum) {
+  SamplingConfig cfg;
+  cfg.error = 0.1;
+  cfg.value_range = 2.0;
+  auto r = AdaptiveSample(100000, [](int64_t) { return 1.0; }, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().estimate, 1.0);
+  // Zero variance: stops right at the K/eps epsilon-net floor.
+  EXPECT_EQ(r.value().samples_used, 20);
+}
+
+TEST(SamplerTest, EstimateWithinErrorAtConfidence) {
+  // Property test over seeds: failures allowed at ~5%, test at 20/20 with
+  // slack to avoid flakes.
+  Rng truth_rng(3);
+  const int64_t n = 50000;
+  std::vector<double> values(n);
+  double mean = 0;
+  for (auto& v : values) {
+    v = truth_rng.Poisson(0.8);
+    mean += v;
+  }
+  mean /= n;
+  int within = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    SamplingConfig cfg;
+    cfg.error = 0.1;
+    cfg.value_range = 6;
+    cfg.seed = seed;
+    auto r = AdaptiveSample(
+        n, [&](int64_t f) { return values[static_cast<size_t>(f)]; }, cfg);
+    ASSERT_TRUE(r.ok());
+    if (std::abs(r.value().estimate - mean) < 0.1) ++within;
+  }
+  EXPECT_GE(within, 18);
+}
+
+TEST(SamplerTest, TighterErrorNeedsMoreSamples) {
+  Rng truth_rng(4);
+  const int64_t n = 100000;
+  std::vector<double> values(n);
+  for (auto& v : values) v = truth_rng.Poisson(1.0);
+  int64_t loose = 0, tight = 0;
+  SamplingConfig cfg;
+  cfg.value_range = 8;
+  cfg.error = 0.1;
+  loose = AdaptiveSample(
+              n, [&](int64_t f) { return values[static_cast<size_t>(f)]; },
+              cfg)
+              .value()
+              .samples_used;
+  cfg.error = 0.02;
+  tight = AdaptiveSample(
+              n, [&](int64_t f) { return values[static_cast<size_t>(f)]; },
+              cfg)
+              .value()
+              .samples_used;
+  EXPECT_GT(tight, loose * 4);
+}
+
+TEST(SamplerTest, ExhaustsSmallPopulation) {
+  SamplingConfig cfg;
+  cfg.error = 0.001;
+  cfg.value_range = 10;
+  Rng rng(5);
+  auto r = AdaptiveSample(50, [&](int64_t) { return rng.Normal(0, 5); }, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().exhausted);
+  EXPECT_EQ(r.value().samples_used, 50);
+}
+
+TEST(SamplerTest, ExhaustiveSampleIsExact) {
+  // With the finite-population correction, consuming the whole population
+  // must recover the exact mean.
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  SamplingConfig cfg;
+  cfg.error = 0.0001;
+  cfg.value_range = 6;
+  auto r = AdaptiveSample(
+      5, [&](int64_t f) { return values[static_cast<size_t>(f)]; }, cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().estimate, 3.0);
+}
+
+TEST(SamplerTest, InvalidPopulation) {
+  SamplingConfig cfg;
+  EXPECT_FALSE(AdaptiveSample(0, [](int64_t) { return 0.0; }, cfg).ok());
+}
+
+class SamplerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplerSweep, RespectsErrorTargetOnPoissonStream) {
+  const double target = GetParam();
+  Rng truth_rng(11);
+  const int64_t n = 60000;
+  std::vector<double> values(n);
+  double mean = 0;
+  for (auto& v : values) {
+    v = truth_rng.Poisson(1.2);
+    mean += v;
+  }
+  mean /= n;
+  SamplingConfig cfg;
+  cfg.error = target;
+  cfg.value_range = 8;
+  cfg.confidence = 0.95;
+  cfg.seed = 77;
+  auto r = AdaptiveSample(
+      n, [&](int64_t f) { return values[static_cast<size_t>(f)]; }, cfg);
+  ASSERT_TRUE(r.ok());
+  // Allow 2x slack: a single run at 95% confidence.
+  EXPECT_LT(std::abs(r.value().estimate - mean), 2 * target);
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorTargets, SamplerSweep,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,111 @@
+#include "video/scene_model.h"
+
+#include <gtest/gtest.h>
+
+#include "video/datasets.h"
+
+namespace blazeit {
+namespace {
+
+TEST(ClassesTest, NamesRoundTrip) {
+  for (int c = 0; c < kNumClasses; ++c) {
+    auto id = ClassIdFromName(ClassName(c));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), c);
+  }
+}
+
+TEST(ClassesTest, UnknownNameFails) {
+  EXPECT_FALSE(ClassIdFromName("dinosaur").ok());
+  EXPECT_EQ(ClassIdFromName("dinosaur").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ArrivalRateTest, MatchesOccupancyInversion) {
+  // P(count >= 1) = 1 - exp(-lambda * D).
+  double lambda = ArrivalRatePerFrame(0.644, 43.0);
+  EXPECT_NEAR(1.0 - std::exp(-lambda * 43.0), 0.644, 1e-9);
+}
+
+TEST(ArrivalRateTest, ZeroForDegenerateInputs) {
+  EXPECT_EQ(ArrivalRatePerFrame(0.0, 10.0), 0.0);
+  EXPECT_EQ(ArrivalRatePerFrame(0.5, 0.0), 0.0);
+}
+
+TEST(ExpectedMeanCountTest, ConsistentWithTable5) {
+  // The paper's measured per-frame counts (Table 5) should match the
+  // steady-state lambda * D of the configured occupancies and durations.
+  StreamConfig rialto = RialtoConfig();
+  double mean = ExpectedMeanCount(*rialto.FindClass(kBoat), rialto.fps);
+  EXPECT_NEAR(mean, 2.29, 0.1);  // Table 5 reports 2.15-2.37
+
+  StreamConfig canal = GrandCanalConfig();
+  EXPECT_NEAR(ExpectedMeanCount(*canal.FindClass(kBoat), canal.fps), 0.86,
+              0.1);  // Table 5 reports 0.81-0.99
+}
+
+TEST(ValidateTest, AcceptsAllShippedConfigs) {
+  for (const StreamConfig& cfg : AllStreamConfigs()) {
+    EXPECT_TRUE(ValidateStreamConfig(cfg).ok()) << cfg.name;
+  }
+}
+
+TEST(ValidateTest, RejectsBadConfigs) {
+  StreamConfig cfg = TaipeiConfig();
+  cfg.name = "";
+  EXPECT_FALSE(ValidateStreamConfig(cfg).ok());
+
+  cfg = TaipeiConfig();
+  cfg.fps = 0;
+  EXPECT_FALSE(ValidateStreamConfig(cfg).ok());
+
+  cfg = TaipeiConfig();
+  cfg.classes[0].occupancy = 1.5;
+  EXPECT_FALSE(ValidateStreamConfig(cfg).ok());
+
+  cfg = TaipeiConfig();
+  cfg.classes[0].populations.clear();
+  EXPECT_FALSE(ValidateStreamConfig(cfg).ok());
+
+  cfg = TaipeiConfig();
+  cfg.classes.clear();
+  EXPECT_FALSE(ValidateStreamConfig(cfg).ok());
+}
+
+TEST(DatasetsTest, SixStreamsWithTable3Parameters) {
+  auto all = AllStreamConfigs();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "taipei");
+  EXPECT_EQ(all[5].name, "archie");
+  // Spot-check Table 3 values.
+  EXPECT_NEAR(all[0].FindClass(kCar)->occupancy, 0.644, 1e-9);
+  EXPECT_NEAR(all[0].FindClass(kBus)->occupancy, 0.119, 1e-9);
+  EXPECT_NEAR(all[2].FindClass(kBoat)->mean_duration_sec, 10.7, 1e-9);
+  EXPECT_EQ(all[3].fps, 60);      // grand-canal is 1080p60
+  EXPECT_EQ(all[5].width, 3840);  // archie is 4K
+}
+
+TEST(DatasetsTest, LookupByName) {
+  auto cfg = StreamConfigByName("night-street");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().name, "night-street");
+  EXPECT_FALSE(StreamConfigByName("nonexistent").ok());
+}
+
+TEST(DatasetsTest, TaipeiHasRedAndWhiteBuses) {
+  StreamConfig cfg = TaipeiConfig();
+  const ObjectClassConfig* bus = cfg.FindClass(kBus);
+  ASSERT_NE(bus, nullptr);
+  ASSERT_EQ(bus->populations.size(), 2u);
+  // Red tour buses: red channel dominates; transit buses: near-white.
+  EXPECT_GT(bus->populations[0].color.r, bus->populations[0].color.g + 0.3);
+  EXPECT_GT(bus->populations[1].color.r, 0.7);
+  EXPECT_GT(bus->populations[1].color.g, 0.7);
+}
+
+TEST(StreamConfigTest, FindClassMissingReturnsNull) {
+  EXPECT_EQ(TaipeiConfig().FindClass(kBird), nullptr);
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,151 @@
+#include "core/scrubbing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+
+namespace blazeit {
+namespace {
+
+class ScrubbingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new VideoCatalog();
+    DayLengths lengths;
+    lengths.train = 6000;
+    lengths.held_out = 6000;
+    lengths.test = 20000;
+    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
+    stream_ = catalog_->GetStream("taipei").value();
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static ScrubOptions FastOptions() {
+    ScrubOptions opt;
+    opt.nn.raster_width = 16;
+    opt.nn.raster_height = 16;
+    opt.nn.hidden_dims = {32};
+    return opt;
+  }
+  static VideoCatalog* catalog_;
+  static StreamData* stream_;
+};
+
+VideoCatalog* ScrubbingTest::catalog_ = nullptr;
+StreamData* ScrubbingTest::stream_ = nullptr;
+
+TEST_F(ScrubbingTest, ValidatesArguments) {
+  ScrubbingExecutor ex(stream_, FastOptions());
+  EXPECT_FALSE(ex.Run({}, 10, 0).ok());
+  EXPECT_FALSE(ex.Run({{kCar, 1}}, 0, 0).ok());
+}
+
+TEST_F(ScrubbingTest, OnlyTruePositivesReturned) {
+  ScrubbingExecutor ex(stream_, FastOptions());
+  auto r = ex.Run({{kCar, 3}}, 5, 0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& counts = stream_->test_labels->Counts(kCar);
+  for (int64_t f : r.value().frames) {
+    EXPECT_GE(counts[static_cast<size_t>(f)], 3) << f;
+  }
+}
+
+TEST_F(ScrubbingTest, RespectsLimit) {
+  ScrubbingExecutor ex(stream_, FastOptions());
+  auto r = ex.Run({{kCar, 2}}, 7, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().frames.size(), 7u);
+  EXPECT_TRUE(r.value().found_all);
+}
+
+TEST_F(ScrubbingTest, RespectsGap) {
+  ScrubbingExecutor ex(stream_, FastOptions());
+  auto r = ex.Run({{kCar, 2}}, 8, 150);
+  ASSERT_TRUE(r.ok());
+  std::vector<int64_t> frames = r.value().frames;
+  std::sort(frames.begin(), frames.end());
+  for (size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_GE(frames[i] - frames[i - 1], 150);
+  }
+}
+
+TEST_F(ScrubbingTest, CheaperThanNaiveForRareEvents) {
+  ScrubbingExecutor ex(stream_, FastOptions());
+  const std::vector<ClassCountRequirement> reqs = {{kCar, 5}};
+  auto stats = CountRequirementInstances(*stream_, reqs);
+  if (stats.events < 12) GTEST_SKIP() << "too few events in short test day";
+  auto r = ex.Run(reqs, 10, 100);
+  ASSERT_TRUE(r.ok());
+  auto naive = NaiveScrub(stream_, reqs, 10, 100);
+  EXPECT_LT(r.value().detection_calls, naive.detection_calls);
+  EXPECT_LT(r.value().indexed_seconds, r.value().cost.TotalSeconds());
+}
+
+TEST_F(ScrubbingTest, ImpossibleQueryExhaustsVideo) {
+  ScrubbingExecutor ex(stream_, FastOptions());
+  auto r = ex.Run({{kBird, 1}}, 3, 0);  // no birds in taipei
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().frames.empty());
+  EXPECT_FALSE(r.value().found_all);
+  // Fallback path (no training instances) scans everything.
+  EXPECT_TRUE(r.value().fell_back_to_scan);
+  EXPECT_EQ(r.value().detection_calls, stream_->test_day->num_frames());
+}
+
+TEST_F(ScrubbingTest, MultiClassConjunction) {
+  ScrubbingExecutor ex(stream_, FastOptions());
+  auto r = ex.Run({{kBus, 1}, {kCar, 2}}, 5, 0);
+  ASSERT_TRUE(r.ok());
+  const auto& cars = stream_->test_labels->Counts(kCar);
+  const auto& buses = stream_->test_labels->Counts(kBus);
+  for (int64_t f : r.value().frames) {
+    EXPECT_GE(buses[static_cast<size_t>(f)], 1);
+    EXPECT_GE(cars[static_cast<size_t>(f)], 2);
+  }
+}
+
+TEST_F(ScrubbingTest, BaselinesFindInTemporalOrder) {
+  auto naive = NaiveScrub(stream_, {{kCar, 2}}, 5, 0);
+  ASSERT_EQ(naive.frames.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(naive.frames.begin(), naive.frames.end()));
+  auto oracle = NoScopeOracleScrub(stream_, {{kCar, 2}}, 5, 0);
+  EXPECT_EQ(oracle.frames, naive.frames);  // same semantics, fewer calls
+  EXPECT_LE(oracle.detection_calls, naive.detection_calls);
+}
+
+TEST_F(ScrubbingTest, RequirementStatsConsistent) {
+  auto one = CountRequirementInstances(*stream_, {{kCar, 1}});
+  auto five = CountRequirementInstances(*stream_, {{kCar, 5}});
+  EXPECT_GT(one.matching_frames, five.matching_frames);
+  EXPECT_GE(one.matching_frames, one.events);
+  EXPECT_GE(five.matching_frames, five.events);
+}
+
+class LimitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LimitSweep, DetectionsGrowWithLimit) {
+  // Uses its own small catalog (parameterized sweeps share nothing).
+  VideoCatalog catalog;
+  DayLengths lengths;
+  lengths.train = 4000;
+  lengths.held_out = 2000;
+  lengths.test = 12000;
+  ASSERT_TRUE(catalog.AddStream(TaipeiConfig(), lengths).ok());
+  StreamData* stream = catalog.GetStream("taipei").value();
+  ScrubOptions opt;
+  opt.nn.raster_width = 16;
+  opt.nn.raster_height = 16;
+  opt.nn.hidden_dims = {32};
+  ScrubbingExecutor ex(stream, opt);
+  auto r = ex.Run({{kCar, 2}}, GetParam(), 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().detection_calls,
+            static_cast<int64_t>(r.value().frames.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, LimitSweep, ::testing::Values(1, 5, 20));
+
+}  // namespace
+}  // namespace blazeit

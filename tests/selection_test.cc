@@ -1,0 +1,170 @@
+#include "core/selection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "frameql/parser.h"
+
+namespace blazeit {
+namespace {
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new VideoCatalog();
+    udfs_ = new UdfRegistry();
+    DayLengths lengths;
+    lengths.train = 6000;
+    lengths.held_out = 6000;
+    lengths.test = 12000;
+    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
+    stream_ = catalog_->GetStream("taipei").value();
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    delete udfs_;
+    catalog_ = nullptr;
+    udfs_ = nullptr;
+  }
+  static SelectionOptions FastOptions() {
+    SelectionOptions opt;
+    opt.nn.raster_width = 16;
+    opt.nn.raster_height = 16;
+    opt.nn.hidden_dims = {32};
+    return opt;
+  }
+  static AnalyzedQuery RedBusQuery() {
+    auto parsed = ParseFrameQL(
+        "SELECT * FROM taipei WHERE class = 'bus' "
+        "AND redness(content) >= 0.25 AND area(mask) > 20000 "
+        "AND xmin(mask) >= 0.4 AND ymin(mask) >= 0.5 "
+        "GROUP BY trackid HAVING COUNT(*) > 15");
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto analyzed = AnalyzeQuery(parsed.value(), stream_->config);
+    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    return analyzed.value();
+  }
+  static VideoCatalog* catalog_;
+  static UdfRegistry* udfs_;
+  static StreamData* stream_;
+};
+
+VideoCatalog* SelectionTest::catalog_ = nullptr;
+UdfRegistry* SelectionTest::udfs_ = nullptr;
+StreamData* SelectionTest::stream_ = nullptr;
+
+TEST_F(SelectionTest, RejectsNonSelectionQueries) {
+  SelectionExecutor ex(stream_, udfs_, FastOptions());
+  AnalyzedQuery q;
+  q.kind = QueryKind::kAggregate;
+  EXPECT_FALSE(ex.Run(q).ok());
+}
+
+TEST_F(SelectionTest, RowsSatisfyPredicate) {
+  SelectionExecutor ex(stream_, udfs_, FastOptions());
+  AnalyzedQuery q = RedBusQuery();
+  auto r = ex.Run(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const SelectionRow& row : r.value().rows) {
+    EXPECT_EQ(row.detection.class_id, kBus);
+    EXPECT_TRUE(q.roi.Contains(row.detection.rect.CenterX(),
+                               row.detection.rect.CenterY()));
+    EXPECT_GE(PixelArea(row.detection.rect, stream_->config.width,
+                        stream_->config.height),
+              q.min_area_px);
+  }
+}
+
+TEST_F(SelectionTest, CheaperThanNaive) {
+  SelectionExecutor ex(stream_, udfs_, FastOptions());
+  auto r = ex.Run(RedBusQuery());
+  ASSERT_TRUE(r.ok());
+  auto naive = NaiveSelection(stream_, udfs_, RedBusQuery());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_LT(r.value().cost.TotalSeconds(),
+            naive.value().cost.TotalSeconds() / 5);
+  EXPECT_LT(r.value().frames_detected, naive.value().frames_detected);
+}
+
+TEST_F(SelectionTest, FindsMostGroundTruthEvents) {
+  SelectionExecutor ex(stream_, udfs_, FastOptions());
+  AnalyzedQuery q = RedBusQuery();
+  auto r = ex.Run(q).value();
+  auto gt = GroundTruthSelectionEvents(*stream_->test_day, q, *udfs_);
+  if (gt.size() < 5) GTEST_SKIP() << "too few events in short test day";
+  // Count ground-truth events overlapped by some returned event.
+  int64_t hit = 0;
+  for (const auto& g : gt) {
+    for (const auto& e : r.events) {
+      if (e.first_frame <= g.last_frame + 14 &&
+          e.last_frame >= g.first_frame - 14) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  double recall = static_cast<double>(hit) / static_cast<double>(gt.size());
+  EXPECT_GE(recall, 0.5) << hit << "/" << gt.size();
+}
+
+TEST_F(SelectionTest, PlanReportsDeployedFilters) {
+  SelectionExecutor ex(stream_, udfs_, FastOptions());
+  auto r = ex.Run(RedBusQuery()).value();
+  EXPECT_NE(r.plan.find("temporal"), std::string::npos);
+  EXPECT_NE(r.plan.find("spatial"), std::string::npos);
+}
+
+TEST_F(SelectionTest, LesionTogglesChangeCost) {
+  AnalyzedQuery q = RedBusQuery();
+  SelectionOptions all = FastOptions();
+  SelectionExecutor ex_all(stream_, udfs_, all);
+  double with_all = ex_all.Run(q).value().cost.TotalSeconds();
+
+  SelectionOptions no_temporal = FastOptions();
+  no_temporal.use_temporal_filter = false;
+  SelectionExecutor ex_nt(stream_, udfs_, no_temporal);
+  double without_temporal = ex_nt.Run(q).value().cost.TotalSeconds();
+  EXPECT_GT(without_temporal, with_all);
+
+  SelectionOptions no_content = FastOptions();
+  no_content.use_content_filter = false;
+  SelectionExecutor ex_nc(stream_, udfs_, no_content);
+  double without_content = ex_nc.Run(q).value().cost.TotalSeconds();
+  EXPECT_GT(without_content, with_all);
+}
+
+TEST_F(SelectionTest, NoUdfQueryStillWorks) {
+  auto parsed = ParseFrameQL("SELECT * FROM taipei WHERE class = 'bus'");
+  auto q = AnalyzeQuery(parsed.value(), stream_->config).value();
+  SelectionExecutor ex(stream_, udfs_, FastOptions());
+  auto r = ex.Run(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.value().rows.size(), 0u);
+}
+
+TEST_F(SelectionTest, GroundTruthEventsRespectPersistence) {
+  AnalyzedQuery q = RedBusQuery();
+  auto gt = GroundTruthSelectionEvents(*stream_->test_day, q, *udfs_);
+  for (const auto& e : gt) {
+    EXPECT_GE(e.last_frame - e.first_frame + 1, q.persistence_frames);
+  }
+  // Tighter persistence keeps fewer events.
+  AnalyzedQuery longer = q;
+  longer.persistence_frames = 90;
+  auto gt_long = GroundTruthSelectionEvents(*stream_->test_day, longer,
+                                            *udfs_);
+  EXPECT_LE(gt_long.size(), gt.size());
+}
+
+TEST_F(SelectionTest, NoScopeOracleBetweenNaiveAndBlazeIt) {
+  AnalyzedQuery q = RedBusQuery();
+  auto naive = NaiveSelection(stream_, udfs_, q).value();
+  auto oracle = NoScopeOracleSelection(stream_, udfs_, q).value();
+  SelectionExecutor ex(stream_, udfs_, FastOptions());
+  auto blazeit = ex.Run(q).value();
+  EXPECT_LT(oracle.cost.TotalSeconds(), naive.cost.TotalSeconds());
+  EXPECT_LT(blazeit.cost.TotalSeconds(), oracle.cost.TotalSeconds());
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,178 @@
+#include "nn/specialized_nn.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/labeled_set.h"
+#include "detect/simulated_detector.h"
+#include "stats/online_stats.h"
+#include "video/datasets.h"
+
+namespace blazeit {
+namespace {
+
+TEST(ChooseNumClassesTest, PaperRule) {
+  // 1% of the video contains 3 cars -> 4 classes (paper's example).
+  std::vector<int> counts;
+  for (int i = 0; i < 97; ++i) counts.push_back(0);
+  for (int i = 0; i < 2; ++i) counts.push_back(1);
+  counts.push_back(3);  // exactly 1%
+  EXPECT_EQ(ChooseNumClasses(counts, 0.01), 4);
+}
+
+TEST(ChooseNumClassesTest, RareTailExcluded) {
+  std::vector<int> counts(1000, 0);
+  counts[0] = 5;  // 0.1% of frames
+  for (int i = 1; i < 200; ++i) counts[i] = 1;
+  EXPECT_EQ(ChooseNumClasses(counts, 0.01), 2);  // classes {0,1}
+}
+
+TEST(ChooseNumClassesTest, EmptyAndAllZero) {
+  EXPECT_EQ(ChooseNumClasses({}), 1);
+  EXPECT_EQ(ChooseNumClasses(std::vector<int>(100, 0)), 1);
+}
+
+TEST(FrameFeaturesTest, SizeAndDeterminism) {
+  auto video = SyntheticVideo::Create(TaipeiConfig(), 1, 100).value();
+  auto a = FrameFeatures(*video, 10, 16, 16);
+  auto b = FrameFeatures(*video, 10, 16, 16);
+  EXPECT_EQ(a.size(), 16u * 16u * 4u);  // RGB + deviation channel per cell
+  EXPECT_EQ(a, b);
+  auto c = FrameFeatures(*video, 11, 16, 16);
+  EXPECT_NE(a, c);
+}
+
+class SpecializedNNTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    video_ = SyntheticVideo::Create(TaipeiConfig(), 101, 6000).value();
+    detector_ = std::make_unique<SimulatedDetector>();
+    labels_ = std::make_unique<LabeledSet>(video_.get(), detector_.get(), 0.5);
+  }
+  SpecializedNNConfig FastConfig() {
+    SpecializedNNConfig cfg;
+    cfg.raster_width = 16;
+    cfg.raster_height = 16;
+    cfg.hidden_dims = {32};
+    cfg.max_train_frames = 6000;
+    return cfg;
+  }
+  std::unique_ptr<SyntheticVideo> video_;
+  std::unique_ptr<SimulatedDetector> detector_;
+  std::unique_ptr<LabeledSet> labels_;
+};
+
+TEST_F(SpecializedNNTest, TrainRejectsBadInputs) {
+  EXPECT_FALSE(SpecializedNN::Train(*video_, {}, FastConfig()).ok());
+  EXPECT_FALSE(SpecializedNN::Train(*video_, {{}}, FastConfig()).ok());
+  // Mismatched head lengths.
+  EXPECT_FALSE(
+      SpecializedNN::Train(*video_, {{0, 1}, {0}}, FastConfig()).ok());
+}
+
+TEST_F(SpecializedNNTest, SingleHeadShapes) {
+  auto nn =
+      SpecializedNN::Train(*video_, {labels_->Counts(kCar)}, FastConfig());
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn.value().num_heads(), 1);
+  EXPECT_GE(nn.value().head_classes(0), 2);
+  auto probs = nn.value().PredictProbs(*video_, 0);
+  ASSERT_EQ(probs.size(), 1u);
+  double sum = 0;
+  for (float p : probs[0]) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+TEST_F(SpecializedNNTest, LearnsCorrelatedCounts) {
+  auto nn =
+      SpecializedNN::Train(*video_, {labels_->Counts(kCar)}, FastConfig())
+          .value();
+  OnlineCovariance cov;
+  const auto& truth = labels_->Counts(kCar);
+  std::vector<int64_t> frames(3000);
+  std::iota(frames.begin(), frames.end(), 0);
+  auto pred = nn.ExpectedCountsForFrames(*video_, frames);
+  for (size_t i = 0; i < pred.size(); ++i) cov.Add(pred[i], truth[i]);
+  // Training-set correlation must be clearly positive.
+  EXPECT_GT(cov.Correlation(), 0.3);
+}
+
+TEST_F(SpecializedNNTest, BatchMatchesPerFrame) {
+  auto nn =
+      SpecializedNN::Train(*video_, {labels_->Counts(kCar)}, FastConfig())
+          .value();
+  std::vector<int64_t> frames = {0, 17, 333, 999};
+  auto batch = nn.ExpectedCountsForFrames(*video_, frames);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_NEAR(batch[i], nn.ExpectedCount(*video_, frames[i]), 1e-4);
+  }
+  auto conf_batch = nn.QueryConfidencesForFrames(*video_, frames, {1});
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_NEAR(conf_batch[i], nn.QueryConfidence(*video_, frames[i], {1}),
+                1e-4);
+  }
+}
+
+TEST_F(SpecializedNNTest, MultiHeadSeparateConfidences) {
+  auto nn = SpecializedNN::Train(
+                *video_, {labels_->Counts(kCar), labels_->Counts(kBus)},
+                FastConfig())
+                .value();
+  EXPECT_EQ(nn.num_heads(), 2);
+  auto probs = nn.PredictProbs(*video_, 5);
+  EXPECT_EQ(probs.size(), 2u);
+  // Sum mode adds the per-head tails (paper's signal); bounded by #heads.
+  double conf = nn.QueryConfidence(*video_, 5, {1, 1});
+  EXPECT_GE(conf, 0.0);
+  EXPECT_LE(conf, 2.0 + 1e-6);
+}
+
+TEST_F(SpecializedNNTest, ProductModeBoundedByOne) {
+  auto nn = SpecializedNN::Train(
+                *video_, {labels_->Counts(kCar), labels_->Counts(kBus)},
+                FastConfig())
+                .value();
+  std::vector<int64_t> frames = {0, 100, 200};
+  auto prod = nn.QueryConfidencesForFrames(
+      *video_, frames, {1, 1}, SpecializedNN::ConjunctionMode::kProduct);
+  auto sum = nn.QueryConfidencesForFrames(
+      *video_, frames, {1, 1}, SpecializedNN::ConjunctionMode::kSum);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_LE(prod[i], 1.0f + 1e-6);
+    EXPECT_LE(prod[i], sum[i] + 1e-6);
+  }
+}
+
+TEST_F(SpecializedNNTest, ExpectedCountWithinClassRange) {
+  auto nn =
+      SpecializedNN::Train(*video_, {labels_->Counts(kCar)}, FastConfig())
+          .value();
+  for (int64_t t : {0, 50, 500}) {
+    double e = nn.ExpectedCount(*video_, t);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, nn.head_classes(0) - 1.0);
+  }
+}
+
+TEST_F(SpecializedNNTest, TrainedFramesAccountsEpochs) {
+  SpecializedNNConfig cfg = FastConfig();
+  cfg.train.epochs = 2;
+  cfg.max_train_frames = 1000;
+  auto nn = SpecializedNN::Train(*video_, {labels_->Counts(kCar)}, cfg);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn.value().trained_frames(), 2000);
+}
+
+TEST_F(SpecializedNNTest, MinClassesExpandsHead) {
+  SpecializedNNConfig cfg = FastConfig();
+  cfg.min_classes = 4;
+  auto nn = SpecializedNN::Train(*video_, {labels_->Counts(kBus)}, cfg);
+  ASSERT_TRUE(nn.ok());
+  // Bus counts are mostly 0/1; 1% rule would give ~2 classes, min_classes
+  // raises it (capped by max observed + 1).
+  EXPECT_GE(nn.value().head_classes(0), 2);
+}
+
+}  // namespace
+}  // namespace blazeit

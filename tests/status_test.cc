@@ -1,0 +1,82 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("epsilon must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "epsilon must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: epsilon must be positive");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status PropagatesHelper() {
+  BLAZEIT_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(PropagatesHelper().code(), StatusCode::kInternal);
+}
+
+Result<int> GivesFive() { return 5; }
+Result<int> UsesAssignOrReturn() {
+  BLAZEIT_ASSIGN_OR_RETURN(int v, GivesFive());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto r = UsesAssignOrReturn();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 6);
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,119 @@
+// Property tests parameterized over all six shipped stream configurations:
+// for every stream, the generator must match its configured statistics, the
+// renderer must produce valid pixels, and the detector/labeled-set chain
+// must be internally consistent.
+#include <gtest/gtest.h>
+
+#include "core/labeled_set.h"
+#include "detect/simulated_detector.h"
+#include "nn/specialized_nn.h"
+#include "video/datasets.h"
+
+namespace blazeit {
+namespace {
+
+class StreamProperty : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    auto cfg = StreamConfigByName(GetParam());
+    ASSERT_TRUE(cfg.ok());
+    config_ = cfg.value();
+    video_ = SyntheticVideo::Create(config_, 77, 12000).value();
+  }
+  StreamConfig config_;
+  std::unique_ptr<SyntheticVideo> video_;
+};
+
+TEST_P(StreamProperty, OccupancyWithinTolerance) {
+  for (const ObjectClassConfig& cls : config_.classes) {
+    double measured = video_->MeasureOccupancy(cls.class_id);
+    // Long-dwell streams have few independent epochs in a 12k-frame
+    // window, and day-level rate jitter (archie) widens the band further.
+    double tol = 0.08 + cls.mean_duration_sec / 40.0 +
+                 cls.day_rate_jitter * 0.6;
+    EXPECT_NEAR(measured, cls.occupancy, tol)
+        << config_.name << "/" << ClassName(cls.class_id);
+  }
+}
+
+TEST_P(StreamProperty, DurationWithinTolerance) {
+  for (const ObjectClassConfig& cls : config_.classes) {
+    double measured = video_->MeanDurationSeconds(cls.class_id);
+    EXPECT_NEAR(measured, cls.mean_duration_sec,
+                cls.mean_duration_sec * 0.3)
+        << config_.name << "/" << ClassName(cls.class_id);
+  }
+}
+
+TEST_P(StreamProperty, MeanCountNearAnalytic) {
+  for (const ObjectClassConfig& cls : config_.classes) {
+    double expected = ExpectedMeanCount(cls, config_.fps);
+    double measured = video_->MeanVisibleCount(cls.class_id);
+    double tol = std::max(0.4 * expected, 0.1) +
+                 cls.day_rate_jitter * expected +
+                 expected * cls.mean_duration_sec / 30.0;
+    EXPECT_NEAR(measured, expected, tol)
+        << config_.name << "/" << ClassName(cls.class_id);
+  }
+}
+
+TEST_P(StreamProperty, RenderedPixelsValid) {
+  for (int64_t t : {int64_t{0}, int64_t{5000}, int64_t{11999}}) {
+    Image img = video_->RenderFrame(t, 32, 32);
+    for (float v : img.data()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST_P(StreamProperty, DetectorCountsTrackGroundTruth) {
+  SimulatedDetector detector;
+  LabeledSet labels(video_.get(), &detector,
+                    config_.detection_threshold);
+  for (const ObjectClassConfig& cls : config_.classes) {
+    double truth_mean = video_->MeanVisibleCount(cls.class_id);
+    const auto& counts = labels.Counts(cls.class_id);
+    double det_mean = 0;
+    for (int c : counts) det_mean += c;
+    det_mean /= static_cast<double>(counts.size());
+    // The detector misses some objects (more when small) but never sees
+    // more than a small false-positive overhead.
+    EXPECT_LE(det_mean, truth_mean * 1.1 + 0.05)
+        << config_.name << "/" << ClassName(cls.class_id);
+    EXPECT_GE(det_mean, truth_mean * 0.4)
+        << config_.name << "/" << ClassName(cls.class_id);
+  }
+}
+
+TEST_P(StreamProperty, FeatureVectorsFiniteAndVarying) {
+  auto a = FrameFeatures(*video_, 100, 16, 16);
+  auto b = FrameFeatures(*video_, 6100, 16, 16);
+  double diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(a[i]));
+    diff += std::abs(a[i] - b[i]);
+  }
+  EXPECT_GT(diff, 0.0) << "features must vary across frames";
+}
+
+TEST_P(StreamProperty, DaysShareDistributionShape) {
+  // Two different days of the same stream must have similar occupancy
+  // (up to day-level jitter) — the paper's no-model-drift assumption.
+  auto other = SyntheticVideo::Create(config_, 78, 12000).value();
+  for (const ObjectClassConfig& cls : config_.classes) {
+    double a = video_->MeasureOccupancy(cls.class_id);
+    double b = other->MeasureOccupancy(cls.class_id);
+    double tol = 0.1 + cls.mean_duration_sec / 30.0 +
+                 cls.day_rate_jitter * 0.8;
+    EXPECT_NEAR(a, b, tol) << config_.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStreams, StreamProperty,
+                         ::testing::Values("taipei", "night-street",
+                                           "rialto", "grand-canal",
+                                           "amsterdam", "archie"));
+
+}  // namespace
+}  // namespace blazeit

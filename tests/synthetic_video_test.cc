@@ -1,0 +1,167 @@
+#include "video/synthetic_video.h"
+
+#include <gtest/gtest.h>
+
+#include "video/datasets.h"
+
+namespace blazeit {
+namespace {
+
+StreamConfig SmallConfig() {
+  StreamConfig cfg = TaipeiConfig();
+  return cfg;
+}
+
+TEST(SyntheticVideoTest, CreateValidates) {
+  EXPECT_FALSE(SyntheticVideo::Create(SmallConfig(), 1, 0).ok());
+  StreamConfig bad = SmallConfig();
+  bad.classes.clear();
+  EXPECT_FALSE(SyntheticVideo::Create(bad, 1, 100).ok());
+}
+
+TEST(SyntheticVideoTest, Timestamps) {
+  auto video = SyntheticVideo::Create(SmallConfig(), 1, 90).value();
+  EXPECT_DOUBLE_EQ(video->TimestampSeconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(video->TimestampSeconds(60), 2.0);  // 30 fps
+}
+
+TEST(SyntheticVideoTest, GroundTruthDeterministicAndOrderIndependent) {
+  auto v1 = SyntheticVideo::Create(SmallConfig(), 7, 3000).value();
+  auto v2 = SyntheticVideo::Create(SmallConfig(), 7, 3000).value();
+  // Access v2 backwards; results must match v1 accessed forwards.
+  for (int64_t t = 2999; t >= 0; --t) (void)v2->GroundTruth(t);
+  for (int64_t t = 0; t < 3000; t += 97) {
+    auto a = v1->GroundTruth(t);
+    auto b = v2->GroundTruth(t);
+    ASSERT_EQ(a.size(), b.size()) << t;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].track_id, b[i].track_id);
+      EXPECT_EQ(a[i].rect, b[i].rect);
+    }
+  }
+}
+
+TEST(SyntheticVideoTest, DifferentSeedsDiffer) {
+  auto a = SyntheticVideo::Create(SmallConfig(), 1, 2000).value();
+  auto b = SyntheticVideo::Create(SmallConfig(), 2, 2000).value();
+  EXPECT_NE(a->DistinctTracks(kCar), b->DistinctTracks(kCar));
+}
+
+TEST(SyntheticVideoTest, OutOfRangeFrameIsEmpty) {
+  auto video = SyntheticVideo::Create(SmallConfig(), 1, 100).value();
+  EXPECT_TRUE(video->GroundTruth(-1).empty());
+  EXPECT_TRUE(video->GroundTruth(100).empty());
+  EXPECT_EQ(video->CountVisible(100, kCar), 0);
+}
+
+TEST(SyntheticVideoTest, CountVisibleMatchesGroundTruth) {
+  auto video = SyntheticVideo::Create(SmallConfig(), 3, 2000).value();
+  for (int64_t t = 0; t < 2000; t += 111) {
+    int count = 0;
+    for (const auto& obj : video->GroundTruth(t)) {
+      if (obj.class_id == kCar) ++count;
+    }
+    EXPECT_EQ(video->CountVisible(t, kCar), count);
+  }
+}
+
+TEST(SyntheticVideoTest, OccupancyNearTarget) {
+  // One hour of taipei; occupancy should approach the Table 3 target.
+  auto video =
+      SyntheticVideo::Create(TaipeiConfig(), kTestDaySeed, 108000).value();
+  EXPECT_NEAR(video->MeasureOccupancy(kCar), 0.644, 0.06);
+  EXPECT_NEAR(video->MeasureOccupancy(kBus), 0.119, 0.04);
+}
+
+TEST(SyntheticVideoTest, MeanDurationNearTarget) {
+  auto video =
+      SyntheticVideo::Create(TaipeiConfig(), kTestDaySeed, 108000).value();
+  EXPECT_NEAR(video->MeanDurationSeconds(kCar), 1.43, 0.25);
+  EXPECT_NEAR(video->MeanDurationSeconds(kBus), 2.82, 0.6);
+}
+
+TEST(SyntheticVideoTest, ObjectsStayInClassRegion) {
+  auto video = SyntheticVideo::Create(SmallConfig(), 5, 5000).value();
+  const Rect& region = *&video->config().FindClass(kBus)->region;
+  for (int64_t t = 0; t < 5000; t += 53) {
+    for (const auto& obj : video->GroundTruth(t)) {
+      if (obj.class_id != kBus) continue;
+      // Bounce keeps centers inside the configured region.
+      EXPECT_GE(obj.rect.CenterX(), region.xmin - 1e-6);
+      EXPECT_LE(obj.rect.CenterX(), region.xmax + 1e-6);
+      EXPECT_GE(obj.rect.CenterY(), region.ymin - 1e-6);
+      EXPECT_LE(obj.rect.CenterY(), region.ymax + 1e-6);
+    }
+  }
+}
+
+TEST(SyntheticVideoTest, TrackIdsArePerInstanceStable) {
+  auto video = SyntheticVideo::Create(SmallConfig(), 11, 4000).value();
+  // A track seen at consecutive frames keeps its rect moving continuously.
+  for (int64_t t = 0; t + 1 < 4000; t += 211) {
+    for (const auto& obj : video->GroundTruth(t)) {
+      for (const auto& next : video->GroundTruth(t + 1)) {
+        if (next.track_id == obj.track_id) {
+          EXPECT_GT(Iou(obj.rect, next.rect), 0.1)
+              << "object teleported between consecutive frames";
+        }
+      }
+    }
+  }
+}
+
+TEST(SyntheticVideoTest, RenderedObjectsVisible) {
+  auto video = SyntheticVideo::Create(SmallConfig(), 13, 2000).value();
+  // Find a frame with a red tour bus and check its pixels are red-ish.
+  for (int64_t t = 0; t < 2000; ++t) {
+    for (const auto& obj : video->GroundTruth(t)) {
+      if (obj.class_id == kBus && obj.population == 0 &&
+          obj.rect.Area() > 0.02) {
+        Image img = video->RenderFrame(t, 64, 64);
+        double red = img.MeanChannelInRect(0, obj.rect);
+        double green = img.MeanChannelInRect(1, obj.rect);
+        EXPECT_GT(red, green + 0.2);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no large red bus in the sampled window";
+}
+
+TEST(SyntheticVideoTest, RenderRegionReprojects) {
+  auto video = SyntheticVideo::Create(SmallConfig(), 17, 500).value();
+  // Rendering the bottom-right quadrant: a full-frame render's content in
+  // that quadrant should roughly match the region render.
+  Image full = video->RenderFrame(100, 64, 64);
+  Image region = video->RenderFrameRegion(100, Rect{0.5, 0.5, 1.0, 1.0},
+                                          32, 32);
+  double full_q = full.MeanChannelInRect(0, Rect{0.5, 0.5, 1.0, 1.0});
+  double reg = region.MeanChannel(0);
+  EXPECT_NEAR(full_q, reg, 0.05);
+}
+
+TEST(SyntheticVideoTest, ClutterRenderedButNotInGroundTruth) {
+  StreamConfig cfg = ArchieConfig();
+  cfg.pixel_noise = 0.0;  // isolate clutter signal
+  auto video = SyntheticVideo::Create(cfg, 21, 100).value();
+  // Find a frame with no objects; it must still deviate from background
+  // somewhere (clutter), while ground truth stays empty.
+  for (int64_t t = 0; t < 100; ++t) {
+    if (!video->GroundTruth(t).empty()) continue;
+    Image img = video->RenderFrame(t, 64, 64);
+    int off_background = 0;
+    for (int y = 0; y < 64; ++y) {
+      for (int x = 0; x < 64; ++x) {
+        if (std::abs(img.At(x, y, 0) - cfg.background.r) > 0.1) {
+          ++off_background;
+        }
+      }
+    }
+    EXPECT_GT(off_background, 0) << "clutter should be visible";
+    return;
+  }
+  GTEST_SKIP() << "no empty frame found";
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,85 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+Matrix Make(int rows, int cols, std::initializer_list<float> vals) {
+  Matrix m(rows, cols);
+  auto it = vals.begin();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m.At(r, c) = *it++;
+  }
+  return m;
+}
+
+TEST(MatrixTest, Accessors) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  m.At(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.At(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(m.Row(1)[2], 5.0f);
+  m.Zero();
+  EXPECT_FLOAT_EQ(m.At(1, 2), 0.0f);
+  EXPECT_TRUE(Matrix().Empty());
+}
+
+TEST(MatMulTest, KnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Matrix a = Make(2, 2, {1, 2, 3, 4});
+  Matrix b = Make(2, 2, {5, 6, 7, 8});
+  Matrix c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 19);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 22);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 43);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 50);
+}
+
+TEST(MatMulTest, RectangularShapes) {
+  Matrix a = Make(1, 3, {1, 2, 3});
+  Matrix b = Make(3, 2, {1, 0, 0, 1, 1, 1});
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 1);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 4);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 5);
+}
+
+TEST(MatMulTest, TransposeAMatchesExplicit) {
+  // A^T B where A is [3,2], B is [3,2] -> [2,2].
+  Matrix a = Make(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix b = Make(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMulTransposeA(a, b);
+  // Explicit: c[i][j] = sum_k a[k][i] * b[k][j].
+  EXPECT_FLOAT_EQ(c.At(0, 0), 1 * 7 + 3 * 9 + 5 * 11);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 2 * 8 + 4 * 10 + 6 * 12);
+}
+
+TEST(MatMulTest, TransposeBMatchesExplicit) {
+  // A B^T where A is [2,3], B is [2,3] -> [2,2].
+  Matrix a = Make(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b = Make(2, 3, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMulTransposeB(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 1 * 7 + 2 * 8 + 3 * 9);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 1 * 10 + 2 * 11 + 3 * 12);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 4 * 7 + 5 * 8 + 6 * 9);
+}
+
+TEST(MatMulTest, TransposeIdentitiesAgree) {
+  // (A^T B) == MatMul(transpose(A), B) cross-check via MatMul itself.
+  Matrix a = Make(2, 2, {1, 2, 3, 4});
+  Matrix at = Make(2, 2, {1, 3, 2, 4});
+  Matrix b = Make(2, 2, {5, 6, 7, 8});
+  Matrix direct = MatMulTransposeA(a, b);
+  Matrix viaT = MatMul(at, b);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_FLOAT_EQ(direct.At(r, c), viaT.At(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blazeit

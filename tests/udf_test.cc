@@ -1,0 +1,83 @@
+#include "core/udf.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+Image Solid(const Color& c) {
+  Image img(8, 8);
+  img.Fill(c);
+  return img;
+}
+
+TEST(UdfTest, RednessHighForRed) {
+  double red = UdfRegistry::Redness(Solid(Color{0.8f, 0.1f, 0.1f}));
+  double white = UdfRegistry::Redness(Solid(Color{0.9f, 0.9f, 0.9f}));
+  double gray = UdfRegistry::Redness(Solid(Color{0.4f, 0.4f, 0.4f}));
+  EXPECT_GT(red, 0.5);
+  // White content must NOT look red (the naive mean-red-channel UDF the
+  // paper warns about would rank white above red).
+  EXPECT_NEAR(white, 0.0, 1e-6);
+  EXPECT_NEAR(gray, 0.0, 1e-6);
+}
+
+TEST(UdfTest, ChannelUdfsOrthogonal) {
+  Image blue = Solid(Color{0.1f, 0.1f, 0.9f});
+  EXPECT_GT(UdfRegistry::Blueness(blue), 0.5);
+  EXPECT_NEAR(UdfRegistry::Redness(blue), 0.0, 1e-6);
+  EXPECT_NEAR(UdfRegistry::Greenness(blue), 0.0, 1e-6);
+}
+
+TEST(UdfTest, Brightness) {
+  EXPECT_NEAR(UdfRegistry::Brightness(Solid(Color{0.5f, 0.7f, 0.3f})), 0.5,
+              1e-5);
+  EXPECT_NEAR(UdfRegistry::Brightness(Solid(Color{0, 0, 0})), 0.0, 1e-6);
+}
+
+TEST(UdfTest, EmptyImageSafe) {
+  Image empty;
+  EXPECT_EQ(UdfRegistry::Redness(empty), 0.0);
+  EXPECT_EQ(UdfRegistry::Brightness(empty), 0.0);
+}
+
+TEST(UdfRegistryTest, BuiltinsRegistered) {
+  UdfRegistry registry;
+  EXPECT_TRUE(registry.Contains("redness"));
+  EXPECT_TRUE(registry.Contains("blueness"));
+  EXPECT_TRUE(registry.Contains("greenness"));
+  EXPECT_TRUE(registry.Contains("brightness"));
+  EXPECT_FALSE(registry.Contains("classify"));
+}
+
+TEST(UdfRegistryTest, CaseInsensitiveLookup) {
+  UdfRegistry registry;
+  EXPECT_TRUE(registry.Contains("ReDnEsS"));
+  ASSERT_TRUE(registry.Get("REDNESS").ok());
+}
+
+TEST(UdfRegistryTest, RegisterCustom) {
+  UdfRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("half", [](const Image&) { return 0.5; })
+                  .ok());
+  auto udf = registry.Get("half");
+  ASSERT_TRUE(udf.ok());
+  EXPECT_DOUBLE_EQ(udf.value()(Image(1, 1)), 0.5);
+}
+
+TEST(UdfRegistryTest, RegisterValidates) {
+  UdfRegistry registry;
+  EXPECT_FALSE(registry.Register("", [](const Image&) { return 0.0; }).ok());
+  EXPECT_FALSE(registry.Register("x", ImageUdf()).ok());
+}
+
+TEST(UdfRegistryTest, UnknownReturnsNotFound) {
+  UdfRegistry registry;
+  auto r = registry.Get("unknown");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace blazeit {
+namespace {
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(3, 5));
+  EXPECT_EQ(seen, (std::set<int64_t>{3, 4, 5}));
+}
+
+TEST(RngTest, Determinism) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Poisson(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(4);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(6);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal(1.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, LogNormalMeanMatchesParameterization) {
+  // LogNormal(mu = ln(m) - s^2/2, s) has mean m.
+  Rng rng(7);
+  double target = 10.0, sigma = 0.5;
+  double mu = std::log(target) - sigma * sigma / 2;
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.LogNormal(mu, sigma);
+  EXPECT_NEAR(sum / n, target, 0.3);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(8);
+  auto s = rng.SampleWithoutReplacement(100, 30);
+  std::set<int64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (int64_t v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(9);
+  auto s = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(10);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(0, 10).empty());
+}
+
+TEST(HashTest, HashCombineDiffers) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(1, 3));
+  EXPECT_EQ(HashCombine(1, 2), HashCombine(1, 2));
+}
+
+TEST(HashTest, HashStringStable) {
+  EXPECT_EQ(HashString("taipei"), HashString("taipei"));
+  EXPECT_NE(HashString("taipei"), HashString("archie"));
+}
+
+TEST(StringTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("FrameQL"), "frameql");
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+}  // namespace
+}  // namespace blazeit
