@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure + build (warnings as errors), the fast lane
+# first for quick feedback, then the full suite. Usage: ci/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> configure (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S .
+
+echo "==> build (-j${JOBS})"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "==> ctest: fast lane (-L fast)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L fast -j "${JOBS}"
+
+echo "==> ctest: slow suites (-L slow)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L slow -j "${JOBS}"
+
+echo "==> OK"

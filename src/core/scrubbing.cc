@@ -121,7 +121,7 @@ Result<ScrubResult> ScrubbingExecutor::Run(
     for (int64_t t = 0; t < n; ++t) {
       prefix[static_cast<size_t>(t) + 1] =
           prefix[static_cast<size_t>(t)] +
-          confidences_[static_cast<size_t>(t)];
+          static_cast<double>(confidences_[static_cast<size_t>(t)]);
     }
     for (int64_t t = 0; t < n; ++t) {
       int64_t lo = std::max<int64_t>(0, t - w);

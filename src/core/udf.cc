@@ -16,7 +16,7 @@ double ChannelContrast(const Image& image, int channel) {
       double target = image.At(x, y, channel);
       double others = 0.0;
       for (int c = 0; c < 3; ++c) {
-        if (c != channel) others += image.At(x, y, c);
+        if (c != channel) others += static_cast<double>(image.At(x, y, c));
       }
       sum += std::max(0.0, target - others / 2.0);
     }

@@ -32,7 +32,7 @@ double SoftmaxCrossEntropy::Forward(const Matrix& logits,
     assert(labels[static_cast<size_t>(r)] >= 0 &&
            labels[static_cast<size_t>(r)] < logits.cols());
     float p = probs_.At(r, labels[static_cast<size_t>(r)]);
-    loss -= std::log(std::max(p, 1e-12f));
+    loss -= static_cast<double>(std::log(std::max(p, 1e-12f)));
   }
   return loss / logits.rows();
 }

@@ -49,11 +49,17 @@ std::vector<float> FrameFeatures(const SyntheticVideo& video, int64_t frame,
       }
       const double inv = 1.0 / (kPool * kPool);
       features.push_back(
-          static_cast<float>(((r * inv) - kMean) / kStd));
+          static_cast<float>(((static_cast<double>(r) * inv) -
+                              static_cast<double>(kMean)) /
+                             static_cast<double>(kStd)));
       features.push_back(
-          static_cast<float>(((g * inv) - kMean) / kStd));
+          static_cast<float>(((static_cast<double>(g) * inv) -
+                              static_cast<double>(kMean)) /
+                             static_cast<double>(kStd)));
       features.push_back(
-          static_cast<float>(((b * inv) - kMean) / kStd));
+          static_cast<float>(((static_cast<double>(b) * inv) -
+                              static_cast<double>(kMean)) /
+                             static_cast<double>(kStd)));
       // Noise-only cells average ~0.1 absolute deviation at typical sensor
       // noise; objects reach 0.5-1.5. Scale to keep activations O(1).
       features.push_back(static_cast<float>((dev * inv - 0.1) / 0.3));
@@ -253,7 +259,7 @@ double SpecializedNN::ExpectedCount(const SyntheticVideo& video,
   const std::vector<float>& p = probs[static_cast<size_t>(head)];
   double expected = 0;
   for (size_t k = 0; k < p.size(); ++k)
-    expected += static_cast<double>(k) * p[k];
+    expected += static_cast<double>(k) * static_cast<double>(p[k]);
   return expected;
 }
 
@@ -289,7 +295,8 @@ std::vector<float> SpecializedNN::ExpectedCountsForFrames(
             impl_->trunk->Forward(x)));
     for (int i = 0; i < batch; ++i) {
       double expected = 0;
-      for (int k = 0; k < probs.cols(); ++k) expected += k * probs.At(i, k);
+      for (int k = 0; k < probs.cols(); ++k)
+        expected += static_cast<double>(k) * static_cast<double>(probs.At(i, k));
       out.push_back(static_cast<float>(expected));
     }
   }
@@ -318,7 +325,8 @@ std::vector<float> SpecializedNN::QueryConfidencesForFrames(
       int min_c = std::clamp(min_counts[head], 0, probs.cols() - 1);
       for (int i = 0; i < batch; ++i) {
         double tail = 0;
-        for (int k = min_c; k < probs.cols(); ++k) tail += probs.At(i, k);
+        for (int k = min_c; k < probs.cols(); ++k)
+          tail += static_cast<double>(probs.At(i, k));
         if (product) {
           out[start + static_cast<size_t>(i)] *= static_cast<float>(tail);
         } else {
@@ -345,7 +353,7 @@ double SpecializedNN::QueryConfidence(
     double tail = 0;
     for (size_t k = static_cast<size_t>(std::max(0, min_c)); k < p.size();
          ++k) {
-      tail += p[k];
+      tail += static_cast<double>(p[k]);
     }
     confidence += tail;
   }

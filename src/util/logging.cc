@@ -8,6 +8,7 @@ namespace blazeit {
 namespace {
 
 LogLevel g_level = LogLevel::kInfo;
+Logger::Sink g_sink = nullptr;
 std::mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -30,8 +31,23 @@ LogLevel Logger::level() { return g_level; }
 
 void Logger::set_level(LogLevel level) { g_level = level; }
 
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = sink;
+}
+
 void Logger::Log(LogLevel level, const std::string& message) {
   if (level < g_level) return;
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    sink = g_sink;
+  }
+  // Invoke outside the lock so a sink that logs does not self-deadlock.
+  if (sink != nullptr) {
+    sink(level, message);
+    return;
+  }
   std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }

@@ -12,8 +12,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// output stays clean; tests may raise it to kDebug.
 class Logger {
  public:
+  /// Receives every message that passes the level filter. Must be
+  /// capture-free (a plain function pointer) and thread-safe.
+  using Sink = void (*)(LogLevel level, const std::string& message);
+
   static LogLevel level();
   static void set_level(LogLevel level);
+  /// Routes messages to `sink` instead of stderr; nullptr restores stderr.
+  static void set_sink(Sink sink);
   static void Log(LogLevel level, const std::string& message);
 };
 

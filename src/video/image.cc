@@ -91,7 +91,7 @@ double Image::MeanChannel(int c) const {
   if (Empty()) return 0.0;
   double sum = 0;
   for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x) sum += At(x, y, c);
+    for (int x = 0; x < width_; ++x) sum += static_cast<double>(At(x, y, c));
   }
   return sum / (static_cast<double>(width_) * height_);
 }
@@ -111,7 +111,7 @@ double Image::MeanChannelInRect(int c, const Rect& rect) const {
   int count = 0;
   for (int y = y0; y < y1; ++y) {
     for (int x = x0; x < x1; ++x) {
-      sum += At(x, y, c);
+      sum += static_cast<double>(At(x, y, c));
       ++count;
     }
   }
@@ -150,7 +150,8 @@ Image Image::Resize(int new_width, int new_height) const {
       for (int c = 0; c < 3; ++c) {
         double sum = 0;
         for (int sy = sy0; sy < sy1; ++sy) {
-          for (int sx = sx0; sx < sx1; ++sx) sum += At(sx, sy, c);
+          for (int sx = sx0; sx < sx1; ++sx)
+            sum += static_cast<double>(At(sx, sy, c));
         }
         out.Set(x, y, c,
                 static_cast<float>(sum / ((sy1 - sy0) * (sx1 - sx0))));

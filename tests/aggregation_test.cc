@@ -3,31 +3,15 @@
 #include <gtest/gtest.h>
 
 #include "core/baselines.h"
+#include "testing/test_util.h"
 
 namespace blazeit {
 namespace {
 
-class AggregationTest : public ::testing::Test {
+class AggregationTest : public testutil::CatalogFixture<AggregationTest> {
  protected:
-  static void SetUpTestSuite() {
-    catalog_ = new VideoCatalog();
-    DayLengths lengths;
-    lengths.train = 6000;
-    lengths.held_out = 6000;
-    lengths.test = 12000;
-    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
-    stream_ = catalog_->GetStream("taipei").value();
-  }
-  static void TearDownTestSuite() {
-    delete catalog_;
-    catalog_ = nullptr;
-  }
   static AggregateOptions FastOptions() {
-    AggregateOptions opt;
-    opt.nn.raster_width = 16;
-    opt.nn.raster_height = 16;
-    opt.nn.hidden_dims = {32};
-    return opt;
+    return testutil::SmallNNOptions<AggregateOptions>();
   }
   static double TestTruth(int class_id) {
     const auto& counts = stream_->test_labels->Counts(class_id);
@@ -35,12 +19,7 @@ class AggregationTest : public ::testing::Test {
     for (int c : counts) sum += c;
     return sum / static_cast<double>(counts.size());
   }
-  static VideoCatalog* catalog_;
-  static StreamData* stream_;
 };
-
-VideoCatalog* AggregationTest::catalog_ = nullptr;
-StreamData* AggregationTest::stream_ = nullptr;
 
 TEST_F(AggregationTest, ValidatesArguments) {
   AggregationExecutor ex(stream_, FastOptions());
@@ -51,7 +30,7 @@ TEST_F(AggregationTest, ValidatesArguments) {
 TEST_F(AggregationTest, EstimateWithinTolerance) {
   AggregationExecutor ex(stream_, FastOptions());
   auto r = ex.Run(kCar, 0.1, 0.95);
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_NEAR(r.value().estimate, TestTruth(kCar), 0.2);
   EXPECT_GT(r.value().cost.TotalSeconds(), 0.0);
 }
@@ -67,7 +46,7 @@ TEST_F(AggregationTest, MissingClassFallsBackToAqp) {
   // No birds in taipei: Algorithm 1's precondition fails.
   AggregationExecutor ex(stream_, FastOptions());
   auto r = ex.Run(kBird, 0.1, 0.95);
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_EQ(r.value().method, AggregateMethod::kPlainAqp);
   EXPECT_NEAR(r.value().estimate, 0.0, 0.05);
 }
@@ -78,7 +57,7 @@ TEST_F(AggregationTest, TightErrorForcesControlVariates) {
   AggregateOptions opt = FastOptions();
   AggregationExecutor ex(stream_, opt);
   auto r = ex.Run(kCar, 0.01, 0.95);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_EQ(r.value().method, AggregateMethod::kControlVariates);
   EXPECT_GT(r.value().detection_calls, 0);
   EXPECT_GT(r.value().nn_correlation, 0.1);
@@ -90,7 +69,7 @@ TEST_F(AggregationTest, DisablingRewriteUsesControlVariates) {
   opt.allow_query_rewrite = false;
   AggregationExecutor ex(stream_, opt);
   auto r = ex.Run(kCar, 0.1, 0.95);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_EQ(r.value().method, AggregateMethod::kControlVariates);
 }
 
@@ -100,14 +79,14 @@ TEST_F(AggregationTest, DisablingBothFallsBackToAqp) {
   opt.allow_control_variates = false;
   AggregationExecutor ex(stream_, opt);
   auto r = ex.Run(kCar, 0.1, 0.95);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_EQ(r.value().method, AggregateMethod::kPlainAqp);
 }
 
 TEST_F(AggregationTest, NnCountsExposedAfterRun) {
   AggregationExecutor ex(stream_, FastOptions());
   auto r = ex.Run(kCar, 0.1, 0.95);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_EQ(ex.nn_counts().size(),
             static_cast<size_t>(stream_->test_day->num_frames()));
   ASSERT_TRUE(ex.nn_bootstrap().has_value());
@@ -126,7 +105,7 @@ TEST_F(AggregationTest, BaselinesAreExact) {
 
 TEST_F(AggregationTest, NaiveAqpRespectsTolerance) {
   auto r = NaiveAqpAggregate(stream_, kCar, 0.1, 0.95, 3);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_NEAR(r.value().estimate, TestTruth(kCar), 0.2);
   EXPECT_LT(r.value().samples_used, stream_->test_day->num_frames());
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 #include "frameql/parser.h"
 #include "video/datasets.h"
 
@@ -11,9 +13,9 @@ namespace {
 AnalyzedQuery MustAnalyze(const std::string& sql,
                           const StreamConfig& cfg = TaipeiConfig()) {
   auto parsed = ParseFrameQL(sql);
-  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  BLAZEIT_EXPECT_OK(parsed);
   auto analyzed = AnalyzeQuery(parsed.value(), cfg);
-  EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  BLAZEIT_EXPECT_OK(analyzed);
   return analyzed.value();
 }
 
@@ -88,7 +90,7 @@ TEST(AnalyzerTest, EmptyRoiRejected) {
   auto parsed = ParseFrameQL(
       "SELECT * FROM taipei WHERE class = 'bus' AND xmax(mask) < 0.3 "
       "AND xmin(mask) >= 0.7");
-  ASSERT_TRUE(parsed.ok());
+  BLAZEIT_ASSERT_OK(parsed);
   EXPECT_FALSE(AnalyzeQuery(parsed.value(), TaipeiConfig()).ok());
 }
 
@@ -117,27 +119,27 @@ TEST(AnalyzerTest, CountDistinct) {
 
 TEST(AnalyzerTest, TableMismatchRejected) {
   auto parsed = ParseFrameQL("SELECT * FROM rialto WHERE class = 'boat'");
-  ASSERT_TRUE(parsed.ok());
+  BLAZEIT_ASSERT_OK(parsed);
   EXPECT_FALSE(AnalyzeQuery(parsed.value(), TaipeiConfig()).ok());
 }
 
 TEST(AnalyzerTest, AggregateWithoutClassRejected) {
   auto parsed = ParseFrameQL("SELECT FCOUNT(*) FROM taipei ERROR WITHIN 0.1");
-  ASSERT_TRUE(parsed.ok());
+  BLAZEIT_ASSERT_OK(parsed);
   EXPECT_FALSE(AnalyzeQuery(parsed.value(), TaipeiConfig()).ok());
 }
 
 TEST(AnalyzerTest, ConflictingClassesRejected) {
   auto parsed = ParseFrameQL(
       "SELECT * FROM taipei WHERE class = 'car' AND class = 'bus'");
-  ASSERT_TRUE(parsed.ok());
+  BLAZEIT_ASSERT_OK(parsed);
   EXPECT_FALSE(AnalyzeQuery(parsed.value(), TaipeiConfig()).ok());
 }
 
 TEST(AnalyzerTest, HavingWithoutGroupByRejected) {
   auto parsed = ParseFrameQL(
       "SELECT timestamp FROM taipei HAVING SUM(class='car') >= 1 LIMIT 5");
-  ASSERT_TRUE(parsed.ok());
+  BLAZEIT_ASSERT_OK(parsed);
   EXPECT_FALSE(AnalyzeQuery(parsed.value(), TaipeiConfig()).ok());
 }
 

@@ -2,30 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 namespace blazeit {
 namespace {
 
-class BaselinesTest : public ::testing::Test {
- protected:
-  static void SetUpTestSuite() {
-    catalog_ = new VideoCatalog();
-    DayLengths lengths;
-    lengths.train = 3000;
-    lengths.held_out = 2000;
-    lengths.test = 6000;
-    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
-    stream_ = catalog_->GetStream("taipei").value();
-  }
-  static void TearDownTestSuite() {
-    delete catalog_;
-    catalog_ = nullptr;
-  }
-  static VideoCatalog* catalog_;
-  static StreamData* stream_;
+class BaselinesTest : public testutil::CatalogFixture<BaselinesTest> {
+ public:
+  static DayLengths Lengths() { return testutil::SmallDays(3000, 2000, 6000); }
 };
-
-VideoCatalog* BaselinesTest::catalog_ = nullptr;
-StreamData* BaselinesTest::stream_ = nullptr;
 
 TEST_F(BaselinesTest, NaiveAggregateExactAndFullCost) {
   auto r = NaiveAggregate(stream_, kCar);

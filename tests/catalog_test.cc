@@ -2,23 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 namespace blazeit {
 namespace {
 
-DayLengths ShortDays() {
-  DayLengths lengths;
-  lengths.train = 2000;
-  lengths.held_out = 2000;
-  lengths.test = 3000;
-  return lengths;
-}
+DayLengths ShortDays() { return testutil::SmallDays(2000, 2000, 3000); }
 
 TEST(CatalogTest, AddAndGet) {
   VideoCatalog catalog;
-  ASSERT_TRUE(catalog.AddStream(TaipeiConfig(), ShortDays()).ok());
+  BLAZEIT_ASSERT_OK(catalog.AddStream(TaipeiConfig(), ShortDays()));
   EXPECT_TRUE(catalog.Contains("taipei"));
   auto stream = catalog.GetStream("taipei");
-  ASSERT_TRUE(stream.ok());
+  BLAZEIT_ASSERT_OK(stream);
   EXPECT_EQ(stream.value()->train_day->num_frames(), 2000);
   EXPECT_EQ(stream.value()->test_day->num_frames(), 3000);
   EXPECT_EQ(stream.value()->config.name, "taipei");
@@ -26,7 +22,7 @@ TEST(CatalogTest, AddAndGet) {
 
 TEST(CatalogTest, DuplicateRejected) {
   VideoCatalog catalog;
-  ASSERT_TRUE(catalog.AddStream(TaipeiConfig(), ShortDays()).ok());
+  BLAZEIT_ASSERT_OK(catalog.AddStream(TaipeiConfig(), ShortDays()));
   EXPECT_FALSE(catalog.AddStream(TaipeiConfig(), ShortDays()).ok());
 }
 
@@ -46,7 +42,7 @@ TEST(CatalogTest, InvalidConfigRejected) {
 
 TEST(CatalogTest, DaysAreIndependent) {
   VideoCatalog catalog;
-  ASSERT_TRUE(catalog.AddStream(TaipeiConfig(), ShortDays()).ok());
+  BLAZEIT_ASSERT_OK(catalog.AddStream(TaipeiConfig(), ShortDays()));
   StreamData* s = catalog.GetStream("taipei").value();
   // Different seeds -> different instance realizations.
   EXPECT_NE(s->train_day->DistinctTracks(kCar),
@@ -57,8 +53,8 @@ TEST(CatalogTest, DaysAreIndependent) {
 
 TEST(CatalogTest, StreamNamesSorted) {
   VideoCatalog catalog;
-  ASSERT_TRUE(catalog.AddStream(TaipeiConfig(), ShortDays()).ok());
-  ASSERT_TRUE(catalog.AddStream(RialtoConfig(), ShortDays()).ok());
+  BLAZEIT_ASSERT_OK(catalog.AddStream(TaipeiConfig(), ShortDays()));
+  BLAZEIT_ASSERT_OK(catalog.AddStream(RialtoConfig(), ShortDays()));
   auto names = catalog.StreamNames();
   ASSERT_EQ(names.size(), 2u);
   EXPECT_EQ(names[0], "rialto");
@@ -67,7 +63,7 @@ TEST(CatalogTest, StreamNamesSorted) {
 
 TEST(LabeledSetTest, CountsMatchDetections) {
   VideoCatalog catalog;
-  ASSERT_TRUE(catalog.AddStream(TaipeiConfig(), ShortDays()).ok());
+  BLAZEIT_ASSERT_OK(catalog.AddStream(TaipeiConfig(), ShortDays()));
   StreamData* s = catalog.GetStream("taipei").value();
   const auto& counts = s->test_labels->Counts(kCar);
   ASSERT_EQ(counts.size(), 3000u);
@@ -84,7 +80,7 @@ TEST(LabeledSetTest, OccupancyNearConfig) {
   lengths.train = 2000;
   lengths.held_out = 2000;
   lengths.test = 20000;
-  ASSERT_TRUE(catalog.AddStream(TaipeiConfig(), lengths).ok());
+  BLAZEIT_ASSERT_OK(catalog.AddStream(TaipeiConfig(), lengths));
   StreamData* s = catalog.GetStream("taipei").value();
   // Detector misses some small objects, so measured occupancy sits a bit
   // below the scene-level target.
@@ -95,7 +91,7 @@ TEST(LabeledSetTest, OccupancyNearConfig) {
 
 TEST(LabeledSetTest, MaxCountPositive) {
   VideoCatalog catalog;
-  ASSERT_TRUE(catalog.AddStream(TaipeiConfig(), ShortDays()).ok());
+  BLAZEIT_ASSERT_OK(catalog.AddStream(TaipeiConfig(), ShortDays()));
   StreamData* s = catalog.GetStream("taipei").value();
   EXPECT_GE(s->train_labels->MaxCount(kCar), 1);
   EXPECT_EQ(s->train_labels->MaxCount(kBird), 0);

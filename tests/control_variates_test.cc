@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 #include "stats/sampler.h"
 #include "util/random.h"
 
@@ -56,7 +58,7 @@ TEST(ControlVariatesTest, PerfectProxyNeedsMinimumSamplesOnly) {
   auto r = ControlVariateSample(
       50000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
       cv, cfg);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_EQ(r.value().samples_used, 160);  // ceil(8 / 0.05)
   EXPECT_NEAR(r.value().estimate, pop.mean, 0.05);
 }
@@ -76,8 +78,8 @@ TEST(ControlVariatesTest, ReducesSamplesVsPlainAqp) {
   auto plain = AdaptiveSample(
       100000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
       cfg);
-  ASSERT_TRUE(with_cv.ok());
-  ASSERT_TRUE(plain.ok());
+  BLAZEIT_ASSERT_OK(with_cv);
+  BLAZEIT_ASSERT_OK(plain);
   EXPECT_LT(with_cv.value().samples_used, plain.value().samples_used);
   EXPECT_NEAR(with_cv.value().estimate, pop.mean, 0.04);
 }
@@ -96,7 +98,7 @@ TEST(ControlVariatesTest, UselessProxyStillUnbiased) {
   auto r = ControlVariateSample(
       50000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
       cv, cfg);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_NEAR(r.value().estimate, pop.mean, 0.1);
 }
 
@@ -124,7 +126,7 @@ TEST_P(CorrelationSweep, ReductionGrowsWithCorrelation) {
   auto r = ControlVariateSample(
       80000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
       cv, cfg);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   auto plain = AdaptiveSample(
       80000, [&](int64_t f) { return pop.truth[static_cast<size_t>(f)]; },
       cfg);

@@ -2,44 +2,32 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 namespace blazeit {
 namespace {
 
-class EngineTest : public ::testing::Test {
+class EngineTest : public testutil::CatalogFixture<EngineTest> {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new VideoCatalog();
-    DayLengths lengths;
-    lengths.train = 6000;
-    lengths.held_out = 6000;
-    lengths.test = 12000;
-    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
-    EngineOptions options;
-    options.aggregate.nn.raster_width = 16;
-    options.aggregate.nn.raster_height = 16;
-    options.aggregate.nn.hidden_dims = {32};
-    options.scrub.nn = options.aggregate.nn;
-    options.selection.nn = options.aggregate.nn;
-    engine_ = new BlazeItEngine(catalog_, options);
+    CatalogFixture::SetUpTestSuite();
+    engine_ = new BlazeItEngine(catalog_, testutil::SmallEngineOptions());
   }
   static void TearDownTestSuite() {
     delete engine_;
-    delete catalog_;
     engine_ = nullptr;
-    catalog_ = nullptr;
+    CatalogFixture::TearDownTestSuite();
   }
-  static VideoCatalog* catalog_;
   static BlazeItEngine* engine_;
 };
 
-VideoCatalog* EngineTest::catalog_ = nullptr;
 BlazeItEngine* EngineTest::engine_ = nullptr;
 
 TEST_F(EngineTest, AggregateQueryEndToEnd) {
   auto out = engine_->Execute(
       "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
       "ERROR WITHIN 0.1 AT CONFIDENCE 95%");
-  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  BLAZEIT_ASSERT_OK(out);
   EXPECT_EQ(out.value().kind, QueryKind::kAggregate);
   EXPECT_GT(out.value().scalar, 0.3);
   EXPECT_LT(out.value().scalar, 3.0);
@@ -51,8 +39,8 @@ TEST_F(EngineTest, CountStarScaled) {
       "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1");
   auto count = engine_->Execute(
       "SELECT COUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1");
-  ASSERT_TRUE(fcount.ok());
-  ASSERT_TRUE(count.ok());
+  BLAZEIT_ASSERT_OK(fcount);
+  BLAZEIT_ASSERT_OK(count);
   // COUNT(*) ~ FCOUNT * num_frames (both are estimates).
   EXPECT_NEAR(count.value().scalar / 12000.0, fcount.value().scalar, 0.3);
 }
@@ -61,7 +49,7 @@ TEST_F(EngineTest, ScrubbingQueryEndToEnd) {
   auto out = engine_->Execute(
       "SELECT timestamp FROM taipei GROUP BY timestamp "
       "HAVING SUM(class='car') >= 2 LIMIT 5 GAP 50");
-  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  BLAZEIT_ASSERT_OK(out);
   EXPECT_EQ(out.value().kind, QueryKind::kScrubbing);
   EXPECT_EQ(out.value().frames.size(), 5u);
   EXPECT_EQ(out.value().plan, PlanKind::kImportanceScrubbing);
@@ -72,7 +60,7 @@ TEST_F(EngineTest, SelectionQueryEndToEnd) {
       "SELECT * FROM taipei WHERE class = 'bus' "
       "AND redness(content) >= 0.25 AND area(mask) > 20000 "
       "GROUP BY trackid HAVING COUNT(*) > 15");
-  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  BLAZEIT_ASSERT_OK(out);
   EXPECT_EQ(out.value().kind, QueryKind::kSelection);
   EXPECT_EQ(out.value().plan, PlanKind::kFilteredSelection);
   for (const SelectionRow& row : out.value().rows) {
@@ -83,7 +71,7 @@ TEST_F(EngineTest, SelectionQueryEndToEnd) {
 TEST_F(EngineTest, CountDistinctEndToEnd) {
   auto out = engine_->Execute(
       "SELECT COUNT(DISTINCT trackid) FROM taipei WHERE class = 'car'");
-  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  BLAZEIT_ASSERT_OK(out);
   // Roughly the number of generated car instances (tracker fragments some).
   int64_t actual = catalog_->GetStream("taipei")
                        .value()
@@ -99,7 +87,7 @@ TEST_F(EngineTest, BinarySelectEndToEnd) {
   auto out = engine_->Execute(
       "SELECT timestamp FROM taipei WHERE class = 'bus' "
       "FNR WITHIN 0.01 FPR WITHIN 0.01");
-  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  BLAZEIT_ASSERT_OK(out);
   EXPECT_EQ(out.value().kind, QueryKind::kBinarySelect);
   // No false positives: every returned frame really has a bus.
   const auto& counts = catalog_->GetStream("taipei")
@@ -140,7 +128,7 @@ TEST_F(EngineTest, CustomUdfRegistration) {
   auto out = engine_->Execute(
       "SELECT * FROM taipei WHERE class = 'bus' "
       "AND whiteness(content) >= 0.6");
-  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  BLAZEIT_ASSERT_OK(out);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 #include "core/labeled_set.h"
 #include "core/udf.h"
 #include "detect/simulated_detector.h"
@@ -43,7 +45,7 @@ TEST(TemporalFilterTest, CandidateFrames) {
 
 TEST(TemporalFilterTest, TimeRange) {
   TemporalFilter f;
-  ASSERT_TRUE(f.SetTimeRange(10, 20).ok());
+  BLAZEIT_ASSERT_OK(f.SetTimeRange(10, 20));
   auto frames = f.CandidateFrames(100);
   ASSERT_EQ(frames.size(), 10u);
   EXPECT_EQ(frames.front(), 10);
@@ -113,7 +115,7 @@ TEST_F(FilterCalibrationTest, ContentFilterRednessSelective) {
   ASSERT_GT(n_pos, 10) << "scene model should produce red buses";
   ContentFilter filter("redness", UdfRegistry::Redness);
   auto calib = CalibrateNoFalseNegatives(&filter, *video_, positives, 0.0);
-  ASSERT_TRUE(calib.ok()) << calib.status().ToString();
+  BLAZEIT_ASSERT_OK(calib);
   // No false negatives by construction...
   for (int64_t t = 0; t < 4000; ++t) {
     if (positives[static_cast<size_t>(t)]) {
@@ -150,7 +152,7 @@ TEST_F(FilterCalibrationTest, LabelFilterDiscardsEmptyFrames) {
   std::vector<char> positives;
   for (int c : labels_->Counts(kCar)) positives.push_back(c > 0 ? 1 : 0);
   auto calib = CalibrateNoFalseNegatives(&filter, *video_, positives, 0.0);
-  ASSERT_TRUE(calib.ok());
+  BLAZEIT_ASSERT_OK(calib);
   EXPECT_GT(calib.value().positives, 0);
   EXPECT_LE(calib.value().selectivity, 1.0);
   // Batch scoring agrees with per-frame scoring.

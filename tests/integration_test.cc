@@ -9,32 +9,18 @@
 #include "core/optimizer.h"
 #include "core/scrubbing.h"
 #include "frameql/parser.h"
+#include "testing/test_util.h"
 
 namespace blazeit {
 namespace {
 
-class IntegrationTest : public ::testing::Test {
- protected:
-  static void SetUpTestSuite() {
-    catalog_ = new VideoCatalog();
-    DayLengths lengths;
-    lengths.train = 6000;
-    lengths.held_out = 6000;
-    lengths.test = 15000;
-    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
-    ASSERT_TRUE(catalog_->AddStream(RialtoConfig(), lengths).ok());
-    stream_ = catalog_->GetStream("taipei").value();
+class IntegrationTest : public testutil::CatalogFixture<IntegrationTest> {
+ public:
+  static std::vector<StreamConfig> Streams() {
+    return {TaipeiConfig(), RialtoConfig()};
   }
-  static void TearDownTestSuite() {
-    delete catalog_;
-    catalog_ = nullptr;
-  }
-  static VideoCatalog* catalog_;
-  static StreamData* stream_;
+  static DayLengths Lengths() { return testutil::SmallDays(6000, 6000, 15000); }
 };
-
-VideoCatalog* IntegrationTest::catalog_ = nullptr;
-StreamData* IntegrationTest::stream_ = nullptr;
 
 TEST_F(IntegrationTest, OptimizerPicksSpecializedPlanWithTrainingData) {
   auto parsed = ParseFrameQL(
@@ -62,10 +48,7 @@ TEST_F(IntegrationTest, CostOrderingNaiveGreaterThanNoScopeGreaterThanBlazeIt) {
   // The headline ordering of Figure 4, end to end on real components.
   auto naive = NaiveAggregate(stream_, kCar);
   auto oracle = NoScopeOracleAggregate(stream_, kCar);
-  AggregateOptions opt;
-  opt.nn.raster_width = 16;
-  opt.nn.raster_height = 16;
-  opt.nn.hidden_dims = {32};
+  AggregateOptions opt = testutil::SmallNNOptions<AggregateOptions>();
   AggregationExecutor ex(stream_, opt);
   auto blazeit = ex.Run(kCar, 0.1, 0.95).value();
   EXPECT_GT(naive.cost.TotalSeconds(), oracle.cost.TotalSeconds());
@@ -90,26 +73,20 @@ TEST_F(IntegrationTest, DetectionChargesDominateBaselineCost) {
 }
 
 TEST_F(IntegrationTest, MultipleStreamsIndependentResults) {
-  EngineOptions options;
-  options.aggregate.nn.raster_width = 16;
-  options.aggregate.nn.raster_height = 16;
-  options.aggregate.nn.hidden_dims = {32};
+  EngineOptions options = testutil::SmallEngineOptions();
   BlazeItEngine engine(catalog_, options);
   auto taipei = engine.Execute(
       "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1");
   auto rialto = engine.Execute(
       "SELECT FCOUNT(*) FROM rialto WHERE class = 'boat' ERROR WITHIN 0.1");
-  ASSERT_TRUE(taipei.ok());
-  ASSERT_TRUE(rialto.ok());
+  BLAZEIT_ASSERT_OK(taipei);
+  BLAZEIT_ASSERT_OK(rialto);
   // Rialto's boat density (~2.3/frame) is far above taipei's cars (~1.0).
   EXPECT_GT(rialto.value().scalar, taipei.value().scalar);
 }
 
 TEST_F(IntegrationTest, ScrubbingDoesNotChargeForSkippedFrames) {
-  ScrubOptions opt;
-  opt.nn.raster_width = 16;
-  opt.nn.raster_height = 16;
-  opt.nn.hidden_dims = {32};
+  ScrubOptions opt = testutil::SmallNNOptions<ScrubOptions>();
   ScrubbingExecutor ex(stream_, opt);
   auto r = ex.Run({{kCar, 2}}, 3, 0).value();
   // Detection charges equal detector calls (no hidden costs).
@@ -118,10 +95,7 @@ TEST_F(IntegrationTest, ScrubbingDoesNotChargeForSkippedFrames) {
 }
 
 TEST_F(IntegrationTest, RepeatedExecutionDeterministic) {
-  AggregateOptions opt;
-  opt.nn.raster_width = 16;
-  opt.nn.raster_height = 16;
-  opt.nn.hidden_dims = {32};
+  AggregateOptions opt = testutil::SmallNNOptions<AggregateOptions>();
   AggregationExecutor ex1(stream_, opt);
   AggregationExecutor ex2(stream_, opt);
   auto a = ex1.Run(kCar, 0.1, 0.95).value();

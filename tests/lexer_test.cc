@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 namespace blazeit {
 namespace {
 
 TEST(LexerTest, SimpleQuery) {
   auto tokens = LexFrameQL("SELECT * FROM taipei");
-  ASSERT_TRUE(tokens.ok());
+  BLAZEIT_ASSERT_OK(tokens);
   const auto& t = tokens.value();
   ASSERT_EQ(t.size(), 5u);  // SELECT * FROM taipei <end>
   EXPECT_TRUE(t[0].IsKeyword("SELECT"));
@@ -19,14 +21,14 @@ TEST(LexerTest, SimpleQuery) {
 
 TEST(LexerTest, CaseInsensitiveKeywords) {
   auto tokens = LexFrameQL("select FcOuNt");
-  ASSERT_TRUE(tokens.ok());
+  BLAZEIT_ASSERT_OK(tokens);
   EXPECT_TRUE(tokens.value()[0].IsKeyword("SELECT"));
   EXPECT_TRUE(tokens.value()[1].IsKeyword("FCOUNT"));
 }
 
 TEST(LexerTest, NumbersAndStrings) {
   auto tokens = LexFrameQL("0.1 300 'bus'");
-  ASSERT_TRUE(tokens.ok());
+  BLAZEIT_ASSERT_OK(tokens);
   const auto& t = tokens.value();
   EXPECT_EQ(t[0].type, TokenType::kNumber);
   EXPECT_DOUBLE_EQ(t[0].number, 0.1);
@@ -37,7 +39,7 @@ TEST(LexerTest, NumbersAndStrings) {
 
 TEST(LexerTest, TwoCharOperators) {
   auto tokens = LexFrameQL(">= <= != <> < > =");
-  ASSERT_TRUE(tokens.ok());
+  BLAZEIT_ASSERT_OK(tokens);
   const auto& t = tokens.value();
   EXPECT_EQ(t[0].text, ">=");
   EXPECT_EQ(t[1].text, "<=");
@@ -50,20 +52,20 @@ TEST(LexerTest, TwoCharOperators) {
 
 TEST(LexerTest, HyphenatedStreamNames) {
   auto tokens = LexFrameQL("FROM night-street");
-  ASSERT_TRUE(tokens.ok());
+  BLAZEIT_ASSERT_OK(tokens);
   EXPECT_EQ(tokens.value()[1].text, "night-street");
 }
 
 TEST(LexerTest, CommentsSkipped) {
   auto tokens = LexFrameQL("SELECT -- a comment\n *");
-  ASSERT_TRUE(tokens.ok());
+  BLAZEIT_ASSERT_OK(tokens);
   ASSERT_EQ(tokens.value().size(), 3u);
   EXPECT_TRUE(tokens.value()[1].IsSymbol("*"));
 }
 
 TEST(LexerTest, PercentSign) {
   auto tokens = LexFrameQL("CONFIDENCE 95%");
-  ASSERT_TRUE(tokens.ok());
+  BLAZEIT_ASSERT_OK(tokens);
   EXPECT_TRUE(tokens.value()[2].IsSymbol("%"));
 }
 
@@ -79,9 +81,61 @@ TEST(LexerTest, UnexpectedCharacterFails) {
 
 TEST(LexerTest, EmptyInputJustEnd) {
   auto tokens = LexFrameQL("");
-  ASSERT_TRUE(tokens.ok());
+  BLAZEIT_ASSERT_OK(tokens);
   ASSERT_EQ(tokens.value().size(), 1u);
   EXPECT_EQ(tokens.value()[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, UnterminatedStringReportsOffset) {
+  auto r = LexFrameQL("SELECT * FROM t WHERE class = 'bus");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("unterminated string"),
+            std::string::npos);
+  EXPECT_NE(r.status().message().find("offset 30"), std::string::npos);
+}
+
+TEST(LexerTest, UnexpectedCharacterNamesTheCharacter) {
+  for (const char* bad : {"SELECT #", "SELECT $", "SELECT [", "SELECT \\"}) {
+    auto r = LexFrameQL(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << bad;
+    EXPECT_NE(r.status().message().find("unexpected character"),
+              std::string::npos)
+        << bad;
+  }
+}
+
+TEST(LexerTest, EmptyStringLiteralAllowed) {
+  auto tokens = LexFrameQL("''");
+  BLAZEIT_ASSERT_OK(tokens);
+  EXPECT_EQ(tokens.value()[0].type, TokenType::kString);
+  EXPECT_TRUE(tokens.value()[0].text.empty());
+}
+
+TEST(LexerTest, MalformedNumberLexesGreedily) {
+  // The lexer consumes digit/dot runs greedily; strtod stops at the second
+  // dot, so '1.2.3' becomes the number 1.2 (the parser then rejects the
+  // query because the token stream no longer matches the grammar).
+  auto tokens = LexFrameQL("1.2.3");
+  BLAZEIT_ASSERT_OK(tokens);
+  ASSERT_EQ(tokens.value().size(), 2u);
+  EXPECT_EQ(tokens.value()[0].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(tokens.value()[0].number, 1.2);
+}
+
+TEST(LexerTest, CommentOnlyInputJustEnd) {
+  auto tokens = LexFrameQL("-- nothing but a comment");
+  BLAZEIT_ASSERT_OK(tokens);
+  ASSERT_EQ(tokens.value().size(), 1u);
+  EXPECT_EQ(tokens.value()[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, TokenPositionsRecorded) {
+  auto tokens = LexFrameQL("SELECT *");
+  BLAZEIT_ASSERT_OK(tokens);
+  EXPECT_EQ(tokens.value()[0].position, 0u);
+  EXPECT_EQ(tokens.value()[1].position, 7u);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 #include <cmath>
 
 #include "nn/layers.h"
@@ -150,7 +152,7 @@ TEST(TrainerTest, LearnsLinearlySeparableTask) {
   auto loss = TrainClassifier(
       model.get(), [&](int64_t i) { return xs[static_cast<size_t>(i)]; }, ys,
       d, cfg);
-  ASSERT_TRUE(loss.ok());
+  BLAZEIT_ASSERT_OK(loss);
   EXPECT_LT(loss.value(), 0.2);
 }
 

@@ -3,38 +3,22 @@
 #include <gtest/gtest.h>
 
 #include "frameql/parser.h"
+#include "testing/test_util.h"
 
 namespace blazeit {
 namespace {
 
-class OptimizerTest : public ::testing::Test {
- protected:
-  static void SetUpTestSuite() {
-    catalog_ = new VideoCatalog();
-    DayLengths lengths;
-    lengths.train = 3000;
-    lengths.held_out = 2000;
-    lengths.test = 4000;
-    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
-    stream_ = catalog_->GetStream("taipei").value();
-  }
-  static void TearDownTestSuite() {
-    delete catalog_;
-    catalog_ = nullptr;
-  }
+class OptimizerTest : public testutil::CatalogFixture<OptimizerTest> {
+ public:
+  static DayLengths Lengths() { return testutil::SmallDays(3000, 2000, 4000); }
   static AnalyzedQuery Analyze(const char* sql) {
     auto parsed = ParseFrameQL(sql);
-    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    BLAZEIT_EXPECT_OK(parsed);
     auto analyzed = AnalyzeQuery(parsed.value(), stream_->config);
-    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    BLAZEIT_EXPECT_OK(analyzed);
     return analyzed.value();
   }
-  static VideoCatalog* catalog_;
-  static StreamData* stream_;
 };
-
-VideoCatalog* OptimizerTest::catalog_ = nullptr;
-StreamData* OptimizerTest::stream_ = nullptr;
 
 TEST_F(OptimizerTest, AggregateWithDataSpecializes) {
   PlanChoice plan = ChoosePlan(

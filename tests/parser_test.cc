@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 namespace blazeit {
 namespace {
 
@@ -9,7 +11,7 @@ TEST(ParserTest, Figure3aAggregation) {
   auto q = ParseFrameQL(
       "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
       "ERROR WITHIN 0.1 AT CONFIDENCE 95%");
-  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  BLAZEIT_ASSERT_OK(q);
   const FrameQLQuery& query = q.value();
   EXPECT_EQ(query.projection, Projection::kFcount);
   EXPECT_EQ(query.table, "taipei");
@@ -27,7 +29,7 @@ TEST(ParserTest, Figure3bScrubbing) {
       "SELECT timestamp FROM taipei GROUP BY timestamp "
       "HAVING SUM(class='bus') >= 1 AND SUM(class='car') >= 5 "
       "LIMIT 10 GAP 300");
-  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  BLAZEIT_ASSERT_OK(q);
   const FrameQLQuery& query = q.value();
   EXPECT_EQ(query.projection, Projection::kTimestamp);
   EXPECT_EQ(query.group_by, "timestamp");
@@ -46,7 +48,7 @@ TEST(ParserTest, Figure3cSelection) {
       "SELECT * FROM taipei WHERE class = 'bus' "
       "AND redness(content) >= 17.5 AND area(mask) > 100000 "
       "GROUP BY trackid HAVING COUNT(*) > 15");
-  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  BLAZEIT_ASSERT_OK(q);
   const FrameQLQuery& query = q.value();
   EXPECT_EQ(query.projection, Projection::kStar);
   ASSERT_EQ(query.where.size(), 3u);
@@ -63,7 +65,7 @@ TEST(ParserTest, Figure3cSelection) {
 TEST(ParserTest, CountDistinctTrackid) {
   auto q = ParseFrameQL(
       "SELECT COUNT (DISTINCT trackid) FROM taipei WHERE class = 'car'");
-  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  BLAZEIT_ASSERT_OK(q);
   EXPECT_EQ(q.value().projection, Projection::kCountDistinctTrack);
 }
 
@@ -71,7 +73,7 @@ TEST(ParserTest, NoScopeReplication) {
   auto q = ParseFrameQL(
       "SELECT timestamp FROM taipei WHERE class = 'car' "
       "FNR WITHIN 0.01 FPR WITHIN 0.01");
-  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  BLAZEIT_ASSERT_OK(q);
   EXPECT_DOUBLE_EQ(q.value().fnr_within.value_or(0), 0.01);
   EXPECT_DOUBLE_EQ(q.value().fpr_within.value_or(0), 0.01);
 }
@@ -80,7 +82,7 @@ TEST(ParserTest, ConfidenceWithoutAtOrPercent) {
   auto q = ParseFrameQL(
       "SELECT COUNT(*) FROM taipei WHERE class = 'car' "
       "ERROR WITHIN 0.1 CONFIDENCE 95%");
-  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  BLAZEIT_ASSERT_OK(q);
   EXPECT_EQ(q.value().projection, Projection::kCountStar);
   EXPECT_DOUBLE_EQ(q.value().confidence.value_or(0), 0.95);
 }
@@ -89,7 +91,7 @@ TEST(ParserTest, SpatialAndTimestampPredicates) {
   auto q = ParseFrameQL(
       "SELECT * FROM taipei WHERE class = 'bus' AND xmax(mask) < 720 "
       "AND timestamp >= 600 AND timestamp < 1200");
-  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  BLAZEIT_ASSERT_OK(q);
   ASSERT_EQ(q.value().where.size(), 4u);
   EXPECT_EQ(q.value().where[1].kind, Predicate::Kind::kSpatial);
   EXPECT_EQ(q.value().where[1].name, "xmax");
@@ -100,7 +102,7 @@ TEST(ParserTest, StringUdf) {
   auto q = ParseFrameQL(
       "SELECT * FROM taipei WHERE class = 'car' "
       "AND classify(content) = 'sedan'");
-  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  BLAZEIT_ASSERT_OK(q);
   EXPECT_EQ(q.value().where[1].kind, Predicate::Kind::kUdfString);
   EXPECT_EQ(q.value().where[1].str_value, "sedan");
 }
@@ -110,9 +112,9 @@ TEST(ParserTest, ToStringRoundTrips) {
       "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
       "ERROR WITHIN 0.1 AT CONFIDENCE 95%";
   auto q = ParseFrameQL(original);
-  ASSERT_TRUE(q.ok());
+  BLAZEIT_ASSERT_OK(q);
   auto q2 = ParseFrameQL(q.value().ToString());
-  ASSERT_TRUE(q2.ok()) << q.value().ToString();
+  BLAZEIT_ASSERT_OK(q2) << q.value().ToString();
   EXPECT_EQ(q2.value().projection, q.value().projection);
   EXPECT_EQ(q2.value().where.size(), q.value().where.size());
 }
@@ -129,6 +131,91 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(ParseFrameQL("SELECT COUNT(DISTINCT class) FROM t").ok());
   EXPECT_FALSE(
       ParseFrameQL("SELECT * FROM t WHERE bogus(mask) > 3").ok());
+}
+
+TEST(ParserTest, MalformedSelectReportsParseError) {
+  // Every malformed query must surface kParseError (not crash or succeed),
+  // with the offending token in the message.
+  auto r = ParseFrameQL("SELEC oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("expected SELECT"), std::string::npos);
+
+  auto missing_paren = ParseFrameQL("SELECT FCOUNT(* FROM taipei");
+  ASSERT_FALSE(missing_paren.ok());
+  EXPECT_EQ(missing_paren.status().code(), StatusCode::kParseError);
+
+  auto bad_projection = ParseFrameQL("SELECT trackid FROM taipei");
+  ASSERT_FALSE(bad_projection.ok());
+  EXPECT_NE(bad_projection.status().message().find("projection"),
+            std::string::npos);
+
+  auto bad_count = ParseFrameQL("SELECT COUNT(timestamp) FROM taipei");
+  ASSERT_FALSE(bad_count.ok());
+  EXPECT_NE(bad_count.status().message().find("DISTINCT"),
+            std::string::npos);
+}
+
+TEST(ParserTest, BadLiteralsRejected) {
+  // Clauses that require a number reject strings/identifiers and vice versa.
+  EXPECT_FALSE(
+      ParseFrameQL("SELECT * FROM t WHERE class = 'car' "
+                   "ERROR WITHIN 'high'")
+          .ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT timestamp FROM t LIMIT many").ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT timestamp FROM t LIMIT 5 GAP 'x'").ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT * FROM t WHERE class = car").ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT * FROM t WHERE timestamp >= 'noon'").ok());
+  EXPECT_FALSE(
+      ParseFrameQL("SELECT * FROM t FNR WITHIN tiny FPR WITHIN 0.01").ok());
+  EXPECT_FALSE(
+      ParseFrameQL("SELECT COUNT(*) FROM t AT CONFIDENCE high").ok());
+}
+
+TEST(ParserTest, MalformedHavingRejected) {
+  EXPECT_FALSE(ParseFrameQL("SELECT timestamp FROM t GROUP BY timestamp "
+                            "HAVING AVG(class='car') >= 1")
+                   .ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT timestamp FROM t GROUP BY timestamp "
+                            "HAVING SUM(trackid='car') >= 1")
+                   .ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT timestamp FROM t GROUP BY timestamp "
+                            "HAVING SUM(class='car')")
+                   .ok());
+  EXPECT_FALSE(ParseFrameQL("SELECT * FROM t GROUP BY trackid "
+                            "HAVING COUNT(*) LIKE 15")
+                   .ok());
+}
+
+TEST(ParserTest, UnknownUdfArgumentRejected) {
+  auto r = ParseFrameQL("SELECT * FROM t WHERE redness(frame) >= 0.5");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("content or mask"), std::string::npos);
+
+  auto mask = ParseFrameQL("SELECT * FROM t WHERE perimeter(mask) >= 3");
+  ASSERT_FALSE(mask.ok());
+  EXPECT_NE(mask.status().message().find("unknown mask predicate"),
+            std::string::npos);
+}
+
+TEST(ParserTest, StringUdfOnlySupportsEquality) {
+  auto r = ParseFrameQL(
+      "SELECT * FROM t WHERE classify(content) >= 'sedan'");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("'=' only"), std::string::npos);
+}
+
+TEST(ParserTest, LexErrorsPropagateThroughParse) {
+  auto r = ParseFrameQL("SELECT * FROM t WHERE class = 'unclosed");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorMessagesIncludeOffsetAndToken) {
+  auto r = ParseFrameQL("SELECT * FROM taipei WHERE bogus 3");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("near offset"), std::string::npos);
 }
 
 TEST(ParserTest, CmpHelpers) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 #include "util/random.h"
 
 namespace blazeit {
@@ -17,7 +19,7 @@ TEST(SamplerTest, ValidatesConfig) {
   bad = SamplingConfig();
   bad.value_range = -1;
   EXPECT_FALSE(ValidateSamplingConfig(bad).ok());
-  EXPECT_TRUE(ValidateSamplingConfig(SamplingConfig()).ok());
+  BLAZEIT_EXPECT_OK(ValidateSamplingConfig(SamplingConfig()));
 }
 
 TEST(SamplerTest, ConstantOracleTerminatesAtMinimum) {
@@ -25,7 +27,7 @@ TEST(SamplerTest, ConstantOracleTerminatesAtMinimum) {
   cfg.error = 0.1;
   cfg.value_range = 2.0;
   auto r = AdaptiveSample(100000, [](int64_t) { return 1.0; }, cfg);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_DOUBLE_EQ(r.value().estimate, 1.0);
   // Zero variance: stops right at the K/eps epsilon-net floor.
   EXPECT_EQ(r.value().samples_used, 20);
@@ -51,7 +53,7 @@ TEST(SamplerTest, EstimateWithinErrorAtConfidence) {
     cfg.seed = seed;
     auto r = AdaptiveSample(
         n, [&](int64_t f) { return values[static_cast<size_t>(f)]; }, cfg);
-    ASSERT_TRUE(r.ok());
+    BLAZEIT_ASSERT_OK(r);
     if (std::abs(r.value().estimate - mean) < 0.1) ++within;
   }
   EXPECT_GE(within, 18);
@@ -86,7 +88,7 @@ TEST(SamplerTest, ExhaustsSmallPopulation) {
   cfg.value_range = 10;
   Rng rng(5);
   auto r = AdaptiveSample(50, [&](int64_t) { return rng.Normal(0, 5); }, cfg);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_TRUE(r.value().exhausted);
   EXPECT_EQ(r.value().samples_used, 50);
 }
@@ -100,7 +102,7 @@ TEST(SamplerTest, ExhaustiveSampleIsExact) {
   cfg.value_range = 6;
   auto r = AdaptiveSample(
       5, [&](int64_t f) { return values[static_cast<size_t>(f)]; }, cfg);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_DOUBLE_EQ(r.value().estimate, 3.0);
 }
 
@@ -129,7 +131,7 @@ TEST_P(SamplerSweep, RespectsErrorTargetOnPoissonStream) {
   cfg.seed = 77;
   auto r = AdaptiveSample(
       n, [&](int64_t f) { return values[static_cast<size_t>(f)]; }, cfg);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   // Allow 2x slack: a single run at 95% confidence.
   EXPECT_LT(std::abs(r.value().estimate - mean), 2 * target);
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 #include "video/datasets.h"
 
 namespace blazeit {
@@ -10,7 +12,7 @@ namespace {
 TEST(ClassesTest, NamesRoundTrip) {
   for (int c = 0; c < kNumClasses; ++c) {
     auto id = ClassIdFromName(ClassName(c));
-    ASSERT_TRUE(id.ok());
+    BLAZEIT_ASSERT_OK(id);
     EXPECT_EQ(id.value(), c);
   }
 }
@@ -46,7 +48,7 @@ TEST(ExpectedMeanCountTest, ConsistentWithTable5) {
 
 TEST(ValidateTest, AcceptsAllShippedConfigs) {
   for (const StreamConfig& cfg : AllStreamConfigs()) {
-    EXPECT_TRUE(ValidateStreamConfig(cfg).ok()) << cfg.name;
+    BLAZEIT_EXPECT_OK(ValidateStreamConfig(cfg)) << cfg.name;
   }
 }
 
@@ -87,7 +89,7 @@ TEST(DatasetsTest, SixStreamsWithTable3Parameters) {
 
 TEST(DatasetsTest, LookupByName) {
   auto cfg = StreamConfigByName("night-street");
-  ASSERT_TRUE(cfg.ok());
+  BLAZEIT_ASSERT_OK(cfg);
   EXPECT_EQ(cfg.value().name, "night-street");
   EXPECT_FALSE(StreamConfigByName("nonexistent").ok());
 }

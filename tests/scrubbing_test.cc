@@ -3,38 +3,20 @@
 #include <gtest/gtest.h>
 
 #include "core/baselines.h"
+#include "testing/test_util.h"
 
 namespace blazeit {
 namespace {
 
-class ScrubbingTest : public ::testing::Test {
- protected:
-  static void SetUpTestSuite() {
-    catalog_ = new VideoCatalog();
-    DayLengths lengths;
-    lengths.train = 6000;
-    lengths.held_out = 6000;
-    lengths.test = 20000;
-    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
-    stream_ = catalog_->GetStream("taipei").value();
-  }
-  static void TearDownTestSuite() {
-    delete catalog_;
-    catalog_ = nullptr;
+class ScrubbingTest : public testutil::CatalogFixture<ScrubbingTest> {
+ public:
+  static DayLengths Lengths() {
+    return testutil::SmallDays(6000, 6000, 20000);
   }
   static ScrubOptions FastOptions() {
-    ScrubOptions opt;
-    opt.nn.raster_width = 16;
-    opt.nn.raster_height = 16;
-    opt.nn.hidden_dims = {32};
-    return opt;
+    return testutil::SmallNNOptions<ScrubOptions>();
   }
-  static VideoCatalog* catalog_;
-  static StreamData* stream_;
 };
-
-VideoCatalog* ScrubbingTest::catalog_ = nullptr;
-StreamData* ScrubbingTest::stream_ = nullptr;
 
 TEST_F(ScrubbingTest, ValidatesArguments) {
   ScrubbingExecutor ex(stream_, FastOptions());
@@ -45,7 +27,7 @@ TEST_F(ScrubbingTest, ValidatesArguments) {
 TEST_F(ScrubbingTest, OnlyTruePositivesReturned) {
   ScrubbingExecutor ex(stream_, FastOptions());
   auto r = ex.Run({{kCar, 3}}, 5, 0);
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  BLAZEIT_ASSERT_OK(r);
   const auto& counts = stream_->test_labels->Counts(kCar);
   for (int64_t f : r.value().frames) {
     EXPECT_GE(counts[static_cast<size_t>(f)], 3) << f;
@@ -55,7 +37,7 @@ TEST_F(ScrubbingTest, OnlyTruePositivesReturned) {
 TEST_F(ScrubbingTest, RespectsLimit) {
   ScrubbingExecutor ex(stream_, FastOptions());
   auto r = ex.Run({{kCar, 2}}, 7, 0);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_EQ(r.value().frames.size(), 7u);
   EXPECT_TRUE(r.value().found_all);
 }
@@ -63,7 +45,7 @@ TEST_F(ScrubbingTest, RespectsLimit) {
 TEST_F(ScrubbingTest, RespectsGap) {
   ScrubbingExecutor ex(stream_, FastOptions());
   auto r = ex.Run({{kCar, 2}}, 8, 150);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   std::vector<int64_t> frames = r.value().frames;
   std::sort(frames.begin(), frames.end());
   for (size_t i = 1; i < frames.size(); ++i) {
@@ -77,7 +59,7 @@ TEST_F(ScrubbingTest, CheaperThanNaiveForRareEvents) {
   auto stats = CountRequirementInstances(*stream_, reqs);
   if (stats.events < 12) GTEST_SKIP() << "too few events in short test day";
   auto r = ex.Run(reqs, 10, 100);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   auto naive = NaiveScrub(stream_, reqs, 10, 100);
   EXPECT_LT(r.value().detection_calls, naive.detection_calls);
   EXPECT_LT(r.value().indexed_seconds, r.value().cost.TotalSeconds());
@@ -86,7 +68,7 @@ TEST_F(ScrubbingTest, CheaperThanNaiveForRareEvents) {
 TEST_F(ScrubbingTest, ImpossibleQueryExhaustsVideo) {
   ScrubbingExecutor ex(stream_, FastOptions());
   auto r = ex.Run({{kBird, 1}}, 3, 0);  // no birds in taipei
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_TRUE(r.value().frames.empty());
   EXPECT_FALSE(r.value().found_all);
   // Fallback path (no training instances) scans everything.
@@ -97,7 +79,7 @@ TEST_F(ScrubbingTest, ImpossibleQueryExhaustsVideo) {
 TEST_F(ScrubbingTest, MultiClassConjunction) {
   ScrubbingExecutor ex(stream_, FastOptions());
   auto r = ex.Run({{kBus, 1}, {kCar, 2}}, 5, 0);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   const auto& cars = stream_->test_labels->Counts(kCar);
   const auto& buses = stream_->test_labels->Counts(kBus);
   for (int64_t f : r.value().frames) {
@@ -128,19 +110,12 @@ class LimitSweep : public ::testing::TestWithParam<int> {};
 TEST_P(LimitSweep, DetectionsGrowWithLimit) {
   // Uses its own small catalog (parameterized sweeps share nothing).
   VideoCatalog catalog;
-  DayLengths lengths;
-  lengths.train = 4000;
-  lengths.held_out = 2000;
-  lengths.test = 12000;
-  ASSERT_TRUE(catalog.AddStream(TaipeiConfig(), lengths).ok());
+  BLAZEIT_ASSERT_OK(
+      catalog.AddStream(TaipeiConfig(), testutil::SmallDays(4000, 2000)));
   StreamData* stream = catalog.GetStream("taipei").value();
-  ScrubOptions opt;
-  opt.nn.raster_width = 16;
-  opt.nn.raster_height = 16;
-  opt.nn.hidden_dims = {32};
-  ScrubbingExecutor ex(stream, opt);
+  ScrubbingExecutor ex(stream, testutil::SmallNNOptions<ScrubOptions>());
   auto r = ex.Run({{kCar, 2}}, GetParam(), 0);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_GE(r.value().detection_calls,
             static_cast<int64_t>(r.value().frames.size()));
 }

@@ -4,34 +4,24 @@
 
 #include "core/baselines.h"
 #include "frameql/parser.h"
+#include "testing/test_util.h"
 
 namespace blazeit {
 namespace {
 
-class SelectionTest : public ::testing::Test {
+class SelectionTest : public testutil::CatalogFixture<SelectionTest> {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new VideoCatalog();
+    CatalogFixture::SetUpTestSuite();
     udfs_ = new UdfRegistry();
-    DayLengths lengths;
-    lengths.train = 6000;
-    lengths.held_out = 6000;
-    lengths.test = 12000;
-    ASSERT_TRUE(catalog_->AddStream(TaipeiConfig(), lengths).ok());
-    stream_ = catalog_->GetStream("taipei").value();
   }
   static void TearDownTestSuite() {
-    delete catalog_;
     delete udfs_;
-    catalog_ = nullptr;
     udfs_ = nullptr;
+    CatalogFixture::TearDownTestSuite();
   }
   static SelectionOptions FastOptions() {
-    SelectionOptions opt;
-    opt.nn.raster_width = 16;
-    opt.nn.raster_height = 16;
-    opt.nn.hidden_dims = {32};
-    return opt;
+    return testutil::SmallNNOptions<SelectionOptions>();
   }
   static AnalyzedQuery RedBusQuery() {
     auto parsed = ParseFrameQL(
@@ -39,19 +29,15 @@ class SelectionTest : public ::testing::Test {
         "AND redness(content) >= 0.25 AND area(mask) > 20000 "
         "AND xmin(mask) >= 0.4 AND ymin(mask) >= 0.5 "
         "GROUP BY trackid HAVING COUNT(*) > 15");
-    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    BLAZEIT_EXPECT_OK(parsed);
     auto analyzed = AnalyzeQuery(parsed.value(), stream_->config);
-    EXPECT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+    BLAZEIT_EXPECT_OK(analyzed);
     return analyzed.value();
   }
-  static VideoCatalog* catalog_;
   static UdfRegistry* udfs_;
-  static StreamData* stream_;
 };
 
-VideoCatalog* SelectionTest::catalog_ = nullptr;
 UdfRegistry* SelectionTest::udfs_ = nullptr;
-StreamData* SelectionTest::stream_ = nullptr;
 
 TEST_F(SelectionTest, RejectsNonSelectionQueries) {
   SelectionExecutor ex(stream_, udfs_, FastOptions());
@@ -64,7 +50,7 @@ TEST_F(SelectionTest, RowsSatisfyPredicate) {
   SelectionExecutor ex(stream_, udfs_, FastOptions());
   AnalyzedQuery q = RedBusQuery();
   auto r = ex.Run(q);
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  BLAZEIT_ASSERT_OK(r);
   for (const SelectionRow& row : r.value().rows) {
     EXPECT_EQ(row.detection.class_id, kBus);
     EXPECT_TRUE(q.roi.Contains(row.detection.rect.CenterX(),
@@ -78,9 +64,9 @@ TEST_F(SelectionTest, RowsSatisfyPredicate) {
 TEST_F(SelectionTest, CheaperThanNaive) {
   SelectionExecutor ex(stream_, udfs_, FastOptions());
   auto r = ex.Run(RedBusQuery());
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   auto naive = NaiveSelection(stream_, udfs_, RedBusQuery());
-  ASSERT_TRUE(naive.ok());
+  BLAZEIT_ASSERT_OK(naive);
   EXPECT_LT(r.value().cost.TotalSeconds(),
             naive.value().cost.TotalSeconds() / 5);
   EXPECT_LT(r.value().frames_detected, naive.value().frames_detected);
@@ -138,7 +124,7 @@ TEST_F(SelectionTest, NoUdfQueryStillWorks) {
   auto q = AnalyzeQuery(parsed.value(), stream_->config).value();
   SelectionExecutor ex(stream_, udfs_, FastOptions());
   auto r = ex.Run(q);
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_GT(r.value().rows.size(), 0u);
 }
 

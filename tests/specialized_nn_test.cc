@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 #include <numeric>
 
 #include "core/labeled_set.h"
@@ -74,7 +76,7 @@ TEST_F(SpecializedNNTest, TrainRejectsBadInputs) {
 TEST_F(SpecializedNNTest, SingleHeadShapes) {
   auto nn =
       SpecializedNN::Train(*video_, {labels_->Counts(kCar)}, FastConfig());
-  ASSERT_TRUE(nn.ok());
+  BLAZEIT_ASSERT_OK(nn);
   EXPECT_EQ(nn.value().num_heads(), 1);
   EXPECT_GE(nn.value().head_classes(0), 2);
   auto probs = nn.value().PredictProbs(*video_, 0);
@@ -160,7 +162,7 @@ TEST_F(SpecializedNNTest, TrainedFramesAccountsEpochs) {
   cfg.train.epochs = 2;
   cfg.max_train_frames = 1000;
   auto nn = SpecializedNN::Train(*video_, {labels_->Counts(kCar)}, cfg);
-  ASSERT_TRUE(nn.ok());
+  BLAZEIT_ASSERT_OK(nn);
   EXPECT_EQ(nn.value().trained_frames(), 2000);
 }
 
@@ -168,7 +170,7 @@ TEST_F(SpecializedNNTest, MinClassesExpandsHead) {
   SpecializedNNConfig cfg = FastConfig();
   cfg.min_classes = 4;
   auto nn = SpecializedNN::Train(*video_, {labels_->Counts(kBus)}, cfg);
-  ASSERT_TRUE(nn.ok());
+  BLAZEIT_ASSERT_OK(nn);
   // Bus counts are mostly 0/1; 1% rule would give ~2 classes, min_classes
   // raises it (capped by max observed + 1).
   EXPECT_GE(nn.value().head_classes(0), 2);

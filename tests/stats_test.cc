@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 #include <cmath>
 
 #include "stats/bootstrap.h"
@@ -105,7 +107,7 @@ TEST(BootstrapTest, UnbiasedPredictorTightBound) {
     pred.push_back(t + rng.Normal(0, 0.2));  // unbiased noise
   }
   auto r = BootstrapAbsError(pred, truth, 0.95, 200, 1);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_LT(r.value().error_quantile, 0.05);
 }
 
@@ -118,7 +120,7 @@ TEST(BootstrapTest, BiasedPredictorDetected) {
     pred.push_back(t + 0.3);  // systematic bias
   }
   auto r = BootstrapAbsError(pred, truth, 0.95, 200, 1);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_GT(r.value().error_quantile, 0.25);
   EXPECT_NEAR(r.value().mean_abs_error, 0.3, 0.02);
 }

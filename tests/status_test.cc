@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 namespace blazeit {
 namespace {
 
 TEST(StatusTest, DefaultIsOk) {
   Status s;
-  EXPECT_TRUE(s.ok());
+  BLAZEIT_EXPECT_OK(s);
   EXPECT_EQ(s.code(), StatusCode::kOk);
   EXPECT_EQ(s.ToString(), "OK");
 }
@@ -38,7 +40,7 @@ TEST(StatusTest, Equality) {
 
 TEST(ResultTest, HoldsValue) {
   Result<int> r(42);
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_EQ(r.value(), 42);
   EXPECT_EQ(r.value_or(-1), 42);
 }
@@ -74,8 +76,66 @@ Result<int> UsesAssignOrReturn() {
 
 TEST(ResultTest, AssignOrReturnMacro) {
   auto r = UsesAssignOrReturn();
-  ASSERT_TRUE(r.ok());
+  BLAZEIT_ASSERT_OK(r);
   EXPECT_EQ(r.value(), 6);
+}
+
+TEST(StatusTest, ToStringForEveryErrorCode) {
+  EXPECT_EQ(Status::InvalidArgument("m").ToString(), "InvalidArgument: m");
+  EXPECT_EQ(Status::NotFound("m").ToString(), "NotFound: m");
+  EXPECT_EQ(Status::OutOfRange("m").ToString(), "OutOfRange: m");
+  EXPECT_EQ(Status::FailedPrecondition("m").ToString(),
+            "FailedPrecondition: m");
+  EXPECT_EQ(Status::Unimplemented("m").ToString(), "Unimplemented: m");
+  EXPECT_EQ(Status::ParseError("m").ToString(), "ParseError: m");
+  EXPECT_EQ(Status::Internal("m").ToString(), "Internal: m");
+}
+
+TEST(StatusTest, EmptyMessageRendersBareCode) {
+  EXPECT_EQ(Status::Internal("").ToString(), "Internal");
+  EXPECT_EQ(Status(StatusCode::kNotFound, "").ToString(), "NotFound");
+}
+
+TEST(StatusTest, EqualityRequiresSameCodeAndMessage) {
+  EXPECT_FALSE(Status::NotFound("m") == Status::Internal("m"));
+  EXPECT_FALSE(Status::NotFound("m") == Status::OK());
+}
+
+Status Succeeds() { return Status::OK(); }
+Status PassesThroughHelper() {
+  BLAZEIT_RETURN_NOT_OK(Succeeds());
+  return Status::NotFound("fell through");
+}
+
+TEST(ResultTest, ReturnNotOkContinuesOnSuccess) {
+  // The macro must not return on an OK status.
+  EXPECT_EQ(PassesThroughHelper().code(), StatusCode::kNotFound);
+}
+
+Result<int> GivesError() { return Status::OutOfRange("too big"); }
+Result<int> AssignOrReturnPropagates() {
+  BLAZEIT_ASSIGN_OR_RETURN(int v, GivesError());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto r = AssignOrReturnPropagates();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.status().message(), "too big");
+}
+
+TEST(ResultTest, ErrorStatusPreservedVerbatim) {
+  Result<std::string> r(Status::ParseError("near offset 3"));
+  EXPECT_EQ(r.status(), Status::ParseError("near offset 3"));
+  EXPECT_EQ(r.value_or("fallback"), "fallback");
+}
+
+TEST(ResultTest, CopyableWhenValueIs) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  Result<std::vector<int>> copy = r;
+  BLAZEIT_ASSERT_OK(copy);
+  EXPECT_EQ(copy.value(), r.value());
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 // must be internally consistent.
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 #include "core/labeled_set.h"
 #include "detect/simulated_detector.h"
 #include "nn/specialized_nn.h"
@@ -16,7 +18,7 @@ class StreamProperty : public ::testing::TestWithParam<std::string> {
  protected:
   void SetUp() override {
     auto cfg = StreamConfigByName(GetParam());
-    ASSERT_TRUE(cfg.ok());
+    BLAZEIT_ASSERT_OK(cfg);
     config_ = cfg.value();
     video_ = SyntheticVideo::Create(config_, 77, 12000).value();
   }

@@ -1,0 +1,83 @@
+// The shared fixtures/matchers are load-bearing for every other suite, so
+// they get their own coverage: a wrong tolerance matcher silently weakens
+// 29 suites at once.
+#include "testing/test_util.h"
+
+#include <gtest/gtest.h>
+
+namespace blazeit {
+namespace {
+
+TEST(TestUtilTest, SmallDaysDefaults) {
+  DayLengths d = testutil::SmallDays();
+  EXPECT_EQ(d.train, 6000);
+  EXPECT_EQ(d.held_out, 6000);
+  EXPECT_EQ(d.test, 12000);
+}
+
+TEST(TestUtilTest, SmallDaysOverrides) {
+  DayLengths d = testutil::SmallDays(3000, 2000, 4000);
+  EXPECT_EQ(d.train, 3000);
+  EXPECT_EQ(d.held_out, 2000);
+  EXPECT_EQ(d.test, 4000);
+}
+
+TEST(TestUtilTest, SmallNNShape) {
+  SpecializedNNConfig nn = testutil::SmallNN();
+  EXPECT_EQ(nn.raster_width, 16);
+  EXPECT_EQ(nn.raster_height, 16);
+  ASSERT_EQ(nn.hidden_dims.size(), 1u);
+  EXPECT_EQ(nn.hidden_dims[0], 32);
+}
+
+TEST(TestUtilTest, SmallNNOptionsWiresAllExecutorOptionTypes) {
+  EXPECT_EQ(testutil::SmallNNOptions<AggregateOptions>().nn.raster_width, 16);
+  EXPECT_EQ(testutil::SmallNNOptions<ScrubOptions>().nn.raster_width, 16);
+  EXPECT_EQ(testutil::SmallNNOptions<SelectionOptions>().nn.raster_width, 16);
+  EngineOptions engine = testutil::SmallEngineOptions();
+  EXPECT_EQ(engine.aggregate.nn.raster_width, 16);
+  EXPECT_EQ(engine.scrub.nn.raster_width, 16);
+  EXPECT_EQ(engine.selection.nn.raster_width, 16);
+}
+
+TEST(TestUtilTest, IsOkOnStatus) {
+  EXPECT_TRUE(testutil::IsOk(Status::OK()));
+  ::testing::AssertionResult bad = testutil::IsOk(Status::NotFound("gone"));
+  EXPECT_FALSE(bad);
+  EXPECT_NE(std::string(bad.message()).find("NotFound: gone"),
+            std::string::npos);
+}
+
+TEST(TestUtilTest, IsOkOnResult) {
+  EXPECT_TRUE(testutil::IsOk(Result<int>(7)));
+  ::testing::AssertionResult bad =
+      testutil::IsOk(Result<int>(Status::Internal("boom")));
+  EXPECT_FALSE(bad);
+  EXPECT_NE(std::string(bad.message()).find("Internal: boom"),
+            std::string::npos);
+}
+
+TEST(TestUtilTest, NearRelInsideAndOutside) {
+  EXPECT_TRUE(testutil::NearRel(105.0, 100.0, 0.05));
+  EXPECT_TRUE(testutil::NearRel(95.0, 100.0, 0.05));
+  EXPECT_FALSE(testutil::NearRel(106.0, 100.0, 0.05));
+  EXPECT_FALSE(testutil::NearRel(94.0, 100.0, 0.05));
+}
+
+TEST(TestUtilTest, NearRelNegativeExpected) {
+  EXPECT_TRUE(testutil::NearRel(-105.0, -100.0, 0.05));
+  EXPECT_FALSE(testutil::NearRel(-106.0, -100.0, 0.05));
+}
+
+TEST(TestUtilTest, NearRelZeroExpectedRequiresExact) {
+  EXPECT_TRUE(testutil::NearRel(0.0, 0.0, 0.05));
+  EXPECT_FALSE(testutil::NearRel(1e-9, 0.0, 0.05));
+}
+
+TEST(TestUtilTest, MacrosStreamExtraContext) {
+  // BLAZEIT_EXPECT_OK must accept trailing << context like EXPECT_TRUE.
+  BLAZEIT_EXPECT_OK(Status::OK()) << "never printed";
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -1,0 +1,127 @@
+#ifndef BLAZEIT_TESTS_TESTING_TEST_UTIL_H_
+#define BLAZEIT_TESTS_TESTING_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/engine.h"
+#include "util/status.h"
+#include "video/datasets.h"
+
+namespace blazeit {
+namespace testutil {
+
+/// Day lengths small enough for unit tests: minutes of video, not the
+/// paper-scale hours used by bench/.
+inline DayLengths SmallDays(int64_t train = 6000, int64_t held_out = 6000,
+                            int64_t test = 12000) {
+  DayLengths lengths;
+  lengths.train = train;
+  lengths.held_out = held_out;
+  lengths.test = test;
+  return lengths;
+}
+
+/// The small specialized-NN configuration every suite trains: a 16x16
+/// raster with one 32-wide hidden layer. Big enough to correlate with the
+/// signal, small enough to train in milliseconds.
+inline SpecializedNNConfig SmallNN() {
+  SpecializedNNConfig nn;
+  nn.raster_width = 16;
+  nn.raster_height = 16;
+  nn.hidden_dims = {32};
+  return nn;
+}
+
+/// Small-NN options for any executor-options struct with an `nn` member
+/// (AggregateOptions, ScrubOptions, SelectionOptions).
+template <typename OptionsT>
+OptionsT SmallNNOptions() {
+  OptionsT opt;
+  opt.nn = SmallNN();
+  return opt;
+}
+
+/// Engine options with the small NN wired into all three executors.
+inline EngineOptions SmallEngineOptions() {
+  EngineOptions options;
+  options.aggregate.nn = SmallNN();
+  options.scrub.nn = SmallNN();
+  options.selection.nn = SmallNN();
+  return options;
+}
+
+/// Pretty-printing `ok()` checks for Status and Result<T>.
+inline ::testing::AssertionResult IsOk(const Status& s) {
+  if (s.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << s.ToString();
+}
+
+template <typename T>
+::testing::AssertionResult IsOk(const Result<T>& r) {
+  return IsOk(r.status());
+}
+
+/// Relative-tolerance matcher: |actual - expected| <= rel_tol * |expected|.
+inline ::testing::AssertionResult NearRel(double actual, double expected,
+                                          double rel_tol) {
+  const double bound = rel_tol * std::abs(expected);
+  if (std::abs(actual - expected) <= bound) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << actual << " not within " << rel_tol << " (relative) of "
+         << expected << " (allowed slack " << bound << ")";
+}
+
+/// Suite-shared catalog fixture (CRTP). Generating and detecting the
+/// synthetic days dominates suite runtime, so streams are built once per
+/// suite. Derived classes may shadow Streams() and/or Lengths() — the
+/// shadows must be public, since the base calls them through `Derived::`:
+///
+///   class MyTest : public testutil::CatalogFixture<MyTest> {
+///    public:
+///     static DayLengths Lengths() { return testutil::SmallDays(3000); }
+///   };
+///
+/// `stream_` points at the first configured stream.
+template <typename Derived>
+class CatalogFixture : public ::testing::Test {
+ public:
+  static std::vector<StreamConfig> Streams() { return {TaipeiConfig()}; }
+  static DayLengths Lengths() { return SmallDays(); }
+
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new VideoCatalog();
+    for (const StreamConfig& config : Derived::Streams()) {
+      ASSERT_TRUE(IsOk(catalog_->AddStream(config, Derived::Lengths())))
+          << "adding stream " << config.name;
+    }
+    stream_ = catalog_->GetStream(Derived::Streams().front().name).value();
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+    stream_ = nullptr;
+  }
+
+  static VideoCatalog* catalog_;
+  static StreamData* stream_;
+};
+
+template <typename Derived>
+VideoCatalog* CatalogFixture<Derived>::catalog_ = nullptr;
+template <typename Derived>
+StreamData* CatalogFixture<Derived>::stream_ = nullptr;
+
+}  // namespace testutil
+}  // namespace blazeit
+
+#define BLAZEIT_EXPECT_OK(expr) EXPECT_TRUE(::blazeit::testutil::IsOk((expr)))
+#define BLAZEIT_ASSERT_OK(expr) ASSERT_TRUE(::blazeit::testutil::IsOk((expr)))
+
+#endif  // BLAZEIT_TESTS_TESTING_TEST_UTIL_H_

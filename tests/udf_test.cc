@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
+
 namespace blazeit {
 namespace {
 
@@ -53,7 +55,7 @@ TEST(UdfRegistryTest, BuiltinsRegistered) {
 TEST(UdfRegistryTest, CaseInsensitiveLookup) {
   UdfRegistry registry;
   EXPECT_TRUE(registry.Contains("ReDnEsS"));
-  ASSERT_TRUE(registry.Get("REDNESS").ok());
+  BLAZEIT_ASSERT_OK(registry.Get("REDNESS"));
 }
 
 TEST(UdfRegistryTest, RegisterCustom) {
@@ -62,7 +64,7 @@ TEST(UdfRegistryTest, RegisterCustom) {
                   .Register("half", [](const Image&) { return 0.5; })
                   .ok());
   auto udf = registry.Get("half");
-  ASSERT_TRUE(udf.ok());
+  BLAZEIT_ASSERT_OK(udf);
   EXPECT_DOUBLE_EQ(udf.value()(Image(1, 1)), 0.5);
 }
 

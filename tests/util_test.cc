@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
+#include "util/logging.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
@@ -130,6 +132,59 @@ TEST(StringTest, SplitAndJoin) {
 TEST(StringTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
   EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+std::vector<std::pair<LogLevel, std::string>>* CapturedLogs() {
+  static std::vector<std::pair<LogLevel, std::string>> logs;
+  return &logs;
+}
+
+void CaptureSink(LogLevel level, const std::string& message) {
+  CapturedLogs()->emplace_back(level, message);
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Logger::level();
+    CapturedLogs()->clear();
+    Logger::set_sink(&CaptureSink);
+  }
+  void TearDown() override {
+    Logger::set_sink(nullptr);
+    Logger::set_level(saved_level_);
+  }
+  LogLevel saved_level_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, LevelFilterDropsBelowThreshold) {
+  Logger::set_level(LogLevel::kWarning);
+  BLAZEIT_LOG(kDebug) << "dropped";
+  BLAZEIT_LOG(kInfo) << "dropped too";
+  BLAZEIT_LOG(kWarning) << "kept";
+  BLAZEIT_LOG(kError) << "kept too";
+  ASSERT_EQ(CapturedLogs()->size(), 2u);
+  EXPECT_EQ((*CapturedLogs())[0].first, LogLevel::kWarning);
+  EXPECT_EQ((*CapturedLogs())[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, StreamInsertionsCompose) {
+  Logger::set_level(LogLevel::kDebug);
+  BLAZEIT_LOG(kInfo) << "trained " << 42 << " epochs at " << 0.5;
+  ASSERT_EQ(CapturedLogs()->size(), 1u);
+  EXPECT_EQ((*CapturedLogs())[0].second, "trained 42 epochs at 0.5");
+}
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  Logger::set_level(LogLevel::kError);
+  EXPECT_EQ(Logger::level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, NullSinkRestoresStderrWithoutCapture) {
+  Logger::set_sink(nullptr);
+  Logger::set_level(LogLevel::kError);  // keep test output clean
+  BLAZEIT_LOG(kWarning) << "to stderr (filtered)";
+  EXPECT_TRUE(CapturedLogs()->empty());
 }
 
 }  // namespace
