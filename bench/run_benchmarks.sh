@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark micro-benchmarks and writes a JSON report, the
+# recorded baseline the ROADMAP asks for before any hot-path optimization.
+#
+#   bench/run_benchmarks.sh [build-dir] [output.json]
+#
+# Defaults: build dir `build`, output `bench/BENCH_baseline.json` — i.e.
+# running it with no arguments refreshes the committed baseline. Compare a
+# new run against the baseline with google-benchmark's tools/compare.py, or
+# just diff the real_time fields.
+#
+# The paper-figure harnesses (bench_fig*, bench_table*) print their tables
+# to stdout and are not part of the JSON report; run them directly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench/BENCH_baseline.json}"
+BIN="${BUILD_DIR}/bench/bench_micro_components"
+
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not built (needs google-benchmark; configure + build first)" >&2
+  exit 1
+fi
+
+# benchmark_min_time trades precision for runtime; 0.5s/benchmark keeps the
+# whole sweep under a minute while stabilizing the fast timers.
+"${BIN}" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.5 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  > "${OUT}"
+
+echo "wrote ${OUT}"

@@ -53,6 +53,7 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
   // --- train the specialized counting NN on the labeled day ---
   SpecializedNNConfig nn_config = options_.nn;
   nn_config.train.seed = HashCombine(options_.seed, 0xaaaa);
+  nn_config.cache = stream_->artifact_cache;
   auto trained = SpecializedNN::Train(*stream_->train_day, {train_counts},
                                       nn_config);
   BLAZEIT_RETURN_NOT_OK(trained.status());

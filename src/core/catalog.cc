@@ -1,8 +1,29 @@
 #include "core/catalog.h"
 
+#include "storage/persistent_cached_detector.h"
 #include "util/string_util.h"
 
 namespace blazeit {
+
+Status VideoCatalog::EnableDetectionStore(const std::string& dir) {
+  if (store_ != nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("detection store already enabled at '%s'",
+                  store_->dir().c_str()));
+  }
+  auto store = DetectionStore::Open(dir);
+  BLAZEIT_RETURN_NOT_OK(store.status());
+  store_ = std::move(store).value();
+  artifact_cache_ = std::make_unique<StoreArtifactCache>(store_.get());
+  // Streams added before the store was enabled keep their process-local
+  // caches; only new streams read/write the store.
+  return Status::OK();
+}
+
+Status VideoCatalog::FlushDetectionStore() {
+  if (store_ == nullptr) return Status::OK();
+  return store_->Flush();
+}
 
 Status VideoCatalog::AddStream(const StreamConfig& config, DayLengths lengths,
                                DetectorNoiseConfig detector_noise) {
@@ -27,7 +48,14 @@ Status VideoCatalog::AddStream(const StreamConfig& config, DayLengths lengths,
   data->test_day = std::move(test).value();
 
   data->detector_impl = std::make_unique<SimulatedDetector>(detector_noise);
-  data->detector = std::make_unique<CachedDetector>(data->detector_impl.get());
+  if (store_ != nullptr) {
+    data->detector = std::make_unique<PersistentCachedDetector>(
+        data->detector_impl.get(), store_.get());
+    data->artifact_cache = artifact_cache_.get();
+  } else {
+    data->detector = std::make_unique<CachedDetector>(
+        data->detector_impl.get());
+  }
 
   data->train_labels = std::make_unique<LabeledSet>(
       data->train_day.get(), data->detector.get(), config.detection_threshold);

@@ -9,6 +9,9 @@
 #include "core/labeled_set.h"
 #include "detect/cached_detector.h"
 #include "detect/simulated_detector.h"
+#include "util/artifact_cache.h"
+#include "storage/detection_store.h"
+#include "storage/store_artifact_cache.h"
 #include "util/status.h"
 #include "video/datasets.h"
 #include "video/synthetic_video.h"
@@ -24,12 +27,19 @@ struct StreamData {
   std::unique_ptr<SyntheticVideo> held_out_day;
   std::unique_ptr<SyntheticVideo> test_day;
   std::unique_ptr<SimulatedDetector> detector_impl;
-  std::unique_ptr<CachedDetector> detector;
+  /// Memoizing wrapper over detector_impl: a process-local CachedDetector,
+  /// or a store-backed PersistentCachedDetector when the catalog has a
+  /// detection store enabled.
+  std::unique_ptr<ObjectDetector> detector;
   std::unique_ptr<LabeledSet> train_labels;
   std::unique_ptr<LabeledSet> held_out_labels;
   /// Labeled set of the test day = the detector's output replayed during
   /// evaluation; executors *charge* detection cost per logical access.
   std::unique_ptr<LabeledSet> test_labels;
+  /// Persistent cache for specialized-NN artifacts; nullptr unless the
+  /// catalog has a detection store enabled. Executors pass it into
+  /// SpecializedNNConfig::cache. Not owned (lives in the catalog).
+  ArtifactCache* artifact_cache = nullptr;
 
   double score_threshold() const { return config.detection_threshold; }
 };
@@ -50,6 +60,21 @@ class VideoCatalog {
                    DayLengths lengths = DayLengths(),
                    DetectorNoiseConfig detector_noise = DetectorNoiseConfig());
 
+  /// Backs all subsequently added streams with a persistent detection
+  /// store in `dir` (created if missing): detections and specialized-NN
+  /// artifacts are read through from disk and written back, so repeated
+  /// runs skip the expensive oracle passes. Corrupt, truncated, or
+  /// version-skewed store files fail this call with a descriptive Status.
+  /// Call before AddStream; query outputs and simulated costs are
+  /// identical with or without a store (see store_invariance_test).
+  Status EnableDetectionStore(const std::string& dir);
+
+  /// The store enabled by EnableDetectionStore, or nullptr.
+  DetectionStore* detection_store() { return store_.get(); }
+
+  /// Persists pending store records now (also happens on destruction).
+  Status FlushDetectionStore();
+
   Result<StreamData*> GetStream(const std::string& name);
 
   std::vector<std::string> StreamNames() const;
@@ -58,6 +83,10 @@ class VideoCatalog {
   }
 
  private:
+  // Declared before streams_ so detectors referencing the store are
+  // destroyed first.
+  std::unique_ptr<DetectionStore> store_;
+  std::unique_ptr<StoreArtifactCache> artifact_cache_;
   std::map<std::string, std::unique_ptr<StreamData>> streams_;
 };
 

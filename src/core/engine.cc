@@ -127,6 +127,7 @@ Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
 
   SpecializedNNConfig nn_config = options_.selection.nn;
   nn_config.train.seed = HashCombine(options_.selection.seed, 0xb1de);
+  nn_config.cache = stream->artifact_cache;
   auto trained =
       SpecializedNN::Train(*stream->train_day, {train_counts}, nn_config);
   BLAZEIT_RETURN_NOT_OK(trained.status());

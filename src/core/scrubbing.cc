@@ -95,6 +95,7 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   }
   SpecializedNNConfig nn_config = options_.nn;
   nn_config.train.seed = HashCombine(options_.seed, 0x5c4b);
+  nn_config.cache = stream_->artifact_cache;
   auto trained =
       SpecializedNN::Train(*stream_->train_day, head_labels, nn_config);
   BLAZEIT_RETURN_NOT_OK(trained.status());

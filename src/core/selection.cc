@@ -140,6 +140,19 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
       if (!udf.ok()) continue;
       auto candidate = std::make_unique<ContentFilter>(pred.name,
                                                        udf.value());
+      // Content scores render frames; persist them when the UDF has a
+      // stable content fingerprint (built-ins do, ad-hoc closures do not).
+      const uint64_t udf_fp = udfs_->FingerprintFor(pred.name);
+      if (stream_->artifact_cache != nullptr && udf_fp != 0) {
+        candidate->set_score_cache(
+            stream_->artifact_cache,
+            Fingerprint()
+                .Mix("content-filter")
+                .Mix(udf_fp)
+                .Mix(candidate->raster_width())
+                .Mix(candidate->raster_height())
+                .value());
+      }
       auto calib = CalibrateNoFalseNegatives(candidate.get(), held,
                                              predicate_positive,
                                              options_.calibration_margin);
@@ -173,6 +186,7 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
     if (positives > 0) {
       SpecializedNNConfig nn_config = options_.nn;
       nn_config.train.seed = HashCombine(options_.seed, 0x3e1e);
+      nn_config.cache = stream_->artifact_cache;
       auto trained = SpecializedNN::Train(*stream_->train_day, {train_counts},
                                           nn_config);
       BLAZEIT_RETURN_NOT_OK(trained.status());
@@ -219,12 +233,17 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
   std::vector<int64_t> matched_frames;
   std::vector<int64_t> candidates = temporal.CandidateFrames(test.num_frames());
   result.candidates = static_cast<int64_t>(candidates.size());
-  // Stage 1: content filter (cheapest).
+  // Stage 1: content filter (cheapest). Scored through ScoreBatch so the
+  // persistent score cache applies; one ChargeFilter per candidate either
+  // way.
   std::vector<int64_t> after_content;
   if (content != nullptr) {
-    for (int64_t frame : candidates) {
+    std::vector<double> scores = content->ScoreBatch(test, candidates);
+    for (size_t i = 0; i < candidates.size(); ++i) {
       meter.ChargeFilter();
-      if (content->Pass(test, frame)) after_content.push_back(frame);
+      if (scores[i] >= content->threshold()) {
+        after_content.push_back(candidates[i]);
+      }
     }
   } else {
     after_content = std::move(candidates);

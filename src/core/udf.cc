@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/random.h"
 #include "util/string_util.h"
 
 namespace blazeit {
@@ -27,16 +28,24 @@ double ChannelContrast(const Image& image, int channel) {
 }  // namespace
 
 UdfRegistry::UdfRegistry() {
-  udfs_["redness"] = [](const Image& img) { return Redness(img); };
-  udfs_["greenness"] = [](const Image& img) { return Greenness(img); };
-  udfs_["blueness"] = [](const Image& img) { return Blueness(img); };
-  udfs_["brightness"] = [](const Image& img) { return Brightness(img); };
+  // Built-ins carry stable content fingerprints so filter scores derived
+  // from them may be persisted; bump the version string if the math ever
+  // changes.
+  udfs_["redness"] = {[](const Image& img) { return Redness(img); },
+                      HashString("builtin-redness-v1")};
+  udfs_["greenness"] = {[](const Image& img) { return Greenness(img); },
+                        HashString("builtin-greenness-v1")};
+  udfs_["blueness"] = {[](const Image& img) { return Blueness(img); },
+                       HashString("builtin-blueness-v1")};
+  udfs_["brightness"] = {[](const Image& img) { return Brightness(img); },
+                         HashString("builtin-brightness-v1")};
 }
 
-Status UdfRegistry::Register(const std::string& name, ImageUdf udf) {
+Status UdfRegistry::Register(const std::string& name, ImageUdf udf,
+                             uint64_t fingerprint) {
   if (name.empty()) return Status::InvalidArgument("UDF name must be non-empty");
   if (!udf) return Status::InvalidArgument("UDF must be callable");
-  udfs_[ToLower(name)] = std::move(udf);
+  udfs_[ToLower(name)] = {std::move(udf), fingerprint};
   return Status::OK();
 }
 
@@ -45,11 +54,16 @@ Result<ImageUdf> UdfRegistry::Get(const std::string& name) const {
   if (it == udfs_.end()) {
     return Status::NotFound(StrFormat("unknown UDF '%s'", name.c_str()));
   }
-  return it->second;
+  return it->second.udf;
 }
 
 bool UdfRegistry::Contains(const std::string& name) const {
   return udfs_.count(ToLower(name)) > 0;
+}
+
+uint64_t UdfRegistry::FingerprintFor(const std::string& name) const {
+  auto it = udfs_.find(ToLower(name));
+  return it == udfs_.end() ? 0 : it->second.fingerprint;
 }
 
 double UdfRegistry::Redness(const Image& image) {

@@ -21,11 +21,21 @@ class UdfRegistry {
   /// blueness, brightness.
   UdfRegistry();
 
-  /// Registers or replaces a UDF.
-  Status Register(const std::string& name, ImageUdf udf);
+  /// Registers or replaces a UDF. `fingerprint` identifies the function's
+  /// *content* for persistent caching of filter scores derived from it;
+  /// the default 0 marks a closure with no stable identity, which simply
+  /// disables persistent caching for filters built on this UDF (it is
+  /// still evaluated normally). Change the fingerprint whenever the
+  /// function's behaviour changes.
+  Status Register(const std::string& name, ImageUdf udf,
+                  uint64_t fingerprint = 0);
 
   Result<ImageUdf> Get(const std::string& name) const;
   bool Contains(const std::string& name) const;
+
+  /// Content fingerprint of a registered UDF; 0 for unknown names and for
+  /// UDFs registered without one.
+  uint64_t FingerprintFor(const std::string& name) const;
 
   /// Built-in: mean over pixels of max(0, R - (G+B)/2) — high for
   /// distinctly red content such as tour buses, near zero for white or
@@ -38,7 +48,11 @@ class UdfRegistry {
   static double Brightness(const Image& image);
 
  private:
-  std::map<std::string, ImageUdf> udfs_;
+  struct Entry {
+    ImageUdf udf;
+    uint64_t fingerprint = 0;
+  };
+  std::map<std::string, Entry> udfs_;
 };
 
 }  // namespace blazeit

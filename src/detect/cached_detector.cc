@@ -1,12 +1,10 @@
 #include "detect/cached_detector.h"
 
-#include "util/random.h"
-
 namespace blazeit {
 
 std::vector<Detection> CachedDetector::Detect(const SyntheticVideo& video,
                                               int64_t frame) const {
-  uint64_t key = HashCombine(video.seed(), static_cast<uint64_t>(frame));
+  DetectionCacheKey key{video.fingerprint(), frame};
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
   std::vector<Detection> dets = inner_->Detect(video, frame);

@@ -10,6 +10,27 @@
 
 namespace blazeit {
 
+/// Composite cache key for memoized detections: the full stream-day
+/// fingerprint plus the frame. The pre-fix key hand-mixed (seed, frame)
+/// into one uint64_t, which collides for *any* two days sharing a seed —
+/// and the catalog gives every stream's train day the same seed — so one
+/// shared cache would silently replay stream A's detections for stream B.
+struct DetectionCacheKey {
+  uint64_t stream = 0;  // SyntheticVideo::fingerprint()
+  int64_t frame = 0;
+
+  bool operator==(const DetectionCacheKey& other) const {
+    return stream == other.stream && frame == other.frame;
+  }
+};
+
+struct DetectionCacheKeyHash {
+  size_t operator()(const DetectionCacheKey& key) const {
+    return static_cast<size_t>(
+        HashCombine(key.stream, static_cast<uint64_t>(key.frame)));
+  }
+};
+
 /// Memoizing wrapper around an ObjectDetector. The paper pre-computed all
 /// object detections once and replayed them when evaluating samplers
 /// (Section 10.2: "we ran the object detection method once and recorded
@@ -26,14 +47,18 @@ class CachedDetector : public ObjectDetector {
 
   std::string name() const override { return inner_->name() + "+cache"; }
 
+  uint64_t ParamsFingerprint() const override {
+    return inner_->ParamsFingerprint();
+  }
+
   size_t cache_size() const { return cache_.size(); }
   void ClearCache() { cache_.clear(); }
 
  private:
   const ObjectDetector* inner_;
-  /// Key mixes the video seed and the frame, so one cache instance can
-  /// serve multiple days of the same stream.
-  mutable std::unordered_map<uint64_t, std::vector<Detection>> cache_;
+  mutable std::unordered_map<DetectionCacheKey, std::vector<Detection>,
+                             DetectionCacheKeyHash>
+      cache_;
 };
 
 }  // namespace blazeit

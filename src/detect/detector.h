@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "detect/detection.h"
+#include "util/random.h"
 #include "video/synthetic_video.h"
 
 namespace blazeit {
@@ -25,6 +26,16 @@ class ObjectDetector {
                                         int64_t frame) const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Content fingerprint of everything that shapes this detector's output
+  /// besides the (video, frame) arguments — the persistent detection store
+  /// keys cached detections on (video fingerprint, detector fingerprint,
+  /// frame). The default covers detectors whose behaviour is fully
+  /// determined by their name; detectors with tunable noise/config must
+  /// override and mix every parameter in.
+  virtual uint64_t ParamsFingerprint() const {
+    return HashString(name());
+  }
 };
 
 }  // namespace blazeit

@@ -7,6 +7,22 @@
 
 namespace blazeit {
 
+uint64_t SimulatedDetector::ParamsFingerprint() const {
+  // Every DetectorNoiseConfig knob plus fill_features changes the output
+  // stream, so all of them are part of the cache identity.
+  return Fingerprint()
+      .Mix(name_)
+      .Mix(config_.miss_rate_small)
+      .Mix(config_.reliable_area)
+      .Mix(config_.box_jitter)
+      .Mix(config_.false_positive_rate)
+      .Mix(config_.false_positive_max_score)
+      .Mix(config_.score_noise)
+      .Mix(config_.salt)
+      .Mix(fill_features_)
+      .value();
+}
+
 std::vector<Detection> SimulatedDetector::Detect(const SyntheticVideo& video,
                                                  int64_t frame) const {
   std::vector<Detection> out;

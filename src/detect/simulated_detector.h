@@ -47,6 +47,8 @@ class SimulatedDetector : public ObjectDetector {
 
   std::string name() const override { return name_; }
 
+  uint64_t ParamsFingerprint() const override;
+
   const DetectorNoiseConfig& noise_config() const { return config_; }
 
   /// Fill the `features` field of detections (mean box color from the

@@ -36,6 +36,9 @@ class ContentFilter : public FrameFilter {
     return udf_(video.RenderFrame(frame, raster_width_, raster_height_));
   }
 
+  int raster_width() const { return raster_width_; }
+  int raster_height() const { return raster_height_; }
+
  private:
   std::string udf_name_;
   ImageUdf udf_;

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "util/artifact_cache.h"
+#include "util/random.h"
 #include "video/synthetic_video.h"
 
 namespace blazeit {
@@ -22,14 +24,41 @@ class FrameFilter {
   /// the query predicate.
   virtual double Score(const SyntheticVideo& video, int64_t frame) const = 0;
 
-  /// Scores many frames; the default loops Score, NN-backed filters
-  /// override with batched inference.
+  /// Scores many frames; the default loops Score (reading/writing the
+  /// score cache when one is set), NN-backed filters override with batched
+  /// inference.
   virtual std::vector<double> ScoreBatch(
       const SyntheticVideo& video, const std::vector<int64_t>& frames) const {
     std::vector<double> out;
     out.reserve(frames.size());
-    for (int64_t frame : frames) out.push_back(Score(video, frame));
+    if (score_cache_ == nullptr) {
+      for (int64_t frame : frames) out.push_back(Score(video, frame));
+      return out;
+    }
+    const uint64_t ns = HashCombine(cache_identity_, video.fingerprint());
+    std::vector<double> cached;
+    for (int64_t frame : frames) {
+      if (score_cache_->GetFrameDoubles(ns, frame, &cached) &&
+          cached.size() == 1) {
+        out.push_back(cached[0]);
+      } else {
+        const double score = Score(video, frame);
+        score_cache_->PutFrameDoubles(ns, frame, {score});
+        out.push_back(score);
+      }
+    }
     return out;
+  }
+
+  /// Enables persistent score caching for filters whose Score renders
+  /// frames (content filtering). `identity` must fingerprint everything
+  /// that determines Score besides (video, frame) — scores are doubles and
+  /// are cached bit-exactly, so calibrated thresholds behave identically
+  /// warm or cold. NN-backed filters ignore this (their outputs are cached
+  /// at the NN layer).
+  void set_score_cache(ArtifactCache* cache, uint64_t identity) {
+    score_cache_ = cache;
+    cache_identity_ = identity;
   }
 
   /// True for specialized-NN-backed filters (charged at the NN rate in the
@@ -46,6 +75,8 @@ class FrameFilter {
 
  private:
   double threshold_ = 0.0;
+  ArtifactCache* score_cache_ = nullptr;
+  uint64_t cache_identity_ = 0;
 };
 
 }  // namespace blazeit

@@ -96,7 +96,47 @@ struct SpecializedNN::Impl {
   std::vector<int> head_classes;
   int64_t trained_frames = 0;
   int input_dim = 0;
+  /// Content fingerprint of (training day, labels, config): the identity of
+  /// this trained model in the artifact cache.
+  uint64_t fingerprint = 0;
+  ArtifactCache* cache = nullptr;
+
+  std::vector<ParamRef> AllParams() {
+    std::vector<ParamRef> params = trunk->Params();
+    for (auto& head : heads) {
+      for (ParamRef p : head->Params()) params.push_back(p);
+    }
+    return params;
+  }
 };
+
+namespace {
+
+/// Fingerprint of everything that determines the trained weights. The
+/// cache pointer itself is deliberately excluded — it selects where
+/// artifacts live, not what they contain.
+uint64_t TrainFingerprint(const SyntheticVideo& train_day,
+                          const std::vector<std::vector<int>>& head_labels,
+                          const SpecializedNNConfig& config) {
+  Fingerprint fp;
+  fp.Mix(train_day.fingerprint())
+      .Mix(config.raster_width)
+      .Mix(config.raster_height)
+      .MixRange(config.hidden_dims)
+      .Mix(config.train.epochs)
+      .Mix(config.train.batch_size)
+      .Mix(config.train.lr)
+      .Mix(config.train.lr_decay)
+      .Mix(config.train.momentum)
+      .Mix(config.train.seed)
+      .Mix(config.max_train_frames)
+      .Mix(config.min_classes);
+  fp.Mix(static_cast<uint64_t>(head_labels.size()));
+  for (const std::vector<int>& labels : head_labels) fp.MixRange(labels);
+  return fp.value();
+}
+
+}  // namespace
 
 Result<SpecializedNN> SpecializedNN::Train(
     const SyntheticVideo& train_day,
@@ -170,10 +210,37 @@ Result<SpecializedNN> SpecializedNN::Train(
   }
 
   // Collect all parameters for the optimizer.
-  std::vector<ParamRef> params = impl->trunk->Params();
-  for (auto& head : impl->heads) {
-    for (ParamRef p : head->Params()) params.push_back(p);
+  std::vector<ParamRef> params = impl->AllParams();
+
+  // With a persistent cache, a previous process may already have trained
+  // this exact model (same day, labels, and config — the fingerprint covers
+  // them all). Loading the weights skips only the epoch loop below; the
+  // architecture, head sizing, and trained_frames accounting above ran
+  // identically, so a warm model is indistinguishable from a cold one.
+  impl->fingerprint = TrainFingerprint(train_day, head_labels, config);
+  impl->cache = config.cache;
+  if (config.cache != nullptr) {
+    size_t total_params = 0;
+    for (const ParamRef& p : params) total_params += p.value->size();
+    std::vector<float> blob;
+    if (config.cache->GetBlob(impl->fingerprint, &blob)) {
+      if (blob.size() == total_params) {
+        size_t offset = 0;
+        for (const ParamRef& p : params) {
+          std::copy(blob.begin() + static_cast<std::ptrdiff_t>(offset),
+                    blob.begin() +
+                        static_cast<std::ptrdiff_t>(offset + p.value->size()),
+                    p.value->begin());
+          offset += p.value->size();
+        }
+        return SpecializedNN(std::move(impl));
+      }
+      BLAZEIT_LOG(kWarning)
+          << "cached NN weights have " << blob.size() << " params, model has "
+          << total_params << "; retraining";
+    }
   }
+
   SgdOptimizer opt(params, config.train.lr, config.train.momentum);
 
   const int64_t n = static_cast<int64_t>(indices.size());
@@ -218,6 +285,13 @@ Result<SpecializedNN> SpecializedNN::Train(
                         << (batches ? epoch_loss / batches : 0.0);
     opt.set_lr(opt.lr() * config.train.lr_decay);
   }
+  if (config.cache != nullptr) {
+    std::vector<float> blob;
+    for (const ParamRef& p : params) {
+      blob.insert(blob.end(), p.value->begin(), p.value->end());
+    }
+    config.cache->PutBlob(impl->fingerprint, blob);
+  }
   return SpecializedNN(std::move(impl));
 }
 
@@ -237,18 +311,88 @@ const SpecializedNNConfig& SpecializedNN::config() const {
   return impl_->config;
 }
 
+namespace {
+constexpr int kEvalBatch = 256;
+}  // namespace
+
+std::vector<float> SpecializedNN::ProbsForFrames(
+    const SyntheticVideo& video, const std::vector<int64_t>& frames) const {
+  size_t concat_size = 0;
+  for (int classes : impl_->head_classes) {
+    concat_size += static_cast<size_t>(classes);
+  }
+  std::vector<float> out(frames.size() * concat_size);
+  std::vector<size_t> miss;
+
+  ArtifactCache* cache = impl_->cache;
+  const uint64_t ns =
+      cache ? HashCombine(impl_->fingerprint, video.fingerprint()) : 0;
+  if (cache != nullptr) {
+    std::vector<float> cached;
+    for (size_t i = 0; i < frames.size(); ++i) {
+      if (cache->GetFrameFloats(ns, frames[i], &cached) &&
+          cached.size() == concat_size) {
+        std::copy(cached.begin(), cached.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(i * concat_size));
+      } else {
+        miss.push_back(i);
+      }
+    }
+  } else {
+    miss.resize(frames.size());
+    std::iota(miss.begin(), miss.end(), size_t{0});
+  }
+
+  // Batched forward passes over the misses. Layer math is row-independent,
+  // so how frames are grouped into batches cannot change any output bit —
+  // a partially warm cache yields the same floats as a cold one.
+  const int w = impl_->config.raster_width;
+  const int h = impl_->config.raster_height;
+  std::vector<float> row;
+  for (size_t start = 0; start < miss.size(); start += kEvalBatch) {
+    const int batch = static_cast<int>(
+        std::min<size_t>(kEvalBatch, miss.size() - start));
+    Matrix x(batch, impl_->input_dim);
+    for (int i = 0; i < batch; ++i) {
+      std::vector<float> feat =
+          FrameFeatures(video, frames[miss[start + static_cast<size_t>(i)]],
+                        w, h);
+      std::copy(feat.begin(), feat.end(), x.Row(i));
+    }
+    Matrix trunk_out = impl_->trunk->Forward(x);
+    std::vector<Matrix> head_probs;
+    head_probs.reserve(impl_->heads.size());
+    for (auto& head : impl_->heads) {
+      head_probs.push_back(Softmax(head->Forward(trunk_out)));
+    }
+    for (int i = 0; i < batch; ++i) {
+      const size_t slot = miss[start + static_cast<size_t>(i)];
+      float* dst = out.data() + slot * concat_size;
+      for (const Matrix& probs : head_probs) {
+        dst = std::copy(probs.Row(i), probs.Row(i) + probs.cols(), dst);
+      }
+      if (cache != nullptr) {
+        row.assign(out.begin() + static_cast<std::ptrdiff_t>(slot * concat_size),
+                   out.begin() +
+                       static_cast<std::ptrdiff_t>((slot + 1) * concat_size));
+        cache->PutFrameFloats(ns, frames[slot], row);
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<std::vector<float>> SpecializedNN::PredictProbs(
     const SyntheticVideo& video, int64_t frame) const {
-  std::vector<float> feat = FrameFeatures(
-      video, frame, impl_->config.raster_width, impl_->config.raster_height);
-  Matrix x(1, impl_->input_dim);
-  std::copy(feat.begin(), feat.end(), x.Row(0));
-  Matrix trunk_out = impl_->trunk->Forward(x);
+  std::vector<float> concat = ProbsForFrames(video, {frame});
   std::vector<std::vector<float>> out;
   out.reserve(impl_->heads.size());
-  for (auto& head : impl_->heads) {
-    Matrix probs = Softmax(head->Forward(trunk_out));
-    out.emplace_back(probs.Row(0), probs.Row(0) + probs.cols());
+  size_t offset = 0;
+  for (int classes : impl_->head_classes) {
+    out.emplace_back(concat.begin() + static_cast<std::ptrdiff_t>(offset),
+                     concat.begin() +
+                         static_cast<std::ptrdiff_t>(offset) + classes);
+    offset += static_cast<size_t>(classes);
   }
   return out;
 }
@@ -271,34 +415,28 @@ int SpecializedNN::PredictCount(const SyntheticVideo& video, int64_t frame,
       std::max_element(p.begin(), p.end()) - p.begin());
 }
 
-namespace {
-constexpr int kEvalBatch = 256;
-}  // namespace
-
 std::vector<float> SpecializedNN::ExpectedCountsForFrames(
     const SyntheticVideo& video, const std::vector<int64_t>& frames,
     int head) const {
+  std::vector<float> probs = ProbsForFrames(video, frames);
+  size_t concat_size = 0;
+  for (int classes : impl_->head_classes) {
+    concat_size += static_cast<size_t>(classes);
+  }
+  size_t head_offset = 0;
+  for (int h = 0; h < head; ++h) {
+    head_offset += static_cast<size_t>(impl_->head_classes[static_cast<size_t>(h)]);
+  }
+  const int classes = impl_->head_classes[static_cast<size_t>(head)];
   std::vector<float> out;
   out.reserve(frames.size());
-  const int w = impl_->config.raster_width;
-  const int h = impl_->config.raster_height;
-  for (size_t start = 0; start < frames.size(); start += kEvalBatch) {
-    const int batch = static_cast<int>(
-        std::min<size_t>(kEvalBatch, frames.size() - start));
-    Matrix x(batch, impl_->input_dim);
-    for (int i = 0; i < batch; ++i) {
-      std::vector<float> feat = FrameFeatures(video, frames[start + i], w, h);
-      std::copy(feat.begin(), feat.end(), x.Row(i));
+  for (size_t i = 0; i < frames.size(); ++i) {
+    const float* row = probs.data() + i * concat_size + head_offset;
+    double expected = 0;
+    for (int k = 0; k < classes; ++k) {
+      expected += static_cast<double>(k) * static_cast<double>(row[k]);
     }
-    Matrix probs = Softmax(
-        impl_->heads[static_cast<size_t>(head)]->Forward(
-            impl_->trunk->Forward(x)));
-    for (int i = 0; i < batch; ++i) {
-      double expected = 0;
-      for (int k = 0; k < probs.cols(); ++k)
-        expected += static_cast<double>(k) * static_cast<double>(probs.At(i, k));
-      out.push_back(static_cast<float>(expected));
-    }
+    out.push_back(static_cast<float>(expected));
   }
   return out;
 }
@@ -308,32 +446,29 @@ std::vector<float> SpecializedNN::QueryConfidencesForFrames(
     const std::vector<int>& min_counts, ConjunctionMode mode) const {
   const bool product = mode == ConjunctionMode::kProduct;
   std::vector<float> out(frames.size(), product ? 1.0f : 0.0f);
-  const int w = impl_->config.raster_width;
-  const int h = impl_->config.raster_height;
-  for (size_t start = 0; start < frames.size(); start += kEvalBatch) {
-    const int batch = static_cast<int>(
-        std::min<size_t>(kEvalBatch, frames.size() - start));
-    Matrix x(batch, impl_->input_dim);
-    for (int i = 0; i < batch; ++i) {
-      std::vector<float> feat = FrameFeatures(video, frames[start + i], w, h);
-      std::copy(feat.begin(), feat.end(), x.Row(i));
-    }
-    Matrix trunk_out = impl_->trunk->Forward(x);
-    for (size_t head = 0; head < impl_->heads.size() && head < min_counts.size();
-         ++head) {
-      Matrix probs = Softmax(impl_->heads[head]->Forward(trunk_out));
-      int min_c = std::clamp(min_counts[head], 0, probs.cols() - 1);
-      for (int i = 0; i < batch; ++i) {
-        double tail = 0;
-        for (int k = min_c; k < probs.cols(); ++k)
-          tail += static_cast<double>(probs.At(i, k));
-        if (product) {
-          out[start + static_cast<size_t>(i)] *= static_cast<float>(tail);
-        } else {
-          out[start + static_cast<size_t>(i)] += static_cast<float>(tail);
-        }
+  std::vector<float> probs = ProbsForFrames(video, frames);
+  size_t concat_size = 0;
+  for (int classes : impl_->head_classes) {
+    concat_size += static_cast<size_t>(classes);
+  }
+  size_t head_offset = 0;
+  for (size_t head = 0;
+       head < impl_->heads.size() && head < min_counts.size(); ++head) {
+    const int classes = impl_->head_classes[head];
+    const int min_c = std::clamp(min_counts[head], 0, classes - 1);
+    for (size_t i = 0; i < frames.size(); ++i) {
+      const float* row = probs.data() + i * concat_size + head_offset;
+      double tail = 0;
+      for (int k = min_c; k < classes; ++k) {
+        tail += static_cast<double>(row[k]);
+      }
+      if (product) {
+        out[i] *= static_cast<float>(tail);
+      } else {
+        out[i] += static_cast<float>(tail);
       }
     }
+    head_offset += static_cast<size_t>(classes);
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/layers.h"
+#include "util/artifact_cache.h"
 #include "nn/trainer.h"
 #include "util/status.h"
 #include "video/synthetic_video.h"
@@ -29,6 +30,13 @@ struct SpecializedNNConfig {
   /// 1%-rule range, which is what makes the confidence ranking sharp
   /// enough to find rare events.
   int min_classes = 0;
+  /// Optional persistent cache for trained weights and per-frame outputs
+  /// (not owned; must outlive any NN trained with this config). Training
+  /// and inference are deterministic per (day, labels, config), so cached
+  /// artifacts are bit-identical to recomputation — query outputs and
+  /// simulated costs never depend on whether this is set. The catalog
+  /// wires the detection store in here; nullptr disables persistence.
+  ArtifactCache* cache = nullptr;
 };
 
 /// Renders and flattens the frame at the specialized-NN raster size: the
@@ -109,6 +117,15 @@ class SpecializedNN {
   struct Impl;
   explicit SpecializedNN(std::shared_ptr<Impl> impl)
       : impl_(std::move(impl)) {}
+
+  /// Concatenated per-head softmax probabilities for each frame (the shared
+  /// kernel of all inference entry points), served from the artifact cache
+  /// when one is configured; misses run batched forward passes and are
+  /// written back. Returns one flat row-major buffer of
+  /// frames.size() x (sum of head class counts) floats — full-day
+  /// evaluations stay a single allocation, not one vector per frame.
+  std::vector<float> ProbsForFrames(const SyntheticVideo& video,
+                                    const std::vector<int64_t>& frames) const;
 
   std::shared_ptr<Impl> impl_;
 };

@@ -1,0 +1,447 @@
+#include "storage/detection_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace blazeit {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSegmentPrefix = "ns-";
+constexpr const char* kSegmentSuffix = ".seg";
+
+/// Parses `ns-<16 hex>-<nonce>.seg`; returns false for foreign files.
+bool ParseSegmentName(const std::string& filename, uint64_t* ns) {
+  const std::string prefix = kSegmentPrefix;
+  const std::string suffix = kSegmentSuffix;
+  if (filename.size() < prefix.size() + 16 + suffix.size()) return false;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return false;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    const char c = filename[prefix.size() + i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *ns = value;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StoreWriter
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<StoreWriter>> StoreWriter::Create(
+    const std::string& path, uint64_t record_namespace) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal(
+        StrFormat("cannot create store segment '%s'", path.c_str()));
+  }
+  std::string header;
+  SegmentHeader h;
+  h.record_namespace = record_namespace;
+  EncodeSegmentHeader(h, &header);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  if (!out) {
+    return Status::Internal(
+        StrFormat("write failed on store segment '%s'", path.c_str()));
+  }
+  return std::unique_ptr<StoreWriter>(
+      new StoreWriter(path, std::move(out)));
+}
+
+Status StoreWriter::Append(int64_t frame, const std::string& payload) {
+  scratch_.clear();
+  EncodeRecord(frame, payload, &scratch_);
+  out_.write(scratch_.data(), static_cast<std::streamsize>(scratch_.size()));
+  if (!out_) {
+    return Status::Internal(
+        StrFormat("write failed on store segment '%s' at frame %lld",
+                  path_.c_str(), static_cast<long long>(frame)));
+  }
+  record_offsets_.emplace_back(frame, kStoreHeaderBytes + bytes_written_);
+  bytes_written_ += scratch_.size();
+  ++records_written_;
+  return Status::OK();
+}
+
+Status StoreWriter::Close() {
+  if (!out_.is_open()) return Status::OK();
+  out_.flush();
+  const bool ok = static_cast<bool>(out_);
+  out_.close();
+  if (!ok) {
+    return Status::Internal(
+        StrFormat("flush failed on store segment '%s'", path_.c_str()));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// StoreReader
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<StoreReader>> StoreReader::Open(
+    const std::string& path, uint64_t expected_namespace,
+    bool validate_records) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(
+        StrFormat("cannot open store segment '%s'", path.c_str()));
+  }
+  std::unique_ptr<StoreReader> reader(
+      new StoreReader(path, std::move(in)));
+
+  char header_buf[kStoreHeaderBytes];
+  reader->in_.read(header_buf, sizeof(header_buf));
+  const size_t header_read = static_cast<size_t>(reader->in_.gcount());
+  auto header = DecodeSegmentHeader(header_buf, header_read);
+  if (!header.ok()) {
+    return Status(header.status().code(),
+                  StrFormat("%s: %s", path.c_str(),
+                            header.status().message().c_str()));
+  }
+  reader->header_ = header.value();
+  if (expected_namespace != 0 &&
+      reader->header_.record_namespace != expected_namespace) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: stale or misnamed segment (header namespace %016llx does not "
+        "match expected %016llx)",
+        path.c_str(),
+        static_cast<unsigned long long>(reader->header_.record_namespace),
+        static_cast<unsigned long long>(expected_namespace)));
+  }
+  if (validate_records) {
+    BLAZEIT_RETURN_NOT_OK(reader->ScanAndIndex());
+  }
+  reader->in_.close();  // reopened lazily by ReadPayloadAt
+  return reader;
+}
+
+Status StoreReader::ScanAndIndex() {
+  // Full CRC pass over every record, so a corrupt or truncated segment is
+  // rejected at open — before anything gets replayed — with an error that
+  // names the file. (Individual reads still re-verify their one record:
+  // that is cheap and guards against the file changing after open.) The
+  // pass reads the file sequentially into one buffer (per-record seeks
+  // would turn warm opens into hundreds of thousands of tiny syscalls),
+  // which is then dropped — only the frame -> offset index stays resident.
+  in_.clear();
+  in_.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in_.tellg());
+  if (file_size < kStoreHeaderBytes) {
+    return Status::OutOfRange(
+        StrFormat("%s: truncated store header: %llu of %zu bytes",
+                  path_.c_str(), static_cast<unsigned long long>(file_size),
+                  kStoreHeaderBytes));
+  }
+  std::string buffer(file_size - kStoreHeaderBytes, '\0');
+  in_.seekg(static_cast<std::streamoff>(kStoreHeaderBytes));
+  in_.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (static_cast<size_t>(in_.gcount()) != buffer.size()) {
+    return Status::Internal(
+        StrFormat("%s: short read while indexing", path_.c_str()));
+  }
+  size_t pos = 0;
+  while (pos < buffer.size()) {
+    auto record = ValidateRecord(buffer.data() + pos, buffer.size() - pos);
+    if (!record.ok()) {
+      return Status(record.status().code(),
+                    StrFormat("%s: %s", path_.c_str(),
+                              record.status().message().c_str()));
+    }
+    index_[record.value().frame] = kStoreHeaderBytes + pos;
+    pos += record.value().encoded_bytes;
+  }
+  return Status::OK();
+}
+
+Result<std::string> StoreReader::ReadPayloadAt(uint64_t offset) {
+  if (!in_.is_open()) {
+    in_.open(path_, std::ios::binary);
+    if (!in_) {
+      return Status::NotFound(
+          StrFormat("store segment '%s' disappeared", path_.c_str()));
+    }
+  }
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  char rec_header[kRecordHeaderBytes];
+  in_.read(rec_header, sizeof(rec_header));
+  if (static_cast<size_t>(in_.gcount()) < sizeof(rec_header)) {
+    return Status::OutOfRange(
+        StrFormat("%s: truncated record header at offset %llu",
+                  path_.c_str(), static_cast<unsigned long long>(offset)));
+  }
+  uint32_t payload_bytes;
+  std::memcpy(&payload_bytes, rec_header + 8, sizeof(payload_bytes));
+  if (payload_bytes > kMaxRecordPayloadBytes) {
+    return Status::ParseError(StrFormat(
+        "%s: corrupt record length %u at offset %llu", path_.c_str(),
+        payload_bytes, static_cast<unsigned long long>(offset)));
+  }
+  const size_t total = kRecordHeaderBytes + payload_bytes + kRecordFooterBytes;
+  std::string buffer(total, '\0');
+  std::memcpy(buffer.data(), rec_header, kRecordHeaderBytes);
+  in_.read(buffer.data() + kRecordHeaderBytes,
+           static_cast<std::streamsize>(total - kRecordHeaderBytes));
+  const size_t got = kRecordHeaderBytes + static_cast<size_t>(in_.gcount());
+  auto record = DecodeRecord(buffer.data(), got);
+  if (!record.ok()) {
+    return Status(record.status().code(),
+                  StrFormat("%s: %s", path_.c_str(),
+                            record.status().message().c_str()));
+  }
+  return std::move(record.value().payload);
+}
+
+// ---------------------------------------------------------------------------
+// DetectionStore
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<DetectionStore>> DetectionStore::Open(
+    const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal(StrFormat("cannot create store directory '%s': %s",
+                                      dir.c_str(), ec.message().c_str()));
+  }
+  std::unique_ptr<DetectionStore> store(new DetectionStore(dir));
+
+  // Deterministic directory order so duplicate frames resolve identically
+  // across opens.
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    names.push_back(entry.path().filename().string());
+  }
+  if (ec) {
+    return Status::Internal(StrFormat("cannot list store directory '%s': %s",
+                                      dir.c_str(), ec.message().c_str()));
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    uint64_t ns = 0;
+    if (!ParseSegmentName(name, &ns)) continue;  // temp/foreign files
+    auto reader = StoreReader::Open((fs::path(dir) / name).string(), ns);
+    if (!reader.ok()) return reader.status();
+    Shard& shard = store->shards_[ns];
+    const size_t segment_index = shard.segments.size();
+    // Moved out of the reader: keeping both copies resident would double
+    // index memory across a large store.
+    for (const auto& [frame, offset] : reader.value()->ReleaseIndex()) {
+      // First segment (in sorted name order) wins on duplicate frames —
+      // the same first-write-wins rule PutRaw and Flush apply — so every
+      // reopening process resolves a duplicate to the same payload.
+      shard.disk_index.emplace(frame, std::make_pair(segment_index, offset));
+    }
+    shard.segments.push_back(std::move(reader).value());
+  }
+  return store;
+}
+
+DetectionStore::~DetectionStore() {
+  Status st = Flush();
+  if (!st.ok()) {
+    BLAZEIT_LOG(kWarning) << "detection store flush failed on close: "
+                          << st.ToString();
+  }
+}
+
+bool DetectionStore::Contains(uint64_t ns, int64_t frame) const {
+  auto it = shards_.find(ns);
+  if (it == shards_.end()) return false;
+  return it->second.pending.count(frame) > 0 ||
+         it->second.disk_index.count(frame) > 0;
+}
+
+Result<std::string> DetectionStore::GetRaw(uint64_t ns, int64_t frame) {
+  auto it = shards_.find(ns);
+  if (it != shards_.end()) {
+    auto pending = it->second.pending.find(frame);
+    if (pending != it->second.pending.end()) return pending->second;
+    auto disk = it->second.disk_index.find(frame);
+    if (disk != it->second.disk_index.end()) {
+      return it->second.segments[disk->second.first]->ReadPayloadAt(
+          disk->second.second);
+    }
+  }
+  return Status::NotFound(
+      StrFormat("no record for namespace %016llx frame %lld",
+                static_cast<unsigned long long>(ns),
+                static_cast<long long>(frame)));
+}
+
+Status DetectionStore::PutRaw(uint64_t ns, int64_t frame,
+                              std::string payload) {
+  Shard& shard = shards_[ns];
+  // First write wins: records are deterministic per (namespace, frame), so
+  // a duplicate Put is a repeat of known content, and keeping the indexed
+  // copy stable avoids rewriting it into the next segment. Consequence: a
+  // CRC-valid record whose payload a reader rejects as malformed (only
+  // reachable via a key collision or a writer bug) is not repaired by
+  // re-Putting — callers recompute and warn each run until the store is
+  // rebuilt (see the ROADMAP compaction item).
+  if (shard.disk_index.count(frame) > 0) return Status::OK();
+  auto [it, inserted] = shard.pending.emplace(frame, std::move(payload));
+  (void)it;
+  if (inserted) ++pending_records_;
+  return Status::OK();
+}
+
+Result<std::vector<Detection>> DetectionStore::GetDetections(uint64_t ns,
+                                                             int64_t frame) {
+  auto payload = GetRaw(ns, frame);
+  if (!payload.ok()) return payload.status();
+  return DecodeDetectionsPayload(payload.value());
+}
+
+Status DetectionStore::PutDetections(
+    uint64_t ns, int64_t frame, const std::vector<Detection>& detections) {
+  return PutRaw(ns, frame, EncodeDetectionsPayload(detections));
+}
+
+Result<std::vector<float>> DetectionStore::GetFloats(uint64_t ns,
+                                                     int64_t frame) {
+  auto payload = GetRaw(ns, frame);
+  if (!payload.ok()) return payload.status();
+  return DecodeFloatsPayload(payload.value());
+}
+
+Status DetectionStore::PutFloats(uint64_t ns, int64_t frame,
+                                 const std::vector<float>& values) {
+  return PutRaw(ns, frame, EncodeFloatsPayload(values));
+}
+
+Result<std::vector<double>> DetectionStore::GetDoubles(uint64_t ns,
+                                                       int64_t frame) {
+  auto payload = GetRaw(ns, frame);
+  if (!payload.ok()) return payload.status();
+  return DecodeDoublesPayload(payload.value());
+}
+
+Status DetectionStore::PutDoubles(uint64_t ns, int64_t frame,
+                                  const std::vector<double>& values) {
+  return PutRaw(ns, frame, EncodeDoublesPayload(values));
+}
+
+Status DetectionStore::Scan(
+    uint64_t ns, const std::function<Status(int64_t frame,
+                                            const std::string& payload)>& fn) {
+  auto it = shards_.find(ns);
+  if (it == shards_.end()) return Status::OK();
+  Shard& shard = it->second;
+  std::vector<int64_t> frames;
+  frames.reserve(shard.disk_index.size() + shard.pending.size());
+  for (const auto& [frame, _] : shard.disk_index) frames.push_back(frame);
+  for (const auto& [frame, _] : shard.pending) {
+    if (shard.disk_index.count(frame) == 0) frames.push_back(frame);
+  }
+  std::sort(frames.begin(), frames.end());
+  for (int64_t frame : frames) {
+    auto payload = GetRaw(ns, frame);
+    if (!payload.ok()) return payload.status();
+    BLAZEIT_RETURN_NOT_OK(fn(frame, payload.value()));
+  }
+  return Status::OK();
+}
+
+std::string DetectionStore::NewSegmentPath(uint64_t ns) const {
+  // Unique per (process, flush): concurrent processes flushing the same
+  // namespace write distinct files, and rename() makes each appear
+  // atomically.
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return (fs::path(dir_) /
+          StrFormat("%s%016llx-%d-%llu-%llu%s", kSegmentPrefix,
+                    static_cast<unsigned long long>(ns),
+                    static_cast<int>(::getpid()),
+                    static_cast<unsigned long long>(flush_counter_),
+                    static_cast<unsigned long long>(now.count()),
+                    kSegmentSuffix))
+      .string();
+}
+
+Status DetectionStore::Flush() {
+  for (auto& [ns, shard] : shards_) {
+    if (shard.pending.empty()) continue;
+    ++flush_counter_;
+    const std::string final_path = NewSegmentPath(ns);
+    const std::string tmp_path = final_path + ".tmp";
+    auto writer = StoreWriter::Create(tmp_path, ns);
+    if (!writer.ok()) return writer.status();
+    for (const auto& [frame, payload] : shard.pending) {
+      BLAZEIT_RETURN_NOT_OK(writer.value()->Append(frame, payload));
+    }
+    BLAZEIT_RETURN_NOT_OK(writer.value()->Close());
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+      return Status::Internal(
+          StrFormat("cannot publish store segment '%s': %s",
+                    final_path.c_str(), ec.message().c_str()));
+    }
+    // Fold the new segment into the disk index from the offsets the writer
+    // tracked — this process just wrote and checksummed every record, so
+    // re-reading the file to index it (the common case being the
+    // destructor flush at suite exit) would be pure waste.
+    auto reader = StoreReader::Open(final_path, ns,
+                                    /*validate_records=*/false);
+    if (!reader.ok()) return reader.status();
+    const size_t segment_index = shard.segments.size();
+    for (const auto& [frame, offset] : writer.value()->record_offsets()) {
+      shard.disk_index.emplace(frame, std::make_pair(segment_index, offset));
+    }
+    shard.segments.push_back(std::move(reader).value());
+    pending_records_ -= static_cast<int64_t>(shard.pending.size());
+    shard.pending.clear();
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> DetectionStore::Namespaces() const {
+  std::vector<uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& [ns, _] : shards_) out.push_back(ns);
+  return out;
+}
+
+int64_t DetectionStore::RecordCount(uint64_t ns) const {
+  auto it = shards_.find(ns);
+  if (it == shards_.end()) return 0;
+  int64_t total = static_cast<int64_t>(it->second.disk_index.size());
+  for (const auto& [frame, _] : it->second.pending) {
+    if (it->second.disk_index.count(frame) == 0) ++total;
+  }
+  return total;
+}
+
+int64_t DetectionStore::TotalRecords() const {
+  int64_t total = 0;
+  for (const auto& [ns, _] : shards_) total += RecordCount(ns);
+  return total;
+}
+
+}  // namespace blazeit

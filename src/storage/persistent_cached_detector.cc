@@ -1,0 +1,46 @@
+#include "storage/persistent_cached_detector.h"
+
+#include "util/artifact_cache.h"
+#include "util/logging.h"
+
+namespace blazeit {
+
+uint64_t PersistentCachedDetector::StreamNamespace(
+    const SyntheticVideo& video) const {
+  // Salt in the code epoch: the fingerprints identify the *inputs*, the
+  // epoch identifies the implementation that turned them into detections.
+  return HashCombine(
+      HashCombine(video.fingerprint(), inner_->ParamsFingerprint()),
+      kDerivedArtifactEpoch);
+}
+
+std::vector<Detection> PersistentCachedDetector::Detect(
+    const SyntheticVideo& video, int64_t frame) const {
+  DetectionCacheKey key{video.fingerprint(), frame};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const uint64_t ns = StreamNamespace(video);
+  auto stored = store_->GetDetections(ns, frame);
+  if (stored.ok()) {
+    ++store_hits_;
+    return cache_.emplace(key, std::move(stored).value()).first->second;
+  }
+  if (stored.status().code() != StatusCode::kNotFound) {
+    // A record that exists but fails to decode means on-disk corruption
+    // that slipped past Open (e.g. the file changed underneath us). Fall
+    // back to recomputing, loudly.
+    BLAZEIT_LOG(kWarning) << "detection store read failed, recomputing: "
+                          << stored.status().ToString();
+  }
+  ++store_misses_;
+  std::vector<Detection> dets = inner_->Detect(video, frame);
+  Status put = store_->PutDetections(ns, frame, dets);
+  if (!put.ok()) {
+    BLAZEIT_LOG(kWarning) << "detection store write failed: "
+                          << put.ToString();
+  }
+  return cache_.emplace(key, std::move(dets)).first->second;
+}
+
+}  // namespace blazeit

@@ -1,0 +1,58 @@
+#ifndef BLAZEIT_STORAGE_PERSISTENT_CACHED_DETECTOR_H_
+#define BLAZEIT_STORAGE_PERSISTENT_CACHED_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/cached_detector.h"
+#include "detect/detector.h"
+#include "storage/detection_store.h"
+
+namespace blazeit {
+
+/// Read-through/write-through detector cache backed by a DetectionStore:
+/// the persistent version of CachedDetector. A frame is served from the
+/// in-memory map, then from the store, and only then computed by the inner
+/// detector (and written back for the next process). Records are keyed by
+/// (stream-day fingerprint x detector fingerprint, frame) — never by the
+/// raw seed — so days of different streams can share one store safely.
+///
+/// As with CachedDetector, executors charge simulated detection cost per
+/// logical call; a warm store changes wall-clock only.
+class PersistentCachedDetector : public ObjectDetector {
+ public:
+  /// Neither pointer is owned; both must outlive this object.
+  PersistentCachedDetector(const ObjectDetector* inner, DetectionStore* store)
+      : inner_(inner), store_(store) {}
+
+  std::vector<Detection> Detect(const SyntheticVideo& video,
+                                int64_t frame) const override;
+
+  std::string name() const override { return inner_->name() + "+store"; }
+
+  uint64_t ParamsFingerprint() const override {
+    return inner_->ParamsFingerprint();
+  }
+
+  /// Namespace detections of `video` live under in the store.
+  uint64_t StreamNamespace(const SyntheticVideo& video) const;
+
+  int64_t store_hits() const { return store_hits_; }
+  int64_t store_misses() const { return store_misses_; }
+  size_t memory_cache_size() const { return cache_.size(); }
+
+ private:
+  const ObjectDetector* inner_;
+  DetectionStore* store_;
+  mutable std::unordered_map<DetectionCacheKey, std::vector<Detection>,
+                             DetectionCacheKeyHash>
+      cache_;
+  mutable int64_t store_hits_ = 0;
+  mutable int64_t store_misses_ = 0;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_STORAGE_PERSISTENT_CACHED_DETECTOR_H_

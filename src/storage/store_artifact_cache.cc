@@ -1,0 +1,72 @@
+#include "storage/store_artifact_cache.h"
+
+#include "util/logging.h"
+
+namespace blazeit {
+
+namespace {
+
+void WarnOnce(const char* what, const Status& status) {
+  BLAZEIT_LOG(kWarning) << what << ": " << status.ToString();
+}
+
+/// Callers' namespaces fingerprint the *inputs*; salt in the code epoch so
+/// artifacts computed by older implementations are never replayed.
+uint64_t Salted(uint64_t ns) {
+  return HashCombine(ns, kDerivedArtifactEpoch);
+}
+
+}  // namespace
+
+bool StoreArtifactCache::GetFrameFloats(uint64_t ns, int64_t frame,
+                                        std::vector<float>* out) {
+  auto values = store_->GetFloats(Salted(ns), frame);
+  if (!values.ok()) {
+    if (values.status().code() != StatusCode::kNotFound) {
+      WarnOnce("artifact cache read failed, recomputing", values.status());
+    }
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *out = std::move(values).value();
+  return true;
+}
+
+void StoreArtifactCache::PutFrameFloats(uint64_t ns, int64_t frame,
+                                        const std::vector<float>& values) {
+  Status st = store_->PutFloats(Salted(ns), frame, values);
+  if (!st.ok()) WarnOnce("artifact cache write failed", st);
+}
+
+bool StoreArtifactCache::GetFrameDoubles(uint64_t ns, int64_t frame,
+                                         std::vector<double>* out) {
+  auto values = store_->GetDoubles(Salted(ns), frame);
+  if (!values.ok()) {
+    if (values.status().code() != StatusCode::kNotFound) {
+      WarnOnce("artifact cache read failed, recomputing", values.status());
+    }
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *out = std::move(values).value();
+  return true;
+}
+
+void StoreArtifactCache::PutFrameDoubles(uint64_t ns, int64_t frame,
+                                         const std::vector<double>& values) {
+  Status st = store_->PutDoubles(Salted(ns), frame, values);
+  if (!st.ok()) WarnOnce("artifact cache write failed", st);
+}
+
+bool StoreArtifactCache::GetBlob(uint64_t ns, std::vector<float>* out) {
+  return GetFrameFloats(ns, kBlobFrame, out);
+}
+
+void StoreArtifactCache::PutBlob(uint64_t ns,
+                                 const std::vector<float>& values) {
+  PutFrameFloats(ns, kBlobFrame, values);
+}
+
+}  // namespace blazeit

@@ -1,0 +1,45 @@
+#ifndef BLAZEIT_STORAGE_STORE_ARTIFACT_CACHE_H_
+#define BLAZEIT_STORAGE_STORE_ARTIFACT_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/detection_store.h"
+#include "util/artifact_cache.h"
+
+namespace blazeit {
+
+/// ArtifactCache backed by a DetectionStore: per-frame NN outputs, filter
+/// scores, and trained-weight blobs become float/double-payload records in
+/// the same versioned, CRC-checked segment format as detections. Blobs use
+/// a sentinel frame id (no real frame is negative).
+class StoreArtifactCache : public ArtifactCache {
+ public:
+  /// Not owned; must outlive this object.
+  explicit StoreArtifactCache(DetectionStore* store) : store_(store) {}
+
+  bool GetFrameFloats(uint64_t ns, int64_t frame,
+                      std::vector<float>* out) override;
+  void PutFrameFloats(uint64_t ns, int64_t frame,
+                      const std::vector<float>& values) override;
+  bool GetFrameDoubles(uint64_t ns, int64_t frame,
+                       std::vector<double>* out) override;
+  void PutFrameDoubles(uint64_t ns, int64_t frame,
+                       const std::vector<double>& values) override;
+  bool GetBlob(uint64_t ns, std::vector<float>* out) override;
+  void PutBlob(uint64_t ns, const std::vector<float>& values) override;
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  static constexpr int64_t kBlobFrame = -1;
+
+  DetectionStore* store_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_STORAGE_STORE_ARTIFACT_CACHE_H_

@@ -1,0 +1,54 @@
+#ifndef BLAZEIT_UTIL_ARTIFACT_CACHE_H_
+#define BLAZEIT_UTIL_ARTIFACT_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace blazeit {
+
+/// Version epoch of the *code* that derives cached artifacts. Config
+/// fingerprints capture what the inputs were, but not which implementation
+/// of the detector noise model, renderer, FrameFeatures, or NN forward
+/// math produced the bytes — persistent stores mix this epoch into every
+/// namespace, so bumping it invalidates all derived artifacts at once.
+/// Bump whenever any of that math changes output bits.
+inline constexpr uint64_t kDerivedArtifactEpoch = 1;
+
+/// Cache interface for expensive derived per-frame artifacts: trained NN
+/// weights, per-frame NN softmax outputs, and per-frame filter scores. The
+/// interface lives in util/ so nn/ and filters/ stay independent of the
+/// storage backend; the DetectionStore-backed implementation is
+/// storage/store_artifact_cache.h, and a null cache (the default
+/// everywhere) disables persistence entirely.
+///
+/// Keys are caller-computed fingerprints covering everything the cached
+/// value depends on (training day, labels, config, evaluation day, filter
+/// identity); a key therefore never needs invalidation — a changed input
+/// is a different key. Values are bit-exact: a cache hit must reproduce
+/// the identical floats/doubles the computation would have produced, so
+/// query outputs and simulated costs are unchanged warm or cold.
+class ArtifactCache {
+ public:
+  virtual ~ArtifactCache() = default;
+
+  /// Per-frame float records under namespace `ns`. Returns false on miss.
+  virtual bool GetFrameFloats(uint64_t ns, int64_t frame,
+                              std::vector<float>* out) = 0;
+  virtual void PutFrameFloats(uint64_t ns, int64_t frame,
+                              const std::vector<float>& values) = 0;
+
+  /// Per-frame double records (filter scores are doubles; storing them as
+  /// floats would round and could flip threshold comparisons).
+  virtual bool GetFrameDoubles(uint64_t ns, int64_t frame,
+                               std::vector<double>* out) = 0;
+  virtual void PutFrameDoubles(uint64_t ns, int64_t frame,
+                               const std::vector<double>& values) = 0;
+
+  /// One blob per namespace (trained weights). Returns false on miss.
+  virtual bool GetBlob(uint64_t ns, std::vector<float>* out) = 0;
+  virtual void PutBlob(uint64_t ns, const std::vector<float>& values) = 0;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_UTIL_ARTIFACT_CACHE_H_

@@ -1,0 +1,24 @@
+#ifndef BLAZEIT_UTIL_CRC32_H_
+#define BLAZEIT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace blazeit {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding the
+/// detection-store record format. Table-driven, byte at a time: plenty for
+/// the store's I/O rates, with the standard reflected algorithm so values
+/// match `cksum`-style tooling.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Incremental form: feed `Crc32Update` successive chunks starting from
+/// `kCrc32Init`, then finalize. `Crc32(p, n)` ==
+/// `Crc32Finalize(Crc32Update(kCrc32Init, p, n))`.
+inline constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size);
+inline uint32_t Crc32Finalize(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_UTIL_CRC32_H_

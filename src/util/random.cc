@@ -1,6 +1,7 @@
 #include "util/random.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
 namespace blazeit {
@@ -81,6 +82,29 @@ uint64_t HashCombine(uint64_t a, uint64_t b) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+Fingerprint& Fingerprint::Mix(uint64_t v) {
+  state_ = HashCombine(state_, v);
+  return *this;
+}
+
+Fingerprint& Fingerprint::Mix(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix(bits);
+}
+
+Fingerprint& Fingerprint::Mix(float v) {
+  uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix(static_cast<uint64_t>(bits));
+}
+
+Fingerprint& Fingerprint::Mix(const std::string& s) {
+  return Mix(HashString(s));
 }
 
 }  // namespace blazeit

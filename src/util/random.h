@@ -52,6 +52,36 @@ uint64_t HashCombine(uint64_t a, uint64_t b);
 /// deterministic parameters such as diurnal phases.
 uint64_t HashString(const std::string& s);
 
+/// Order-sensitive hash accumulator for building content fingerprints of
+/// configuration structs (stream configs, detector noise, NN shapes).
+/// Floating-point values are mixed by bit pattern, so fingerprints change
+/// exactly when the serialized value would. Stable across processes — the
+/// detection store persists these on disk as cache keys.
+class Fingerprint {
+ public:
+  Fingerprint& Mix(uint64_t v);
+  Fingerprint& Mix(int64_t v) { return Mix(static_cast<uint64_t>(v)); }
+  Fingerprint& Mix(int v) { return Mix(static_cast<uint64_t>(v)); }
+  Fingerprint& Mix(bool v) { return Mix(static_cast<uint64_t>(v)); }
+  Fingerprint& Mix(double v);
+  Fingerprint& Mix(float v);
+  Fingerprint& Mix(const std::string& s);
+  /// Without this overload a string literal would take the built-in
+  /// pointer-to-bool conversion and every literal would hash as `true`.
+  Fingerprint& Mix(const char* s) { return Mix(std::string(s)); }
+  template <typename T>
+  Fingerprint& MixRange(const std::vector<T>& values) {
+    Mix(static_cast<uint64_t>(values.size()));
+    for (const T& v : values) Mix(v);
+    return *this;
+  }
+
+  uint64_t value() const { return state_; }
+
+ private:
+  uint64_t state_ = 0x9E3779B97F4A7C15ull;
+};
+
 }  // namespace blazeit
 
 #endif  // BLAZEIT_UTIL_RANDOM_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/random.h"
 #include "util/string_util.h"
 
 namespace blazeit {
@@ -70,6 +71,56 @@ Status ValidateStreamConfig(const StreamConfig& config) {
       return Status::InvalidArgument("class region must be non-empty");
   }
   return Status::OK();
+}
+
+namespace {
+
+void MixColor(Fingerprint* fp, const Color& color) {
+  fp->Mix(color.r).Mix(color.g).Mix(color.b);
+}
+
+void MixRect(Fingerprint* fp, const Rect& rect) {
+  fp->Mix(rect.xmin).Mix(rect.ymin).Mix(rect.xmax).Mix(rect.ymax);
+}
+
+}  // namespace
+
+uint64_t ConfigFingerprint(const StreamConfig& config) {
+  // Every field below feeds generation (or detection thresholds); any new
+  // StreamConfig field must be mixed here or stale caches go undetected.
+  Fingerprint fp;
+  fp.Mix(config.name)
+      .Mix(config.fps)
+      .Mix(config.width)
+      .Mix(config.height)
+      .Mix(config.pixel_noise)
+      .Mix(config.lighting_variation)
+      .Mix(config.lighting_period_sec)
+      .Mix(config.detection_threshold)
+      .Mix(config.day_brightness_jitter)
+      .Mix(config.clutter_rate);
+  MixColor(&fp, config.background);
+  fp.Mix(static_cast<uint64_t>(config.classes.size()));
+  for (const ObjectClassConfig& cls : config.classes) {
+    fp.Mix(cls.class_id)
+        .Mix(cls.occupancy)
+        .Mix(cls.mean_duration_sec)
+        .Mix(cls.duration_log_sigma)
+        .Mix(cls.mean_width)
+        .Mix(cls.mean_height)
+        .Mix(cls.size_log_sigma)
+        .Mix(cls.speed_mean)
+        .Mix(cls.rate_modulation_amplitude)
+        .Mix(cls.rate_modulation_period_sec)
+        .Mix(cls.day_rate_jitter);
+    MixRect(&fp, cls.region);
+    fp.Mix(static_cast<uint64_t>(cls.populations.size()));
+    for (const ObjectPopulation& pop : cls.populations) {
+      MixColor(&fp, pop.color);
+      fp.Mix(pop.color_jitter).Mix(pop.weight);
+    }
+  }
+  return fp.value();
 }
 
 }  // namespace blazeit

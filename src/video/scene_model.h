@@ -125,6 +125,13 @@ double ExpectedMeanCount(const ObjectClassConfig& cls, int fps);
 /// in (0,1), etc.).
 Status ValidateStreamConfig(const StreamConfig& config);
 
+/// Content fingerprint over every generative field of the config. Two
+/// configs share a fingerprint iff they describe the same scene, so the
+/// fingerprint (combined with seed and length) identifies a generated day —
+/// the detection store and the detector caches key on it instead of the
+/// seed alone, which collides across streams.
+uint64_t ConfigFingerprint(const StreamConfig& config);
+
 }  // namespace blazeit
 
 #endif  // BLAZEIT_VIDEO_SCENE_MODEL_H_

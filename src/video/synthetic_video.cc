@@ -42,7 +42,14 @@ Result<std::unique_ptr<SyntheticVideo>> SyntheticVideo::Create(
 
 SyntheticVideo::SyntheticVideo(StreamConfig config, uint64_t seed,
                                int64_t num_frames)
-    : config_(std::move(config)), seed_(seed), num_frames_(num_frames) {}
+    : config_(std::move(config)),
+      seed_(seed),
+      num_frames_(num_frames),
+      fingerprint_(Fingerprint()
+                       .Mix(ConfigFingerprint(config_))
+                       .Mix(seed_)
+                       .Mix(num_frames_)
+                       .value()) {}
 
 void SyntheticVideo::GenerateInstances() {
   int64_t next_track_id = 1;

@@ -47,6 +47,13 @@ class SyntheticVideo {
   int fps() const { return config_.fps; }
   uint64_t seed() const { return seed_; }
 
+  /// Content fingerprint of this generated day:
+  /// (ConfigFingerprint, seed, num_frames). Two SyntheticVideo instances
+  /// with equal fingerprints produce identical ground truth for every
+  /// frame, so caches (detector memoization, the on-disk detection store)
+  /// key on it rather than on the seed, which is shared across streams.
+  uint64_t fingerprint() const { return fingerprint_; }
+
   /// Timestamp of a frame in seconds (one-to-one with frames, Section 4).
   double TimestampSeconds(int64_t frame) const {
     return static_cast<double>(frame) / config_.fps;
@@ -116,6 +123,7 @@ class SyntheticVideo {
   StreamConfig config_;
   uint64_t seed_;
   int64_t num_frames_;
+  uint64_t fingerprint_ = 0;
   std::vector<Instance> instances_;
   std::vector<ClutterBlob> clutter_;
   /// active_[frame] lists indices into instances_ whose interval covers the

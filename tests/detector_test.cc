@@ -137,5 +137,34 @@ TEST_F(DetectorTest, CacheKeyedByVideoSeed) {
   EXPECT_EQ(cached.cache_size(), 2u);
 }
 
+TEST_F(DetectorTest, CacheDistinguishesSameSeedStreams) {
+  // Regression: the old cache key hand-mixed (seed, frame) into one
+  // uint64_t, so two *different* streams generated with the same seed —
+  // exactly what the catalog does with its fixed day seeds — collided and
+  // one stream silently replayed the other's detections. The composite
+  // (stream fingerprint, frame) key must keep them apart.
+  auto taipei = SyntheticVideo::Create(TaipeiConfig(), 101, 100).value();
+  auto rialto = SyntheticVideo::Create(RialtoConfig(), 101, 100).value();
+  ASSERT_EQ(taipei->seed(), rialto->seed());
+  ASSERT_NE(taipei->fingerprint(), rialto->fingerprint());
+
+  SimulatedDetector inner;
+  CachedDetector cached(&inner);
+  for (int64_t t = 0; t < 30; ++t) {
+    // Populate with taipei first so a colliding key would serve taipei's
+    // detections for rialto.
+    (void)cached.Detect(*taipei, t);
+    auto from_cache = cached.Detect(*rialto, t);
+    auto direct = inner.Detect(*rialto, t);
+    ASSERT_EQ(from_cache.size(), direct.size()) << "frame " << t;
+    for (size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(from_cache[i].rect, direct[i].rect);
+      EXPECT_EQ(from_cache[i].class_id, direct[i].class_id);
+      EXPECT_EQ(from_cache[i].score, direct[i].score);
+    }
+  }
+  EXPECT_EQ(cached.cache_size(), 60u);
+}
+
 }  // namespace
 }  // namespace blazeit

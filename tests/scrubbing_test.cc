@@ -108,8 +108,9 @@ TEST_F(ScrubbingTest, RequirementStatsConsistent) {
 class LimitSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(LimitSweep, DetectionsGrowWithLimit) {
-  // Uses its own small catalog (parameterized sweeps share nothing).
-  VideoCatalog catalog;
+  // Uses its own small catalog (parameterized sweeps share nothing
+  // in-process, but the persistent store still warms repeat runs).
+  VideoCatalog catalog = testutil::MakeCatalog();
   BLAZEIT_ASSERT_OK(
       catalog.AddStream(TaipeiConfig(), testutil::SmallDays(4000, 2000)));
   StreamData* stream = catalog.GetStream("taipei").value();

@@ -1,0 +1,387 @@
+// src/storage/ coverage: byte-exact round trips through the versioned
+// segment format, distinct rejection Statuses for every corruption mode
+// (truncation, bad magic, version skew, checksum failure, stale rename),
+// and read/write-through behaviour of PersistentCachedDetector.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "detect/simulated_detector.h"
+#include "storage/detection_store.h"
+#include "storage/persistent_cached_detector.h"
+#include "storage/record_format.h"
+#include "testing/test_util.h"
+#include "util/crc32.h"
+#include "util/random.h"
+#include "video/datasets.h"
+
+namespace blazeit {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            (std::string("blazeit-store-") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Path of the single segment file in dir_ (fails the test if != 1).
+  std::string OnlySegmentPath() {
+    std::vector<std::string> segments;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      segments.push_back(entry.path().string());
+    }
+    EXPECT_EQ(segments.size(), 1u);
+    return segments.empty() ? std::string() : segments.front();
+  }
+
+  std::string dir_;
+};
+
+std::vector<Detection> RandomDetections(Rng* rng, int count,
+                                        bool with_features) {
+  std::vector<Detection> dets;
+  for (int i = 0; i < count; ++i) {
+    Detection d;
+    d.class_id = static_cast<int>(rng->UniformInt(0, kNumClasses - 1));
+    d.rect.xmin = rng->Uniform();
+    d.rect.ymin = rng->Uniform();
+    d.rect.xmax = d.rect.xmin + rng->Uniform(0.0, 0.3);
+    d.rect.ymax = d.rect.ymin + rng->Uniform(0.0, 0.3);
+    d.score = rng->Uniform();
+    if (with_features) {
+      for (int f = 0; f < 3; ++f) {
+        d.features.push_back(static_cast<float>(rng->Uniform()));
+      }
+    }
+    dets.push_back(d);
+  }
+  return dets;
+}
+
+void ExpectSameDetections(const std::vector<Detection>& a,
+                          const std::vector<Detection>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].class_id, b[i].class_id);
+    // operator== on Rect compares exact doubles: the format must preserve
+    // every bit, not approximate.
+    EXPECT_EQ(a[i].rect, b[i].rect);
+    EXPECT_EQ(a[i].score, b[i].score);
+    EXPECT_EQ(a[i].features, b[i].features);
+  }
+}
+
+TEST_F(StorageTest, Crc32MatchesKnownVector) {
+  // The canonical CRC-32 check value ("123456789" -> 0xCBF43926).
+  const char* msg = "123456789";
+  EXPECT_EQ(Crc32(msg, 9), 0xCBF43926u);
+  // Incremental chunks agree with the one-shot value.
+  uint32_t state = Crc32Update(kCrc32Init, msg, 4);
+  state = Crc32Update(state, msg + 4, 5);
+  EXPECT_EQ(Crc32Finalize(state), 0xCBF43926u);
+}
+
+TEST_F(StorageTest, DetectionsPayloadRoundTrip) {
+  Rng rng(7);
+  std::vector<Detection> dets = RandomDetections(&rng, 5, true);
+  auto decoded = DecodeDetectionsPayload(EncodeDetectionsPayload(dets));
+  BLAZEIT_ASSERT_OK(decoded);
+  ExpectSameDetections(decoded.value(), dets);
+
+  auto empty = DecodeDetectionsPayload(EncodeDetectionsPayload({}));
+  BLAZEIT_ASSERT_OK(empty);
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST_F(StorageTest, StoreRoundTripProperty) {
+  // Random detections -> Put -> Flush -> reopen -> byte-identical Get, over
+  // several namespaces and 100 random frames each.
+  Rng rng(42);
+  std::vector<uint64_t> namespaces = {0xAAAA1111, 0xBBBB2222, 0xCCCC3333};
+  std::map<std::pair<uint64_t, int64_t>, std::vector<Detection>> expected;
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store);
+    for (uint64_t ns : namespaces) {
+      for (int i = 0; i < 100; ++i) {
+        int64_t frame = rng.UniformInt(0, 1000000);
+        auto dets = RandomDetections(
+            &rng, static_cast<int>(rng.UniformInt(0, 6)), rng.Bernoulli(0.5));
+        // Skip duplicate frame draws: the store keeps the first payload per
+        // (namespace, frame), so a re-draw with different detections would
+        // make `expected` disagree with it.
+        if (!expected.emplace(std::make_pair(ns, frame), dets).second) {
+          continue;
+        }
+        BLAZEIT_ASSERT_OK(store.value()->PutDetections(ns, frame, dets));
+      }
+    }
+    BLAZEIT_ASSERT_OK(store.value()->Flush());
+  }
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened);
+  EXPECT_EQ(reopened.value()->TotalRecords(),
+            static_cast<int64_t>(expected.size()));
+  for (const auto& [key, dets] : expected) {
+    ASSERT_TRUE(reopened.value()->Contains(key.first, key.second));
+    auto got = reopened.value()->GetDetections(key.first, key.second);
+    BLAZEIT_ASSERT_OK(got);
+    ExpectSameDetections(got.value(), dets);
+  }
+}
+
+TEST_F(StorageTest, FloatsRoundTripAndScan) {
+  const uint64_t ns = 0xF10A75;
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store);
+    BLAZEIT_ASSERT_OK(store.value()->PutFloats(ns, 3, {1.5f, -2.25f}));
+    BLAZEIT_ASSERT_OK(store.value()->PutFloats(ns, 1, {0.125f}));
+    BLAZEIT_ASSERT_OK(store.value()->Flush());
+    // Unflushed pending records are also visible.
+    BLAZEIT_ASSERT_OK(store.value()->PutFloats(ns, 2, {7.0f}));
+    std::vector<int64_t> order;
+    BLAZEIT_ASSERT_OK(store.value()->Scan(
+        ns, [&order](int64_t frame, const std::string&) {
+          order.push_back(frame);
+          return Status::OK();
+        }));
+    EXPECT_EQ(order, (std::vector<int64_t>{1, 2, 3}));
+  }
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened);
+  auto floats = reopened.value()->GetFloats(ns, 3);
+  BLAZEIT_ASSERT_OK(floats);
+  EXPECT_EQ(floats.value(), (std::vector<float>{1.5f, -2.25f}));
+  auto missing = reopened.value()->GetFloats(ns, 99);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, MultipleFlushesMergeAcrossSegments) {
+  const uint64_t ns = 0x5E65;
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store);
+    BLAZEIT_ASSERT_OK(store.value()->PutFloats(ns, 1, {1.0f}));
+    BLAZEIT_ASSERT_OK(store.value()->Flush());
+    BLAZEIT_ASSERT_OK(store.value()->PutFloats(ns, 2, {2.0f}));
+    BLAZEIT_ASSERT_OK(store.value()->Flush());
+  }
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened);
+  EXPECT_EQ(reopened.value()->TotalRecords(), 2);
+  EXPECT_TRUE(reopened.value()->Contains(ns, 1));
+  EXPECT_TRUE(reopened.value()->Contains(ns, 2));
+}
+
+// --- corruption rejection: each failure mode has its own StatusCode ---
+
+class CorruptionTest : public StorageTest {
+ protected:
+  /// Builds a one-segment store and returns the segment path.
+  std::string BuildSegment() {
+    auto store = DetectionStore::Open(dir_);
+    EXPECT_TRUE(store.ok());
+    Rng rng(3);
+    for (int64_t frame = 0; frame < 20; ++frame) {
+      EXPECT_TRUE(store.value()
+                      ->PutDetections(kNs, frame,
+                                      RandomDetections(&rng, 3, false))
+                      .ok());
+    }
+    EXPECT_TRUE(store.value()->Flush().ok());
+    return OnlySegmentPath();
+  }
+
+  static constexpr uint64_t kNs = 0xDEAD0001;
+};
+
+TEST_F(CorruptionTest, TruncatedFileRejected) {
+  std::string path = BuildSegment();
+  const auto full_size = fs::file_size(path);
+  fs::resize_file(path, full_size - 7);
+  auto reopened = DetectionStore::Open(dir_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(reopened.status().message().find("truncated"), std::string::npos)
+      << reopened.status().ToString();
+
+  // Truncation inside the file header is also OutOfRange.
+  fs::resize_file(path, kStoreHeaderBytes / 2);
+  auto header_cut = DetectionStore::Open(dir_);
+  ASSERT_FALSE(header_cut.ok());
+  EXPECT_EQ(header_cut.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CorruptionTest, BadMagicRejected) {
+  std::string path = BuildSegment();
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(0);
+  f.write("NOTADET1", 8);
+  f.close();
+  auto reopened = DetectionStore::Open(dir_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reopened.status().message().find("magic"), std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST_F(CorruptionTest, VersionMismatchRejected) {
+  std::string path = BuildSegment();
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(8);  // format_version field
+  const uint32_t future_version = kStoreFormatVersion + 1;
+  f.write(reinterpret_cast<const char*>(&future_version),
+          sizeof(future_version));
+  f.close();
+  auto reopened = DetectionStore::Open(dir_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(reopened.status().message().find("version"), std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST_F(CorruptionTest, ChecksumFailureRejected) {
+  std::string path = BuildSegment();
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  // Flip one byte inside the first record's *payload* (file header + record
+  // header + 2), so record framing stays intact and the CRC check is what
+  // must catch the damage.
+  const auto target =
+      static_cast<std::streamoff>(kStoreHeaderBytes + kRecordHeaderBytes + 2);
+  f.seekg(target);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(target);
+  f.write(&byte, 1);
+  f.close();
+  auto reopened = DetectionStore::Open(dir_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(CorruptionTest, StaleRenamedSegmentRejected) {
+  std::string path = BuildSegment();
+  // Rename under a different namespace: the filename no longer matches the
+  // header fingerprint, as after copying caches between incompatible
+  // configs.
+  std::string renamed = path;
+  size_t pos = renamed.find("dead0001");
+  ASSERT_NE(pos, std::string::npos) << renamed;
+  renamed.replace(pos, 8, "dead0002");
+  fs::rename(path, renamed);
+  auto reopened = DetectionStore::Open(dir_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reopened.status().message().find("stale"), std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST_F(CorruptionTest, TempFilesIgnored) {
+  BuildSegment();
+  // A concurrent writer's in-flight temp file must not break Open.
+  std::ofstream tmp(fs::path(dir_) / "ns-0000000000000001-99.seg.tmp",
+                    std::ios::binary);
+  tmp << "partial garbage";
+  tmp.close();
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened);
+  EXPECT_EQ(reopened.value()->TotalRecords(), 20);
+}
+
+// --- PersistentCachedDetector ---
+
+/// Wrapper that counts how often the inner detector actually runs.
+class CountingDetector : public ObjectDetector {
+ public:
+  explicit CountingDetector(const ObjectDetector* inner) : inner_(inner) {}
+  std::vector<Detection> Detect(const SyntheticVideo& video,
+                                int64_t frame) const override {
+    ++calls_;
+    return inner_->Detect(video, frame);
+  }
+  std::string name() const override { return inner_->name(); }
+  uint64_t ParamsFingerprint() const override {
+    return inner_->ParamsFingerprint();
+  }
+  int64_t calls() const { return calls_; }
+
+ private:
+  const ObjectDetector* inner_;
+  mutable int64_t calls_ = 0;
+};
+
+TEST_F(StorageTest, PersistentDetectorReadsThroughWarmStore) {
+  auto video = SyntheticVideo::Create(TaipeiConfig(), 5, 200).value();
+  SimulatedDetector inner;
+  std::vector<std::vector<Detection>> cold_results;
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store);
+    CountingDetector counting(&inner);
+    PersistentCachedDetector detector(&counting, store.value().get());
+    for (int64_t t = 0; t < 50; ++t) {
+      cold_results.push_back(detector.Detect(*video, t));
+    }
+    EXPECT_EQ(counting.calls(), 50);
+    EXPECT_EQ(detector.store_misses(), 50);
+    // Store flushes when it goes out of scope.
+  }
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store);
+    CountingDetector counting(&inner);
+    PersistentCachedDetector detector(&counting, store.value().get());
+    for (int64_t t = 0; t < 50; ++t) {
+      auto warm = detector.Detect(*video, t);
+      ExpectSameDetections(warm, cold_results[static_cast<size_t>(t)]);
+    }
+    // Every frame came from disk; the oracle never ran.
+    EXPECT_EQ(counting.calls(), 0);
+    EXPECT_EQ(detector.store_hits(), 50);
+  }
+}
+
+TEST_F(StorageTest, PersistentDetectorKeysBySceneNotSeed) {
+  // Two different streams sharing a seed must not collide in a shared
+  // store (the catalog reuses day seeds across every stream).
+  auto taipei = SyntheticVideo::Create(TaipeiConfig(), 101, 100).value();
+  auto rialto = SyntheticVideo::Create(RialtoConfig(), 101, 100).value();
+  SimulatedDetector inner;
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store);
+  PersistentCachedDetector detector(&inner, store.value().get());
+  EXPECT_NE(detector.StreamNamespace(*taipei),
+            detector.StreamNamespace(*rialto));
+  for (int64_t t = 0; t < 20; ++t) {
+    ExpectSameDetections(detector.Detect(*taipei, t),
+                         inner.Detect(*taipei, t));
+    ExpectSameDetections(detector.Detect(*rialto, t),
+                         inner.Detect(*rialto, t));
+  }
+}
+
+TEST_F(StorageTest, DetectorNoiseChangesNamespace) {
+  DetectorNoiseConfig noisy;
+  noisy.box_jitter = 0.05;
+  SimulatedDetector a, b(noisy);
+  EXPECT_NE(a.ParamsFingerprint(), b.ParamsFingerprint());
+  SimulatedDetector same;
+  EXPECT_EQ(a.ParamsFingerprint(), same.ParamsFingerprint());
+}
+
+}  // namespace
+}  // namespace blazeit

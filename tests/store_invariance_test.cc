@@ -1,0 +1,126 @@
+// End-to-end guard for the persistent detection store: executing the same
+// FrameQL queries (a) without a store, (b) with a cold store being
+// populated, and (c) with the warm store from (b) must produce
+// bit-identical query outputs and bit-identical simulated costs. The store
+// may only ever change harness wall-clock — the paper's runtime
+// methodology charges per logical detector/NN call, replayed or not.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "testing/test_util.h"
+
+namespace blazeit {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* const kQueries[] = {
+    // Aggregation with a specialized-NN plan (trains, bootstraps,
+    // evaluates the NN over held-out and test days, then samples).
+    "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+    "ERROR WITHIN 0.1 AT CONFIDENCE 95%",
+    // Importance-sampled scrubbing (multi-head NN + detector verification).
+    "SELECT timestamp FROM taipei GROUP BY timestamp "
+    "HAVING SUM(class='car') >= 2 LIMIT 3 GAP 50",
+    // Content-based selection with a built-in UDF predicate: exercises the
+    // persisted content-filter score path (calibration + test-day scan)
+    // and produces rows whose contents must replay bit-exactly.
+    "SELECT * FROM taipei WHERE class = 'bus' AND redness(content) >= 0.1 "
+    "GROUP BY trackid HAVING COUNT(*) > 5",
+};
+
+class StoreInvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) / "blazeit-invariance-store")
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Runs all queries against a fresh catalog; `store_dir` empty = no
+  /// persistence.
+  std::vector<QueryOutput> RunAll(const std::string& store_dir) {
+    VideoCatalog catalog;
+    if (!store_dir.empty()) {
+      EXPECT_TRUE(
+          testutil::IsOk(catalog.EnableDetectionStore(store_dir)));
+    }
+    EXPECT_TRUE(testutil::IsOk(catalog.AddStream(
+        TaipeiConfig(), testutil::SmallDays(2000, 2000, 4000))));
+    BlazeItEngine engine(&catalog, testutil::SmallEngineOptions());
+    std::vector<QueryOutput> outputs;
+    for (const char* query : kQueries) {
+      auto out = engine.Execute(query);
+      EXPECT_TRUE(testutil::IsOk(out)) << query;
+      outputs.push_back(std::move(out).value());
+    }
+    return outputs;
+  }
+
+  static void ExpectIdentical(const QueryOutput& a, const QueryOutput& b,
+                              const char* query) {
+    SCOPED_TRACE(query);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.plan, b.plan);
+    EXPECT_EQ(a.plan_description, b.plan_description);
+    // Bit-identical estimates and result sets, not merely close ones.
+    EXPECT_EQ(a.scalar, b.scalar);
+    EXPECT_EQ(a.frames, b.frames);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (size_t i = 0; i < a.rows.size(); ++i) {
+      EXPECT_EQ(a.rows[i].frame, b.rows[i].frame);
+      EXPECT_EQ(a.rows[i].detection.class_id, b.rows[i].detection.class_id);
+      EXPECT_EQ(a.rows[i].detection.rect, b.rows[i].detection.rect);
+      EXPECT_EQ(a.rows[i].detection.score, b.rows[i].detection.score);
+      EXPECT_EQ(a.rows[i].detection.features, b.rows[i].detection.features);
+    }
+    // Bit-identical simulated cost in every category.
+    EXPECT_EQ(a.cost.detection_calls(), b.cost.detection_calls());
+    EXPECT_EQ(a.cost.specialized_nn_calls(), b.cost.specialized_nn_calls());
+    EXPECT_EQ(a.cost.filter_calls(), b.cost.filter_calls());
+    EXPECT_EQ(a.cost.training_frames(), b.cost.training_frames());
+    EXPECT_EQ(a.cost.detection_seconds(), b.cost.detection_seconds());
+    EXPECT_EQ(a.cost.specialized_nn_seconds(),
+              b.cost.specialized_nn_seconds());
+    EXPECT_EQ(a.cost.training_seconds(), b.cost.training_seconds());
+    EXPECT_EQ(a.cost.thresholding_seconds(), b.cost.thresholding_seconds());
+    EXPECT_EQ(a.cost.TotalSeconds(), b.cost.TotalSeconds());
+    EXPECT_EQ(a.cost.QuerySeconds(), b.cost.QuerySeconds());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StoreInvarianceTest, ColdStoreAndWarmStoreMatchStoreless) {
+  std::vector<QueryOutput> storeless = RunAll("");
+  std::vector<QueryOutput> cold = RunAll(dir_);
+
+  // The cold pass persisted segments when its catalog was destroyed.
+  size_t segments = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".seg") ++segments;
+  }
+  EXPECT_GT(segments, 0u);
+
+  // This pass replays them (and a reopened catalog sees the records).
+  std::vector<QueryOutput> warm = RunAll(dir_);
+  {
+    VideoCatalog catalog;
+    BLAZEIT_ASSERT_OK(catalog.EnableDetectionStore(dir_));
+    EXPECT_GT(catalog.detection_store()->TotalRecords(), 0);
+  }
+
+  ASSERT_EQ(storeless.size(), std::size(kQueries));
+  for (size_t i = 0; i < storeless.size(); ++i) {
+    ExpectIdentical(storeless[i], cold[i], kQueries[i]);
+    ExpectIdentical(storeless[i], warm[i], kQueries[i]);
+  }
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/catalog.h"
@@ -13,6 +15,28 @@
 
 namespace blazeit {
 namespace testutil {
+
+/// Directory of the shared warm detection store, or "" when persistence is
+/// off. ci/check.sh exports BLAZEIT_DETECTION_STORE and runs the slow lane
+/// twice — cold then warm — so every catalog-backed suite skips detector
+/// and NN recomputation on the second pass. Outputs are unaffected either
+/// way (store_invariance_test asserts this end to end).
+inline std::string DetectionStoreDir() {
+  const char* dir = std::getenv("BLAZEIT_DETECTION_STORE");
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+/// Catalog wired to the shared warm store when BLAZEIT_DETECTION_STORE is
+/// set — what CatalogFixture does, for tests that build catalogs directly.
+inline VideoCatalog MakeCatalog() {
+  VideoCatalog catalog;
+  const std::string dir = DetectionStoreDir();
+  if (!dir.empty()) {
+    EXPECT_TRUE(catalog.EnableDetectionStore(dir).ok())
+        << "enabling detection store at " << dir;
+  }
+  return catalog;
+}
 
 /// Day lengths small enough for unit tests: minutes of video, not the
 /// paper-scale hours used by bench/.
@@ -97,6 +121,11 @@ class CatalogFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     catalog_ = new VideoCatalog();
+    const std::string store_dir = DetectionStoreDir();
+    if (!store_dir.empty()) {
+      ASSERT_TRUE(IsOk(catalog_->EnableDetectionStore(store_dir)))
+          << "enabling detection store at " << store_dir;
+    }
     for (const StreamConfig& config : Derived::Streams()) {
       ASSERT_TRUE(IsOk(catalog_->AddStream(config, Derived::Lengths())))
           << "adding stream " << config.name;
