@@ -10,8 +10,10 @@
 #include "core/udf.h"
 #include "detect/simulated_detector.h"
 #include "nn/specialized_nn.h"
+#include "nn/tensor.h"
 #include "stats/control_variates.h"
 #include "stats/sampler.h"
+#include "util/random.h"
 #include "video/datasets.h"
 
 namespace blazeit {
@@ -82,6 +84,50 @@ void BM_SpecializedNNInference(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_SpecializedNNInference)->Arg(1)->Arg(64)->Arg(256);
+
+// GEMM kernels at the specialized-NN shapes: the trunk forward pass
+// dominates batched inference ([batch, w*h*4] x [w*h*4, hidden]); the
+// transpose variants are the weight/input gradients of training. ReLU-like
+// sparsity is deliberately absent (features are dense), making these the
+// worst-case kernel cost.
+Matrix RandomMatrix(Rng* rng, int rows, int cols) {
+  Matrix m(rows, cols);
+  for (float& v : m.data()) v = static_cast<float>(rng->Normal(0.0, 1.0));
+  return m;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(1);
+  Matrix a = RandomMatrix(&rng, 256, 4096);
+  Matrix b = RandomMatrix(&rng, 4096, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 4096 * 64);
+}
+BENCHMARK(BM_MatMul);
+
+void BM_MatMulTransposeA(benchmark::State& state) {
+  Rng rng(2);
+  Matrix a = RandomMatrix(&rng, 256, 4096);  // cached input (batch-major)
+  Matrix g = RandomMatrix(&rng, 256, 64);    // upstream gradient
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransposeA(a, g));
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 4096 * 64);
+}
+BENCHMARK(BM_MatMulTransposeA);
+
+void BM_MatMulTransposeB(benchmark::State& state) {
+  Rng rng(3);
+  Matrix g = RandomMatrix(&rng, 256, 64);    // upstream gradient
+  Matrix w = RandomMatrix(&rng, 4096, 64);   // layer weights
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransposeB(g, w));
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 4096 * 64);
+}
+BENCHMARK(BM_MatMulTransposeB);
 
 void BM_AdaptiveSampler(benchmark::State& state) {
   // Sampler loop cost on a pre-computed array (no detector in the loop).

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Diffs two google-benchmark JSON reports and prints per-bench deltas.
+
+Usage: compare_benchmarks.py BASELINE.json NEW.json
+
+Compares the `_mean` aggregate of every benchmark present in both files
+(falling back to the raw entry when a report was produced without
+repetitions) and prints baseline time, new time, delta, and speedup.
+Benchmarks present in only one file are listed separately so a renamed or
+added bench is visible rather than silently dropped. Exit code is always 0
+— this is a report, not a gate (see ci/check.sh).
+"""
+import json
+import sys
+
+
+def to_ns(value, unit):
+    return value * {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+
+
+def load_means(path):
+    """Returns {run_name: real_time_ns}, normalizing each entry's unit."""
+    with open(path) as f:
+        report = json.load(f)
+    means = {}
+    raw = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "")
+        ns = to_ns(bench.get("real_time", 0.0), bench.get("time_unit", "ns"))
+        if bench.get("aggregate_name") == "mean" and name.endswith("_mean"):
+            means[bench["run_name"]] = ns
+        elif "aggregate_name" not in bench:
+            raw[name] = ns
+    # Prefer aggregate means; fall back to raw single-run entries.
+    for name, value in raw.items():
+        means.setdefault(name, value)
+    return means
+
+
+def fmt_time(ns):
+    if ns >= 1e6:
+        return f"{ns / 1e6:10.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:10.2f} us"
+    return f"{ns:10.0f} ns"
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base = load_means(sys.argv[1])
+    new = load_means(sys.argv[2])
+    shared = [name for name in base if name in new]
+    if not shared:
+        print("no benchmarks in common between the two reports")
+        return 0
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>13}  {'new':>13}  "
+          f"{'delta':>8}  {'speedup':>7}")
+    for name in shared:
+        b = base[name]
+        n = new[name]
+        delta = (n - b) / b * 100.0 if b else float("nan")
+        speedup = b / n if n else float("inf")
+        print(f"{name:<{width}}  {fmt_time(b)}  {fmt_time(n)}  "
+              f"{delta:+7.1f}%  {speedup:6.2f}x")
+    for name in sorted(set(base) - set(new)):
+        print(f"only in baseline: {name}")
+    for name in sorted(set(new) - set(base)):
+        print(f"only in new run:  {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,19 +3,39 @@
 # recorded baseline the ROADMAP asks for before any hot-path optimization.
 #
 #   bench/run_benchmarks.sh [build-dir] [output.json]
+#   bench/run_benchmarks.sh compare [build-dir] [output.json] [baseline.json]
 #
 # Defaults: build dir `build`, output `bench/BENCH_baseline.json` — i.e.
-# running it with no arguments refreshes the committed baseline. Compare a
-# new run against the baseline with google-benchmark's tools/compare.py, or
-# just diff the real_time fields.
+# running it with no arguments refreshes the committed baseline.
+#
+# `compare` mode writes the fresh run to output.json (default
+# `bench/BENCH_current.json`, gitignored — pass an explicit path like
+# `bench/BENCH_pr3.json` to record a PR snapshot) and then diffs it
+# against the committed baseline
+# (default `bench/BENCH_baseline.json`), printing per-bench deltas and
+# speedups via bench/compare_benchmarks.py. The diff is a report, not a
+# gate; ci/check.sh runs it non-gating so the perf trajectory is visible
+# on every CI run.
 #
 # The paper-figure harnesses (bench_fig*, bench_table*) print their tables
 # to stdout and are not part of the JSON report; run them directly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+MODE="run"
+if [[ "${1:-}" == "compare" ]]; then
+  MODE="compare"
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
-OUT="${2:-bench/BENCH_baseline.json}"
+if [[ "${MODE}" == "compare" ]]; then
+  OUT="${2:-bench/BENCH_current.json}"
+  BASELINE="${3:-bench/BENCH_baseline.json}"
+else
+  OUT="${2:-bench/BENCH_baseline.json}"
+fi
 BIN="${BUILD_DIR}/bench/bench_micro_components"
 
 if [[ ! -x "${BIN}" ]]; then
@@ -33,3 +53,11 @@ fi
   > "${OUT}"
 
 echo "wrote ${OUT}"
+
+if [[ "${MODE}" == "compare" ]]; then
+  if [[ ! -f "${BASELINE}" ]]; then
+    echo "warning: baseline ${BASELINE} not found; skipping diff" >&2
+    exit 0
+  fi
+  python3 bench/compare_benchmarks.py "${BASELINE}" "${OUT}"
+fi

@@ -52,4 +52,19 @@ if ! awk -v c="${COLD_SECS}" -v w="${WARM_SECS}" 'BEGIN { exit !(w * 2 <= c) }';
   exit 1
 fi
 
+# Non-gating perf report: rerun the micro-benchmarks and print deltas vs
+# the committed baseline. The fresh run goes to the build dir, not to the
+# committed bench/BENCH_pr3.json snapshot, so CI never dirties the
+# recorded measurements. A regression here should be investigated but
+# does not fail the build — micro-bench noise on shared CI machines is
+# too high for a hard gate.
+if [[ -x "${BUILD_DIR}/bench/bench_micro_components" ]]; then
+  echo "==> bench: micro-benchmarks vs bench/BENCH_baseline.json (non-gating)"
+  bench/run_benchmarks.sh compare "${BUILD_DIR}" \
+    "${BUILD_DIR}/BENCH_current.json" \
+    || echo "==> bench report failed (non-gating)"
+else
+  echo "==> bench: bench_micro_components not built; skipping perf report"
+fi
+
 echo "==> OK"

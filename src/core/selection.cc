@@ -52,7 +52,8 @@ bool SelectionExecutor::FrameMatches(const LabeledSet& labels, int64_t frame,
                                      std::vector<SelectionRow>* rows) const {
   std::vector<Detection> dets = labels.DetectionsAt(frame);
   bool any = false;
-  Image rendered;  // lazily rendered once per frame if UDFs are present
+  bool rendered_this_frame = false;  // render lazily, at most once per frame
+  Image& rendered = udf_render_scratch_;
   const bool needs_pixels = HasUdfPredicates(query);
   for (const Detection& det : dets) {
     if (det.class_id != query.sel_class) continue;
@@ -66,8 +67,10 @@ bool SelectionExecutor::FrameMatches(const LabeledSet& labels, int64_t frame,
       continue;
     }
     if (needs_pixels) {
-      if (rendered.Empty()) {
-        rendered = labels.day().RenderFrame(frame, kUdfRaster, kUdfRaster);
+      if (!rendered_this_frame) {
+        labels.day().RenderFrameRegionInto(frame, Rect{0, 0, 1, 1},
+                                           kUdfRaster, kUdfRaster, &rendered);
+        rendered_this_frame = true;
       }
       if (!UdfPredicatesPass(query.udf_predicates, *udfs_, rendered,
                              det.rect)) {

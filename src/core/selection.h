@@ -11,6 +11,7 @@
 #include "nn/specialized_nn.h"
 #include "sim/cost_model.h"
 #include "util/status.h"
+#include "video/image.h"
 
 namespace blazeit {
 
@@ -77,6 +78,10 @@ class SelectionExecutor {
   StreamData* stream_;
   const UdfRegistry* udfs_;
   SelectionOptions options_;
+  /// Render buffer reused across every UDF-bearing frame of a Run (the
+  /// executor is single-threaded per query). Rendered lazily, at most
+  /// once per frame, and always fully overwritten before use.
+  mutable Image udf_render_scratch_;
 };
 
 /// Test-day frames whose *scene ground truth* satisfies the query

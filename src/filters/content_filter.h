@@ -33,7 +33,12 @@ class ContentFilter : public FrameFilter {
   std::string name() const override { return "content(" + udf_name_ + ")"; }
 
   double Score(const SyntheticVideo& video, int64_t frame) const override {
-    return udf_(video.RenderFrame(frame, raster_width_, raster_height_));
+    // Scoring sweeps call this once per candidate frame; render into a
+    // reused scratch buffer (single-threaded per filter) instead of
+    // allocating a fresh Image each time.
+    video.RenderFrameRegionInto(frame, Rect{0, 0, 1, 1}, raster_width_,
+                                raster_height_, &render_scratch_);
+    return udf_(render_scratch_);
   }
 
   int raster_width() const { return raster_width_; }
@@ -44,6 +49,9 @@ class ContentFilter : public FrameFilter {
   ImageUdf udf_;
   int raster_width_;
   int raster_height_;
+  /// Reused render buffer; always fully overwritten before the UDF reads
+  /// it.
+  mutable Image render_scratch_;
 };
 
 }  // namespace blazeit

@@ -1,0 +1,337 @@
+#include "nn/matmul_kernels.h"
+
+#include <cstdint>
+#include <vector>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define BLAZEIT_X86_64 1
+#endif
+
+#include "util/cpu_features.h"
+
+namespace blazeit {
+namespace matmul {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels: saxpy-style inner loops that the autovectorizer handles
+// at -O2, with an exact-zero skip that pays off on ReLU activations.
+// ---------------------------------------------------------------------------
+
+void MatMulScalar(const float* a, const float* b, float* c, int m, int k,
+                  int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeAScalar(const float* a, const float* b, float* c, int m,
+                            int k, int n) {
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a + static_cast<size_t>(p) * m;
+    const float* brow = b + static_cast<size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeBScalar(const float* a, const float* b, float* c, int m,
+                            int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      float sum = 0.0f;
+      for (int p = 0; p < k; ++p) sum += arow[p] * brow[p];
+      crow[j] = sum;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernels. Each output cell lives in exactly one vector lane and
+// accumulates its k-contributions in ascending order with separate
+// multiply/add intrinsics, so results are bit-identical to the scalar
+// kernels above. Column tiles of 64 (four zmm accumulators) give four
+// independent add chains, hiding FP add latency.
+// ---------------------------------------------------------------------------
+
+#ifdef BLAZEIT_X86_64
+
+// GCC 12's maskz load/store intrinsics expand through an uninitialized
+// placeholder vector, tripping -Wmaybe-uninitialized at -O2; the pattern
+// is well-defined (masked lanes are zeroed), so silence the false
+// positive for the kernel bodies only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace {
+
+/// Per-16-column lane masks for a 64-wide column group starting at j0.
+inline void ColumnMasks(int n, int j0, __mmask16 mask[4]) {
+  for (int t = 0; t < 4; ++t) {
+    int live = n - (j0 + 16 * t);
+    live = live < 0 ? 0 : (live > 16 ? 16 : live);
+    mask[t] = static_cast<__mmask16>((1u << live) - 1u);
+  }
+}
+
+}  // namespace
+
+__attribute__((target("avx512f,avx512dq"))) void MatMulAvx512(
+    const float* a, const float* b, float* c, int m, int k, int n) {
+  // Row blocks of four share one streaming pass over b (the dominant
+  // memory traffic: b is re-read once per row block, so blocking cuts it
+  // 4x), with one 64-column group of accumulators per row — 16 zmm live.
+  // A coefficient that is exactly zero contributes only a signed zero,
+  // and adding a signed zero never changes a finite partial sum (a +0
+  // accumulator stays +0 under round-to-nearest), so the unconditional
+  // multiply-add in the 4-row block is bit-identical to the scalar
+  // kernel's skip for finite inputs; the all-four-zero check keeps the
+  // ReLU-sparsity win.
+  for (int j0 = 0; j0 < n; j0 += 64) {
+    __mmask16 mask[4];
+    ColumnMasks(n, j0, mask);
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = a + static_cast<size_t>(i) * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      __m512 acc[4][4];
+      for (int r = 0; r < 4; ++r) {
+        for (int t = 0; t < 4; ++t) acc[r][t] = _mm512_setzero_ps();
+      }
+      for (int p = 0; p < k; ++p) {
+        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+        if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
+        const float* brow = b + static_cast<size_t>(p) * n + j0;
+        const __m512 w0 = _mm512_set1_ps(v0);
+        const __m512 w1 = _mm512_set1_ps(v1);
+        const __m512 w2 = _mm512_set1_ps(v2);
+        const __m512 w3 = _mm512_set1_ps(v3);
+        for (int t = 0; t < 4; ++t) {
+          const __m512 bv = _mm512_maskz_loadu_ps(mask[t], brow + 16 * t);
+          acc[0][t] = _mm512_add_ps(acc[0][t], _mm512_mul_ps(w0, bv));
+          acc[1][t] = _mm512_add_ps(acc[1][t], _mm512_mul_ps(w1, bv));
+          acc[2][t] = _mm512_add_ps(acc[2][t], _mm512_mul_ps(w2, bv));
+          acc[3][t] = _mm512_add_ps(acc[3][t], _mm512_mul_ps(w3, bv));
+        }
+      }
+      for (int r = 0; r < 4; ++r) {
+        float* crow = c + static_cast<size_t>(i + r) * n + j0;
+        for (int t = 0; t < 4; ++t) {
+          _mm512_mask_storeu_ps(crow + 16 * t, mask[t], acc[r][t]);
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const float* arow = a + static_cast<size_t>(i) * k;
+      __m512 acc0 = _mm512_setzero_ps();
+      __m512 acc1 = _mm512_setzero_ps();
+      __m512 acc2 = _mm512_setzero_ps();
+      __m512 acc3 = _mm512_setzero_ps();
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const __m512 avv = _mm512_set1_ps(av);
+        const float* brow = b + static_cast<size_t>(p) * n + j0;
+        acc0 = _mm512_add_ps(
+            acc0, _mm512_mul_ps(avv, _mm512_maskz_loadu_ps(mask[0], brow)));
+        acc1 = _mm512_add_ps(
+            acc1,
+            _mm512_mul_ps(avv, _mm512_maskz_loadu_ps(mask[1], brow + 16)));
+        acc2 = _mm512_add_ps(
+            acc2,
+            _mm512_mul_ps(avv, _mm512_maskz_loadu_ps(mask[2], brow + 32)));
+        acc3 = _mm512_add_ps(
+            acc3,
+            _mm512_mul_ps(avv, _mm512_maskz_loadu_ps(mask[3], brow + 48)));
+      }
+      float* crow = c + static_cast<size_t>(i) * n + j0;
+      _mm512_mask_storeu_ps(crow, mask[0], acc0);
+      _mm512_mask_storeu_ps(crow + 16, mask[1], acc1);
+      _mm512_mask_storeu_ps(crow + 32, mask[2], acc2);
+      _mm512_mask_storeu_ps(crow + 48, mask[3], acc3);
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512dq"))) void MatMulTransposeAAvx512(
+    const float* a, const float* b, float* c, int m, int k, int n) {
+  // Same tile shape and row blocking as MatMulAvx512; the only difference
+  // is that row i's coefficient at step p comes from a's column i, so a
+  // 4-row block reads its four coefficients as one contiguous quad at
+  // a[p*m + i]. Per-cell accumulation order and zero handling match the
+  // scalar kernel bit-for-bit (see the signed-zero note above).
+  for (int j0 = 0; j0 < n; j0 += 64) {
+    __mmask16 mask[4];
+    ColumnMasks(n, j0, mask);
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      __m512 acc[4][4];
+      for (int r = 0; r < 4; ++r) {
+        for (int t = 0; t < 4; ++t) acc[r][t] = _mm512_setzero_ps();
+      }
+      for (int p = 0; p < k; ++p) {
+        const float* ap = a + static_cast<size_t>(p) * m + i;
+        const float v0 = ap[0], v1 = ap[1], v2 = ap[2], v3 = ap[3];
+        if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
+        const float* brow = b + static_cast<size_t>(p) * n + j0;
+        const __m512 w0 = _mm512_set1_ps(v0);
+        const __m512 w1 = _mm512_set1_ps(v1);
+        const __m512 w2 = _mm512_set1_ps(v2);
+        const __m512 w3 = _mm512_set1_ps(v3);
+        for (int t = 0; t < 4; ++t) {
+          const __m512 bv = _mm512_maskz_loadu_ps(mask[t], brow + 16 * t);
+          acc[0][t] = _mm512_add_ps(acc[0][t], _mm512_mul_ps(w0, bv));
+          acc[1][t] = _mm512_add_ps(acc[1][t], _mm512_mul_ps(w1, bv));
+          acc[2][t] = _mm512_add_ps(acc[2][t], _mm512_mul_ps(w2, bv));
+          acc[3][t] = _mm512_add_ps(acc[3][t], _mm512_mul_ps(w3, bv));
+        }
+      }
+      for (int r = 0; r < 4; ++r) {
+        float* crow = c + static_cast<size_t>(i + r) * n + j0;
+        for (int t = 0; t < 4; ++t) {
+          _mm512_mask_storeu_ps(crow + 16 * t, mask[t], acc[r][t]);
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const float* acol = a + i;
+      __m512 acc0 = _mm512_setzero_ps();
+      __m512 acc1 = _mm512_setzero_ps();
+      __m512 acc2 = _mm512_setzero_ps();
+      __m512 acc3 = _mm512_setzero_ps();
+      for (int p = 0; p < k; ++p) {
+        const float av = acol[static_cast<size_t>(p) * m];
+        if (av == 0.0f) continue;
+        const __m512 avv = _mm512_set1_ps(av);
+        const float* brow = b + static_cast<size_t>(p) * n + j0;
+        acc0 = _mm512_add_ps(
+            acc0, _mm512_mul_ps(avv, _mm512_maskz_loadu_ps(mask[0], brow)));
+        acc1 = _mm512_add_ps(
+            acc1,
+            _mm512_mul_ps(avv, _mm512_maskz_loadu_ps(mask[1], brow + 16)));
+        acc2 = _mm512_add_ps(
+            acc2,
+            _mm512_mul_ps(avv, _mm512_maskz_loadu_ps(mask[2], brow + 32)));
+        acc3 = _mm512_add_ps(
+            acc3,
+            _mm512_mul_ps(avv, _mm512_maskz_loadu_ps(mask[3], brow + 48)));
+      }
+      float* crow = c + static_cast<size_t>(i) * n + j0;
+      _mm512_mask_storeu_ps(crow, mask[0], acc0);
+      _mm512_mask_storeu_ps(crow + 16, mask[1], acc1);
+      _mm512_mask_storeu_ps(crow + 32, mask[2], acc2);
+      _mm512_mask_storeu_ps(crow + 48, mask[3], acc3);
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512dq"))) void MatMulTransposeBAvx512(
+    const float* a, const float* b, float* c, int m, int k, int n) {
+  // Every cell is a strict-order dot product over k, so the j dimension is
+  // vectorized instead: pack a 16-column tile of b transposed (so step p
+  // reads 16 contiguous floats), then sweep rows of a four at a time for
+  // four independent accumulator chains. Lane j keeps its own running sum
+  // in ascending-p order — identical bits to the scalar dot product.
+  std::vector<float> bt(static_cast<size_t>(k) * 16);
+  for (int j0 = 0; j0 < n; j0 += 16) {
+    const int jw = n - j0 < 16 ? n - j0 : 16;
+    const __mmask16 mask = static_cast<__mmask16>((1u << jw) - 1u);
+    for (int p = 0; p < k; ++p) {
+      float* row = bt.data() + static_cast<size_t>(p) * 16;
+      for (int t = 0; t < jw; ++t) {
+        row[t] = b[static_cast<size_t>(j0 + t) * k + p];
+      }
+      for (int t = jw; t < 16; ++t) row[t] = 0.0f;
+    }
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = a + static_cast<size_t>(i) * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      __m512 acc0 = _mm512_setzero_ps();
+      __m512 acc1 = _mm512_setzero_ps();
+      __m512 acc2 = _mm512_setzero_ps();
+      __m512 acc3 = _mm512_setzero_ps();
+      for (int p = 0; p < k; ++p) {
+        const __m512 bv = _mm512_loadu_ps(bt.data() + static_cast<size_t>(p) * 16);
+        acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(_mm512_set1_ps(a0[p]), bv));
+        acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(_mm512_set1_ps(a1[p]), bv));
+        acc2 = _mm512_add_ps(acc2, _mm512_mul_ps(_mm512_set1_ps(a2[p]), bv));
+        acc3 = _mm512_add_ps(acc3, _mm512_mul_ps(_mm512_set1_ps(a3[p]), bv));
+      }
+      _mm512_mask_storeu_ps(c + static_cast<size_t>(i) * n + j0, mask, acc0);
+      _mm512_mask_storeu_ps(c + static_cast<size_t>(i + 1) * n + j0, mask, acc1);
+      _mm512_mask_storeu_ps(c + static_cast<size_t>(i + 2) * n + j0, mask, acc2);
+      _mm512_mask_storeu_ps(c + static_cast<size_t>(i + 3) * n + j0, mask, acc3);
+    }
+    for (; i < m; ++i) {
+      const float* a0 = a + static_cast<size_t>(i) * k;
+      __m512 acc = _mm512_setzero_ps();
+      for (int p = 0; p < k; ++p) {
+        const __m512 bv = _mm512_loadu_ps(bt.data() + static_cast<size_t>(p) * 16);
+        acc = _mm512_add_ps(acc, _mm512_mul_ps(_mm512_set1_ps(a0[p]), bv));
+      }
+      _mm512_mask_storeu_ps(c + static_cast<size_t>(i) * n + j0, mask, acc);
+    }
+  }
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // BLAZEIT_X86_64
+
+// ---------------------------------------------------------------------------
+// Dispatchers
+// ---------------------------------------------------------------------------
+
+void MatMul(const float* a, const float* b, float* c, int m, int k, int n) {
+#ifdef BLAZEIT_X86_64
+  if (CpuHasAvx512()) {
+    MatMulAvx512(a, b, c, m, k, n);
+    return;
+  }
+#endif
+  MatMulScalar(a, b, c, m, k, n);
+}
+
+void MatMulTransposeA(const float* a, const float* b, float* c, int m, int k,
+                      int n) {
+#ifdef BLAZEIT_X86_64
+  if (CpuHasAvx512()) {
+    MatMulTransposeAAvx512(a, b, c, m, k, n);
+    return;
+  }
+#endif
+  MatMulTransposeAScalar(a, b, c, m, k, n);
+}
+
+void MatMulTransposeB(const float* a, const float* b, float* c, int m, int k,
+                      int n) {
+#ifdef BLAZEIT_X86_64
+  if (CpuHasAvx512()) {
+    MatMulTransposeBAvx512(a, b, c, m, k, n);
+    return;
+  }
+#endif
+  MatMulTransposeBScalar(a, b, c, m, k, n);
+}
+
+}  // namespace matmul
+}  // namespace blazeit

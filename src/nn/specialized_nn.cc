@@ -9,62 +9,18 @@
 #include "nn/optimizer.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "video/render_features.h"
 
 namespace blazeit {
 
 std::vector<float> FrameFeatures(const SyntheticVideo& video, int64_t frame,
                                  int width, int height) {
-  // The paper's tiny ResNet learns local pooled features in its first
-  // convolutions; our fixed equivalent renders at 2x the grid resolution
-  // and pools each 2x2 block into (mean R, mean G, mean B, mean
-  // |deviation from the frame average|). The deviation channel is a
-  // foreground map — counting objects is then a near-linear function of
-  // it — while pooling averages the sensor noise down. Channels are
-  // normalized as in Section 9 ("standard ImageNet normalization").
-  constexpr int kPool = 2;
-  constexpr float kMean = 0.45f;
-  constexpr float kStd = 0.22f;
-  Image img = video.RenderFrame(frame, width * kPool, height * kPool);
-  const double mean_r = img.MeanChannel(0);
-  const double mean_g = img.MeanChannel(1);
-  const double mean_b = img.MeanChannel(2);
-  std::vector<float> features;
-  features.reserve(static_cast<size_t>(width) * height * 4);
-  for (int cy = 0; cy < height; ++cy) {
-    for (int cx = 0; cx < width; ++cx) {
-      double r = 0, g = 0, b = 0, dev = 0;
-      for (int dy = 0; dy < kPool; ++dy) {
-        for (int dx = 0; dx < kPool; ++dx) {
-          int x = cx * kPool + dx;
-          int y = cy * kPool + dy;
-          double pr = img.At(x, y, 0);
-          double pg = img.At(x, y, 1);
-          double pb = img.At(x, y, 2);
-          r += pr;
-          g += pg;
-          b += pb;
-          dev += std::abs(pr - mean_r) + std::abs(pg - mean_g) +
-                 std::abs(pb - mean_b);
-        }
-      }
-      const double inv = 1.0 / (kPool * kPool);
-      features.push_back(
-          static_cast<float>(((static_cast<double>(r) * inv) -
-                              static_cast<double>(kMean)) /
-                             static_cast<double>(kStd)));
-      features.push_back(
-          static_cast<float>(((static_cast<double>(g) * inv) -
-                              static_cast<double>(kMean)) /
-                             static_cast<double>(kStd)));
-      features.push_back(
-          static_cast<float>(((static_cast<double>(b) * inv) -
-                              static_cast<double>(kMean)) /
-                             static_cast<double>(kStd)));
-      // Noise-only cells average ~0.1 absolute deviation at typical sensor
-      // noise; objects reach 0.5-1.5. Scale to keep activations O(1).
-      features.push_back(static_cast<float>((dev * inv - 0.1) / 0.3));
-    }
-  }
+  // Thin wrapper over the fused render→feature kernel
+  // (video/render_features.h); batch loops skip this vector and render
+  // straight into the NN input row.
+  std::vector<float> features(static_cast<size_t>(width) * height *
+                              kFeatureChannels);
+  RenderFrameFeatures(video, frame, width, height, features.data());
   return features;
 }
 
@@ -247,6 +203,7 @@ Result<SpecializedNN> SpecializedNN::Train(
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   std::vector<SoftmaxCrossEntropy> losses(num_heads);
+  Image render_scratch;  // reused across every rendered training frame
 
   for (int epoch = 0; epoch < config.train.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng.engine());
@@ -261,9 +218,8 @@ Result<SpecializedNN> SpecializedNN::Train(
       for (int i = 0; i < batch; ++i) {
         size_t pos = static_cast<size_t>(order[static_cast<size_t>(start + i)]);
         int64_t frame = indices[pos];
-        std::vector<float> feat = FrameFeatures(
-            train_day, frame, config.raster_width, config.raster_height);
-        std::copy(feat.begin(), feat.end(), x.Row(i));
+        RenderFrameFeatures(train_day, frame, config.raster_width,
+                            config.raster_height, x.Row(i), &render_scratch);
         for (size_t h = 0; h < num_heads; ++h)
           y[h][static_cast<size_t>(i)] = clamped[h][pos];
       }
@@ -349,15 +305,14 @@ std::vector<float> SpecializedNN::ProbsForFrames(
   const int w = impl_->config.raster_width;
   const int h = impl_->config.raster_height;
   std::vector<float> row;
+  Image render_scratch;  // reused across the whole evaluation
   for (size_t start = 0; start < miss.size(); start += kEvalBatch) {
     const int batch = static_cast<int>(
         std::min<size_t>(kEvalBatch, miss.size() - start));
     Matrix x(batch, impl_->input_dim);
     for (int i = 0; i < batch; ++i) {
-      std::vector<float> feat =
-          FrameFeatures(video, frames[miss[start + static_cast<size_t>(i)]],
-                        w, h);
-      std::copy(feat.begin(), feat.end(), x.Row(i));
+      RenderFrameFeatures(video, frames[miss[start + static_cast<size_t>(i)]],
+                          w, h, x.Row(i), &render_scratch);
     }
     Matrix trunk_out = impl_->trunk->Forward(x);
     std::vector<Matrix> head_probs;

@@ -2,58 +2,44 @@
 
 #include <algorithm>
 
+#include "nn/matmul_kernels.h"
+#include "util/check.h"
+
 namespace blazeit {
 
 void Matrix::Zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
 
+// Shape mismatches here would be silent out-of-bounds reads in Release
+// builds if guarded by assert() (which compiles out under NDEBUG), so the
+// checks are BLAZEIT_CHECK: always on, abort with the offending dims.
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
+  BLAZEIT_CHECK(a.cols() == b.rows())
+      << " — MatMul shape mismatch: [" << a.rows() << "," << a.cols()
+      << "] x [" << b.rows() << "," << b.cols() << "]";
   Matrix c(a.rows(), b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(p);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  matmul::MatMul(a.data().data(), b.data().data(), c.data().data(), a.rows(),
+                 a.cols(), b.cols());
   return c;
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows());
+  BLAZEIT_CHECK(a.rows() == b.rows())
+      << " — MatMulTransposeA shape mismatch: [" << a.rows() << ","
+      << a.cols() << "]^T x [" << b.rows() << "," << b.cols() << "]";
   Matrix c(a.cols(), b.cols());
-  const int k = a.rows(), m = a.cols(), n = b.cols();
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a.Row(p);
-    const float* brow = b.Row(p);
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.Row(i);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  matmul::MatMulTransposeA(a.data().data(), b.data().data(), c.data().data(),
+                           a.cols(), a.rows(), b.cols());
   return c;
 }
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.cols());
+  BLAZEIT_CHECK(a.cols() == b.cols())
+      << " — MatMulTransposeB shape mismatch: [" << a.rows() << ","
+      << a.cols() << "] x [" << b.rows() << "," << b.cols() << "]^T";
   Matrix c(a.rows(), b.rows());
-  const int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      float sum = 0.0f;
-      for (int p = 0; p < k; ++p) sum += arow[p] * brow[p];
-      crow[j] = sum;
-    }
-  }
+  matmul::MatMulTransposeB(a.data().data(), b.data().data(), c.data().data(),
+                           a.rows(), a.cols(), b.rows());
   return c;
 }
 

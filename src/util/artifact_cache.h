@@ -12,7 +12,13 @@ namespace blazeit {
 /// math produced the bytes — persistent stores mix this epoch into every
 /// namespace, so bumping it invalidates all derived artifacts at once.
 /// Bump whenever any of that math changes output bits.
-inline constexpr uint64_t kDerivedArtifactEpoch = 1;
+///
+/// Epoch history:
+///   2 — PR 3: renderer contract fix (lighting factor clamped to >= 0,
+///       fill-site color clamp to [0,1]) and the two-pass Resize box
+///       filter. The vectorized raster/NN kernels themselves are
+///       bit-identical to the scalar paths and did not require a bump.
+inline constexpr uint64_t kDerivedArtifactEpoch = 2;
 
 /// Cache interface for expensive derived per-frame artifacts: trained NN
 /// weights, per-frame NN softmax outputs, and per-frame filter scores. The

@@ -1,0 +1,46 @@
+#ifndef BLAZEIT_UTIL_CHECK_H_
+#define BLAZEIT_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace blazeit {
+
+/// Terminates the process after streaming a diagnostic; the failure side
+/// of BLAZEIT_CHECK. Unlike assert(), the check stays active under NDEBUG
+/// — it guards invariants (e.g. MatMul shape agreement) whose violation
+/// would otherwise become silent out-of-bounds reads in Release builds.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Always-on invariant check with stream-style context:
+///   BLAZEIT_CHECK(a.cols() == b.rows()) << " got " << a.cols();
+/// Aborts (after printing file:line, the condition, and the streamed
+/// message) when the condition is false, in every build type.
+#define BLAZEIT_CHECK(condition)         \
+  if (condition) {                       \
+  } else                                 \
+    ::blazeit::CheckFailure(__FILE__, __LINE__, #condition)
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_UTIL_CHECK_H_

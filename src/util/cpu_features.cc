@@ -1,0 +1,31 @@
+#include "util/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace blazeit {
+
+namespace {
+
+bool DetectAvx512() {
+  const char* disable = std::getenv("BLAZEIT_DISABLE_SIMD");
+  if (disable != nullptr && std::strcmp(disable, "") != 0 &&
+      std::strcmp(disable, "0") != 0) {
+    return false;
+  }
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool CpuHasAvx512() {
+  static const bool has = DetectAvx512();
+  return has;
+}
+
+}  // namespace blazeit

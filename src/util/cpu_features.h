@@ -1,0 +1,22 @@
+#ifndef BLAZEIT_UTIL_CPU_FEATURES_H_
+#define BLAZEIT_UTIL_CPU_FEATURES_H_
+
+namespace blazeit {
+
+/// True if the CPU supports the AVX-512 subset used by the hot-path
+/// kernels (F + DQ: 512-bit float math, 64-bit integer multiplies,
+/// gathers). The kernels in video/raster_kernels.* and nn/matmul_kernels.*
+/// dispatch on this at runtime, so the library binary stays baseline
+/// x86-64 portable while using wide vectors where available. The SIMD
+/// paths are bit-identical to their scalar fallbacks by construction
+/// (element-wise lanes, no FMA contraction, no reassociation), so dispatch
+/// never changes query outputs — only wall clock.
+///
+/// Set BLAZEIT_DISABLE_SIMD=1 in the environment to force the scalar
+/// paths (checked once, at first call); used by tests to exercise both
+/// sides of the dispatch.
+bool CpuHasAvx512();
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_UTIL_CPU_FEATURES_H_

@@ -107,4 +107,34 @@ Fingerprint& Fingerprint::Mix(const std::string& s) {
   return Mix(HashString(s));
 }
 
+
+uint64_t Mt19937_64FirstDraw(uint64_t seed) {
+  // std::mt19937_64 parameters (w=64, n=312, m=156, r=31). Seed
+  // initialization: mt[0] = seed, mt[i] = f * (mt[i-1] ^ (mt[i-1] >> 62))
+  // + i. The first twist step only reads mt[0], mt[1], and mt[m], so run
+  // the init recurrence to index m and skip the other 155 words plus the
+  // full-state twist.
+  constexpr uint64_t kInitMul = 6364136223846793005ULL;
+  constexpr uint64_t kMatrixA = 0xB5026F5AA96619E9ULL;
+  constexpr uint64_t kUpperMask = 0xFFFFFFFF80000000ULL;
+  constexpr uint64_t kLowerMask = 0x000000007FFFFFFFULL;
+  const uint64_t mt0 = seed;
+  uint64_t prev = seed;
+  uint64_t mt1 = 0;
+  uint64_t mt156 = 0;
+  for (uint64_t i = 1; i <= 156; ++i) {
+    prev = kInitMul * (prev ^ (prev >> 62)) + i;
+    if (i == 1) mt1 = prev;
+  }
+  mt156 = prev;
+  const uint64_t x = (mt0 & kUpperMask) | (mt1 & kLowerMask);
+  uint64_t y = mt156 ^ (x >> 1) ^ ((x & 1) ? kMatrixA : 0);
+  // Tempering.
+  y ^= (y >> 29) & 0x5555555555555555ULL;
+  y ^= (y << 17) & 0x71D67FFFEDA60000ULL;
+  y ^= (y << 37) & 0xFFF7EEE000000000ULL;
+  y ^= y >> 43;
+  return y;
+}
+
 }  // namespace blazeit

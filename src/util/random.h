@@ -48,6 +48,16 @@ class Rng {
 /// SplitMix64 hash; used to derive per-frame deterministic seeds.
 uint64_t HashCombine(uint64_t a, uint64_t b);
 
+/// The first output of std::mt19937_64 seeded with `seed`, computed
+/// without materializing the engine's 312-word state (~40x cheaper than
+/// constructing an Rng for one draw — the first output only depends on
+/// state words 0, 1, and 156 of the standard-specified seeding
+/// recurrence). The renderer burns one engine draw per frame to seed the
+/// pixel-noise stream; this keeps that contract bit-identical while
+/// removing the engine construction from the per-frame hot path. Pinned
+/// against std::mt19937_64 itself in util_test.
+uint64_t Mt19937_64FirstDraw(uint64_t seed);
+
 /// FNV-1a hash of a string; used to derive per-stream (not per-day)
 /// deterministic parameters such as diurnal phases.
 uint64_t HashString(const std::string& s);

@@ -3,13 +3,43 @@
 #include <algorithm>
 #include <cmath>
 
+#include "video/raster_kernels.h"
+
 namespace blazeit {
+
+namespace {
+
+/// Clamps a color to the image's documented [0,1] channel contract.
+/// Rasterization is the only place pixel values enter an Image, so
+/// clamping here (rather than in every caller) makes the contract hold
+/// unconditionally; in-range colors pass through bit-unchanged.
+Color ClampColor(const Color& color) {
+  return Color{std::clamp(color.r, 0.0f, 1.0f), std::clamp(color.g, 0.0f, 1.0f),
+               std::clamp(color.b, 0.0f, 1.0f)};
+}
+
+/// Writes `count` RGB pixels starting at `row` (interleaved layout).
+void FillRowRgb(float* row, int count, const Color& color) {
+  for (int x = 0; x < count; ++x) {
+    row[3 * x + 0] = color.r;
+    row[3 * x + 1] = color.g;
+    row[3 * x + 2] = color.b;
+  }
+}
+
+}  // namespace
 
 Image::Image(int width, int height)
     : width_(width),
       height_(height),
       data_(static_cast<size_t>(width) * static_cast<size_t>(height) * 3,
             0.0f) {}
+
+void Image::SetSize(int width, int height) {
+  width_ = width;
+  height_ = height;
+  data_.resize(static_cast<size_t>(width) * static_cast<size_t>(height) * 3);
+}
 
 void Image::SetPixel(int x, int y, const Color& color) {
   Set(x, y, 0, color.r);
@@ -18,69 +48,69 @@ void Image::SetPixel(int x, int y, const Color& color) {
 }
 
 void Image::Fill(const Color& color) {
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x) SetPixel(x, y, color);
+  if (Empty()) return;
+  const Color c = ClampColor(color);
+  // Scanline form: write the first row once, then replicate it. The
+  // copies are straight memmoves, which beats a per-pixel SetPixel loop
+  // by a wide margin and leaves nothing for the vectorizer to guess at.
+  const size_t row_floats = static_cast<size_t>(width_) * 3;
+  FillRowRgb(data_.data(), width_, c);
+  for (int y = 1; y < height_; ++y) {
+    std::copy_n(data_.data(), row_floats, data_.data() + y * row_floats);
   }
 }
 
 void Image::FillRect(const Rect& rect, const Color& color) {
   Rect r = rect.ClampToUnit();
-  if (r.Empty()) return;
-  int x0 = static_cast<int>(std::floor(r.xmin * width_));
-  int x1 = static_cast<int>(std::ceil(r.xmax * width_));
-  int y0 = static_cast<int>(std::floor(r.ymin * height_));
-  int y1 = static_cast<int>(std::ceil(r.ymax * height_));
-  x0 = std::clamp(x0, 0, width_);
-  x1 = std::clamp(x1, 0, width_);
-  y0 = std::clamp(y0, 0, height_);
-  y1 = std::clamp(y1, 0, height_);
-  for (int y = y0; y < y1; ++y) {
+  if (r.Empty() || Empty()) return;
+  const Color c = ClampColor(color);
+  // A pixel is covered iff its center lies inside the rect. Centers are
+  // monotone in the pixel index, so coverage along each axis is one
+  // contiguous span; find the span endpoints with the exact per-center
+  // predicate (bit-identical to the historical per-pixel Contains scan),
+  // then fill whole rows instead of testing every pixel.
+  int x0 = std::clamp(static_cast<int>(std::floor(r.xmin * width_)), 0, width_);
+  int x1 = std::clamp(static_cast<int>(std::ceil(r.xmax * width_)), 0, width_);
+  int y0 = std::clamp(static_cast<int>(std::floor(r.ymin * height_)), 0,
+                      height_);
+  int y1 = std::clamp(static_cast<int>(std::ceil(r.ymax * height_)), 0,
+                      height_);
+  auto x_covered = [&](int x) {
+    double cx = (x + 0.5) / width_;
+    return cx >= r.xmin && cx < r.xmax;
+  };
+  auto y_covered = [&](int y) {
     double cy = (y + 0.5) / height_;
-    for (int x = x0; x < x1; ++x) {
-      double cx = (x + 0.5) / width_;
-      if (r.Contains(cx, cy)) SetPixel(x, y, color);
-    }
+    return cy >= r.ymin && cy < r.ymax;
+  };
+  while (x0 < x1 && !x_covered(x0)) ++x0;
+  while (x1 > x0 && !x_covered(x1 - 1)) --x1;
+  while (y0 < y1 && !y_covered(y0)) ++y0;
+  while (y1 > y0 && !y_covered(y1 - 1)) --y1;
+  if (x0 >= x1 || y0 >= y1) return;
+
+  const size_t row_floats = static_cast<size_t>(width_) * 3;
+  float* first = data_.data() + y0 * row_floats + static_cast<size_t>(x0) * 3;
+  const size_t span_floats = static_cast<size_t>(x1 - x0) * 3;
+  FillRowRgb(first, x1 - x0, c);
+  for (int y = y0 + 1; y < y1; ++y) {
+    std::copy_n(first, span_floats,
+                data_.data() + y * row_floats + static_cast<size_t>(x0) * 3);
   }
 }
-
-namespace {
-
-// Pixel noise is the hottest inner loop of the renderer (thousands of
-// draws per frame), so Gaussian deviates come from a fixed lookup table
-// indexed by a SplitMix64 stream instead of std::normal_distribution.
-// Quality is ample for sensor-noise simulation and determinism is
-// preserved (the table index stream is seeded from the caller's Rng).
-constexpr int kNoiseTableBits = 14;
-constexpr int kNoiseTableSize = 1 << kNoiseTableBits;
-
-const float* NoiseTable() {
-  static float* table = [] {
-    float* t = new float[kNoiseTableSize];
-    Rng rng(0x6a09e667f3bcc908ULL);
-    for (int i = 0; i < kNoiseTableSize; ++i) {
-      t[i] = static_cast<float>(rng.Normal(0.0, 1.0));
-    }
-    return t;
-  }();
-  return table;
-}
-
-}  // namespace
 
 void Image::AddNoise(Rng* rng, double sigma) {
   if (sigma <= 0) return;
-  const float* table = NoiseTable();
-  const float s = static_cast<float>(sigma);
-  uint64_t state = rng->engine()();  // one draw seeds the whole frame
-  for (float& v : data_) {
-    // SplitMix64 step.
-    state += 0x9e3779b97f4a7c15ULL;
-    uint64_t z = state;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    z ^= z >> 31;
-    v = std::clamp(v + s * table[z & (kNoiseTableSize - 1)], 0.0f, 1.0f);
-  }
+  AddNoiseFromState(rng->engine()(), sigma);
+}
+
+void Image::AddNoiseFromState(uint64_t state, double sigma) {
+  if (sigma <= 0) return;
+  // The per-element SplitMix64 stream and N(0,1) table live in the kernel
+  // layer, which dispatches to an AVX-512 path with bit-identical output
+  // where available.
+  raster::AddGaussianNoiseClamp(data_.data(), data_.size(), state,
+                                static_cast<float>(sigma));
 }
 
 void Image::ScaleBrightness(float factor) {
@@ -90,10 +120,31 @@ void Image::ScaleBrightness(float factor) {
 double Image::MeanChannel(int c) const {
   if (Empty()) return 0.0;
   double sum = 0;
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x) sum += static_cast<double>(At(x, y, c));
+  const float* p = data_.data() + c;
+  const size_t pixels = static_cast<size_t>(width_) * height_;
+  for (size_t i = 0; i < pixels; ++i) sum += static_cast<double>(p[3 * i]);
+  return sum / static_cast<double>(pixels);
+}
+
+void Image::MeanChannels(double out[3]) const {
+  out[0] = out[1] = out[2] = 0.0;
+  if (Empty()) return;
+  // One fused pass; each channel's running sum accumulates in the same
+  // row-major order as MeanChannel, so the results are bit-identical.
+  double r = 0, g = 0, b = 0;
+  const float* p = data_.data();
+  const size_t pixels = static_cast<size_t>(width_) * height_;
+  for (size_t i = 0; i < pixels; ++i) {
+    r += static_cast<double>(p[3 * i + 0]);
+    g += static_cast<double>(p[3 * i + 1]);
+    b += static_cast<double>(p[3 * i + 2]);
   }
-  return sum / (static_cast<double>(width_) * height_);
+  // Divide (not multiply by reciprocal): fl(sum / n) != fl(sum * fl(1/n))
+  // when n is not a power of two, and bit-identity with MeanChannel is
+  // this method's contract.
+  out[0] = r / static_cast<double>(pixels);
+  out[1] = g / static_cast<double>(pixels);
+  out[2] = b / static_cast<double>(pixels);
 }
 
 double Image::MeanChannelInRect(int c, const Rect& rect) const {
@@ -110,8 +161,11 @@ double Image::MeanChannelInRect(int c, const Rect& rect) const {
   double sum = 0;
   int count = 0;
   for (int y = y0; y < y1; ++y) {
-    for (int x = x0; x < x1; ++x) {
-      sum += static_cast<double>(At(x, y, c));
+    const float* row = data_.data() +
+                       (static_cast<size_t>(y) * width_ + x0) * 3 +
+                       static_cast<size_t>(c);
+    for (int x = 0; x < x1 - x0; ++x) {
+      sum += static_cast<double>(row[3 * x]);
       ++count;
     }
   }
@@ -130,10 +184,11 @@ Image Image::Crop(const Rect& rect) const {
   int y1 = std::clamp(static_cast<int>(std::ceil(r.ymax * height_)), y0 + 1,
                       height_);
   Image out(x1 - x0, y1 - y0);
+  const size_t src_row = static_cast<size_t>(width_) * 3;
+  const size_t dst_row = static_cast<size_t>(x1 - x0) * 3;
   for (int y = y0; y < y1; ++y) {
-    for (int x = x0; x < x1; ++x) {
-      for (int c = 0; c < 3; ++c) out.Set(x - x0, y - y0, c, At(x, y, c));
-    }
+    std::copy_n(data_.data() + y * src_row + static_cast<size_t>(x0) * 3,
+                dst_row, out.data_.data() + (y - y0) * dst_row);
   }
   return out;
 }
@@ -141,20 +196,54 @@ Image Image::Crop(const Rect& rect) const {
 Image Image::Resize(int new_width, int new_height) const {
   Image out(new_width, new_height);
   if (Empty() || new_width <= 0 || new_height <= 0) return out;
-  for (int y = 0; y < new_height; ++y) {
-    int sy0 = y * height_ / new_height;
-    int sy1 = std::max(sy0 + 1, (y + 1) * height_ / new_height);
+  // Two-pass box filter: horizontal row sums first, then vertical
+  // accumulation of those sums. O(pixels) per pass instead of the naive
+  // O(pixels * block) nested block walk. Per output cell this regroups
+  // the historical flat sy/sx-order double sum into "sum each row in sx
+  // order, then add row sums in sy order" — a reassociation that can in
+  // principle change the low bit (kDerivedArtifactEpoch was bumped for
+  // this change; in practice [0,1]-range pixels rarely exercise it). The
+  // golden suite pins the two-pass grouping as the semantics.
+  const int sw = width_, sh = height_;
+  std::vector<double> hsum(static_cast<size_t>(sh) * new_width * 3);
+  std::vector<int> hcount(static_cast<size_t>(new_width));
+  std::vector<int> xb(static_cast<size_t>(new_width) + 1);
+  for (int x = 0; x < new_width; ++x) {
+    int sx0 = x * sw / new_width;
+    int sx1 = std::max(sx0 + 1, (x + 1) * sw / new_width);
+    xb[static_cast<size_t>(x)] = sx0;
+    hcount[static_cast<size_t>(x)] = sx1 - sx0;
+  }
+  for (int sy = 0; sy < sh; ++sy) {
+    const float* row = data_.data() + static_cast<size_t>(sy) * sw * 3;
+    double* hrow = hsum.data() + static_cast<size_t>(sy) * new_width * 3;
     for (int x = 0; x < new_width; ++x) {
-      int sx0 = x * width_ / new_width;
-      int sx1 = std::max(sx0 + 1, (x + 1) * width_ / new_width);
+      const int sx0 = xb[static_cast<size_t>(x)];
+      const int cnt = hcount[static_cast<size_t>(x)];
+      double r = 0, g = 0, b = 0;
+      for (int sx = sx0; sx < sx0 + cnt; ++sx) {
+        r += static_cast<double>(row[3 * sx + 0]);
+        g += static_cast<double>(row[3 * sx + 1]);
+        b += static_cast<double>(row[3 * sx + 2]);
+      }
+      hrow[3 * x + 0] = r;
+      hrow[3 * x + 1] = g;
+      hrow[3 * x + 2] = b;
+    }
+  }
+  for (int y = 0; y < new_height; ++y) {
+    int sy0 = y * sh / new_height;
+    int sy1 = std::max(sy0 + 1, (y + 1) * sh / new_height);
+    float* orow = out.data_.data() + static_cast<size_t>(y) * new_width * 3;
+    for (int x = 0; x < new_width; ++x) {
+      const int block = (sy1 - sy0) * hcount[static_cast<size_t>(x)];
       for (int c = 0; c < 3; ++c) {
         double sum = 0;
         for (int sy = sy0; sy < sy1; ++sy) {
-          for (int sx = sx0; sx < sx1; ++sx)
-            sum += static_cast<double>(At(sx, sy, c));
+          sum += hsum[(static_cast<size_t>(sy) * new_width + x) * 3 +
+                      static_cast<size_t>(c)];
         }
-        out.Set(x, y, c,
-                static_cast<float>(sum / ((sy1 - sy0) * (sx1 - sx0))));
+        orow[3 * x + c] = static_cast<float>(sum / block);
       }
     }
   }

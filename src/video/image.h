@@ -33,6 +33,11 @@ class Image {
   int height() const { return height_; }
   bool Empty() const { return width_ == 0 || height_ == 0; }
 
+  /// Reshapes in place without preserving contents (the backing buffer is
+  /// reused when the pixel count allows). Lets render loops recycle one
+  /// scratch Image instead of allocating per frame.
+  void SetSize(int width, int height);
+
   /// Channel value at pixel (x, y); c in {0: red, 1: green, 2: blue}.
   float At(int x, int y, int c) const {
     return data_[Index(x, y, c)];
@@ -40,15 +45,26 @@ class Image {
   void Set(int x, int y, int c, float v) { data_[Index(x, y, c)] = v; }
   void SetPixel(int x, int y, const Color& color);
 
-  /// Fills the whole image with a solid color.
+  /// Fills the whole image with a solid color. The color is clamped to the
+  /// [0,1] channel contract at the fill site (rasterization is where pixel
+  /// values enter an Image, so out-of-range inputs — e.g. an extreme
+  /// lighting factor — can never leak out-of-contract values into NN
+  /// features or content UDFs).
   void Fill(const Color& color);
 
   /// Fills the normalized-coordinate rectangle with a solid color. Pixels
-  /// are covered if their center lies inside the rectangle.
+  /// are covered if their center lies inside the rectangle. The color is
+  /// clamped to [0,1] as in Fill.
   void FillRect(const Rect& rect, const Color& color);
 
-  /// Adds i.i.d. Gaussian noise (clamped to [0,1]) to every channel.
+  /// Adds i.i.d. Gaussian noise (clamped to [0,1]) to every channel. One
+  /// engine draw seeds the whole frame's noise stream.
   void AddNoise(Rng* rng, double sigma);
+
+  /// As AddNoise but takes the frame's stream seed directly — bit-identical
+  /// to AddNoise given `state == rng->engine()()`. Lets the renderer skip
+  /// constructing a full engine per frame (see Mt19937_64FirstDraw).
+  void AddNoiseFromState(uint64_t state, double sigma);
 
   /// Multiplies every channel by `factor` (clamped to [0,1]); used for
   /// global lighting variation.
@@ -56,6 +72,10 @@ class Image {
 
   /// Mean of channel `c` over the whole image.
   double MeanChannel(int c) const;
+  /// All three channel means in one pass over the pixels; bit-identical to
+  /// calling MeanChannel(0..2) but 3x less memory traffic (used by the
+  /// fused feature-extraction path).
+  void MeanChannels(double out[3]) const;
   /// Mean of channel `c` over the normalized-coordinate rectangle.
   double MeanChannelInRect(int c, const Rect& rect) const;
 

@@ -1,0 +1,43 @@
+#ifndef BLAZEIT_VIDEO_RASTER_KERNELS_H_
+#define BLAZEIT_VIDEO_RASTER_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace blazeit {
+namespace raster {
+
+/// The raster kernel layer: the per-pixel inner loops of Image, factored
+/// out so they can be runtime-dispatched between a portable scalar path
+/// and an AVX-512 path. Both paths are bit-identical by construction —
+/// every lane computes exactly the scalar expression (separate multiply
+/// and add, no FMA contraction, no reassociation), so whichever path runs,
+/// the persistent artifact store sees the same bytes. The golden suite
+/// (tests/raster_golden_test.cc) pins this with an independent reference
+/// implementation; tests can force the scalar path with
+/// BLAZEIT_DISABLE_SIMD=1 (see util/cpu_features.h).
+
+/// Size of the shared N(0,1) lookup table behind AddGaussianNoiseClamp.
+inline constexpr int kNoiseTableBits = 14;
+inline constexpr int kNoiseTableSize = 1 << kNoiseTableBits;
+
+/// The shared Gaussian deviate table (lazily built, process lifetime).
+const float* NoiseTable();
+
+/// data[i] = clamp(data[i] + sigma * N(0,1), 0, 1) for i in [0, n), with
+/// the i-th deviate drawn from NoiseTable() at the index produced by the
+/// SplitMix64 stream seeded with `state` (one step per element). This is
+/// the hottest loop of the renderer; the AVX-512 path computes the same
+/// stream eight lanes at a time and gathers from the same table.
+void AddGaussianNoiseClamp(float* data, size_t n, uint64_t state,
+                           float sigma);
+
+/// Scalar reference path (always available; used by the dispatcher as the
+/// fallback and by tests as the parity baseline).
+void AddGaussianNoiseClampScalar(float* data, size_t n, uint64_t state,
+                                 float sigma);
+
+}  // namespace raster
+}  // namespace blazeit
+
+#endif  // BLAZEIT_VIDEO_RASTER_KERNELS_H_

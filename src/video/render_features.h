@@ -1,0 +1,33 @@
+#ifndef BLAZEIT_VIDEO_RENDER_FEATURES_H_
+#define BLAZEIT_VIDEO_RENDER_FEATURES_H_
+
+#include <cstdint>
+
+#include "video/image.h"
+#include "video/synthetic_video.h"
+
+namespace blazeit {
+
+/// Number of feature channels per grid cell produced by
+/// RenderFrameFeatures: pooled mean R, G, B plus the absolute-deviation
+/// foreground channel.
+inline constexpr int kFeatureChannels = 4;
+
+/// Fused render→feature kernel: rasterizes `frame` at twice the grid
+/// resolution and writes the pooled 4-channel feature row — the
+/// specialized-NN input representation — directly into `dst`
+/// (grid_w * grid_h * kFeatureChannels floats, e.g. a Matrix::Row).
+///
+/// This replaces the Image → Flatten → copy chain: batch loops hand in the
+/// NN input row and an optional scratch Image to reuse across frames (no
+/// per-frame allocation). Output bits are identical to the historical
+/// nn/ FrameFeatures: same render, same channel-mean accumulation order,
+/// same pooling and normalization expressions — so cached per-frame NN
+/// artifacts remain valid across the fusion.
+void RenderFrameFeatures(const SyntheticVideo& video, int64_t frame,
+                         int grid_w, int grid_h, float* dst,
+                         Image* scratch = nullptr);
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_VIDEO_RENDER_FEATURES_H_

@@ -74,6 +74,12 @@ class SyntheticVideo {
   Image RenderFrameRegion(int64_t frame, const Rect& roi, int width,
                           int height) const;
 
+  /// As RenderFrameRegion, but renders into `out` (reusing its buffer when
+  /// the size allows). Batch loops use this to avoid one allocation per
+  /// frame; output bits are identical to RenderFrameRegion.
+  void RenderFrameRegionInto(int64_t frame, const Rect& roi, int width,
+                             int height, Image* out) const;
+
   // --- Measured statistics (for Table 3 and generator tests) ---
 
   /// Fraction of frames with at least one visible instance of the class.

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "util/random.h"
+
 namespace blazeit {
 namespace {
 
@@ -42,6 +46,28 @@ TEST(ImageTest, MeanChannel) {
   img.Set(0, 0, 0, 1.0f);
   EXPECT_NEAR(img.MeanChannel(0), 0.25, 1e-6);
   EXPECT_NEAR(img.MeanChannel(1), 0.0, 1e-6);
+}
+
+TEST(ImageTest, MeanChannelsBitIdenticalToPerChannel) {
+  // The fused pass must match MeanChannel exactly, including at sizes
+  // whose pixel count is not a power of two (where a reciprocal multiply
+  // would differ from the division in the last bit).
+  Rng rng(31);
+  for (auto [w, h] : {std::pair{48, 48}, {13, 9}, {64, 64}, {7, 5}}) {
+    Image img(w, h);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        for (int c = 0; c < 3; ++c) {
+          img.Set(x, y, c, static_cast<float>(rng.Uniform()));
+        }
+      }
+    }
+    double fused[3];
+    img.MeanChannels(fused);
+    for (int c = 0; c < 3; ++c) {
+      ASSERT_EQ(fused[c], img.MeanChannel(c)) << w << "x" << h << " c " << c;
+    }
+  }
 }
 
 TEST(ImageTest, MeanChannelInRect) {

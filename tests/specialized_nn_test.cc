@@ -4,12 +4,15 @@
 
 #include "testing/test_util.h"
 
+#include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "core/labeled_set.h"
 #include "detect/simulated_detector.h"
 #include "stats/online_stats.h"
 #include "video/datasets.h"
+#include "video/render_features.h"
 
 namespace blazeit {
 namespace {
@@ -33,6 +36,95 @@ TEST(ChooseNumClassesTest, RareTailExcluded) {
 TEST(ChooseNumClassesTest, EmptyAndAllZero) {
   EXPECT_EQ(ChooseNumClasses({}), 1);
   EXPECT_EQ(ChooseNumClasses(std::vector<int>(100, 0)), 1);
+}
+
+// Independent reference for the pooled-feature math: the historical
+// FrameFeatures loop from nn/specialized_nn.cc as it existed before the
+// fused render_features kernel replaced it. RenderFrameFeatures must match
+// this bit-for-bit — cached per-frame NN artifacts were NOT epoch-bumped
+// across the fusion, so the fused path inherits the old math as its spec.
+std::vector<float> RefFrameFeatures(const SyntheticVideo& video,
+                                    int64_t frame, int width, int height) {
+  constexpr int kPool = 2;
+  constexpr float kMean = 0.45f;
+  constexpr float kStd = 0.22f;
+  Image img = video.RenderFrame(frame, width * kPool, height * kPool);
+  const double mean_r = img.MeanChannel(0);
+  const double mean_g = img.MeanChannel(1);
+  const double mean_b = img.MeanChannel(2);
+  std::vector<float> features;
+  features.reserve(static_cast<size_t>(width) * height * 4);
+  for (int cy = 0; cy < height; ++cy) {
+    for (int cx = 0; cx < width; ++cx) {
+      double r = 0, g = 0, b = 0, dev = 0;
+      for (int dy = 0; dy < kPool; ++dy) {
+        for (int dx = 0; dx < kPool; ++dx) {
+          int x = cx * kPool + dx;
+          int y = cy * kPool + dy;
+          double pr = img.At(x, y, 0);
+          double pg = img.At(x, y, 1);
+          double pb = img.At(x, y, 2);
+          r += pr;
+          g += pg;
+          b += pb;
+          dev += std::abs(pr - mean_r) + std::abs(pg - mean_g) +
+                 std::abs(pb - mean_b);
+        }
+      }
+      const double inv = 1.0 / (kPool * kPool);
+      features.push_back(
+          static_cast<float>(((static_cast<double>(r) * inv) -
+                              static_cast<double>(kMean)) /
+                             static_cast<double>(kStd)));
+      features.push_back(
+          static_cast<float>(((static_cast<double>(g) * inv) -
+                              static_cast<double>(kMean)) /
+                             static_cast<double>(kStd)));
+      features.push_back(
+          static_cast<float>(((static_cast<double>(b) * inv) -
+                              static_cast<double>(kMean)) /
+                             static_cast<double>(kStd)));
+      features.push_back(static_cast<float>((dev * inv - 0.1) / 0.3));
+    }
+  }
+  return features;
+}
+
+TEST(FrameFeaturesTest, FusedPathMatchesHistoricalReference) {
+  // Non-square grids exercise the fused kernel's row strides; sizes whose
+  // render is not a power of two pixels exercise the channel-mean
+  // division.
+  auto video = SyntheticVideo::Create(TaipeiConfig(), 1, 200).value();
+  Image scratch;
+  for (auto [w, h] : {std::pair{16, 16}, {12, 20}, {7, 3}}) {
+    std::vector<float> row(static_cast<size_t>(w) * h * kFeatureChannels);
+    for (int64_t frame : {0, 63, 199}) {
+      std::vector<float> want = RefFrameFeatures(*video, frame, w, h);
+      RenderFrameFeatures(*video, frame, w, h, row.data(), &scratch);
+      ASSERT_EQ(want.size(), row.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(want[i], row[i])
+            << w << "x" << h << " frame " << frame << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(FrameFeaturesTest, FusedRowPathMatchesVectorPath) {
+  // The batch loops render features straight into the NN input row via
+  // RenderFrameFeatures with a reused scratch Image; bits must match the
+  // vector-returning FrameFeatures wrapper exactly.
+  auto video = SyntheticVideo::Create(TaipeiConfig(), 1, 200).value();
+  Image scratch;
+  std::vector<float> row(16 * 16 * kFeatureChannels);
+  for (int64_t frame : {0, 7, 63, 199}) {
+    std::vector<float> want = FrameFeatures(*video, frame, 16, 16);
+    RenderFrameFeatures(*video, frame, 16, 16, row.data(), &scratch);
+    ASSERT_EQ(want.size(), row.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(want[i], row[i]) << "frame " << frame << " index " << i;
+    }
+  }
 }
 
 TEST(FrameFeaturesTest, SizeAndDeterminism) {

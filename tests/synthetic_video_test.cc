@@ -1,5 +1,7 @@
 #include "video/synthetic_video.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "video/datasets.h"
@@ -161,6 +163,58 @@ TEST(SyntheticVideoTest, ClutterRenderedButNotInGroundTruth) {
     return;
   }
   GTEST_SKIP() << "no empty frame found";
+}
+
+TEST(SyntheticVideoTest, LightingStaysInDisplayableRange) {
+  // Regression for the unclamped lighting bug: with a large per-day
+  // brightness jitter the day factor 1 + N(0, jitter) can go negative (or
+  // far above 1), and with pixel_noise == 0 nothing downstream ever
+  // clamped, so negative channel values flowed straight into NN features
+  // and content UDFs. The light factor is now clamped to >= 0 and the
+  // fill sites clamp colors to [0,1]; every rendered channel must honor
+  // the Image contract for every day seed.
+  StreamConfig cfg = SmallConfig();
+  cfg.day_brightness_jitter = 3.0;  // most days land far out of range
+  cfg.pixel_noise = 0.0;            // nothing downstream clamps
+  bool saw_saturated_day = false;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    auto video = SyntheticVideo::Create(cfg, seed, 600).value();
+    for (int64_t frame : {int64_t{0}, int64_t{299}, int64_t{599}}) {
+      Image img = video->RenderFrame(frame, 16, 16);
+      float lo = 2.0f, hi = -1.0f;
+      for (float v : img.data()) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      ASSERT_GE(lo, 0.0f) << "seed " << seed << " frame " << frame;
+      ASSERT_LE(hi, 1.0f) << "seed " << seed << " frame " << frame;
+      // A day whose jittered light factor collapsed to zero (or pegged a
+      // channel at 1) proves the clamp actually engaged in this config.
+      if (hi == 0.0f || hi == 1.0f) saw_saturated_day = true;
+    }
+  }
+  EXPECT_TRUE(saw_saturated_day)
+      << "jitter 3.0 never pushed the light factor out of range across 12 "
+         "seeds; the regression test lost its teeth";
+}
+
+TEST(SyntheticVideoTest, RenderIntoScratchMatchesAllocatingRender) {
+  // The batch paths render into a reused scratch Image; bits must match
+  // the allocating API exactly, including across size changes of the
+  // scratch buffer.
+  auto video = SyntheticVideo::Create(SmallConfig(), 3, 400).value();
+  Image scratch;
+  constexpr int kSizes[][2] = {{32, 32}, {64, 64}, {48, 48}, {16, 16},
+                               {64, 64}};
+  int64_t frame = 0;
+  for (auto [w, h] : kSizes) {
+    Image fresh = video->RenderFrame(frame, w, h);
+    video->RenderFrameRegionInto(frame, Rect{0, 0, 1, 1}, w, h, &scratch);
+    ASSERT_EQ(scratch.width(), w);
+    ASSERT_EQ(scratch.height(), h);
+    ASSERT_EQ(fresh.data(), scratch.data()) << w << "x" << h;
+    frame += 97;
+  }
 }
 
 }  // namespace

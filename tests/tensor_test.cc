@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "nn/matmul_kernels.h"
+#include "util/random.h"
+
 namespace blazeit {
 namespace {
 
@@ -65,6 +68,109 @@ TEST(MatMulTest, TransposeBMatchesExplicit) {
   EXPECT_FLOAT_EQ(c.At(0, 0), 1 * 7 + 2 * 8 + 3 * 9);
   EXPECT_FLOAT_EQ(c.At(0, 1), 1 * 10 + 2 * 11 + 3 * 12);
   EXPECT_FLOAT_EQ(c.At(1, 0), 4 * 7 + 5 * 8 + 6 * 9);
+}
+
+// Shape mismatches must abort in every build type (they were bare
+// assert()s once, which compile out under NDEBUG and turn into silent
+// out-of-bounds reads), with the offending dims in the message.
+using MatMulDeathTest = ::testing::Test;
+
+TEST(MatMulDeathTest, MismatchedInnerDimAborts) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_DEATH(MatMul(a, b), "MatMul shape mismatch: \\[2,3\\] x \\[4,2\\]");
+}
+
+TEST(MatMulDeathTest, TransposeAMismatchAborts) {
+  Matrix a(3, 2), b(4, 2);
+  EXPECT_DEATH(MatMulTransposeA(a, b), "MatMulTransposeA shape mismatch");
+}
+
+TEST(MatMulDeathTest, TransposeBMismatchAborts) {
+  Matrix a(2, 3), b(2, 4);
+  EXPECT_DEATH(MatMulTransposeB(a, b), "MatMulTransposeB shape mismatch");
+}
+
+// The dispatched (possibly AVX-512) kernels must be bit-identical to the
+// scalar fallbacks — the persistent artifact store replays NN outputs
+// across machines with different ISAs. Shapes cover SIMD tile tails
+// (n % 16, m % 4) and exact-zero coefficients (ReLU activations).
+class MatMulParityTest : public ::testing::Test {
+ protected:
+  static Matrix RandomMatrix(Rng* rng, int rows, int cols,
+                             double zero_fraction) {
+    Matrix m(rows, cols);
+    for (float& v : m.data()) {
+      v = rng->Bernoulli(zero_fraction)
+              ? 0.0f
+              : static_cast<float>(rng->Normal(0.0, 1.0));
+    }
+    return m;
+  }
+
+  static void ExpectBitIdentical(const Matrix& want, const Matrix& got) {
+    ASSERT_EQ(want.rows(), got.rows());
+    ASSERT_EQ(want.cols(), got.cols());
+    for (size_t i = 0; i < want.data().size(); ++i) {
+      ASSERT_EQ(want.data()[i], got.data()[i]) << "flat index " << i;
+    }
+  }
+};
+
+TEST_F(MatMulParityTest, MatMulMatchesScalar) {
+  Rng rng(21);
+  constexpr int kShapes[][3] = {{1, 1, 1},   {2, 3, 4},    {4, 16, 16},
+                                {5, 7, 3},   {7, 33, 17},  {8, 64, 64},
+                                {9, 100, 65}, {16, 256, 8}};
+  for (auto [m, k, n] : kShapes) {
+    for (double zf : {0.0, 0.5}) {
+      Matrix a = RandomMatrix(&rng, m, k, zf);
+      Matrix b = RandomMatrix(&rng, k, n, 0.0);
+      Matrix want(m, n);
+      matmul::MatMulScalar(a.data().data(), b.data().data(),
+                           want.data().data(), m, k, n);
+      SCOPED_TRACE(::testing::Message()
+                   << m << "x" << k << "x" << n << " zeros " << zf);
+      ExpectBitIdentical(want, MatMul(a, b));
+    }
+  }
+}
+
+TEST_F(MatMulParityTest, TransposeAMatchesScalar) {
+  Rng rng(22);
+  constexpr int kShapes[][3] = {{1, 1, 1},  {3, 2, 4},   {16, 4, 16},
+                                {7, 5, 3},  {33, 7, 17}, {64, 8, 64},
+                                {100, 9, 65}};
+  for (auto [m, k, n] : kShapes) {
+    for (double zf : {0.0, 0.5}) {
+      Matrix a = RandomMatrix(&rng, k, m, zf);
+      Matrix b = RandomMatrix(&rng, k, n, 0.0);
+      Matrix want(m, n);
+      matmul::MatMulTransposeAScalar(a.data().data(), b.data().data(),
+                                     want.data().data(), m, k, n);
+      SCOPED_TRACE(::testing::Message()
+                   << m << "x" << k << "x" << n << " zeros " << zf);
+      ExpectBitIdentical(want, MatMulTransposeA(a, b));
+    }
+  }
+}
+
+TEST_F(MatMulParityTest, TransposeBMatchesScalar) {
+  Rng rng(23);
+  constexpr int kShapes[][3] = {{1, 1, 1},  {3, 4, 2},   {16, 16, 4},
+                                {7, 3, 5},  {33, 17, 7}, {64, 64, 8},
+                                {100, 65, 9}};
+  for (auto [m, k, n] : kShapes) {
+    for (double zf : {0.0, 0.5}) {
+      Matrix a = RandomMatrix(&rng, m, k, zf);
+      Matrix b = RandomMatrix(&rng, n, k, 0.0);
+      Matrix want(m, n);
+      matmul::MatMulTransposeBScalar(a.data().data(), b.data().data(),
+                                     want.data().data(), m, k, n);
+      SCOPED_TRACE(::testing::Message()
+                   << m << "x" << k << "x" << n << " zeros " << zf);
+      ExpectBitIdentical(want, MatMulTransposeB(a, b));
+    }
+  }
 }
 
 TEST(MatMulTest, TransposeIdentitiesAgree) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <random>
 #include <set>
 #include <vector>
 
@@ -9,6 +10,24 @@
 
 namespace blazeit {
 namespace {
+
+TEST(RngTest, Mt19937FirstDrawMatchesStdEngine) {
+  // The renderer relies on Mt19937_64FirstDraw reproducing the first
+  // output of a freshly seeded std::mt19937_64 exactly (it replaced a
+  // per-frame engine construction on the hot path).
+  for (uint64_t seed :
+       {0ULL, 1ULL, 42ULL, 0xdeadbeefULL, 0xffffffffffffffffULL,
+        0x9e3779b97f4a7c15ULL}) {
+    std::mt19937_64 engine(seed);
+    EXPECT_EQ(Mt19937_64FirstDraw(seed), engine()) << "seed " << seed;
+  }
+  Rng meta(7);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t seed = meta.engine()();
+    std::mt19937_64 engine(seed);
+    ASSERT_EQ(Mt19937_64FirstDraw(seed), engine()) << "seed " << seed;
+  }
+}
 
 TEST(RngTest, UniformInRange) {
   Rng rng(1);
