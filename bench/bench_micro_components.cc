@@ -5,16 +5,20 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <vector>
 
 #include "core/labeled_set.h"
 #include "core/udf.h"
 #include "detect/simulated_detector.h"
+#include "exec/frame_pipeline.h"
+#include "exec/thread_pool.h"
 #include "nn/specialized_nn.h"
 #include "nn/tensor.h"
 #include "stats/control_variates.h"
 #include "stats/sampler.h"
 #include "util/random.h"
 #include "video/datasets.h"
+#include "video/render_features.h"
 
 namespace blazeit {
 namespace {
@@ -128,6 +132,72 @@ void BM_MatMulTransposeB(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 256 * 4096 * 64);
 }
 BENCHMARK(BM_MatMulTransposeB);
+
+// ---------------------------------------------------------------------------
+// Thread-count axes (PR 4): the sharded frame pipeline and batched NN
+// inference at pool sizes 1/2/4/8. On a multi-core machine these are the
+// scaling benches BENCH_pr4.json records (expect near-linear on the
+// render-bound sweep); on a single core they pin the overhead of the
+// sharding machinery at ~zero. Outputs are bit-identical across the axis
+// — only wall clock may move.
+// ---------------------------------------------------------------------------
+
+void BM_FrameFeaturesBatchThreads(benchmark::State& state) {
+  exec::ThreadPool::Instance().Reconfigure(static_cast<int>(state.range(0)));
+  constexpr int64_t kBatch = 1024;
+  constexpr int kGrid = 32;
+  constexpr size_t kRow = static_cast<size_t>(kGrid) * kGrid * 4;
+  std::vector<float> features(kBatch * kRow);
+  for (auto _ : state) {
+    exec::FramePipeline::Run(
+        kBatch, 64,
+        [&](int64_t begin, int64_t end, exec::FramePipeline::Scratch* s) {
+          for (int64_t i = begin; i < end; ++i) {
+            RenderFrameFeatures(Video(), i % 36000, kGrid, kGrid,
+                                features.data() + static_cast<size_t>(i) * kRow,
+                                &s->image);
+          }
+        });
+    benchmark::DoNotOptimize(features.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  exec::ThreadPool::Instance().Reconfigure(exec::ThreadPool::ThreadsFromEnv());
+}
+BENCHMARK(BM_FrameFeaturesBatchThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SpecializedNNInferenceThreads(benchmark::State& state) {
+  static SpecializedNN* nn = [] {
+    SimulatedDetector det;
+    LabeledSet labels(&Video(), &det, 0.5);
+    SpecializedNNConfig cfg;
+    cfg.max_train_frames = 4000;
+    return new SpecializedNN(
+        SpecializedNN::Train(Video(), {labels.Counts(kCar)}, cfg).value());
+  }();
+  exec::ThreadPool::Instance().Reconfigure(static_cast<int>(state.range(0)));
+  constexpr int64_t kBatch = 2048;
+  std::vector<int64_t> frames(static_cast<size_t>(kBatch));
+  std::iota(frames.begin(), frames.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn->ExpectedCountsForFrames(Video(), frames));
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  exec::ThreadPool::Instance().Reconfigure(exec::ThreadPool::ThreadsFromEnv());
+}
+BENCHMARK(BM_SpecializedNNInferenceThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MatMulThreads(benchmark::State& state) {
+  exec::ThreadPool::Instance().Reconfigure(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  Matrix a = RandomMatrix(&rng, 256, 4096);
+  Matrix b = RandomMatrix(&rng, 4096, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 4096 * 64);
+  exec::ThreadPool::Instance().Reconfigure(exec::ThreadPool::ThreadsFromEnv());
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_AdaptiveSampler(benchmark::State& state) {
   // Sampler loop cost on a pre-computed array (no detector in the loop).

@@ -2,8 +2,14 @@
 # Runs the google-benchmark micro-benchmarks and writes a JSON report, the
 # recorded baseline the ROADMAP asks for before any hot-path optimization.
 #
-#   bench/run_benchmarks.sh [build-dir] [output.json]
-#   bench/run_benchmarks.sh compare [build-dir] [output.json] [baseline.json]
+#   bench/run_benchmarks.sh [--threads N] [build-dir] [output.json]
+#   bench/run_benchmarks.sh compare [--threads N] [build-dir] [output.json] \
+#       [baseline.json]
+#
+# --threads N pins BLAZEIT_THREADS for the run, sizing the exec pool every
+# pool-aware bench inherits by default (the BM_*Threads benches sweep
+# their own explicit 1/2/4/8 axis regardless). Unset, the pool sizes
+# itself to the machine.
 #
 # Defaults: build dir `build`, output `bench/BENCH_baseline.json` — i.e.
 # running it with no arguments refreshes the committed baseline.
@@ -27,6 +33,11 @@ MODE="run"
 if [[ "${1:-}" == "compare" ]]; then
   MODE="compare"
   shift
+fi
+
+if [[ "${1:-}" == "--threads" ]]; then
+  export BLAZEIT_THREADS="${2:?--threads needs a value}"
+  shift 2
 fi
 
 BUILD_DIR="${1:-build}"

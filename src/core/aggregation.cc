@@ -79,6 +79,13 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
   nn_bootstrap_ = boot.value();
 
   // --- run the NN over the unseen test day (both paths need it) ---
+  // The full-day NN sweeps (here and on the held-out day above) are the
+  // aggregation scan's cost; they shard across the exec pool inside
+  // ProbsForFrames. Every reduction *over* the resulting counts below
+  // (OnlineStats means, the bootstrap, OnlineCovariance) deliberately
+  // stays a serial fixed-order chain — floating-point accumulation order
+  // is part of the output contract, so only the per-frame map work is
+  // parallel, never the folds.
   const SyntheticVideo& test = *stream_->test_day;
   std::vector<int64_t> test_frames(static_cast<size_t>(test.num_frames()));
   std::iota(test_frames.begin(), test_frames.end(), 0);

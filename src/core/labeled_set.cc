@@ -10,7 +10,9 @@ LabeledSet::LabeledSet(const SyntheticVideo* day,
     : day_(day), detector_(detector), score_threshold_(score_threshold) {}
 
 void LabeledSet::BuildAllCounts() const {
-  if (built_) return;
+  if (built_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(build_mu_);
+  if (built_.load(std::memory_order_relaxed)) return;
   for (int c = 0; c < kNumClasses; ++c) {
     counts_[c].assign(static_cast<size_t>(day_->num_frames()), 0);
   }
@@ -21,7 +23,7 @@ void LabeledSet::BuildAllCounts() const {
       }
     }
   }
-  built_ = true;
+  built_.store(true, std::memory_order_release);
 }
 
 const std::vector<int>& LabeledSet::Counts(int class_id) const {

@@ -1,7 +1,9 @@
 #ifndef BLAZEIT_CORE_LABELED_SET_H_
 #define BLAZEIT_CORE_LABELED_SET_H_
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "detect/detector.h"
@@ -25,7 +27,9 @@ class LabeledSet {
   const SyntheticVideo& day() const { return *day_; }
 
   /// Per-frame detection count of the class at the score threshold;
-  /// computed lazily (one detector pass over the day) and cached.
+  /// computed lazily (one detector pass over the day) and cached. The
+  /// lazy build is mutex-guarded and the returned vectors are immutable
+  /// afterwards, so parallel frame scans can call this concurrently.
   const std::vector<int>& Counts(int class_id) const;
 
   /// Detections in one frame (thresholded).
@@ -44,8 +48,12 @@ class LabeledSet {
   const SyntheticVideo* day_;
   const ObjectDetector* detector_;
   double score_threshold_;
+  /// Guards the one-shot lazy build; counts_ is never mutated once
+  /// built_ flips (released by the store below, acquired by the fast-path
+  /// load), so post-build readers skip the lock entirely.
+  mutable std::mutex build_mu_;
   mutable std::map<int, std::vector<int>> counts_;
-  mutable bool built_ = false;
+  mutable std::atomic<bool> built_{false};
 };
 
 }  // namespace blazeit

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "exec/parallel_for.h"
 #include "util/logging.h"
 
 namespace blazeit {
@@ -20,15 +21,59 @@ bool SatisfiesRequirements(const StreamData& stream, int64_t frame,
 RequirementStats CountRequirementInstances(
     const StreamData& stream,
     const std::vector<ClassCountRequirement>& reqs) {
+  // Hoist the per-class count vectors (forcing the thread-safe lazy build
+  // once, serially) so the sharded scan below is pure reads.
+  std::vector<const std::vector<int>*> counts;
+  counts.reserve(reqs.size());
+  for (const ClassCountRequirement& req : reqs) {
+    counts.push_back(&stream.test_labels->Counts(req.class_id));
+  }
+  const int64_t n = stream.test_day->num_frames();
+
+  // Sharded scan with a fixed-order merge: each shard runs the serial
+  // event-counting recurrence locally (in_event reset at its boundary)
+  // and reports whether its first/last frames match; the merge then
+  // uncounts events that span a shard boundary. Pure integer bookkeeping
+  // over fixed shard boundaries — identical to the serial scan at any
+  // thread count.
+  struct ShardStats {
+    int64_t matching = 0;
+    int64_t events = 0;
+    bool first_matches = false;
+    bool last_matches = false;
+  };
+  std::vector<ShardStats> shards = exec::ParallelMap<ShardStats>(
+      n, exec::kDefaultShardSize,
+      [&](int64_t begin, int64_t end, int /*slot*/) {
+        ShardStats s;
+        bool in_event = false;
+        for (int64_t t = begin; t < end; ++t) {
+          bool match = true;
+          for (size_t r = 0; r < counts.size(); ++r) {
+            if ((*counts[r])[static_cast<size_t>(t)] < reqs[r].min_count) {
+              match = false;
+              break;
+            }
+          }
+          if (match) {
+            ++s.matching;
+            if (!in_event) ++s.events;
+            if (t == begin) s.first_matches = true;
+          }
+          in_event = match;
+        }
+        s.last_matches = in_event;
+        return s;
+      });
+
   RequirementStats out;
-  bool in_event = false;
-  for (int64_t t = 0; t < stream.test_day->num_frames(); ++t) {
-    bool match = SatisfiesRequirements(stream, t, reqs);
-    if (match) {
-      ++out.matching_frames;
-      if (!in_event) ++out.events;
-    }
-    in_event = match;
+  bool prev_last = false;
+  for (const ShardStats& s : shards) {
+    out.matching_frames += s.matching;
+    out.events += s.events;
+    // An event running across the boundary was opened in both shards.
+    if (prev_last && s.first_matches) --out.events;
+    prev_last = s.last_matches;
   }
   return out;
 }
@@ -67,18 +112,31 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   CostMeter meter;
 
   // --- training-data check (Section 7.1): any instance in the train day?
-  int64_t train_instances = 0;
-  for (int64_t t = 0; t < stream_->train_day->num_frames(); ++t) {
-    bool match = true;
-    for (const ClassCountRequirement& req : reqs) {
-      if (stream_->train_labels->Counts(req.class_id)[static_cast<size_t>(
-              t)] < req.min_count) {
-        match = false;
-        break;
-      }
-    }
-    if (match) ++train_instances;
+  // Sharded count scan; the sum folds in shard order (exact integers).
+  std::vector<const std::vector<int>*> train_counts;
+  train_counts.reserve(reqs.size());
+  for (const ClassCountRequirement& req : reqs) {
+    train_counts.push_back(&stream_->train_labels->Counts(req.class_id));
   }
+  std::vector<int64_t> shard_instances = exec::ParallelMap<int64_t>(
+      stream_->train_day->num_frames(), exec::kDefaultShardSize,
+      [&](int64_t begin, int64_t end, int /*slot*/) {
+        int64_t matched = 0;
+        for (int64_t t = begin; t < end; ++t) {
+          bool match = true;
+          for (size_t r = 0; r < train_counts.size(); ++r) {
+            if ((*train_counts[r])[static_cast<size_t>(t)] <
+                reqs[r].min_count) {
+              match = false;
+              break;
+            }
+          }
+          if (match) ++matched;
+        }
+        return matched;
+      });
+  int64_t train_instances = 0;
+  for (int64_t count : shard_instances) train_instances += count;
   if (train_instances == 0) {
     BLAZEIT_LOG(kDebug) << "no instances of the scrubbing query in the "
                            "training set; falling back to sequential scan";

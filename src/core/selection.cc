@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "exec/frame_pipeline.h"
 #include "filters/calibration.h"
 #include "filters/content_filter.h"
 #include "filters/label_filter.h"
@@ -49,11 +50,12 @@ SelectionExecutor::SelectionExecutor(StreamData* stream,
 
 bool SelectionExecutor::FrameMatches(const LabeledSet& labels, int64_t frame,
                                      const AnalyzedQuery& query,
-                                     std::vector<SelectionRow>* rows) const {
+                                     std::vector<SelectionRow>* rows,
+                                     Image* render_scratch) const {
   std::vector<Detection> dets = labels.DetectionsAt(frame);
   bool any = false;
   bool rendered_this_frame = false;  // render lazily, at most once per frame
-  Image& rendered = udf_render_scratch_;
+  Image& rendered = *render_scratch;
   const bool needs_pixels = HasUdfPredicates(query);
   for (const Detection& det : dets) {
     if (det.class_id != query.sel_class) continue;
@@ -119,19 +121,28 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
   }
 
   // ---- positive masks on the held-out day (offline, uncharged) ----
+  // Sharded across the exec pool: every frame writes only its own mask
+  // slots, FrameMatches renders into per-worker scratch, and the labeled
+  // set / detector caches are thread-safe — so the masks (and everything
+  // calibrated from them) are identical at any thread count.
   const SyntheticVideo& held = *stream_->held_out_day;
   const std::vector<int>& held_counts =
       stream_->held_out_labels->Counts(query.sel_class);
   std::vector<char> predicate_positive(static_cast<size_t>(held.num_frames()),
                                        0);
   std::vector<char> class_positive(predicate_positive.size(), 0);
-  for (int64_t t = 0; t < held.num_frames(); ++t) {
-    if (held_counts[static_cast<size_t>(t)] == 0) continue;
-    class_positive[static_cast<size_t>(t)] = 1;
-    if (FrameMatches(*stream_->held_out_labels, t, query, nullptr)) {
-      predicate_positive[static_cast<size_t>(t)] = 1;
-    }
-  }
+  exec::FramePipeline::Run(
+      held.num_frames(),
+      [&](int64_t begin, int64_t end, exec::FramePipeline::Scratch* scratch) {
+        for (int64_t t = begin; t < end; ++t) {
+          if (held_counts[static_cast<size_t>(t)] == 0) continue;
+          class_positive[static_cast<size_t>(t)] = 1;
+          if (FrameMatches(*stream_->held_out_labels, t, query, nullptr,
+                           &scratch->image)) {
+            predicate_positive[static_cast<size_t>(t)] = 1;
+          }
+        }
+      });
 
   // ---- content filter (statistical; calibrated for no false negatives) --
   std::unique_ptr<ContentFilter> content;
@@ -264,11 +275,14 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
   } else {
     after_label = std::move(after_content);
   }
-  // Stage 3: full object detection on the survivors.
+  // Stage 3: full object detection on the survivors — serial: result.rows
+  // appends in frame order and the cost meter is an ordered accumulator.
+  Image verify_scratch;
   for (int64_t frame : after_label) {
     meter.ChargeDetectionAspect(detection_aspect);
     ++result.frames_detected;
-    if (FrameMatches(*stream_->test_labels, frame, query, &result.rows)) {
+    if (FrameMatches(*stream_->test_labels, frame, query, &result.rows,
+                     &verify_scratch)) {
       matched_frames.push_back(frame);
     }
   }

@@ -71,17 +71,17 @@ class SelectionExecutor {
  private:
   /// Whether any thresholded detection in the frame satisfies the object-
   /// level predicate (class, ROI, area, UDFs); fills `rows` if non-null.
+  /// `render_scratch` is the caller's reusable render buffer (per-worker
+  /// in the parallel held-out sweep, per-Run in the serial verify stage);
+  /// rendered lazily, at most once per frame, always fully overwritten.
   bool FrameMatches(const LabeledSet& labels, int64_t frame,
                     const AnalyzedQuery& query,
-                    std::vector<SelectionRow>* rows) const;
+                    std::vector<SelectionRow>* rows,
+                    Image* render_scratch) const;
 
   StreamData* stream_;
   const UdfRegistry* udfs_;
   SelectionOptions options_;
-  /// Render buffer reused across every UDF-bearing frame of a Run (the
-  /// executor is single-threaded per query). Rendered lazily, at most
-  /// once per frame, and always fully overwritten before use.
-  mutable Image udf_render_scratch_;
 };
 
 /// Test-day frames whose *scene ground truth* satisfies the query

@@ -5,9 +5,16 @@ namespace blazeit {
 std::vector<Detection> CachedDetector::Detect(const SyntheticVideo& video,
                                               int64_t frame) const {
   DetectionCacheKey key{video.fingerprint(), frame};
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock: the inner detector is deterministic, so two
+  // racing computations of one frame produce identical vectors and
+  // whichever insert lands first wins harmlessly.
   std::vector<Detection> dets = inner_->Detect(video, frame);
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.emplace(key, dets);
   return dets;
 }

@@ -2,6 +2,7 @@
 #define BLAZEIT_DETECT_CACHED_DETECTOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,12 @@ struct DetectionCacheKeyHash {
 /// the results"); this wrapper is the equivalent. Simulated cost is still
 /// charged per *logical* call by the executors, so caching affects
 /// wall-clock only, never the reported runtimes.
+///
+/// Thread-safe: parallel frame scans (core/selection's predicate sweep)
+/// call Detect concurrently. The inner detector is deterministic per
+/// (video, frame), so a racing double-compute of the same frame inserts
+/// identical content; the map itself is mutex-guarded, with the inner
+/// compute outside the lock.
 class CachedDetector : public ObjectDetector {
  public:
   /// Does not take ownership; `inner` must outlive this object.
@@ -51,11 +58,18 @@ class CachedDetector : public ObjectDetector {
     return inner_->ParamsFingerprint();
   }
 
-  size_t cache_size() const { return cache_.size(); }
-  void ClearCache() { cache_.clear(); }
+  size_t cache_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  void ClearCache() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
 
  private:
   const ObjectDetector* inner_;
+  mutable std::mutex mu_;
   mutable std::unordered_map<DetectionCacheKey, std::vector<Detection>,
                              DetectionCacheKeyHash>
       cache_;

@@ -1,0 +1,28 @@
+#include "exec/frame_pipeline.h"
+
+#include <vector>
+
+#include "exec/parallel_for.h"
+
+namespace blazeit {
+namespace exec {
+
+void FramePipeline::Run(int64_t total, int64_t shard_size, const ShardFn& fn) {
+  // One scratch per worker slot, allocated lazily by the render kernels on
+  // that slot's first shard and reused for all its later shards. The
+  // vector is per-Run (the pool can be resized between runs); the Images
+  // inside still amortize across every shard of this sweep, which is
+  // where the per-frame allocation cost was.
+  std::vector<Scratch> scratch(
+      static_cast<size_t>(ThreadPool::Instance().max_parallelism()));
+  ParallelFor(total, shard_size, [&](int64_t begin, int64_t end, int slot) {
+    fn(begin, end, &scratch[static_cast<size_t>(slot)]);
+  });
+}
+
+void FramePipeline::Run(int64_t total, const ShardFn& fn) {
+  Run(total, kDefaultShardSize, fn);
+}
+
+}  // namespace exec
+}  // namespace blazeit

@@ -1,3 +1,56 @@
 #include "filters/content_filter.h"
 
-// Implementation is inline; this file anchors the vtable.
+#include "exec/frame_pipeline.h"
+
+namespace blazeit {
+
+std::vector<double> ContentFilter::ScoreBatch(
+    const SyntheticVideo& video, const std::vector<int64_t>& frames) const {
+  const int64_t n = static_cast<int64_t>(frames.size());
+  std::vector<double> out(frames.size(), 0.0);
+
+  // Serve cache hits first (serial: the store read path is lock-guarded
+  // but ordered access keeps hit accounting reproducible), leaving the
+  // misses for the parallel sweep.
+  std::vector<int64_t> miss;
+  ArtifactCache* cache = score_cache();
+  if (cache == nullptr) {
+    miss.resize(frames.size());
+    std::iota(miss.begin(), miss.end(), int64_t{0});
+  } else {
+    const uint64_t ns = HashCombine(cache_identity(), video.fingerprint());
+    std::vector<double> cached;
+    for (int64_t i = 0; i < n; ++i) {
+      if (cache->GetFrameDoubles(ns, frames[static_cast<size_t>(i)],
+                                 &cached) &&
+          cached.size() == 1) {
+        out[static_cast<size_t>(i)] = cached[0];
+      } else {
+        miss.push_back(i);
+      }
+    }
+  }
+
+  // Misses render and score in fixed-size shards with per-worker scratch;
+  // each shard writes only its own disjoint slots of `out`, so scores are
+  // bit-identical to the serial loop at any thread count.
+  exec::FramePipeline::Run(
+      static_cast<int64_t>(miss.size()),
+      [&](int64_t begin, int64_t end, exec::FramePipeline::Scratch* scratch) {
+        for (int64_t j = begin; j < end; ++j) {
+          const size_t slot = static_cast<size_t>(miss[static_cast<size_t>(j)]);
+          out[slot] = ScoreInto(video, frames[slot], &scratch->image);
+        }
+      });
+
+  if (cache != nullptr) {
+    const uint64_t ns = HashCombine(cache_identity(), video.fingerprint());
+    for (int64_t i : miss) {
+      cache->PutFrameDoubles(ns, frames[static_cast<size_t>(i)],
+                             {out[static_cast<size_t>(i)]});
+    }
+  }
+  return out;
+}
+
+}  // namespace blazeit

@@ -20,6 +20,11 @@ using ImageUdf = std::function<double(const Image&)>;
 /// when searching for red buses. Only meaningful for UDFs returning
 /// continuous values (the paper's restriction); threshold calibration on
 /// the held-out set discovers whether the lifted UDF is actually selective.
+///
+/// ScoreBatch shards its sweep across the exec pool, so the UDF must be a
+/// pure function of the image (no shared mutable state). Every built-in
+/// is; a stateful ad-hoc closure would already be unfit for a filter,
+/// whose score must be a stable function of the frame.
 class ContentFilter : public FrameFilter {
  public:
   /// `raster` is the render size used to evaluate the statistic.
@@ -33,24 +38,36 @@ class ContentFilter : public FrameFilter {
   std::string name() const override { return "content(" + udf_name_ + ")"; }
 
   double Score(const SyntheticVideo& video, int64_t frame) const override {
-    // Scoring sweeps call this once per candidate frame; render into a
-    // reused scratch buffer (single-threaded per filter) instead of
-    // allocating a fresh Image each time.
-    video.RenderFrameRegionInto(frame, Rect{0, 0, 1, 1}, raster_width_,
-                                raster_height_, &render_scratch_);
-    return udf_(render_scratch_);
+    // Single-frame path: render into a filter-lifetime scratch buffer
+    // (single-threaded use only; batch sweeps go through ScoreBatch).
+    return ScoreInto(video, frame, &render_scratch_);
   }
+
+  /// Sharded parallel sweep with per-worker render scratch; scores are
+  /// bit-identical to the serial Score loop (disjoint output slots, same
+  /// per-frame math) and the persistent score cache is read before and
+  /// written after the parallel section, in frame order.
+  std::vector<double> ScoreBatch(
+      const SyntheticVideo& video,
+      const std::vector<int64_t>& frames) const override;
 
   int raster_width() const { return raster_width_; }
   int raster_height() const { return raster_height_; }
 
  private:
+  double ScoreInto(const SyntheticVideo& video, int64_t frame,
+                   Image* scratch) const {
+    video.RenderFrameRegionInto(frame, Rect{0, 0, 1, 1}, raster_width_,
+                                raster_height_, scratch);
+    return udf_(*scratch);
+  }
+
   std::string udf_name_;
   ImageUdf udf_;
   int raster_width_;
   int raster_height_;
-  /// Reused render buffer; always fully overwritten before the UDF reads
-  /// it.
+  /// Reused render buffer of the single-frame Score path; always fully
+  /// overwritten before the UDF reads it.
   mutable Image render_scratch_;
 };
 

@@ -73,6 +73,12 @@ class FrameFilter {
     return Score(video, frame) >= threshold_;
   }
 
+ protected:
+  /// Cache wiring for subclasses overriding ScoreBatch (content filtering
+  /// reads misses before and writes scores after its parallel sweep).
+  ArtifactCache* score_cache() const { return score_cache_; }
+  uint64_t cache_identity() const { return cache_identity_; }
+
  private:
   double threshold_ = 0.0;
   ArtifactCache* score_cache_ = nullptr;

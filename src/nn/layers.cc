@@ -18,6 +18,10 @@ Linear::Linear(int in_dim, int out_dim, Rng* rng)
 
 Matrix Linear::Forward(const Matrix& input) {
   cached_input_ = input;
+  return Infer(input);
+}
+
+Matrix Linear::Infer(const Matrix& input) const {
   Matrix out = MatMul(input, w_);
   for (int r = 0; r < out.rows(); ++r) {
     float* row = out.Row(r);
@@ -45,6 +49,10 @@ std::vector<ParamRef> Linear::Params() {
 
 Matrix ReLU::Forward(const Matrix& input) {
   cached_input_ = input;
+  return Infer(input);
+}
+
+Matrix ReLU::Infer(const Matrix& input) const {
   Matrix out = input;
   for (float& v : out.data()) v = v > 0.0f ? v : 0.0f;
   return out;
@@ -63,6 +71,12 @@ Matrix ReLU::Backward(const Matrix& grad_output) {
 Matrix Sequential::Forward(const Matrix& input) {
   Matrix x = input;
   for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Matrix Sequential::Infer(const Matrix& input) const {
+  Matrix x = input;
+  for (const auto& layer : layers_) x = layer->Infer(x);
   return x;
 }
 

@@ -17,6 +17,10 @@ struct ParamRef {
 
 /// Base class for differentiable layers. Forward caches whatever Backward
 /// needs; layers are therefore stateful per batch and not thread-safe.
+/// Infer is the stateless counterpart: the same forward math, bit for
+/// bit, with no activation caching — safe to call concurrently from the
+/// exec pool's inference shards (parameters must not be mutated
+/// meanwhile, i.e. never during training).
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -24,6 +28,8 @@ class Layer {
   /// Given dL/d(output), accumulates parameter gradients and returns
   /// dL/d(input).
   virtual Matrix Backward(const Matrix& grad_output) = 0;
+  /// Forward math without the Backward cache; const and thread-safe.
+  virtual Matrix Infer(const Matrix& input) const = 0;
   virtual std::vector<ParamRef> Params() { return {}; }
 };
 
@@ -34,6 +40,7 @@ class Linear : public Layer {
 
   Matrix Forward(const Matrix& input) override;
   Matrix Backward(const Matrix& grad_output) override;
+  Matrix Infer(const Matrix& input) const override;
   std::vector<ParamRef> Params() override;
 
   int in_dim() const { return in_dim_; }
@@ -54,6 +61,7 @@ class ReLU : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
   Matrix Backward(const Matrix& grad_output) override;
+  Matrix Infer(const Matrix& input) const override;
 
  private:
   Matrix cached_input_;
@@ -70,6 +78,7 @@ class Sequential : public Layer {
 
   Matrix Forward(const Matrix& input) override;
   Matrix Backward(const Matrix& grad_output) override;
+  Matrix Infer(const Matrix& input) const override;
   std::vector<ParamRef> Params() override;
 
   size_t size() const { return layers_.size(); }

@@ -5,6 +5,7 @@
 #include <map>
 #include <numeric>
 
+#include "exec/frame_pipeline.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "util/logging.h"
@@ -203,7 +204,10 @@ Result<SpecializedNN> SpecializedNN::Train(
   std::vector<int64_t> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   std::vector<SoftmaxCrossEntropy> losses(num_heads);
-  Image render_scratch;  // reused across every rendered training frame
+  // Feature shard size for the per-batch parallel render: small because a
+  // training mini-batch is only ~16 rows; fixed so shard boundaries (and
+  // hence bits, trivially — rows are disjoint) never depend on threads.
+  constexpr int64_t kTrainRenderShard = 4;
 
   for (int epoch = 0; epoch < config.train.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng.engine());
@@ -215,11 +219,22 @@ Result<SpecializedNN> SpecializedNN::Train(
       Matrix x(batch, impl->input_dim);
       std::vector<std::vector<int>> y(num_heads,
                                       std::vector<int>(static_cast<size_t>(batch)));
+      // Rendering the batch rows dominates a training step; shard it
+      // across the pool (disjoint Matrix rows, per-worker scratch). The
+      // SGD step itself stays serial — its GEMMs shard internally.
+      exec::FramePipeline::Run(
+          batch, kTrainRenderShard,
+          [&](int64_t rb, int64_t re, exec::FramePipeline::Scratch* scratch) {
+            for (int64_t i = rb; i < re; ++i) {
+              size_t pos =
+                  static_cast<size_t>(order[static_cast<size_t>(start + i)]);
+              RenderFrameFeatures(train_day, indices[pos], config.raster_width,
+                                  config.raster_height,
+                                  x.Row(static_cast<int>(i)), &scratch->image);
+            }
+          });
       for (int i = 0; i < batch; ++i) {
         size_t pos = static_cast<size_t>(order[static_cast<size_t>(start + i)]);
-        int64_t frame = indices[pos];
-        RenderFrameFeatures(train_day, frame, config.raster_width,
-                            config.raster_height, x.Row(i), &render_scratch);
         for (size_t h = 0; h < num_heads; ++h)
           y[h][static_cast<size_t>(i)] = clamped[h][pos];
       }
@@ -299,39 +314,49 @@ std::vector<float> SpecializedNN::ProbsForFrames(
     std::iota(miss.begin(), miss.end(), size_t{0});
   }
 
-  // Batched forward passes over the misses. Layer math is row-independent,
-  // so how frames are grouped into batches cannot change any output bit —
-  // a partially warm cache yields the same floats as a cold one.
+  // Batched forward passes over the misses, sharded across the exec pool
+  // (one eval batch per shard, per-worker render scratch). Layer math is
+  // row-independent and Infer is stateless, so how frames are grouped
+  // into batches — and which worker runs which batch — cannot change any
+  // output bit: a partially warm cache and any thread count yield the
+  // same floats as a cold serial run. Each shard writes only its own
+  // frames' disjoint slices of `out`.
   const int w = impl_->config.raster_width;
   const int h = impl_->config.raster_height;
-  std::vector<float> row;
-  Image render_scratch;  // reused across the whole evaluation
-  for (size_t start = 0; start < miss.size(); start += kEvalBatch) {
-    const int batch = static_cast<int>(
-        std::min<size_t>(kEvalBatch, miss.size() - start));
-    Matrix x(batch, impl_->input_dim);
-    for (int i = 0; i < batch; ++i) {
-      RenderFrameFeatures(video, frames[miss[start + static_cast<size_t>(i)]],
-                          w, h, x.Row(i), &render_scratch);
-    }
-    Matrix trunk_out = impl_->trunk->Forward(x);
-    std::vector<Matrix> head_probs;
-    head_probs.reserve(impl_->heads.size());
-    for (auto& head : impl_->heads) {
-      head_probs.push_back(Softmax(head->Forward(trunk_out)));
-    }
-    for (int i = 0; i < batch; ++i) {
-      const size_t slot = miss[start + static_cast<size_t>(i)];
-      float* dst = out.data() + slot * concat_size;
-      for (const Matrix& probs : head_probs) {
-        dst = std::copy(probs.Row(i), probs.Row(i) + probs.cols(), dst);
-      }
-      if (cache != nullptr) {
-        row.assign(out.begin() + static_cast<std::ptrdiff_t>(slot * concat_size),
-                   out.begin() +
-                       static_cast<std::ptrdiff_t>((slot + 1) * concat_size));
-        cache->PutFrameFloats(ns, frames[slot], row);
-      }
+  exec::FramePipeline::Run(
+      static_cast<int64_t>(miss.size()), kEvalBatch,
+      [&](int64_t start, int64_t end, exec::FramePipeline::Scratch* scratch) {
+        const int batch = static_cast<int>(end - start);
+        Matrix x(batch, impl_->input_dim);
+        for (int i = 0; i < batch; ++i) {
+          RenderFrameFeatures(
+              video, frames[miss[static_cast<size_t>(start + i)]], w, h,
+              x.Row(i), &scratch->image);
+        }
+        Matrix trunk_out = impl_->trunk->Infer(x);
+        std::vector<Matrix> head_probs;
+        head_probs.reserve(impl_->heads.size());
+        for (const auto& head : impl_->heads) {
+          head_probs.push_back(Softmax(head->Infer(trunk_out)));
+        }
+        for (int i = 0; i < batch; ++i) {
+          const size_t slot = miss[static_cast<size_t>(start + i)];
+          float* dst = out.data() + slot * concat_size;
+          for (const Matrix& probs : head_probs) {
+            dst = std::copy(probs.Row(i), probs.Row(i) + probs.cols(), dst);
+          }
+        }
+      });
+  // Write-back stays a serial frame-ordered sweep after the parallel
+  // compute: the store's Put path is mutex-guarded but single-writer
+  // ordering keeps segment layout reproducible run to run.
+  if (cache != nullptr) {
+    std::vector<float> row;
+    for (size_t slot : miss) {
+      row.assign(
+          out.begin() + static_cast<std::ptrdiff_t>(slot * concat_size),
+          out.begin() + static_cast<std::ptrdiff_t>((slot + 1) * concat_size));
+      cache->PutFrameFloats(ns, frames[slot], row);
     }
   }
   return out;

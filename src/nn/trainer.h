@@ -28,6 +28,12 @@ using FeatureFn = std::function<std::vector<float>(int64_t index)>;
 
 /// Trains `model` (logits out) against integer labels with softmax
 /// cross-entropy. Returns the mean loss over the final epoch.
+///
+/// Threading: the batch loop is serial (FeatureFn closures are not
+/// required to be thread-safe, and SGD is an ordered recurrence), but the
+/// forward/backward GEMMs inside shard across the exec pool — see
+/// nn/matmul_kernels.h — so training still scales with BLAZEIT_THREADS
+/// without changing a single output bit.
 Result<double> TrainClassifier(Sequential* model, const FeatureFn& features,
                                const std::vector<int>& labels, int input_dim,
                                const TrainConfig& config);

@@ -179,6 +179,7 @@ Status StoreReader::ScanAndIndex() {
 }
 
 Result<std::string> StoreReader::ReadPayloadAt(uint64_t offset) {
+  std::lock_guard<std::mutex> io_lock(io_mu_);
   if (!in_.is_open()) {
     in_.open(path_, std::ios::binary);
     if (!in_) {
@@ -255,8 +256,14 @@ Result<std::unique_ptr<DetectionStore>> DetectionStore::Open(
     for (const auto& [frame, offset] : reader.value()->ReleaseIndex()) {
       // First segment (in sorted name order) wins on duplicate frames —
       // the same first-write-wins rule PutRaw and Flush apply — so every
-      // reopening process resolves a duplicate to the same payload.
-      shard.disk_index.emplace(frame, std::make_pair(segment_index, offset));
+      // reopening process resolves a duplicate to the same payload. A
+      // losing record stays on disk as a shadowed duplicate until Compact
+      // rewrites the namespace.
+      auto [it, inserted] =
+          shard.disk_index.emplace(frame,
+                                   std::make_pair(segment_index, offset));
+      (void)it;
+      if (!inserted) ++shard.shadowed;
     }
     shard.segments.push_back(std::move(reader).value());
   }
@@ -272,6 +279,7 @@ DetectionStore::~DetectionStore() {
 }
 
 bool DetectionStore::Contains(uint64_t ns, int64_t frame) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = shards_.find(ns);
   if (it == shards_.end()) return false;
   return it->second.pending.count(frame) > 0 ||
@@ -279,6 +287,10 @@ bool DetectionStore::Contains(uint64_t ns, int64_t frame) const {
 }
 
 Result<std::string> DetectionStore::GetRaw(uint64_t ns, int64_t frame) {
+  // Shared lock: lookups race only with other lookups (the common case —
+  // parallel frame scans all reading one warm store); the per-segment
+  // file handle is guarded inside ReadPayloadAt.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = shards_.find(ns);
   if (it != shards_.end()) {
     auto pending = it->second.pending.find(frame);
@@ -297,6 +309,7 @@ Result<std::string> DetectionStore::GetRaw(uint64_t ns, int64_t frame) {
 
 Status DetectionStore::PutRaw(uint64_t ns, int64_t frame,
                               std::string payload) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   Shard& shard = shards_[ns];
   // First write wins: records are deterministic per (namespace, frame), so
   // a duplicate Put is a repeat of known content, and keeping the indexed
@@ -351,14 +364,21 @@ Status DetectionStore::PutDoubles(uint64_t ns, int64_t frame,
 Status DetectionStore::Scan(
     uint64_t ns, const std::function<Status(int64_t frame,
                                             const std::string& payload)>& fn) {
-  auto it = shards_.find(ns);
-  if (it == shards_.end()) return Status::OK();
-  Shard& shard = it->second;
+  // Collect the frame list under a shared lock, then read record by
+  // record through GetRaw (which re-locks): holding a shared lock across
+  // the callback would deadlock any fn that writes, and shared_mutex is
+  // not recursive.
   std::vector<int64_t> frames;
-  frames.reserve(shard.disk_index.size() + shard.pending.size());
-  for (const auto& [frame, _] : shard.disk_index) frames.push_back(frame);
-  for (const auto& [frame, _] : shard.pending) {
-    if (shard.disk_index.count(frame) == 0) frames.push_back(frame);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = shards_.find(ns);
+    if (it == shards_.end()) return Status::OK();
+    const Shard& shard = it->second;
+    frames.reserve(shard.disk_index.size() + shard.pending.size());
+    for (const auto& [frame, _] : shard.disk_index) frames.push_back(frame);
+    for (const auto& [frame, _] : shard.pending) {
+      if (shard.disk_index.count(frame) == 0) frames.push_back(frame);
+    }
   }
   std::sort(frames.begin(), frames.end());
   for (int64_t frame : frames) {
@@ -385,6 +405,11 @@ std::string DetectionStore::NewSegmentPath(uint64_t ns) const {
 }
 
 Status DetectionStore::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status DetectionStore::FlushLocked() {
   for (auto& [ns, shard] : shards_) {
     if (shard.pending.empty()) continue;
     ++flush_counter_;
@@ -421,26 +446,127 @@ Status DetectionStore::Flush() {
   return Status::OK();
 }
 
+Result<DetectionStore::CompactionStats> DetectionStore::Compact() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Anything pending goes to disk first so compaction sees every record.
+  BLAZEIT_RETURN_NOT_OK(FlushLocked());
+
+  CompactionStats stats;
+  for (auto& [ns, shard] : shards_) {
+    stats.segments_before += static_cast<int64_t>(shard.segments.size());
+    if (shard.segments.size() <= 1 && shard.shadowed == 0) {
+      // Already compact: one segment, no shadowed duplicates.
+      stats.segments_after += static_cast<int64_t>(shard.segments.size());
+      stats.records_kept += static_cast<int64_t>(shard.disk_index.size());
+      continue;
+    }
+
+    // Resolved view of the namespace, in ascending frame order — exactly
+    // what GetRaw serves today (first segment in sorted name order wins).
+    std::vector<int64_t> frames;
+    frames.reserve(shard.disk_index.size());
+    for (const auto& [frame, _] : shard.disk_index) frames.push_back(frame);
+    std::sort(frames.begin(), frames.end());
+
+    ++flush_counter_;
+    const std::string final_path = NewSegmentPath(ns);
+    const std::string tmp_path = final_path + ".tmp";
+    auto writer = StoreWriter::Create(tmp_path, ns);
+    if (!writer.ok()) return writer.status();
+    for (int64_t frame : frames) {
+      const auto& [segment_index, offset] = shard.disk_index.at(frame);
+      auto payload = shard.segments[segment_index]->ReadPayloadAt(offset);
+      if (!payload.ok()) return payload.status();
+      BLAZEIT_RETURN_NOT_OK(writer.value()->Append(frame, payload.value()));
+    }
+    BLAZEIT_RETURN_NOT_OK(writer.value()->Close());
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+      return Status::Internal(
+          StrFormat("cannot publish compacted segment '%s': %s",
+                    final_path.c_str(), ec.message().c_str()));
+    }
+
+    // Old segments carry only payloads the new segment duplicates (the
+    // winners) or shadowed losers; removing them cannot change what any
+    // reader resolves. Removal failures are non-fatal — a leftover
+    // segment just re-shadows until the next compaction.
+    std::vector<std::string> old_paths;
+    old_paths.reserve(shard.segments.size());
+    for (const auto& segment : shard.segments) {
+      old_paths.push_back(segment->path());
+    }
+    stats.duplicates_dropped += shard.shadowed;
+    stats.records_kept += static_cast<int64_t>(frames.size());
+    ++stats.namespaces_compacted;
+    ++stats.segments_after;
+
+    auto reader = StoreReader::Open(final_path, ns,
+                                    /*validate_records=*/false);
+    if (!reader.ok()) return reader.status();
+    shard.segments.clear();
+    shard.disk_index.clear();
+    shard.shadowed = 0;
+    for (const auto& [frame, offset] : writer.value()->record_offsets()) {
+      shard.disk_index.emplace(frame, std::make_pair(size_t{0}, offset));
+    }
+    shard.segments.push_back(std::move(reader).value());
+
+    for (const std::string& path : old_paths) {
+      fs::remove(path, ec);
+      if (ec) {
+        BLAZEIT_LOG(kWarning) << "compaction could not remove old segment '"
+                              << path << "': " << ec.message();
+        ec.clear();
+      }
+    }
+  }
+  return stats;
+}
+
 std::vector<uint64_t> DetectionStore::Namespaces() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<uint64_t> out;
   out.reserve(shards_.size());
   for (const auto& [ns, _] : shards_) out.push_back(ns);
   return out;
 }
 
-int64_t DetectionStore::RecordCount(uint64_t ns) const {
-  auto it = shards_.find(ns);
-  if (it == shards_.end()) return 0;
-  int64_t total = static_cast<int64_t>(it->second.disk_index.size());
-  for (const auto& [frame, _] : it->second.pending) {
-    if (it->second.disk_index.count(frame) == 0) ++total;
+namespace {
+
+int64_t RecordCountLocked(
+    const std::unordered_map<int64_t, std::pair<size_t, uint64_t>>& disk_index,
+    const std::map<int64_t, std::string>& pending) {
+  int64_t total = static_cast<int64_t>(disk_index.size());
+  for (const auto& [frame, _] : pending) {
+    if (disk_index.count(frame) == 0) ++total;
   }
   return total;
 }
 
+}  // namespace
+
+int64_t DetectionStore::RecordCount(uint64_t ns) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = shards_.find(ns);
+  if (it == shards_.end()) return 0;
+  return RecordCountLocked(it->second.disk_index, it->second.pending);
+}
+
 int64_t DetectionStore::TotalRecords() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   int64_t total = 0;
-  for (const auto& [ns, _] : shards_) total += RecordCount(ns);
+  for (const auto& [ns, shard] : shards_) {
+    total += RecordCountLocked(shard.disk_index, shard.pending);
+  }
+  return total;
+}
+
+int64_t DetectionStore::ShadowedRecords() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [ns, shard] : shards_) total += shard.shadowed;
   return total;
 }
 

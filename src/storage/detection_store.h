@@ -6,6 +6,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -78,6 +80,9 @@ class StoreReader {
   }
 
   /// Reads and re-verifies the record at `offset` (as returned in index()).
+  /// Thread-safe: the shared file handle (seek + read is a stateful pair)
+  /// is mutex-guarded, so concurrent readers of one segment serialize on
+  /// the I/O while the store's surrounding index lookups stay shared.
   Result<std::string> ReadPayloadAt(uint64_t offset);
 
  private:
@@ -87,6 +92,9 @@ class StoreReader {
   Status ScanAndIndex();
 
   std::string path_;
+  /// Guards in_: ReadPayloadAt's reopen/seek/read sequence must be atomic
+  /// per segment under concurrent GetRaw calls.
+  std::mutex io_mu_;
   /// Closed after ScanAndIndex (stores accumulate segments without bound,
   /// and holding one fd per segment forever would hit EMFILE on long-lived
   /// stores); ReadPayloadAt reopens on first use and then keeps it open,
@@ -115,6 +123,12 @@ class StoreReader {
 /// Logical query cost is charged by the executors per detector/NN *call*,
 /// so replaying from the store changes wall-clock only, never the
 /// simulated runtimes (asserted end-to-end by store_invariance_test).
+///
+/// Thread-safety (the exec-pool lock audit): index lookups take a shared
+/// lock (Contains / GetRaw / Scan / RecordCount — the read-mostly hot
+/// path of parallel frame scans), mutations take it exclusively (PutRaw /
+/// Flush / Compact), and the per-segment file handle behind a read is
+/// guarded inside StoreReader. Callers need no external locking.
 class DetectionStore {
  public:
   /// Opens (creating the directory if needed) and indexes every segment.
@@ -152,6 +166,26 @@ class DetectionStore {
   /// Writes all pending records out as new segments. Idempotent.
   Status Flush();
 
+  /// What Compact did, for reporting (storecli compact prints this).
+  struct CompactionStats {
+    int64_t namespaces_compacted = 0;
+    int64_t segments_before = 0;
+    int64_t segments_after = 0;
+    int64_t records_kept = 0;
+    /// First-write-wins-shadowed duplicate records dropped from disk.
+    int64_t duplicates_dropped = 0;
+  };
+
+  /// Rewrites every namespace that has multiple segments or shadowed
+  /// duplicate records into one fresh segment holding only the winning
+  /// record per frame, then deletes the old segments. Pending records are
+  /// flushed first. Record resolution is unchanged: the new segment
+  /// contains exactly the payloads GetRaw resolved before (first segment
+  /// in sorted name order wins), so a store reads identically before and
+  /// after — and a crash between writing the new segment and removing the
+  /// old ones only leaves benign duplicates of the same winners.
+  Result<CompactionStats> Compact();
+
   const std::string& dir() const { return dir_; }
   std::vector<uint64_t> Namespaces() const;
   /// Records on disk + pending, across all namespaces.
@@ -159,7 +193,13 @@ class DetectionStore {
   /// Records on disk + pending in one namespace (index lookups only; no
   /// payload reads).
   int64_t RecordCount(uint64_t ns) const;
-  int64_t pending_records() const { return pending_records_; }
+  int64_t pending_records() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return pending_records_;
+  }
+  /// On-disk duplicate records shadowed by first-write-wins, across all
+  /// namespaces — what Compact would drop.
+  int64_t ShadowedRecords() const;
 
  private:
   struct Shard {
@@ -172,13 +212,22 @@ class DetectionStore {
     /// Records accepted by Put but not yet flushed (frame-ordered so
     /// segments are written sorted).
     std::map<int64_t, std::string> pending;
+    /// On-disk records shadowed by an earlier segment's record for the
+    /// same frame (counted while folding indexes at Open/Flush); the
+    /// duplicate debt Compact clears.
+    int64_t shadowed = 0;
   };
 
   explicit DetectionStore(std::string dir) : dir_(std::move(dir)) {}
 
   std::string NewSegmentPath(uint64_t ns) const;
+  /// Flush body; caller holds mu_ exclusively.
+  Status FlushLocked();
 
   std::string dir_;
+  /// Shared for index lookups, exclusive for mutation; see the class
+  /// comment.
+  mutable std::shared_mutex mu_;
   std::map<uint64_t, Shard> shards_;
   int64_t pending_records_ = 0;
   uint64_t flush_counter_ = 0;

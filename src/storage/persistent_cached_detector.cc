@@ -17,13 +17,21 @@ uint64_t PersistentCachedDetector::StreamNamespace(
 std::vector<Detection> PersistentCachedDetector::Detect(
     const SyntheticVideo& video, int64_t frame) const {
   DetectionCacheKey key{video.fingerprint(), frame};
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
 
+  // Store read, inner compute, and store write all run outside the map
+  // lock (the store carries its own locking; detections are deterministic
+  // per frame, so a racing double-compute inserts identical content and
+  // PutDetections' first-write-wins absorbs the duplicate).
   const uint64_t ns = StreamNamespace(video);
   auto stored = store_->GetDetections(ns, frame);
   if (stored.ok()) {
-    ++store_hits_;
+    store_hits_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
     return cache_.emplace(key, std::move(stored).value()).first->second;
   }
   if (stored.status().code() != StatusCode::kNotFound) {
@@ -33,13 +41,14 @@ std::vector<Detection> PersistentCachedDetector::Detect(
     BLAZEIT_LOG(kWarning) << "detection store read failed, recomputing: "
                           << stored.status().ToString();
   }
-  ++store_misses_;
+  store_misses_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Detection> dets = inner_->Detect(video, frame);
   Status put = store_->PutDetections(ns, frame, dets);
   if (!put.ok()) {
     BLAZEIT_LOG(kWarning) << "detection store write failed: "
                           << put.ToString();
   }
+  std::lock_guard<std::mutex> lock(mu_);
   return cache_.emplace(key, std::move(dets)).first->second;
 }
 

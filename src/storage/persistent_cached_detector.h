@@ -1,7 +1,9 @@
 #ifndef BLAZEIT_STORAGE_PERSISTENT_CACHED_DETECTOR_H_
 #define BLAZEIT_STORAGE_PERSISTENT_CACHED_DETECTOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +23,10 @@ namespace blazeit {
 ///
 /// As with CachedDetector, executors charge simulated detection cost per
 /// logical call; a warm store changes wall-clock only.
+///
+/// Thread-safe like CachedDetector: the memory map is mutex-guarded, the
+/// hit/miss counters are atomic, and the store's own locks cover the disk
+/// path, so parallel frame scans may call Detect concurrently.
 class PersistentCachedDetector : public ObjectDetector {
  public:
   /// Neither pointer is owned; both must outlive this object.
@@ -39,18 +45,22 @@ class PersistentCachedDetector : public ObjectDetector {
   /// Namespace detections of `video` live under in the store.
   uint64_t StreamNamespace(const SyntheticVideo& video) const;
 
-  int64_t store_hits() const { return store_hits_; }
-  int64_t store_misses() const { return store_misses_; }
-  size_t memory_cache_size() const { return cache_.size(); }
+  int64_t store_hits() const { return store_hits_.load(); }
+  int64_t store_misses() const { return store_misses_.load(); }
+  size_t memory_cache_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
 
  private:
   const ObjectDetector* inner_;
   DetectionStore* store_;
+  mutable std::mutex mu_;
   mutable std::unordered_map<DetectionCacheKey, std::vector<Detection>,
                              DetectionCacheKeyHash>
       cache_;
-  mutable int64_t store_hits_ = 0;
-  mutable int64_t store_misses_ = 0;
+  mutable std::atomic<int64_t> store_hits_{0};
+  mutable std::atomic<int64_t> store_misses_{0};
 };
 
 }  // namespace blazeit

@@ -1,6 +1,7 @@
 #ifndef BLAZEIT_STORAGE_STORE_ARTIFACT_CACHE_H_
 #define BLAZEIT_STORAGE_STORE_ARTIFACT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -13,6 +14,9 @@ namespace blazeit {
 /// scores, and trained-weight blobs become float/double-payload records in
 /// the same versioned, CRC-checked segment format as detections. Blobs use
 /// a sentinel frame id (no real frame is negative).
+///
+/// Thread-safe for concurrent Get/Put: the store carries its own locks
+/// and the hit/miss counters are atomic.
 class StoreArtifactCache : public ArtifactCache {
  public:
   /// Not owned; must outlive this object.
@@ -29,15 +33,15 @@ class StoreArtifactCache : public ArtifactCache {
   bool GetBlob(uint64_t ns, std::vector<float>* out) override;
   void PutBlob(uint64_t ns, const std::vector<float>& values) override;
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  int64_t hits() const { return hits_.load(); }
+  int64_t misses() const { return misses_.load(); }
 
  private:
   static constexpr int64_t kBlobFrame = -1;
 
   DetectionStore* store_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
 };
 
 }  // namespace blazeit

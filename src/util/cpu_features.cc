@@ -7,10 +7,14 @@ namespace blazeit {
 
 namespace {
 
+bool EnvSet(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && std::strcmp(value, "") != 0 &&
+         std::strcmp(value, "0") != 0;
+}
+
 bool DetectAvx512() {
-  const char* disable = std::getenv("BLAZEIT_DISABLE_SIMD");
-  if (disable != nullptr && std::strcmp(disable, "") != 0 &&
-      std::strcmp(disable, "0") != 0) {
+  if (EnvSet("BLAZEIT_DISABLE_SIMD") || EnvSet("BLAZEIT_DISABLE_AVX512")) {
     return false;
   }
 #if defined(__x86_64__) || defined(_M_X64)
@@ -21,10 +25,24 @@ bool DetectAvx512() {
 #endif
 }
 
+bool DetectAvx2() {
+  if (EnvSet("BLAZEIT_DISABLE_SIMD")) return false;
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
 }  // namespace
 
 bool CpuHasAvx512() {
   static const bool has = DetectAvx512();
+  return has;
+}
+
+bool CpuHasAvx2() {
+  static const bool has = DetectAvx2();
   return has;
 }
 

@@ -3,19 +3,26 @@
 
 namespace blazeit {
 
-/// True if the CPU supports the AVX-512 subset used by the hot-path
-/// kernels (F + DQ: 512-bit float math, 64-bit integer multiplies,
-/// gathers). The kernels in video/raster_kernels.* and nn/matmul_kernels.*
-/// dispatch on this at runtime, so the library binary stays baseline
-/// x86-64 portable while using wide vectors where available. The SIMD
-/// paths are bit-identical to their scalar fallbacks by construction
-/// (element-wise lanes, no FMA contraction, no reassociation), so dispatch
-/// never changes query outputs — only wall clock.
+/// Runtime ISA tiers of the hot-path kernels. The kernels in
+/// video/raster_kernels.* and nn/matmul_kernels.* dispatch AVX-512 →
+/// AVX2 → scalar at runtime, so the library binary stays baseline x86-64
+/// portable while using the widest vectors available. Every SIMD tier is
+/// bit-identical to the scalar fallback by construction (element-wise
+/// lanes, no FMA contraction, no reassociation), so dispatch never
+/// changes query outputs — only wall clock.
 ///
-/// Set BLAZEIT_DISABLE_SIMD=1 in the environment to force the scalar
-/// paths (checked once, at first call); used by tests to exercise both
-/// sides of the dispatch.
+/// Environment overrides (each checked once, at first call; used by tests
+/// to exercise every dispatch arm on one machine):
+///   BLAZEIT_DISABLE_SIMD=1    force the scalar paths everywhere
+///   BLAZEIT_DISABLE_AVX512=1  cap dispatch at the AVX2 tier
+
+/// True if the CPU supports the AVX-512 subset used by the kernels
+/// (F + DQ: 512-bit float math, 64-bit integer multiplies, gathers).
 bool CpuHasAvx512();
+
+/// True if the CPU supports AVX2 (256-bit integer ops and gathers; the
+/// mid tier between AVX-512 and scalar).
+bool CpuHasAvx2();
 
 }  // namespace blazeit
 

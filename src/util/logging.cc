@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
@@ -7,8 +8,10 @@ namespace blazeit {
 
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 Logger::Sink g_sink = nullptr;
+/// Single sink/stderr mutex: one fully formatted line is emitted per
+/// acquisition, so concurrent exec-pool workers never interleave output.
 std::mutex g_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -27,9 +30,11 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel Logger::level() { return g_level; }
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
 
-void Logger::set_level(LogLevel level) { g_level = level; }
+void Logger::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void Logger::set_sink(Sink sink) {
   std::lock_guard<std::mutex> lock(g_mutex);
@@ -37,7 +42,7 @@ void Logger::set_sink(Sink sink) {
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   Sink sink;
   {
     std::lock_guard<std::mutex> lock(g_mutex);

@@ -10,6 +10,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Minimal leveled logger. Benchmarks set the level to kWarning so harness
 /// output stays clean; tests may raise it to kDebug.
+///
+/// Thread-safe: the level is atomic, the sink pointer and the stderr
+/// fallback are guarded by a single mutex, and each BLAZEIT_LOG statement
+/// emits one fully formatted line per lock acquisition — concurrent
+/// exec-pool workers can log freely with no interleaved lines.
 class Logger {
  public:
   /// Receives every message that passes the level filter. Must be

@@ -90,6 +90,56 @@ __attribute__((target("avx512f,avx512dq"))) void AddGaussianNoiseClampAvx512(
   if (i < n) AddGaussianNoiseClampScalar(data + i, n - i, state + i * kSplitMixGamma, sigma);
 }
 
+// Four SplitMix64 lanes at a time on the AVX2 tier. AVX2 has no 64-bit
+// lane multiply, so it is composed from 32x32->64 partial products
+// (exact mod-2^64 arithmetic, identical to the scalar stream); the float
+// update mirrors the scalar expression with separate multiply and add.
+__attribute__((target("avx2"))) static inline __m256i Mullo64Avx2(
+    __m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi),
+                                         _mm256_mul_epu32(a_hi, b));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) void AddGaussianNoiseClampAvx2(
+    float* data, size_t n, uint64_t state, float sigma) {
+  const float* table = NoiseTable();
+  const __m256i mul1 = _mm256_set1_epi64x(static_cast<long long>(kSplitMixMul1));
+  const __m256i mul2 = _mm256_set1_epi64x(static_cast<long long>(kSplitMixMul2));
+  const __m256i mask = _mm256_set1_epi64x(kNoiseTableSize - 1);
+  const __m256i step =
+      _mm256_set1_epi64x(static_cast<long long>(4 * kSplitMixGamma));
+  const __m128 sv = _mm_set1_ps(sigma);
+  const __m128 zero = _mm_setzero_ps();
+  const __m128 one = _mm_set1_ps(1.0f);
+  __m256i s = _mm256_setr_epi64x(
+      static_cast<long long>(state + 1 * kSplitMixGamma),
+      static_cast<long long>(state + 2 * kSplitMixGamma),
+      static_cast<long long>(state + 3 * kSplitMixGamma),
+      static_cast<long long>(state + 4 * kSplitMixGamma));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i z = s;
+    s = _mm256_add_epi64(s, step);
+    z = Mullo64Avx2(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)), mul1);
+    z = Mullo64Avx2(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)), mul2);
+    z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+    const __m256i idx = _mm256_and_si256(z, mask);
+    const __m128 noise = _mm256_i64gather_ps(table, idx, 4);
+    __m128 v = _mm_loadu_ps(data + i);
+    v = _mm_add_ps(v, _mm_mul_ps(sv, noise));
+    v = _mm_min_ps(_mm_max_ps(v, zero), one);
+    _mm_storeu_ps(data + i, v);
+  }
+  if (i < n) {
+    AddGaussianNoiseClampScalar(data + i, n - i, state + i * kSplitMixGamma,
+                                sigma);
+  }
+}
+
 #pragma GCC diagnostic pop
 
 #endif  // BLAZEIT_X86_64
@@ -99,6 +149,10 @@ void AddGaussianNoiseClamp(float* data, size_t n, uint64_t state,
 #ifdef BLAZEIT_X86_64
   if (CpuHasAvx512()) {
     AddGaussianNoiseClampAvx512(data, n, state, sigma);
+    return;
+  }
+  if (CpuHasAvx2()) {
+    AddGaussianNoiseClampAvx2(data, n, state, sigma);
     return;
   }
 #endif

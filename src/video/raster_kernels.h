@@ -28,7 +28,9 @@ const float* NoiseTable();
 /// the i-th deviate drawn from NoiseTable() at the index produced by the
 /// SplitMix64 stream seeded with `state` (one step per element). This is
 /// the hottest loop of the renderer; the AVX-512 path computes the same
-/// stream eight lanes at a time and gathers from the same table.
+/// stream eight lanes at a time and gathers from the same table, and the
+/// AVX2 tier four lanes at a time (64-bit multiplies composed from
+/// 32x32->64 partial products, still exact mod-2^64 arithmetic).
 void AddGaussianNoiseClamp(float* data, size_t n, uint64_t state,
                            float sigma);
 

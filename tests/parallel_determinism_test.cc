@@ -1,0 +1,128 @@
+// The exec runtime's headline contract, asserted end to end: query
+// outputs are *byte-identical* at every thread count. Aggregation,
+// selection, and scrubbing queries run under BLAZEIT_THREADS-equivalent
+// pool sizes 1 (pool disabled), 2, and 8, and every answer, sample count,
+// matched frame, detection row, and simulated cost must match the serial
+// run bit for bit — which is also why the parallel runtime needs no
+// kDerivedArtifactEpoch bump: cached artifacts are unchanged.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/thread_pool.h"
+#include "testing/test_util.h"
+
+namespace blazeit {
+namespace {
+
+/// Exact bit equality for doubles (EXPECT_EQ would treat -0.0 == 0.0 and
+/// NaN != NaN; the contract here is stronger: same bytes).
+::testing::AssertionResult BitsEqual(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bits";
+}
+
+class ParallelDeterminismTest
+    : public testutil::CatalogFixture<ParallelDeterminismTest> {
+ public:
+  static DayLengths Lengths() { return testutil::SmallDays(3000, 3000, 6000); }
+
+ protected:
+  static void SetUpTestSuite() {
+    CatalogFixture::SetUpTestSuite();
+    engine_ = new BlazeItEngine(catalog_, testutil::SmallEngineOptions());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+    CatalogFixture::TearDownTestSuite();
+  }
+  void TearDown() override {
+    exec::ThreadPool::Instance().Reconfigure(
+        exec::ThreadPool::ThreadsFromEnv());
+  }
+
+  /// Runs the query once per pool size and asserts byte-identical outputs.
+  void ExpectDeterministic(const std::string& frameql) {
+    struct Captured {
+      int threads;
+      QueryOutput out;
+    };
+    std::vector<Captured> runs;
+    for (int threads : {1, 2, 8}) {
+      exec::ThreadPool::Instance().Reconfigure(threads);
+      auto out = engine_->Execute(frameql);
+      BLAZEIT_ASSERT_OK(out);
+      runs.push_back({threads, std::move(out).value()});
+    }
+    const QueryOutput& serial = runs.front().out;
+    for (size_t i = 1; i < runs.size(); ++i) {
+      const QueryOutput& parallel = runs[i].out;
+      SCOPED_TRACE("threads=" + std::to_string(runs[i].threads) + " vs 1");
+      EXPECT_EQ(parallel.kind, serial.kind);
+      EXPECT_EQ(parallel.plan, serial.plan);
+      EXPECT_TRUE(BitsEqual(parallel.scalar, serial.scalar));
+      // Matched frames: same frames, same order.
+      EXPECT_EQ(parallel.frames, serial.frames);
+      // Selection rows: same detections in the same order.
+      ASSERT_EQ(parallel.rows.size(), serial.rows.size());
+      for (size_t r = 0; r < serial.rows.size(); ++r) {
+        EXPECT_EQ(parallel.rows[r].frame, serial.rows[r].frame);
+        EXPECT_EQ(parallel.rows[r].detection.class_id,
+                  serial.rows[r].detection.class_id);
+        EXPECT_TRUE(BitsEqual(parallel.rows[r].detection.score,
+                              serial.rows[r].detection.score));
+        EXPECT_EQ(parallel.rows[r].detection.features,
+                  serial.rows[r].detection.features);
+      }
+      // Simulated costs: same logical work was charged, to the bit.
+      EXPECT_EQ(parallel.cost.detection_calls(), serial.cost.detection_calls());
+      EXPECT_EQ(parallel.cost.specialized_nn_calls(),
+                serial.cost.specialized_nn_calls());
+      EXPECT_EQ(parallel.cost.filter_calls(), serial.cost.filter_calls());
+      EXPECT_EQ(parallel.cost.training_frames(), serial.cost.training_frames());
+      EXPECT_TRUE(
+          BitsEqual(parallel.cost.TotalSeconds(), serial.cost.TotalSeconds()));
+      EXPECT_TRUE(
+          BitsEqual(parallel.cost.QuerySeconds(), serial.cost.QuerySeconds()));
+      EXPECT_EQ(parallel.plan_description, serial.plan_description);
+    }
+  }
+
+  static BlazeItEngine* engine_;
+};
+
+BlazeItEngine* ParallelDeterminismTest::engine_ = nullptr;
+
+TEST_F(ParallelDeterminismTest, AggregationQuery) {
+  ExpectDeterministic(
+      "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+      "ERROR WITHIN 0.1 AT CONFIDENCE 95%");
+}
+
+TEST_F(ParallelDeterminismTest, SelectionQuery) {
+  ExpectDeterministic(
+      "SELECT * FROM taipei WHERE class = 'bus' "
+      "AND redness(content) >= 0.25 AND area(mask) > 20000 "
+      "GROUP BY trackid HAVING COUNT(*) > 15");
+}
+
+TEST_F(ParallelDeterminismTest, ScrubbingQuery) {
+  ExpectDeterministic(
+      "SELECT timestamp FROM taipei GROUP BY timestamp "
+      "HAVING SUM(class='car') >= 2 LIMIT 5 GAP 50");
+}
+
+TEST_F(ParallelDeterminismTest, BinarySelectQuery) {
+  ExpectDeterministic(
+      "SELECT timestamp FROM taipei WHERE class = 'bus' "
+      "FNR WITHIN 0.01 FPR WITHIN 0.01");
+}
+
+}  // namespace
+}  // namespace blazeit

@@ -374,6 +374,128 @@ TEST_F(StorageTest, PersistentDetectorKeysBySceneNotSeed) {
   }
 }
 
+TEST_F(StorageTest, CompactMergesSegmentsAndDropsShadowedDuplicates) {
+  constexpr uint64_t kNs = 0xC0FFEE;
+  // Two writers sharing the directory put overlapping frames with
+  // *different* payloads (simulating the writer-bug scenario compaction
+  // must not make worse): first-write-wins resolution must survive the
+  // rewrite byte for byte.
+  {
+    auto first = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(first.status());
+    for (int64_t f = 0; f < 50; ++f) {
+      std::string payload = "first-";
+      payload += std::to_string(f);
+      BLAZEIT_ASSERT_OK(first.value()->PutRaw(kNs, f, std::move(payload)));
+    }
+    BLAZEIT_ASSERT_OK(first.value()->Flush());
+    // The second writer flushes to a scratch directory and its segment is
+    // moved in afterwards — a store opened on dir_ now would see the
+    // first segment and refuse the duplicate Puts, while a genuinely
+    // concurrent process's publish looks exactly like this rename.
+    const std::string scratch = dir_ + "-writer2";
+    fs::remove_all(scratch);
+    auto second = DetectionStore::Open(scratch);
+    BLAZEIT_ASSERT_OK(second.status());
+    for (int64_t f = 25; f < 75; ++f) {
+      std::string payload = "second-";
+      payload += std::to_string(f);
+      BLAZEIT_ASSERT_OK(second.value()->PutRaw(kNs, f, std::move(payload)));
+    }
+    BLAZEIT_ASSERT_OK(second.value()->Flush());
+    for (const auto& entry : fs::directory_iterator(scratch)) {
+      fs::rename(entry.path(),
+                 fs::path(dir_) / entry.path().filename());
+    }
+    fs::remove_all(scratch);
+  }
+
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  EXPECT_EQ(store.value()->RecordCount(kNs), 75);
+  EXPECT_EQ(store.value()->ShadowedRecords(), 25);
+
+  // Capture the pre-compaction resolution of every frame.
+  std::vector<std::string> before;
+  for (int64_t f = 0; f < 75; ++f) {
+    auto payload = store.value()->GetRaw(kNs, f);
+    BLAZEIT_ASSERT_OK(payload.status());
+    before.push_back(payload.value());
+  }
+
+  auto stats = store.value()->Compact();
+  BLAZEIT_ASSERT_OK(stats.status());
+  EXPECT_EQ(stats.value().namespaces_compacted, 1);
+  EXPECT_EQ(stats.value().segments_before, 2);
+  EXPECT_EQ(stats.value().segments_after, 1);
+  EXPECT_EQ(stats.value().records_kept, 75);
+  EXPECT_EQ(stats.value().duplicates_dropped, 25);
+  EXPECT_EQ(store.value()->ShadowedRecords(), 0);
+
+  // Same store object still resolves identically...
+  for (int64_t f = 0; f < 75; ++f) {
+    auto payload = store.value()->GetRaw(kNs, f);
+    BLAZEIT_ASSERT_OK(payload.status());
+    EXPECT_EQ(payload.value(), before[static_cast<size_t>(f)]) << f;
+  }
+
+  // ...and so does a fresh open of the compacted directory (one segment,
+  // same winners, nothing shadowed).
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened.status());
+  EXPECT_EQ(reopened.value()->RecordCount(kNs), 75);
+  EXPECT_EQ(reopened.value()->ShadowedRecords(), 0);
+  int64_t segment_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++segment_files;
+  }
+  EXPECT_EQ(segment_files, 1);
+  for (int64_t f = 0; f < 75; ++f) {
+    auto payload = reopened.value()->GetRaw(kNs, f);
+    BLAZEIT_ASSERT_OK(payload.status());
+    EXPECT_EQ(payload.value(), before[static_cast<size_t>(f)]) << f;
+  }
+}
+
+TEST_F(StorageTest, CompactIsNoOpOnAlreadyCompactStore) {
+  constexpr uint64_t kNs = 0xBEEF;
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  for (int64_t f = 0; f < 10; ++f) {
+    BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, f, "payload"));
+  }
+  BLAZEIT_ASSERT_OK(store.value()->Flush());
+  const std::string segment = OnlySegmentPath();
+
+  auto stats = store.value()->Compact();
+  BLAZEIT_ASSERT_OK(stats.status());
+  EXPECT_EQ(stats.value().namespaces_compacted, 0);
+  EXPECT_EQ(stats.value().duplicates_dropped, 0);
+  EXPECT_EQ(stats.value().records_kept, 10);
+  // The single clean segment is left untouched, not rewritten.
+  EXPECT_EQ(OnlySegmentPath(), segment);
+}
+
+TEST_F(StorageTest, CompactFlushesPendingRecordsFirst) {
+  constexpr uint64_t kNs = 0xFEED;
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  for (int64_t f = 0; f < 5; ++f) {
+    std::string payload = "p";
+    payload += std::to_string(f);
+    BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, f, std::move(payload)));
+  }
+  EXPECT_EQ(store.value()->pending_records(), 5);
+  auto stats = store.value()->Compact();
+  BLAZEIT_ASSERT_OK(stats.status());
+  EXPECT_EQ(store.value()->pending_records(), 0);
+  EXPECT_EQ(store.value()->RecordCount(kNs), 5);
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened.status());
+  EXPECT_EQ(reopened.value()->RecordCount(kNs), 5);
+}
+
 TEST_F(StorageTest, DetectorNoiseChangesNamespace) {
   DetectorNoiseConfig noisy;
   noisy.box_jitter = 0.05;

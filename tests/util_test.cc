@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <random>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/logging.h"
@@ -204,6 +206,68 @@ TEST_F(LoggingTest, NullSinkRestoresStderrWithoutCapture) {
   Logger::set_level(LogLevel::kError);  // keep test output clean
   BLAZEIT_LOG(kWarning) << "to stderr (filtered)";
   EXPECT_TRUE(CapturedLogs()->empty());
+}
+
+/// Mutex-guarded capture for the concurrency test (the plain CaptureSink
+/// above is only used single-threaded; the Logger contract requires
+/// sinks themselves to be thread-safe).
+std::mutex* ConcurrentLogMutex() {
+  static std::mutex mu;
+  return &mu;
+}
+
+void ConcurrentCaptureSink(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(*ConcurrentLogMutex());
+  CapturedLogs()->emplace_back(level, message);
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingKeepsLinesIntact) {
+  // Hammer the logger from many threads; every delivered message must be
+  // one complete, uninterleaved line (Logger formats each BLAZEIT_LOG
+  // into a single string before it reaches the mutex-guarded sink or
+  // stderr write).
+  Logger::set_sink(&ConcurrentCaptureSink);
+  Logger::set_level(LogLevel::kDebug);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        BLAZEIT_LOG(kInfo) << "thread " << t << " message " << i << " tail";
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(CapturedLogs()->size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  for (const auto& [level, message] : *CapturedLogs()) {
+    EXPECT_EQ(level, LogLevel::kInfo);
+    // An interleaved or torn line would not match the exact shape.
+    EXPECT_TRUE(message.rfind("thread ", 0) == 0 &&
+                message.find(" message ") != std::string::npos &&
+                message.size() >= sizeof("thread 0 message 0 tail") - 1 &&
+                message.compare(message.size() - 5, 5, " tail") == 0)
+        << "torn line: '" << message << "'";
+  }
+}
+
+/// set_level is called from tests and executors while workers log; the
+/// atomic level makes that race benign (TSan lane enforces it).
+TEST_F(LoggingTest, ConcurrentLevelChangesAreSafe) {
+  Logger::set_sink(&ConcurrentCaptureSink);
+  std::thread toggler([] {
+    for (int i = 0; i < 500; ++i) {
+      Logger::set_level(i % 2 == 0 ? LogLevel::kDebug : LogLevel::kError);
+    }
+  });
+  for (int i = 0; i < 500; ++i) {
+    BLAZEIT_LOG(kWarning) << "racing message " << i;
+  }
+  toggler.join();
+  for (const auto& [level, message] : *CapturedLogs()) {
+    EXPECT_EQ(level, LogLevel::kWarning);
+  }
 }
 
 }  // namespace

@@ -12,6 +12,12 @@
 //   storecli verify <store-dir>
 //       Full open: validates magic, version, and every record CRC of every
 //       segment; exits non-zero with the failing segment's error.
+//   storecli compact <store-dir>
+//       Rewrites every namespace with multiple segments or first-write-
+//       wins-shadowed duplicate records into one fresh segment per
+//       namespace, dropping the shadowed duplicates; record resolution is
+//       unchanged (the surviving payload per frame is the one reads
+//       already returned).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -34,6 +40,7 @@ int Usage() {
                "  storecli ls <store-dir>\n"
                "  storecli inspect <segment-file>\n"
                "  storecli verify <store-dir>\n"
+               "  storecli compact <store-dir>\n"
                "streams: taipei night-street rialto grand-canal amsterdam "
                "archie\ndays: train held_out test\n");
   return 2;
@@ -146,6 +153,25 @@ int RunVerify(const std::string& dir) {
   return 0;
 }
 
+int RunCompact(const std::string& dir) {
+  auto store = DetectionStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  const int64_t shadowed_before = store.value()->ShadowedRecords();
+  auto stats = store.value()->Compact();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf(
+      "compacted %lld of %zu namespaces: segments %lld -> %lld, "
+      "%lld records kept, %lld shadowed duplicates dropped (%lld before)\n",
+      static_cast<long long>(stats.value().namespaces_compacted),
+      store.value()->Namespaces().size(),
+      static_cast<long long>(stats.value().segments_before),
+      static_cast<long long>(stats.value().segments_after),
+      static_cast<long long>(stats.value().records_kept),
+      static_cast<long long>(stats.value().duplicates_dropped),
+      static_cast<long long>(shadowed_before));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Logger::set_level(LogLevel::kWarning);
   if (argc < 3) return Usage();
@@ -158,6 +184,7 @@ int Main(int argc, char** argv) {
   if (command == "ls") return RunLs(argv[2]);
   if (command == "inspect") return RunInspect(argv[2]);
   if (command == "verify") return RunVerify(argv[2]);
+  if (command == "compact") return RunCompact(argv[2]);
   return Usage();
 }
 
