@@ -53,18 +53,22 @@ if ! awk -v c="${COLD_SECS}" -v w="${WARM_SECS}" 'BEGIN { exit !(w * 2 <= c) }';
 fi
 
 # Non-gating ThreadSanitizer lane: rebuild the concurrency-bearing suites
-# (exec runtime, storage locking, logging) with -fsanitize=thread and run
-# them. Races found here should be fixed promptly but do not fail the
-# build — TSan availability and signal quality vary across CI machines.
-echo "==> tsan lane (non-gating): exec + storage + logging suites"
+# (exec runtime, storage locking, logging, and the batch layer — whose
+# shared-plan groups run concurrently against one SharedSweepCache) with
+# -fsanitize=thread and run them. Races found here should be fixed
+# promptly but do not fail the build — TSan availability and signal
+# quality vary across CI machines.
+echo "==> tsan lane (non-gating): exec + storage + logging + batch suites"
 TSAN_BUILD="${BUILD_DIR}-tsan"
 if cmake -B "${TSAN_BUILD}" -S . -DBLAZEIT_TSAN=ON \
       -DBLAZEIT_BUILD_BENCHES=OFF -DBLAZEIT_BUILD_EXAMPLES=OFF \
       -DBLAZEIT_BUILD_TOOLS=OFF > /dev/null \
     && cmake --build "${TSAN_BUILD}" -j "${JOBS}" \
-      --target exec_test storage_test util_test > /dev/null \
+      --target exec_test storage_test util_test \
+      batch_determinism_test > /dev/null \
     && ctest --test-dir "${TSAN_BUILD}" \
-      -R '^(exec_test|storage_test|util_test)$' --output-on-failure; then
+      -R '^(exec_test|storage_test|util_test|batch_determinism_test)$' \
+      --output-on-failure; then
   echo "==> tsan lane clean"
 else
   echo "==> tsan lane reported issues (non-gating)"

@@ -23,17 +23,29 @@ const char* AggregateMethodName(AggregateMethod method) {
 }
 
 AggregationExecutor::AggregationExecutor(StreamData* stream,
-                                         AggregateOptions options)
-    : stream_(stream), options_(options) {}
+                                         AggregateOptions options,
+                                         ArtifactCache* sweep_cache)
+    : stream_(stream),
+      cache_(sweep_cache != nullptr ? sweep_cache : stream->artifact_cache),
+      options_(options) {}
 
 Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
-                                                 double confidence) {
+                                                 double confidence,
+                                                 FrameWindow window) {
   if (error <= 0 || confidence <= 0 || confidence >= 1) {
     return Status::InvalidArgument(
         "aggregation requires error > 0 and confidence in (0,1)");
   }
+  window = ClampFrameWindow(window, stream_->test_day->num_frames());
   nn_counts_.clear();
   nn_bootstrap_.reset();
+  if (window.end <= window.begin) {
+    // Range entirely past the recorded day: zero frames satisfy the
+    // predicate, so the count over the range is exactly 0 — consistent
+    // with the empty results the other executors return, and free.
+    AggregateResult empty;
+    return empty;
+  }
   CostMeter meter;
 
   // --- sufficiency of training data (Algorithm 1 precondition) ---
@@ -47,13 +59,13 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
     BLAZEIT_LOG(kDebug) << "insufficient training data for class "
                         << ClassName(class_id) << " (" << positives
                         << " positive frames); defaulting to AQP";
-    return RunPlainAqp(class_id, error, confidence, meter);
+    return RunPlainAqp(class_id, error, confidence, window, meter);
   }
 
   // --- train the specialized counting NN on the labeled day ---
   SpecializedNNConfig nn_config = options_.nn;
   nn_config.train.seed = HashCombine(options_.seed, 0xaaaa);
-  nn_config.cache = stream_->artifact_cache;
+  nn_config.cache = cache_;
   auto trained = SpecializedNN::Train(*stream_->train_day, {train_counts},
                                       nn_config);
   BLAZEIT_RETURN_NOT_OK(trained.status());
@@ -87,10 +99,11 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
   // is part of the output contract, so only the per-frame map work is
   // parallel, never the folds.
   const SyntheticVideo& test = *stream_->test_day;
-  std::vector<int64_t> test_frames(static_cast<size_t>(test.num_frames()));
-  std::iota(test_frames.begin(), test_frames.end(), 0);
+  const int64_t n_window = window.end - window.begin;
+  std::vector<int64_t> test_frames(static_cast<size_t>(n_window));
+  std::iota(test_frames.begin(), test_frames.end(), window.begin);
   nn_counts_ = nn.ExpectedCountsForFrames(test, test_frames);
-  meter.ChargeSpecializedNN(test.num_frames());
+  meter.ChargeSpecializedNN(n_window);
 
   AggregateResult result;
   result.nn_error_bound = nn_bootstrap_->error_quantile;
@@ -107,10 +120,13 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
   }
 
   if (!options_.allow_control_variates) {
-    return RunPlainAqp(class_id, error, confidence, meter);
+    return RunPlainAqp(class_id, error, confidence, window, meter);
   }
 
   // --- control variates: NN as the cheap correlated auxiliary ---
+  // Sampler indices are window-relative: index i means test frame
+  // window.begin + i, so the proxy/oracle pair stays aligned with
+  // nn_counts_ (which holds only window frames).
   const std::vector<int>& test_truth = stream_->test_labels->Counts(class_id);
   ControlVariate cv;
   {
@@ -123,9 +139,11 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
     return static_cast<double>(nn_counts_[static_cast<size_t>(frame)]);
   };
   CostMeter* meter_ptr = &meter;
-  FrameOracle oracle = [&test_truth, meter_ptr](int64_t frame) {
+  const int64_t window_begin = window.begin;
+  FrameOracle oracle = [&test_truth, meter_ptr, window_begin](int64_t frame) {
     meter_ptr->ChargeDetection();
-    return static_cast<double>(test_truth[static_cast<size_t>(frame)]);
+    return static_cast<double>(
+        test_truth[static_cast<size_t>(window_begin + frame)]);
   };
   SamplingConfig sampling;
   sampling.error = error;
@@ -134,15 +152,15 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
       static_cast<double>(stream_->train_labels->MaxCount(class_id)) + 1.0;
   sampling.growth = options_.growth;
   sampling.seed = HashCombine(options_.seed, 0xcccc);
-  auto estimate =
-      ControlVariateSample(test.num_frames(), oracle, cv, sampling);
+  auto estimate = ControlVariateSample(n_window, oracle, cv, sampling);
   BLAZEIT_RETURN_NOT_OK(estimate.status());
 
-  // Correlation over all frames (diagnostic, used by Figure 5 analysis).
+  // Correlation over the window (diagnostic, used by Figure 5 analysis).
   OnlineCovariance corr;
-  for (int64_t t = 0; t < test.num_frames(); ++t) {
+  for (int64_t t = window.begin; t < window.end; ++t) {
     corr.Add(static_cast<double>(test_truth[static_cast<size_t>(t)]),
-             static_cast<double>(nn_counts_[static_cast<size_t>(t)]));
+             static_cast<double>(
+                 nn_counts_[static_cast<size_t>(t - window.begin)]));
   }
 
   result.estimate = estimate.value().estimate;
@@ -157,13 +175,15 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
 Result<AggregateResult> AggregationExecutor::RunPlainAqp(int class_id,
                                                          double error,
                                                          double confidence,
+                                                         FrameWindow window,
                                                          CostMeter meter) {
-  const SyntheticVideo& test = *stream_->test_day;
   const std::vector<int>& test_truth = stream_->test_labels->Counts(class_id);
   CostMeter* meter_ptr = &meter;
-  FrameOracle oracle = [&test_truth, meter_ptr](int64_t frame) {
+  const int64_t window_begin = window.begin;
+  FrameOracle oracle = [&test_truth, meter_ptr, window_begin](int64_t frame) {
     meter_ptr->ChargeDetection();
-    return static_cast<double>(test_truth[static_cast<size_t>(frame)]);
+    return static_cast<double>(
+        test_truth[static_cast<size_t>(window_begin + frame)]);
   };
   SamplingConfig sampling;
   sampling.error = error;
@@ -172,7 +192,8 @@ Result<AggregateResult> AggregationExecutor::RunPlainAqp(int class_id,
       static_cast<double>(stream_->train_labels->MaxCount(class_id)) + 1.0;
   sampling.growth = options_.growth;
   sampling.seed = HashCombine(options_.seed, 0xdddd);
-  auto estimate = AdaptiveSample(test.num_frames(), oracle, sampling);
+  auto estimate =
+      AdaptiveSample(window.end - window.begin, oracle, sampling);
   BLAZEIT_RETURN_NOT_OK(estimate.status());
 
   AggregateResult result;

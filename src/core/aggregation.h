@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/catalog.h"
+#include "frameql/analyzer.h"
 #include "nn/specialized_nn.h"
 #include "sim/cost_model.h"
 #include "stats/bootstrap.h"
@@ -59,14 +60,22 @@ struct AggregateResult {
 /// no usable NN, fall back to plain AQP.
 class AggregationExecutor {
  public:
-  /// `stream` must outlive the executor.
-  AggregationExecutor(StreamData* stream, AggregateOptions options = {});
+  /// `stream` must outlive the executor. `sweep_cache` overrides the
+  /// stream's artifact cache (ExecuteBatch hands the batch's
+  /// SweepCacheView in here so concurrent queries share NN sweeps);
+  /// nullptr keeps the stream's persistent cache.
+  AggregationExecutor(StreamData* stream, AggregateOptions options = {},
+                      ArtifactCache* sweep_cache = nullptr);
 
-  /// Runs FCOUNT(class) ERROR WITHIN `error` AT CONFIDENCE `confidence`.
-  Result<AggregateResult> Run(int class_id, double error, double confidence);
+  /// Runs FCOUNT(class) ERROR WITHIN `error` AT CONFIDENCE `confidence`
+  /// over the test-day frames in `window` (default: the whole day). The
+  /// estimate is the frame-averaged count *within the window*; sampling,
+  /// the NN sweep, and the control-variate correlation all restrict to it.
+  Result<AggregateResult> Run(int class_id, double error, double confidence,
+                              FrameWindow window = FrameWindow{});
 
-  /// Per-test-frame expected counts from the NN trained by the last Run
-  /// (empty if the plain-AQP path was taken); used by benchmarks.
+  /// Per-frame expected counts over the last Run's window, from the NN it
+  /// trained (empty if the plain-AQP path was taken); used by benchmarks.
   const std::vector<float>& nn_counts() const { return nn_counts_; }
 
   /// The held-out bootstrap result from the last Run, if a NN was trained.
@@ -76,9 +85,11 @@ class AggregationExecutor {
 
  private:
   Result<AggregateResult> RunPlainAqp(int class_id, double error,
-                                      double confidence, CostMeter meter);
+                                      double confidence, FrameWindow window,
+                                      CostMeter meter);
 
   StreamData* stream_;
+  ArtifactCache* cache_;
   AggregateOptions options_;
   std::vector<float> nn_counts_;
   std::optional<BootstrapResult> nn_bootstrap_;

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
+#include <unordered_map>
 
+#include "core/shared_sweep.h"
+#include "exec/thread_pool.h"
 #include "filters/calibration.h"
 #include "filters/label_filter.h"
 #include "frameql/parser.h"
@@ -15,12 +19,26 @@ namespace blazeit {
 BlazeItEngine::BlazeItEngine(VideoCatalog* catalog, EngineOptions options)
     : catalog_(catalog), options_(options) {}
 
-Result<QueryOutput> BlazeItEngine::Execute(const std::string& frameql) {
+Result<BlazeItEngine::Prepared> BlazeItEngine::Prepare(
+    const std::string& frameql) {
   BLAZEIT_ASSIGN_OR_RETURN(FrameQLQuery parsed, ParseFrameQL(frameql));
-  BLAZEIT_ASSIGN_OR_RETURN(StreamData * stream,
+  Prepared prepared;
+  BLAZEIT_ASSIGN_OR_RETURN(prepared.stream,
                            catalog_->GetStream(parsed.table));
-  BLAZEIT_ASSIGN_OR_RETURN(AnalyzedQuery query,
-                           AnalyzeQuery(parsed, stream->config));
+  BLAZEIT_ASSIGN_OR_RETURN(
+      prepared.query, AnalyzeQuery(parsed, prepared.stream->config));
+  return prepared;
+}
+
+Result<QueryOutput> BlazeItEngine::Execute(const std::string& frameql) {
+  BLAZEIT_ASSIGN_OR_RETURN(Prepared prepared, Prepare(frameql));
+  return ExecutePrepared(prepared.stream, prepared.query,
+                         /*sweep_cache=*/nullptr);
+}
+
+Result<QueryOutput> BlazeItEngine::ExecutePrepared(
+    StreamData* stream, const AnalyzedQuery& query,
+    ArtifactCache* sweep_cache) {
   PlanChoice plan = ChoosePlan(query, stream);
   BLAZEIT_LOG(kDebug) << "plan: " << PlanKindName(plan.kind) << " — "
                       << plan.rationale;
@@ -32,13 +50,20 @@ Result<QueryOutput> BlazeItEngine::Execute(const std::string& frameql) {
 
   switch (query.kind) {
     case QueryKind::kAggregate: {
-      AggregationExecutor executor(stream, options_.aggregate);
+      BLAZEIT_ASSIGN_OR_RETURN(
+          FrameWindow window,
+          ResolveFrameWindow(query, stream->config.fps,
+                             stream->test_day->num_frames()));
+      AggregationExecutor executor(stream, options_.aggregate, sweep_cache);
       BLAZEIT_ASSIGN_OR_RETURN(
           AggregateResult agg,
-          executor.Run(query.agg_class, query.error, query.confidence));
+          executor.Run(query.agg_class, query.error, query.confidence,
+                       window));
       out.scalar = agg.estimate;
       if (query.scale_to_total) {
-        out.scalar *= static_cast<double>(stream->test_day->num_frames());
+        // COUNT(*) scales the frame-averaged estimate by the number of
+        // frames the query actually ranges over.
+        out.scalar *= static_cast<double>(window.end - window.begin);
       }
       out.cost = agg.cost;
       return out;
@@ -46,16 +71,21 @@ Result<QueryOutput> BlazeItEngine::Execute(const std::string& frameql) {
     case QueryKind::kCountDistinct:
       return ExecuteCountDistinct(stream, query);
     case QueryKind::kScrubbing: {
-      ScrubbingExecutor executor(stream, options_.scrub);
+      BLAZEIT_ASSIGN_OR_RETURN(
+          FrameWindow window,
+          ResolveFrameWindow(query, stream->config.fps,
+                             stream->test_day->num_frames()));
+      ScrubbingExecutor executor(stream, options_.scrub, sweep_cache);
       BLAZEIT_ASSIGN_OR_RETURN(
           ScrubResult scrub,
-          executor.Run(query.requirements, query.limit, query.gap));
+          executor.Run(query.requirements, query.limit, query.gap, window));
       out.frames = scrub.frames;
       out.cost = scrub.cost;
       return out;
     }
     case QueryKind::kSelection: {
-      SelectionExecutor executor(stream, &udfs_, options_.selection);
+      SelectionExecutor executor(stream, &udfs_, options_.selection,
+                                 sweep_cache);
       BLAZEIT_ASSIGN_OR_RETURN(SelectionResult sel, executor.Run(query));
       out.rows = std::move(sel.rows);
       for (const SelectionEvent& event : sel.events) {
@@ -66,7 +96,7 @@ Result<QueryOutput> BlazeItEngine::Execute(const std::string& frameql) {
       return out;
     }
     case QueryKind::kBinarySelect:
-      return ExecuteBinarySelect(stream, query);
+      return ExecuteBinarySelect(stream, query, sweep_cache);
     case QueryKind::kExhaustive:
       return ExecuteFullScan(stream, query);
   }
@@ -76,15 +106,19 @@ Result<QueryOutput> BlazeItEngine::Execute(const std::string& frameql) {
 Result<QueryOutput> BlazeItEngine::ExecuteCountDistinct(
     StreamData* stream, const AnalyzedQuery& query) {
   // Entity resolution requires consecutive-frame detections, so this runs
-  // the detector over the full video (the paper does not optimize distinct
-  // counts; they are supported for completeness of FrameQL).
+  // the detector over the query's full time range (the paper does not
+  // optimize distinct counts; they are supported for completeness of
+  // FrameQL).
   QueryOutput out;
   out.kind = query.kind;
   out.plan = PlanKind::kTrackerCountDistinct;
+  BLAZEIT_ASSIGN_OR_RETURN(
+      FrameWindow window,
+      ResolveFrameWindow(query, stream->config.fps,
+                         stream->test_day->num_frames()));
   IouTracker tracker;
   int64_t distinct = 0;
-  const SyntheticVideo& test = *stream->test_day;
-  for (int64_t t = 0; t < test.num_frames(); ++t) {
+  for (int64_t t = window.begin; t < window.end; ++t) {
     out.cost.ChargeDetection();
     std::vector<Detection> dets = FilterClass(
         stream->test_labels->DetectionsAt(t), query.agg_class,
@@ -98,7 +132,8 @@ Result<QueryOutput> BlazeItEngine::ExecuteCountDistinct(
 }
 
 Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
-    StreamData* stream, const AnalyzedQuery& query) {
+    StreamData* stream, const AnalyzedQuery& query,
+    ArtifactCache* sweep_cache) {
   // NoScope replication: a specialized NN filters frames; the detector
   // verifies everything the NN lets through, so false positives are
   // eliminated and the false-negative rate is controlled by calibrating
@@ -106,6 +141,14 @@ Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
   QueryOutput out;
   out.kind = query.kind;
   out.plan = PlanKind::kBinaryDetection;
+  const SyntheticVideo& test = *stream->test_day;
+  BLAZEIT_ASSIGN_OR_RETURN(
+      FrameWindow window,
+      ResolveFrameWindow(query, stream->config.fps, test.num_frames()));
+  // Range entirely past the recorded day: zero frames match, and charging
+  // NN training to discover that would be inconsistent with the free
+  // empty results of the other executors.
+  if (window.end <= window.begin) return out;
 
   const std::vector<int>& train_counts =
       stream->train_labels->Counts(query.sel_class);
@@ -113,12 +156,11 @@ Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
   for (int c : train_counts) {
     if (c > 0) ++positives;
   }
-  const SyntheticVideo& test = *stream->test_day;
   const std::vector<int>& test_counts =
       stream->test_labels->Counts(query.sel_class);
   if (positives == 0) {
-    // Cannot specialize: verify every frame.
-    for (int64_t t = 0; t < test.num_frames(); ++t) {
+    // Cannot specialize: verify every frame in range.
+    for (int64_t t = window.begin; t < window.end; ++t) {
       out.cost.ChargeDetection();
       if (test_counts[static_cast<size_t>(t)] > 0) out.frames.push_back(t);
     }
@@ -127,7 +169,8 @@ Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
 
   SpecializedNNConfig nn_config = options_.selection.nn;
   nn_config.train.seed = HashCombine(options_.selection.seed, 0xb1de);
-  nn_config.cache = stream->artifact_cache;
+  nn_config.cache =
+      sweep_cache != nullptr ? sweep_cache : stream->artifact_cache;
   auto trained =
       SpecializedNN::Train(*stream->train_day, {train_counts}, nn_config);
   BLAZEIT_RETURN_NOT_OK(trained.status());
@@ -145,12 +188,14 @@ Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
   BLAZEIT_RETURN_NOT_OK(calib.status());
   out.cost.ChargeSpecializedNN(stream->held_out_day->num_frames());
 
-  std::vector<int64_t> test_frames(static_cast<size_t>(test.num_frames()));
-  std::iota(test_frames.begin(), test_frames.end(), 0);
+  const int64_t n_window = window.end - window.begin;
+  std::vector<int64_t> test_frames(static_cast<size_t>(n_window));
+  std::iota(test_frames.begin(), test_frames.end(), window.begin);
   std::vector<double> scores = filter.ScoreBatch(test, test_frames);
-  out.cost.ChargeSpecializedNN(test.num_frames());
-  for (int64_t t = 0; t < test.num_frames(); ++t) {
-    if (scores[static_cast<size_t>(t)] < filter.threshold()) continue;
+  out.cost.ChargeSpecializedNN(n_window);
+  for (int64_t i = 0; i < n_window; ++i) {
+    const int64_t t = window.begin + i;
+    if (scores[static_cast<size_t>(i)] < filter.threshold()) continue;
     out.cost.ChargeDetection();
     if (test_counts[static_cast<size_t>(t)] > 0) out.frames.push_back(t);
   }
@@ -162,11 +207,152 @@ Result<QueryOutput> BlazeItEngine::ExecuteFullScan(
   QueryOutput out;
   out.kind = query.kind;
   out.plan = PlanKind::kFullScan;
-  const SyntheticVideo& test = *stream->test_day;
-  for (int64_t t = 0; t < test.num_frames(); ++t) {
+  // The scan is exhaustive, not unconditional: every analyzed predicate
+  // still restricts the result. Content UDFs are the one thing this plan
+  // does not evaluate — refuse them loudly rather than silently dropping
+  // the conjunct (the selection and scrubbing plans cover those queries).
+  for (const Predicate& pred : query.udf_predicates) {
+    if (pred.kind == Predicate::Kind::kUdf ||
+        pred.kind == Predicate::Kind::kUdfString) {
+      return Status::Unimplemented(
+          "exhaustive scans do not evaluate content UDF predicates; use "
+          "SELECT * with a class predicate (selection) or add a LIMIT "
+          "(scrubbing)");
+    }
+  }
+  BLAZEIT_ASSIGN_OR_RETURN(
+      FrameWindow window,
+      ResolveFrameWindow(query, stream->config.fps,
+                         stream->test_day->num_frames()));
+  const bool filter_detections =
+      query.sel_class >= 0 || query.has_roi || query.min_area_px > 0;
+  for (int64_t t = window.begin; t < window.end; ++t) {
     out.cost.ChargeDetection();
-    std::vector<Detection> dets = stream->test_labels->DetectionsAt(t);
-    if (!dets.empty()) out.frames.push_back(t);
+    // HAVING SUM(class=...) >= N requirements (reachable here when the
+    // query has no LIMIT to make it a scrubbing plan).
+    if (!query.requirements.empty() &&
+        !SatisfiesRequirements(*stream, t, query.requirements)) {
+      continue;
+    }
+    bool any;
+    if (filter_detections) {
+      any = false;
+      for (const Detection& det : stream->test_labels->DetectionsAt(t)) {
+        if (query.sel_class >= 0 && det.class_id != query.sel_class) {
+          continue;
+        }
+        if (query.has_roi &&
+            !query.roi.Contains(det.rect.CenterX(), det.rect.CenterY())) {
+          continue;
+        }
+        if (query.min_area_px > 0 &&
+            PixelArea(det.rect, stream->config.width,
+                      stream->config.height) < query.min_area_px) {
+          continue;
+        }
+        any = true;
+        break;
+      }
+    } else if (!query.requirements.empty()) {
+      any = true;  // the requirements check above is the whole predicate
+    } else {
+      any = !stream->test_labels->DetectionsAt(t).empty();
+    }
+    if (any) out.frames.push_back(t);
+  }
+  return out;
+}
+
+Result<BatchOutput> BlazeItEngine::ExecuteBatch(
+    const std::vector<std::string>& queries) {
+  SharedSweepCache local_sweeps;
+  return ExecuteBatch(queries, &local_sweeps);
+}
+
+Result<BatchOutput> BlazeItEngine::ExecuteBatch(
+    const std::vector<std::string>& queries, SharedSweepCache* sweeps) {
+  if (sweeps == nullptr) {
+    return Status::InvalidArgument("ExecuteBatch needs a sweep cache");
+  }
+  const size_t n = queries.size();
+  BatchOutput out;
+  out.results.assign(
+      n, Result<QueryOutput>(Status::Internal("query not executed")));
+  out.stats.assign(n, BatchQueryStats{});
+
+  // --- front half of every query: parse, bind, analyze ---
+  std::vector<std::optional<Prepared>> prepared(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto p = Prepare(queries[i]);
+    if (p.ok()) {
+      prepared[i] = std::move(p).value();
+    } else {
+      out.results[i] = p.status();
+    }
+  }
+
+  // --- shared-plan pass: group by (stream, NN config, classes) ---
+  // Groups keep first-appearance order and queries keep submission order
+  // within a group, so the leader of each group — the query that pays for
+  // the group's training run and sweeps — is always the earliest one.
+  std::vector<std::vector<size_t>> groups;
+  std::unordered_map<uint64_t, size_t> key_to_group;
+  for (size_t i = 0; i < n; ++i) {
+    if (!prepared[i].has_value()) continue;
+    const uint64_t key = SharedSweepGroupKey(prepared[i]->query, i);
+    auto [it, inserted] = key_to_group.emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  out.groups = static_cast<int64_t>(groups.size());
+
+  // --- run the groups concurrently, each group serially ---
+  // Per-query results/stats go to disjoint slots; per-query outputs are
+  // independent of scheduling because every cache hit is bit-identical to
+  // recomputation (the ArtifactCache contract), so this parallelism — like
+  // the exec pool's — cannot change output bits.
+  //
+  // Parallelism shape: with a single group RunShards executes inline on
+  // the caller (no nested-section marking), so the group's NN
+  // training/inference keeps full intra-query sharding. With multiple
+  // groups the pool parallelizes *across* groups and each query's inner
+  // parallel sections run inline on that group's worker — batch-level
+  // concurrency replaces intra-query concurrency, keeping total CPU use
+  // bounded by the one process-wide pool.
+  exec::ThreadPool::Instance().RunShards(
+      static_cast<int64_t>(groups.size()), [&](int64_t g, int /*slot*/) {
+        for (size_t idx : groups[static_cast<size_t>(g)]) {
+          Prepared& p = *prepared[idx];
+          SweepCacheView view(sweeps, p.stream->artifact_cache);
+          Result<QueryOutput> result =
+              ExecutePrepared(p.stream, p.query, &view);
+          // Stats are filled only for successful queries (the documented
+          // all-zero contract for failures).
+          if (result.ok()) {
+            BatchQueryStats& qs = out.stats[idx];
+            qs.group = g;
+            qs.shared_nn_frames = view.shared_nn_frames();
+            qs.shared_filter_frames = view.shared_filter_frames();
+            qs.shared_models = view.shared_models();
+            const CostMeter& cost = result.value().cost;
+            qs.standalone_seconds = cost.TotalSeconds();
+            double saved =
+                static_cast<double>(qs.shared_nn_frames) *
+                    cost.profile().specialized_nn_sec_per_frame +
+                static_cast<double>(qs.shared_filter_frames) *
+                    cost.profile().filter_sec_per_frame;
+            if (qs.shared_models > 0) saved += cost.training_seconds();
+            qs.batch_seconds =
+                std::max(0.0, qs.standalone_seconds - saved);
+          }
+          out.results[idx] = std::move(result);
+        }
+      });
+
+  // Serial fixed-order fold for the totals.
+  for (size_t i = 0; i < n; ++i) {
+    out.standalone_seconds += out.stats[i].standalone_seconds;
+    out.batch_seconds += out.stats[i].batch_seconds;
   }
   return out;
 }

@@ -1,6 +1,8 @@
 #ifndef BLAZEIT_CORE_OPTIMIZER_H_
 #define BLAZEIT_CORE_OPTIMIZER_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/catalog.h"
@@ -34,6 +36,19 @@ struct PlanChoice {
 /// almost always worth deploying (a 100,000 fps filter pays for itself by
 /// discarding 0.003% of frames), so rules rather than cost search suffice.
 PlanChoice ChoosePlan(const AnalyzedQuery& query, StreamData* stream);
+
+/// The shared-plan pass of multi-query batching: maps an analyzed query
+/// to the key of the batch group it executes in. Two queries get the same
+/// key exactly when their plans train the same specialized NN over the
+/// same stream (same executor kind and hence train-seed salt, same queried
+/// classes and hence training labels) — so running them serially within
+/// one group lets the first execution's training run and per-frame sweep
+/// feed the rest through the batch's SharedSweepCache, while distinct
+/// keys carry no shared NN work and can run concurrently.
+///
+/// Plans that train nothing (count-distinct, full scans) get a key unique
+/// to `query_index`, i.e. a singleton group, maximizing concurrency.
+uint64_t SharedSweepGroupKey(const AnalyzedQuery& query, size_t query_index);
 
 }  // namespace blazeit
 

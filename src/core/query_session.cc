@@ -1,0 +1,17 @@
+#include "core/query_session.h"
+
+namespace blazeit {
+
+Result<BatchOutput> QuerySession::Run() {
+  std::vector<std::string> batch;
+  batch.swap(queued_);
+  return engine_->ExecuteBatch(batch, &sweeps_);
+}
+
+Result<QueryOutput> QuerySession::Execute(const std::string& frameql) {
+  auto batch = engine_->ExecuteBatch({frameql}, &sweeps_);
+  BLAZEIT_RETURN_NOT_OK(batch.status());
+  return std::move(batch.value().results.front());
+}
+
+}  // namespace blazeit

@@ -1,0 +1,58 @@
+#ifndef BLAZEIT_CORE_QUERY_SESSION_H_
+#define BLAZEIT_CORE_QUERY_SESSION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/shared_sweep.h"
+
+namespace blazeit {
+
+/// A serving-side wrapper over BlazeItEngine::ExecuteBatch: queue queries
+/// as they arrive, run them as one shared-plan batch, and keep the shared
+/// sweeps warm across batches — a later batch (or single query) that asks
+/// about a (stream, class) this session has already swept pays no new NN
+/// training or inference, only its own cheap consumption of the scores.
+///
+///   QuerySession session(&engine);
+///   session.Add("SELECT FCOUNT(*) FROM taipei WHERE class='car' …");
+///   session.Add("SELECT timestamp FROM taipei … LIMIT 5");
+///   auto batch = session.Run();
+///
+/// Not thread-safe: one session per caller thread (the engine and the
+/// shared cache underneath are thread-safe; Add/Run bookkeeping is not).
+class QuerySession {
+ public:
+  /// `engine` must outlive the session.
+  explicit QuerySession(BlazeItEngine* engine) : engine_(engine) {}
+
+  /// Queues a query; returns its index into the next Run()'s outputs.
+  int64_t Add(std::string frameql) {
+    queued_.push_back(std::move(frameql));
+    return static_cast<int64_t>(queued_.size()) - 1;
+  }
+
+  int64_t pending() const { return static_cast<int64_t>(queued_.size()); }
+
+  /// Executes everything queued as one batch and clears the queue.
+  Result<BatchOutput> Run();
+
+  /// Executes one query immediately through the session's warm sweeps.
+  /// Output is bit-identical to BlazeItEngine::Execute.
+  Result<QueryOutput> Execute(const std::string& frameql);
+
+  /// The session's shared sweep tier (diagnostics: resident record
+  /// counts).
+  const SharedSweepCache& sweeps() const { return sweeps_; }
+
+ private:
+  BlazeItEngine* engine_;
+  SharedSweepCache sweeps_;
+  std::vector<std::string> queued_;
+};
+
+}  // namespace blazeit
+
+#endif  // BLAZEIT_CORE_QUERY_SESSION_H_

@@ -99,16 +99,26 @@ void InsertSorted(std::vector<int64_t>* accepted, int64_t frame) {
 
 }  // namespace
 
-ScrubbingExecutor::ScrubbingExecutor(StreamData* stream, ScrubOptions options)
-    : stream_(stream), options_(options) {}
+ScrubbingExecutor::ScrubbingExecutor(StreamData* stream, ScrubOptions options,
+                                     ArtifactCache* sweep_cache)
+    : stream_(stream),
+      cache_(sweep_cache != nullptr ? sweep_cache : stream->artifact_cache),
+      options_(options) {}
 
 Result<ScrubResult> ScrubbingExecutor::Run(
     const std::vector<ClassCountRequirement>& reqs, int64_t limit,
-    int64_t gap) {
+    int64_t gap, FrameWindow window) {
   if (reqs.empty())
     return Status::InvalidArgument("scrubbing needs at least one class");
   if (limit <= 0) return Status::InvalidArgument("limit must be positive");
+  window = ClampFrameWindow(window, stream_->test_day->num_frames());
   confidences_.clear();
+  if (window.end <= window.begin) {
+    // Range entirely past the recorded day: zero frames match; return
+    // empty (and free) rather than training an NN to discover that.
+    ScrubResult empty;
+    return empty;
+  }
   CostMeter meter;
 
   // --- training-data check (Section 7.1): any instance in the train day?
@@ -140,7 +150,7 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   if (train_instances == 0) {
     BLAZEIT_LOG(kDebug) << "no instances of the scrubbing query in the "
                            "training set; falling back to sequential scan";
-    return RunSequentialFallback(reqs, limit, gap, meter);
+    return RunSequentialFallback(reqs, limit, gap, window, meter);
   }
 
   // --- train one NN with a count head per class ---
@@ -153,29 +163,32 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   }
   SpecializedNNConfig nn_config = options_.nn;
   nn_config.train.seed = HashCombine(options_.seed, 0x5c4b);
-  nn_config.cache = stream_->artifact_cache;
+  nn_config.cache = cache_;
   auto trained =
       SpecializedNN::Train(*stream_->train_day, head_labels, nn_config);
   BLAZEIT_RETURN_NOT_OK(trained.status());
   SpecializedNN nn = std::move(trained).value();
   meter.ChargeTraining(nn.trained_frames());
 
-  // --- score all unseen frames and rank by confidence ---
+  // --- score the unseen window frames and rank by confidence ---
+  // Indices below are window-relative: index i is test frame
+  // window.begin + i, so confidences_ lines up with test_frames.
   const SyntheticVideo& test = *stream_->test_day;
-  std::vector<int64_t> test_frames(static_cast<size_t>(test.num_frames()));
-  std::iota(test_frames.begin(), test_frames.end(), 0);
+  const int64_t n_window = window.end - window.begin;
+  std::vector<int64_t> test_frames(static_cast<size_t>(n_window));
+  std::iota(test_frames.begin(), test_frames.end(), window.begin);
   auto mode = options_.conjunctive_product && reqs.size() > 1
                   ? SpecializedNN::ConjunctionMode::kProduct
                   : SpecializedNN::ConjunctionMode::kSum;
   confidences_ =
       nn.QueryConfidencesForFrames(test, test_frames, min_counts, mode);
-  meter.ChargeSpecializedNN(test.num_frames());
+  meter.ChargeSpecializedNN(n_window);
 
   // Rank by the (optionally smoothed) confidence signal.
   std::vector<float> ranking_signal = confidences_;
   if (options_.confidence_smoothing > 0) {
     const int64_t w = options_.confidence_smoothing;
-    const int64_t n = test.num_frames();
+    const int64_t n = n_window;
     std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
     for (int64_t t = 0; t < n; ++t) {
       prefix[static_cast<size_t>(t) + 1] =
@@ -191,7 +204,7 @@ Result<ScrubResult> ScrubbingExecutor::Run(
           static_cast<double>(hi - lo + 1));
     }
   }
-  std::vector<int64_t> order(static_cast<size_t>(test.num_frames()));
+  std::vector<int64_t> order(static_cast<size_t>(n_window));
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
                    [&ranking_signal](int64_t a, int64_t b) {
@@ -202,7 +215,8 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   // --- verify candidates with the full detector, best-first ---
   ScrubResult result;
   std::vector<int64_t> accepted_sorted;
-  for (int64_t frame : order) {
+  for (int64_t index : order) {
+    const int64_t frame = test_frames[static_cast<size_t>(index)];
     if (static_cast<int64_t>(result.frames.size()) >= limit) break;
     if (!GapAdmissible(accepted_sorted, frame, gap)) continue;
     meter.ChargeDetection();
@@ -220,11 +234,11 @@ Result<ScrubResult> ScrubbingExecutor::Run(
 
 Result<ScrubResult> ScrubbingExecutor::RunSequentialFallback(
     const std::vector<ClassCountRequirement>& reqs, int64_t limit,
-    int64_t gap, CostMeter meter) {
+    int64_t gap, FrameWindow window, CostMeter meter) {
   ScrubResult result;
   result.fell_back_to_scan = true;
   std::vector<int64_t> accepted_sorted;
-  for (int64_t t = 0; t < stream_->test_day->num_frames(); ++t) {
+  for (int64_t t = window.begin; t < window.end; ++t) {
     if (static_cast<int64_t>(result.frames.size()) >= limit) break;
     if (!GapAdmissible(accepted_sorted, t, gap)) continue;
     meter.ChargeDetection();

@@ -51,22 +51,31 @@ struct ScrubResult {
 /// ever returned because every candidate is verified by the detector.
 class ScrubbingExecutor {
  public:
-  /// `stream` must outlive the executor.
-  ScrubbingExecutor(StreamData* stream, ScrubOptions options = {});
+  /// `stream` must outlive the executor. `sweep_cache` overrides the
+  /// stream's artifact cache (ExecuteBatch hands the batch's
+  /// SweepCacheView in here so concurrent queries share NN sweeps);
+  /// nullptr keeps the stream's persistent cache.
+  ScrubbingExecutor(StreamData* stream, ScrubOptions options = {},
+                    ArtifactCache* sweep_cache = nullptr);
 
+  /// Finds LIMIT matching frames among the test-day frames in `window`
+  /// (default: the whole day).
   Result<ScrubResult> Run(const std::vector<ClassCountRequirement>& reqs,
-                          int64_t limit, int64_t gap);
+                          int64_t limit, int64_t gap,
+                          FrameWindow window = FrameWindow{});
 
-  /// Per-test-frame confidence scores from the last Run (empty if the
-  /// executor fell back to a scan); used by benchmarks.
+  /// Confidence scores over the last Run's window, one per window frame
+  /// in ascending frame order (empty if the executor fell back to a
+  /// scan); used by benchmarks.
   const std::vector<float>& confidences() const { return confidences_; }
 
  private:
   Result<ScrubResult> RunSequentialFallback(
       const std::vector<ClassCountRequirement>& reqs, int64_t limit,
-      int64_t gap, CostMeter meter);
+      int64_t gap, FrameWindow window, CostMeter meter);
 
   StreamData* stream_;
+  ArtifactCache* cache_;
   ScrubOptions options_;
   std::vector<float> confidences_;
 };

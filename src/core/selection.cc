@@ -45,8 +45,12 @@ constexpr int kUdfRaster = 48;  // render size for object-level UDF checks
 
 SelectionExecutor::SelectionExecutor(StreamData* stream,
                                      const UdfRegistry* udfs,
-                                     SelectionOptions options)
-    : stream_(stream), udfs_(udfs), options_(options) {}
+                                     SelectionOptions options,
+                                     ArtifactCache* sweep_cache)
+    : stream_(stream),
+      udfs_(udfs),
+      cache_(sweep_cache != nullptr ? sweep_cache : stream->artifact_cache),
+      options_(options) {}
 
 bool SelectionExecutor::FrameMatches(const LabeledSet& labels, int64_t frame,
                                      const AnalyzedQuery& query,
@@ -101,12 +105,20 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
     plan_parts.push_back(StrFormat("temporal(stride=%lld)",
                                    static_cast<long long>(temporal.stride())));
   }
-  const int fps = stream_->config.fps;
-  int64_t begin = static_cast<int64_t>(query.begin_sec * fps);
-  int64_t end = query.end_sec < 0
-                    ? -1
-                    : static_cast<int64_t>(query.end_sec * fps);
-  BLAZEIT_RETURN_NOT_OK(temporal.SetTimeRange(begin, end));
+  // The same window arithmetic every executor applies. An empty resolved
+  // window (range past the recorded day, or one so narrow no frame falls
+  // inside) means zero frames can match; return empty rather than
+  // training and calibrating filters to discover that.
+  BLAZEIT_ASSIGN_OR_RETURN(
+      FrameWindow window,
+      ResolveFrameWindow(query, stream_->config.fps,
+                         stream_->test_day->num_frames()));
+  if (window.end <= window.begin) {
+    SelectionResult empty;
+    empty.plan = "empty time range";
+    return empty;
+  }
+  BLAZEIT_RETURN_NOT_OK(temporal.SetTimeRange(window.begin, window.end));
 
   // ---- spatial filter (exact; reduces detector cost) ----
   std::unique_ptr<SpatialFilter> spatial;
@@ -157,9 +169,9 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
       // Content scores render frames; persist them when the UDF has a
       // stable content fingerprint (built-ins do, ad-hoc closures do not).
       const uint64_t udf_fp = udfs_->FingerprintFor(pred.name);
-      if (stream_->artifact_cache != nullptr && udf_fp != 0) {
+      if (cache_ != nullptr && udf_fp != 0) {
         candidate->set_score_cache(
-            stream_->artifact_cache,
+            cache_,
             Fingerprint()
                 .Mix("content-filter")
                 .Mix(udf_fp)
@@ -200,7 +212,7 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
     if (positives > 0) {
       SpecializedNNConfig nn_config = options_.nn;
       nn_config.train.seed = HashCombine(options_.seed, 0x3e1e);
-      nn_config.cache = stream_->artifact_cache;
+      nn_config.cache = cache_;
       auto trained = SpecializedNN::Train(*stream_->train_day, {train_counts},
                                           nn_config);
       BLAZEIT_RETURN_NOT_OK(trained.status());

@@ -62,9 +62,13 @@ struct SelectionResult {
 /// by the full detector.
 class SelectionExecutor {
  public:
-  /// `stream` and `udfs` must outlive the executor.
+  /// `stream` and `udfs` must outlive the executor. `sweep_cache`
+  /// overrides the stream's artifact cache (ExecuteBatch hands the
+  /// batch's SweepCacheView in here so concurrent queries share NN and
+  /// content-filter sweeps); nullptr keeps the stream's persistent cache.
   SelectionExecutor(StreamData* stream, const UdfRegistry* udfs,
-                    SelectionOptions options = {});
+                    SelectionOptions options = {},
+                    ArtifactCache* sweep_cache = nullptr);
 
   Result<SelectionResult> Run(const AnalyzedQuery& query);
 
@@ -81,6 +85,7 @@ class SelectionExecutor {
 
   StreamData* stream_;
   const UdfRegistry* udfs_;
+  ArtifactCache* cache_;
   SelectionOptions options_;
 };
 

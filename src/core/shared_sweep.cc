@@ -1,0 +1,121 @@
+#include "core/shared_sweep.h"
+
+namespace blazeit {
+
+int64_t SharedSweepCache::frame_float_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(floats_.size());
+}
+
+int64_t SharedSweepCache::frame_double_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(doubles_.size());
+}
+
+int64_t SharedSweepCache::blob_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(blobs_.size());
+}
+
+bool SharedSweepCache::GetFloats(uint64_t ns, int64_t frame,
+                                 std::vector<float>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = floats_.find({ns, frame});
+  if (it == floats_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void SharedSweepCache::PutFloats(uint64_t ns, int64_t frame,
+                                 const std::vector<float>& v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  floats_.emplace(Key{ns, frame}, v);  // first write wins
+}
+
+bool SharedSweepCache::GetDoubles(uint64_t ns, int64_t frame,
+                                  std::vector<double>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = doubles_.find({ns, frame});
+  if (it == doubles_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void SharedSweepCache::PutDoubles(uint64_t ns, int64_t frame,
+                                  const std::vector<double>& v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  doubles_.emplace(Key{ns, frame}, v);
+}
+
+bool SharedSweepCache::GetBlob(uint64_t ns, std::vector<float>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(ns);
+  if (it == blobs_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void SharedSweepCache::PutBlob(uint64_t ns, const std::vector<float>& v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blobs_.emplace(ns, v);
+}
+
+bool SweepCacheView::GetFrameFloats(uint64_t ns, int64_t frame,
+                                    std::vector<float>* out) {
+  if (shared_->GetFloats(ns, frame, out)) {
+    ++shared_float_hits_;
+    return true;
+  }
+  if (underlying_ != nullptr && underlying_->GetFrameFloats(ns, frame, out)) {
+    // Promote so later queries of the batch hit the memory tier; the
+    // persistent value is bit-identical to recomputation by contract.
+    shared_->PutFloats(ns, frame, *out);
+    return true;
+  }
+  return false;
+}
+
+void SweepCacheView::PutFrameFloats(uint64_t ns, int64_t frame,
+                                    const std::vector<float>& values) {
+  shared_->PutFloats(ns, frame, values);
+  if (underlying_ != nullptr) underlying_->PutFrameFloats(ns, frame, values);
+}
+
+bool SweepCacheView::GetFrameDoubles(uint64_t ns, int64_t frame,
+                                     std::vector<double>* out) {
+  if (shared_->GetDoubles(ns, frame, out)) {
+    ++shared_double_hits_;
+    return true;
+  }
+  if (underlying_ != nullptr &&
+      underlying_->GetFrameDoubles(ns, frame, out)) {
+    shared_->PutDoubles(ns, frame, *out);
+    return true;
+  }
+  return false;
+}
+
+void SweepCacheView::PutFrameDoubles(uint64_t ns, int64_t frame,
+                                     const std::vector<double>& values) {
+  shared_->PutDoubles(ns, frame, values);
+  if (underlying_ != nullptr) underlying_->PutFrameDoubles(ns, frame, values);
+}
+
+bool SweepCacheView::GetBlob(uint64_t ns, std::vector<float>* out) {
+  if (shared_->GetBlob(ns, out)) {
+    ++shared_blob_hits_;
+    return true;
+  }
+  if (underlying_ != nullptr && underlying_->GetBlob(ns, out)) {
+    shared_->PutBlob(ns, *out);
+    return true;
+  }
+  return false;
+}
+
+void SweepCacheView::PutBlob(uint64_t ns, const std::vector<float>& values) {
+  shared_->PutBlob(ns, values);
+  if (underlying_ != nullptr) underlying_->PutBlob(ns, values);
+}
+
+}  // namespace blazeit

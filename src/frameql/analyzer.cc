@@ -122,13 +122,26 @@ Result<AnalyzedQuery> AnalyzeQuery(const FrameQLQuery& query,
         switch (pred.op) {
           case CmpOp::kGe:
           case CmpOp::kGt:
-            out.begin_sec = std::max(out.begin_sec, pred.value);
+            // Tightest lower bound wins; on a tie the exclusive form is
+            // tighter.
+            if (pred.value > out.begin_sec) {
+              out.begin_sec = pred.value;
+              out.begin_exclusive = pred.op == CmpOp::kGt;
+            } else if (pred.value == out.begin_sec &&
+                       pred.op == CmpOp::kGt) {
+              out.begin_exclusive = true;
+            }
             break;
           case CmpOp::kLe:
           case CmpOp::kLt:
-            out.end_sec = out.end_sec < 0
-                              ? pred.value
-                              : std::min(out.end_sec, pred.value);
+            // Tightest upper bound wins; on a tie the exclusive form is
+            // tighter.
+            if (out.end_sec < 0 || pred.value < out.end_sec) {
+              out.end_sec = pred.value;
+              out.end_inclusive = pred.op == CmpOp::kLe;
+            } else if (pred.value == out.end_sec && pred.op == CmpOp::kLt) {
+              out.end_inclusive = false;
+            }
             break;
           default:
             return Status::Unimplemented(
@@ -215,6 +228,7 @@ Result<AnalyzedQuery> AnalyzeQuery(const FrameQLQuery& query,
       }
     }
     out.kind = QueryKind::kExhaustive;
+    out.sel_class = class_id;
     return out;
   }
   // SELECT *
@@ -224,7 +238,63 @@ Result<AnalyzedQuery> AnalyzeQuery(const FrameQLQuery& query,
     return out;
   }
   out.kind = QueryKind::kExhaustive;
+  out.sel_class = class_id;
   return out;
+}
+
+FrameWindow ClampFrameWindow(FrameWindow window, int64_t num_frames) {
+  FrameWindow out;
+  out.begin = std::clamp<int64_t>(window.begin, 0, num_frames);
+  const int64_t end = window.end < 0 ? num_frames : window.end;
+  out.end = std::clamp<int64_t>(end, out.begin, num_frames);
+  return out;
+}
+
+Result<FrameWindow> ResolveFrameWindow(const AnalyzedQuery& query, int fps,
+                                       int64_t num_frames) {
+  // A genuinely inverted range (end before begin, in seconds) is a query
+  // error; a merely narrow range that lands between frames resolves to an
+  // empty window and an ordinary empty result below.
+  if (query.end_sec >= 0 && query.end_sec < query.begin_sec) {
+    return Status::InvalidArgument(
+        "time range is empty: its end precedes its begin");
+  }
+  // Frame t is stamped t/fps seconds, so the window boundaries are exact:
+  //   timestamp >= b  -> first frame at or after b   -> ceil(b*fps)
+  //   timestamp >  b  -> first frame strictly after  -> ceil, +1 on exact
+  //   timestamp <= e  -> last frame at or before e   -> floor(e*fps) + 1
+  //   timestamp <  e  -> frames strictly before      -> ceil(e*fps)
+  // The products should be integral whenever the bound names a frame
+  // instant, but the double multiply can land an ulp off (31.0/30 * 30 ==
+  // 31.000000000000004); snap near-integers first so ceil/floor — and the
+  // exact-equality exclusivity bump — see the intended value.
+  const auto snap = [](double v) {
+    const double r = std::round(v);
+    return std::abs(v - r) <= 1e-9 * std::max(1.0, std::abs(v)) ? r : v;
+  };
+  // Saturating double->frame cast: an extreme literal (timestamp >=
+  // 1e300) must clamp to the day bounds, not overflow the int64 cast
+  // (UB whose wrapped value would invert the window).
+  const auto to_frame = [num_frames](double v) -> int64_t {
+    if (v >= static_cast<double>(num_frames)) return num_frames;
+    if (v <= 0.0) return 0;
+    return static_cast<int64_t>(v);
+  };
+  FrameWindow window;
+  const double b = snap(query.begin_sec * fps);
+  window.begin = to_frame(std::ceil(b));
+  if (query.begin_exclusive && static_cast<double>(window.begin) == b) {
+    ++window.begin;
+  }
+  if (query.end_sec < 0) {
+    window.end = -1;
+  } else {
+    const double e = snap(query.end_sec * fps);
+    window.end = query.end_inclusive ? to_frame(std::floor(e)) + 1
+                                     : to_frame(std::ceil(e));
+    window.end = std::max(window.end, window.begin);  // narrow -> empty
+  }
+  return ClampFrameWindow(window, num_frames);
 }
 
 }  // namespace blazeit

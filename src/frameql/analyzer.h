@@ -52,7 +52,9 @@ struct AnalyzedQuery {
   int64_t limit = 0;
   int64_t gap = 0;
 
-  // --- selection ---
+  // --- selection / exhaustive ---
+  /// Class named by the WHERE clause; -1 when the query has none. Carried
+  /// for exhaustive plans too, so a full scan still honors the predicate.
   int sel_class = -1;
   /// Content UDF conjuncts (kUdf predicates).
   std::vector<Predicate> udf_predicates;
@@ -63,9 +65,14 @@ struct AnalyzedQuery {
   bool has_roi = false;
   /// Minimum track persistence (frames) from HAVING COUNT(*) on trackid.
   int64_t persistence_frames = 0;
-  /// Time range in seconds; end < 0 means "to the end".
+  /// Time range in seconds; end < 0 means "to the end". The bounds carry
+  /// their comparison ops' inclusivity (timestamp > b vs >= b, < e vs
+  /// <= e) so ResolveFrameWindow lands frame-exact boundaries — a frame
+  /// stamped exactly `end_sec` belongs to a `<=` range but not a `<` one.
   double begin_sec = 0.0;
   double end_sec = -1.0;
+  bool begin_exclusive = false;
+  bool end_inclusive = false;
 
   // --- binary select ---
   double fnr = 0.0;
@@ -78,6 +85,26 @@ struct AnalyzedQuery {
 /// Classifies and validates a parsed query against a stream's schema.
 Result<AnalyzedQuery> AnalyzeQuery(const FrameQLQuery& query,
                                    const StreamConfig& stream);
+
+/// Half-open test-day frame window [begin, end) an executor must restrict
+/// itself to. The default ({0, -1}) means the whole day; executors resolve
+/// end < 0 to the day length.
+struct FrameWindow {
+  int64_t begin = 0;
+  int64_t end = -1;
+};
+
+/// Clamps a window to [0, num_frames), resolving the end < 0 sentinel.
+/// A window past the end of the day collapses to empty (begin == end).
+FrameWindow ClampFrameWindow(FrameWindow window, int64_t num_frames);
+
+/// Resolves the analyzed time range (begin_sec/end_sec at `fps`) to the
+/// test-day frame window every executor enforces — the same arithmetic
+/// selection's TemporalFilter::SetTimeRange applies, shared so that
+/// `timestamp >= …` predicates mean one thing across all plans.
+/// InvalidArgument when an explicit end does not exceed the begin.
+Result<FrameWindow> ResolveFrameWindow(const AnalyzedQuery& query, int fps,
+                                       int64_t num_frames);
 
 }  // namespace blazeit
 

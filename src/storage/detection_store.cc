@@ -46,6 +46,57 @@ bool ParseSegmentName(const std::string& filename, uint64_t* ns) {
   return true;
 }
 
+/// Recovers the repair generation from a `…-0repair-<20-digit inverted
+/// generation>-…` segment name; false for regular segments.
+bool ParseRepairGeneration(const std::string& filename, uint64_t* generation) {
+  const std::string prefix = kSegmentPrefix;
+  constexpr const char* kRepairTag = "-0repair-";
+  const size_t tag_at = prefix.size() + 16;
+  const size_t tag_len = std::strlen(kRepairTag);
+  if (filename.size() < tag_at + tag_len + 20) return false;
+  if (filename.compare(tag_at, tag_len, kRepairTag) != 0) return false;
+  uint64_t inverted = 0;
+  for (size_t i = 0; i < 20; ++i) {
+    const char c = filename[tag_at + tag_len + i];
+    if (c < '0' || c > '9') return false;
+    inverted = inverted * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *generation = ~0ull - inverted;
+  return true;
+}
+
+/// True when some engine codec decodes the payload. Float/double payloads
+/// are unstructured, so this can only catch length mismatches for them;
+/// detection payloads carry structure and reject most corruption.
+bool PayloadDecodes(const std::string& payload) {
+  if (DecodeDetectionsPayload(payload).ok()) return true;
+  if (DecodeFloatsPayload(payload).ok()) return true;
+  return DecodeDoublesPayload(payload).ok();
+}
+
+/// Removes `paths` plus any previously stranded files, keeping the
+/// failures in `*stranded` so the namespace's next rewrite retries them.
+/// Tolerated (warned) because the replacing segment's records win by name
+/// order anyway — but only while the strand is remembered.
+void RemoveSegmentsOrStrand(std::vector<std::string> paths,
+                            std::vector<std::string>* stranded) {
+  paths.insert(paths.end(), stranded->begin(), stranded->end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  stranded->clear();
+  std::error_code ec;
+  for (const std::string& path : paths) {
+    fs::remove(path, ec);
+    if (ec) {
+      BLAZEIT_LOG(kWarning) << "could not remove superseded segment '"
+                            << path << "': " << ec.message()
+                            << " (will retry on the next rewrite)";
+      ec.clear();
+      stranded->push_back(path);
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -250,6 +301,11 @@ Result<std::unique_ptr<DetectionStore>> DetectionStore::Open(
     auto reader = StoreReader::Open((fs::path(dir) / name).string(), ns);
     if (!reader.ok()) return reader.status();
     Shard& shard = store->shards_[ns];
+    uint64_t repair_generation = 0;
+    if (ParseRepairGeneration(name, &repair_generation)) {
+      shard.repair_generation =
+          std::max(shard.repair_generation, repair_generation);
+    }
     const size_t segment_index = shard.segments.size();
     // Moved out of the reader: keeping both copies resident would double
     // index memory across a large store.
@@ -404,6 +460,24 @@ std::string DetectionStore::NewSegmentPath(uint64_t ns) const {
       .string();
 }
 
+std::string DetectionStore::RepairSegmentPath(uint64_t ns,
+                                              uint64_t generation) const {
+  // Repair segments must win first-write-wins over everything they
+  // superseded even if a crash (or a failed unlink on a shared store)
+  // strands an old segment alongside them. "0repair" sorts before any
+  // pid (which never starts with '0'), and the zero-padded *inverted*
+  // generation makes a newer repair sort before a stranded older one —
+  // the generation is monotonic per namespace and restored from segment
+  // names at Open, so ordering never depends on the wall clock.
+  const unsigned long long inverted =
+      ~0ull - static_cast<unsigned long long>(generation);
+  return (fs::path(dir_) /
+          StrFormat("%s%016llx-0repair-%020llu-%d%s", kSegmentPrefix,
+                    static_cast<unsigned long long>(ns), inverted,
+                    static_cast<int>(::getpid()), kSegmentSuffix))
+      .string();
+}
+
 Status DetectionStore::Flush() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   return FlushLocked();
@@ -446,6 +520,126 @@ Status DetectionStore::FlushLocked() {
   return Status::OK();
 }
 
+Status DetectionStore::RewriteShardLocked(uint64_t ns, Shard* shard,
+                                          bool validate_payloads) {
+  // Resolved frame list: disk winners plus pending, pending overriding
+  // disk on collision — exactly what GetRaw serves (it reads pending
+  // first). Regular Puts never create such a collision; Repair does.
+  std::vector<int64_t> frames;
+  frames.reserve(shard->disk_index.size() + shard->pending.size());
+  for (const auto& [frame, _] : shard->disk_index) frames.push_back(frame);
+  for (const auto& [frame, _] : shard->pending) {
+    if (shard->disk_index.count(frame) == 0) frames.push_back(frame);
+  }
+  std::sort(frames.begin(), frames.end());
+
+  const std::string final_path =
+      RepairSegmentPath(ns, ++shard->repair_generation);
+  const std::string tmp_path = final_path + ".tmp";
+  auto writer = StoreWriter::Create(tmp_path, ns);
+  if (!writer.ok()) return writer.status();
+  int64_t undecodable_dropped = 0;
+  for (int64_t frame : frames) {
+    auto pending = shard->pending.find(frame);
+    if (pending != shard->pending.end()) {
+      BLAZEIT_RETURN_NOT_OK(writer.value()->Append(frame, pending->second));
+      continue;
+    }
+    const auto& [segment_index, offset] = shard->disk_index.at(frame);
+    auto payload = shard->segments[segment_index]->ReadPayloadAt(offset);
+    if (!payload.ok()) return payload.status();
+    // Since the whole namespace is being rewritten anyway, heal it in one
+    // pass: any other record that decodes under no engine codec would
+    // just trigger another full rewrite when it is next read, so drop it
+    // now (it becomes a plain miss and is recomputed once).
+    if (validate_payloads && !PayloadDecodes(payload.value())) {
+      ++undecodable_dropped;
+      continue;
+    }
+    BLAZEIT_RETURN_NOT_OK(writer.value()->Append(frame, payload.value()));
+  }
+  if (undecodable_dropped > 0) {
+    BLAZEIT_LOG(kWarning) << "namespace rewrite dropped "
+                          << undecodable_dropped
+                          << " undecodable record(s); they will be "
+                             "recomputed on next use";
+  }
+  BLAZEIT_RETURN_NOT_OK(writer.value()->Close());
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::Internal(
+        StrFormat("cannot publish rewritten segment '%s': %s",
+                  final_path.c_str(), ec.message().c_str()));
+  }
+
+  std::vector<std::string> old_paths;
+  old_paths.reserve(shard->segments.size());
+  for (const auto& segment : shard->segments) {
+    old_paths.push_back(segment->path());
+  }
+
+  auto reader = StoreReader::Open(final_path, ns, /*validate_records=*/false);
+  if (!reader.ok()) return reader.status();
+  pending_records_ -= static_cast<int64_t>(shard->pending.size());
+  shard->pending.clear();
+  shard->segments.clear();
+  shard->disk_index.clear();
+  shard->shadowed = 0;
+  for (const auto& [frame, offset] : writer.value()->record_offsets()) {
+    shard->disk_index.emplace(frame, std::make_pair(size_t{0}, offset));
+  }
+  shard->segments.push_back(std::move(reader).value());
+
+  // Old segments hold only payloads the new segment supersedes; removal
+  // failures are non-fatal (the new segment's name sorts first, so its
+  // records keep winning) but stay tracked for retry.
+  RemoveSegmentsOrStrand(std::move(old_paths), &shard->stranded);
+  return Status::OK();
+}
+
+Status DetectionStore::Repair(uint64_t ns, int64_t frame,
+                              const std::string& payload) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Shard& shard = shards_[ns];
+  auto [it, inserted] = shard.pending.insert_or_assign(frame, payload);
+  (void)it;
+  if (inserted) ++pending_records_;
+  if (shard.disk_index.count(frame) == 0) {
+    // Nothing on disk to override: the regular flush path suffices.
+    return Status::OK();
+  }
+  return RewriteShardLocked(ns, &shard, /*validate_payloads=*/true);
+}
+
+Result<DetectionStore::RepairStats> DetectionStore::Repair() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Pending records were encoded by this process's codecs; flush so the
+  // scan below sees one on-disk view per namespace.
+  BLAZEIT_RETURN_NOT_OK(FlushLocked());
+
+  RepairStats stats;
+  for (auto& [ns, shard] : shards_) {
+    ++stats.namespaces_scanned;
+    std::vector<int64_t> drop;
+    for (const auto& [frame, loc] : shard.disk_index) {
+      ++stats.records_scanned;
+      auto payload = shard.segments[loc.first]->ReadPayloadAt(loc.second);
+      if (!payload.ok()) return payload.status();
+      if (!PayloadDecodes(payload.value())) drop.push_back(frame);
+    }
+    if (drop.empty()) continue;
+    for (int64_t frame : drop) shard.disk_index.erase(frame);
+    stats.malformed_dropped += static_cast<int64_t>(drop.size());
+    // The scan above already validated every surviving record; skip the
+    // rewrite's own validation pass.
+    BLAZEIT_RETURN_NOT_OK(
+        RewriteShardLocked(ns, &shard, /*validate_payloads=*/false));
+    ++stats.namespaces_rewritten;
+  }
+  return stats;
+}
+
 Result<DetectionStore::CompactionStats> DetectionStore::Compact() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   // Anything pending goes to disk first so compaction sees every record.
@@ -455,7 +649,11 @@ Result<DetectionStore::CompactionStats> DetectionStore::Compact() {
   for (auto& [ns, shard] : shards_) {
     stats.segments_before += static_cast<int64_t>(shard.segments.size());
     if (shard.segments.size() <= 1 && shard.shadowed == 0) {
-      // Already compact: one segment, no shadowed duplicates.
+      // Already compact: one segment, no shadowed duplicates. Still retry
+      // any removals a previous rewrite left stranded.
+      if (!shard.stranded.empty()) {
+        RemoveSegmentsOrStrand({}, &shard.stranded);
+      }
       stats.segments_after += static_cast<int64_t>(shard.segments.size());
       stats.records_kept += static_cast<int64_t>(shard.disk_index.size());
       continue;
@@ -513,14 +711,7 @@ Result<DetectionStore::CompactionStats> DetectionStore::Compact() {
     }
     shard.segments.push_back(std::move(reader).value());
 
-    for (const std::string& path : old_paths) {
-      fs::remove(path, ec);
-      if (ec) {
-        BLAZEIT_LOG(kWarning) << "compaction could not remove old segment '"
-                              << path << "': " << ec.message();
-        ec.clear();
-      }
-    }
+    RemoveSegmentsOrStrand(std::move(old_paths), &shard.stranded);
   }
   return stats;
 }

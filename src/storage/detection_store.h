@@ -186,6 +186,46 @@ class DetectionStore {
   /// old ones only leaves benign duplicates of the same winners.
   Result<CompactionStats> Compact();
 
+  /// Durably replaces the payload of one record, overriding first-write-
+  /// wins — the healing path for a CRC-valid but semantically malformed
+  /// record (a writer bug or key collision), which a plain Put cannot fix
+  /// because the indexed copy keeps winning. The namespace is rewritten in
+  /// place into one fresh segment (named to sort before the segments it
+  /// replaces, so the repaired record wins even if a crash strands an old
+  /// segment), and reads serve the new payload immediately. Repairing an
+  /// absent record is a plain Put. The rewrite also heals the rest of the
+  /// namespace in the same pass: any other record no engine codec decodes
+  /// is dropped (logged) rather than copied, so mass corruption costs one
+  /// rewrite, not one per poisoned record read.
+  Status Repair(uint64_t ns, int64_t frame, const std::string& payload);
+
+  /// What the store-wide Repair() scan did (storecli repair prints this).
+  struct RepairStats {
+    int64_t namespaces_scanned = 0;
+    int64_t records_scanned = 0;
+    /// Records whose CRC was fine but whose payload no engine codec
+    /// decodes; dropped so the next run recomputes and re-stores them
+    /// once instead of warning on every run.
+    int64_t malformed_dropped = 0;
+    int64_t namespaces_rewritten = 0;
+  };
+
+  /// Store-wide integrity repair: reads every record (pending records are
+  /// flushed first), validates that its payload decodes under one of the
+  /// engine's payload codecs (detections / floats / doubles), and rewrites
+  /// every namespace holding undecodable records without them. Dropping
+  /// turns a poisoned record into a plain miss, which the read-through
+  /// caches heal by recomputing once. Limitations: (a) a malformed
+  /// payload whose byte length still matches a float/double vector is
+  /// indistinguishable from data and is kept; (b) unlike a *replaced*
+  /// record (which keeps winning by segment-name order), a *dropped*
+  /// record can resurrect if a crash or failed unlink strands the old
+  /// segment — rerunning repair drops it again, and the in-process
+  /// repair path (PersistentCachedDetector / StoreArtifactCache calling
+  /// the targeted Repair above) heals either way as soon as the record
+  /// is next read.
+  Result<RepairStats> Repair();
+
   const std::string& dir() const { return dir_; }
   std::vector<uint64_t> Namespaces() const;
   /// Records on disk + pending, across all namespaces.
@@ -216,13 +256,37 @@ class DetectionStore {
     /// same frame (counted while folding indexes at Open/Flush); the
     /// duplicate debt Compact clears.
     int64_t shadowed = 0;
+    /// Highest repair generation seen in this namespace's segment names
+    /// (restored at Open); the next repair uses generation + 1 so newer
+    /// repairs always sort before stranded older ones.
+    uint64_t repair_generation = 0;
+    /// Superseded segment files whose unlink failed (tolerated, warned).
+    /// Tracked so every later rewrite/compaction of the namespace retries
+    /// the removal — an untracked strand could otherwise outlive a later
+    /// Compact and, sorting first, resurrect stale records on reopen.
+    std::vector<std::string> stranded;
   };
 
   explicit DetectionStore(std::string dir) : dir_(std::move(dir)) {}
 
   std::string NewSegmentPath(uint64_t ns) const;
+  /// Names a repair segment so it sorts before every regular segment of
+  /// the namespace AND before every earlier repair (repaired records must
+  /// win first-write-wins even if a crash leaves an old segment behind).
+  /// Ordering comes from a monotonic per-namespace `generation` persisted
+  /// in the name — not the wall clock, which can step backwards.
+  std::string RepairSegmentPath(uint64_t ns, uint64_t generation) const;
   /// Flush body; caller holds mu_ exclusively.
   Status FlushLocked();
+  /// Rewrites one namespace into a single fresh segment holding the
+  /// resolved view (pending overrides disk, mirroring GetRaw's read
+  /// order), then removes the old segments. With `validate_payloads`,
+  /// on-disk records no engine codec decodes are dropped instead of
+  /// copied (the one-pass healing of the targeted Repair; the store-wide
+  /// Repair() passes false because its scan already validated). Caller
+  /// holds mu_ exclusively.
+  Status RewriteShardLocked(uint64_t ns, Shard* shard,
+                            bool validate_payloads);
 
   std::string dir_;
   /// Shared for index lookups, exclusive for mutation; see the class

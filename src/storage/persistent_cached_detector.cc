@@ -34,16 +34,22 @@ std::vector<Detection> PersistentCachedDetector::Detect(
     std::lock_guard<std::mutex> lock(mu_);
     return cache_.emplace(key, std::move(stored).value()).first->second;
   }
-  if (stored.status().code() != StatusCode::kNotFound) {
-    // A record that exists but fails to decode means on-disk corruption
-    // that slipped past Open (e.g. the file changed underneath us). Fall
-    // back to recomputing, loudly.
-    BLAZEIT_LOG(kWarning) << "detection store read failed, recomputing: "
+  // A record that exists but fails to decode means on-disk corruption that
+  // slipped past Open (e.g. a CRC-valid but semantically malformed record
+  // from a writer bug or key collision). Recompute, then *repair* the
+  // record in place — a plain Put would lose to first-write-wins and the
+  // corruption would warn on every future run.
+  const bool repair = stored.status().code() != StatusCode::kNotFound;
+  if (repair) {
+    BLAZEIT_LOG(kWarning) << "detection store read failed, recomputing and "
+                             "repairing in place: "
                           << stored.status().ToString();
   }
   store_misses_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Detection> dets = inner_->Detect(video, frame);
-  Status put = store_->PutDetections(ns, frame, dets);
+  Status put = repair
+                   ? store_->Repair(ns, frame, EncodeDetectionsPayload(dets))
+                   : store_->PutDetections(ns, frame, dets);
   if (!put.ok()) {
     BLAZEIT_LOG(kWarning) << "detection store write failed: "
                           << put.ToString();

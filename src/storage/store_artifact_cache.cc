@@ -1,5 +1,6 @@
 #include "storage/store_artifact_cache.h"
 
+#include "storage/record_format.h"
 #include "util/logging.h"
 
 namespace blazeit {
@@ -18,12 +19,27 @@ uint64_t Salted(uint64_t ns) {
 
 }  // namespace
 
+void StoreArtifactCache::MarkCorrupt(uint64_t salted_ns, int64_t frame) {
+  std::lock_guard<std::mutex> lock(corrupt_mu_);
+  corrupt_.emplace(salted_ns, frame);
+}
+
+bool StoreArtifactCache::ConsumeCorrupt(uint64_t salted_ns, int64_t frame) {
+  std::lock_guard<std::mutex> lock(corrupt_mu_);
+  return corrupt_.erase({salted_ns, frame}) > 0;
+}
+
 bool StoreArtifactCache::GetFrameFloats(uint64_t ns, int64_t frame,
                                         std::vector<float>* out) {
-  auto values = store_->GetFloats(Salted(ns), frame);
+  const uint64_t salted = Salted(ns);
+  auto values = store_->GetFloats(salted, frame);
   if (!values.ok()) {
     if (values.status().code() != StatusCode::kNotFound) {
+      // Corrupt record behind a valid CRC: remember it so the caller's
+      // recompute-and-Put repairs it in place instead of silently losing
+      // to first-write-wins (and re-warning every run).
       WarnOnce("artifact cache read failed, recomputing", values.status());
+      MarkCorrupt(salted, frame);
     }
     ++misses_;
     return false;
@@ -33,18 +49,36 @@ bool StoreArtifactCache::GetFrameFloats(uint64_t ns, int64_t frame,
   return true;
 }
 
+void StoreArtifactCache::RepairOrPut(uint64_t salted_ns, int64_t frame,
+                                     std::string payload, const char* kind) {
+  Status st;
+  if (ConsumeCorrupt(salted_ns, frame)) {
+    st = store_->Repair(salted_ns, frame, payload);
+    if (st.ok()) {
+      ++repairs_;
+      BLAZEIT_LOG(kWarning) << "artifact cache repaired corrupt record in "
+                               "place ("
+                            << kind << ", frame " << frame << ")";
+    }
+  } else {
+    st = store_->PutRaw(salted_ns, frame, std::move(payload));
+  }
+  if (!st.ok()) WarnOnce("artifact cache write failed", st);
+}
+
 void StoreArtifactCache::PutFrameFloats(uint64_t ns, int64_t frame,
                                         const std::vector<float>& values) {
-  Status st = store_->PutFloats(Salted(ns), frame, values);
-  if (!st.ok()) WarnOnce("artifact cache write failed", st);
+  RepairOrPut(Salted(ns), frame, EncodeFloatsPayload(values), "floats");
 }
 
 bool StoreArtifactCache::GetFrameDoubles(uint64_t ns, int64_t frame,
                                          std::vector<double>* out) {
-  auto values = store_->GetDoubles(Salted(ns), frame);
+  const uint64_t salted = Salted(ns);
+  auto values = store_->GetDoubles(salted, frame);
   if (!values.ok()) {
     if (values.status().code() != StatusCode::kNotFound) {
       WarnOnce("artifact cache read failed, recomputing", values.status());
+      MarkCorrupt(salted, frame);
     }
     ++misses_;
     return false;
@@ -56,8 +90,7 @@ bool StoreArtifactCache::GetFrameDoubles(uint64_t ns, int64_t frame,
 
 void StoreArtifactCache::PutFrameDoubles(uint64_t ns, int64_t frame,
                                          const std::vector<double>& values) {
-  Status st = store_->PutDoubles(Salted(ns), frame, values);
-  if (!st.ok()) WarnOnce("artifact cache write failed", st);
+  RepairOrPut(Salted(ns), frame, EncodeDoublesPayload(values), "doubles");
 }
 
 bool StoreArtifactCache::GetBlob(uint64_t ns, std::vector<float>* out) {

@@ -3,6 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "storage/detection_store.h"
@@ -15,8 +18,14 @@ namespace blazeit {
 /// the same versioned, CRC-checked segment format as detections. Blobs use
 /// a sentinel frame id (no real frame is negative).
 ///
-/// Thread-safe for concurrent Get/Put: the store carries its own locks
-/// and the hit/miss counters are atomic.
+/// Thread-safe for concurrent Get/Put: the store carries its own locks,
+/// the hit/miss counters are atomic, and the corrupt-record bookkeeping
+/// is mutex-guarded.
+///
+/// Self-healing: a record that exists but fails to decode (CRC-valid yet
+/// semantically malformed) is remembered, and the caller's subsequent Put
+/// of the recomputed value is routed through DetectionStore::Repair so
+/// the bad record is replaced in place instead of warning on every run.
 class StoreArtifactCache : public ArtifactCache {
  public:
   /// Not owned; must outlive this object.
@@ -36,12 +45,28 @@ class StoreArtifactCache : public ArtifactCache {
   int64_t hits() const { return hits_.load(); }
   int64_t misses() const { return misses_.load(); }
 
+  /// Records whose stored payload failed to decode and were repaired in
+  /// place by a later Put (diagnostics + tests).
+  int64_t repairs() const { return repairs_.load(); }
+
  private:
   static constexpr int64_t kBlobFrame = -1;
+
+  /// Marks (salted ns, frame) as corrupt-on-disk / consumes the mark.
+  void MarkCorrupt(uint64_t salted_ns, int64_t frame);
+  bool ConsumeCorrupt(uint64_t salted_ns, int64_t frame);
+  /// Shared write path: repairs the record in place when it was marked
+  /// corrupt by an earlier failed read, plain-puts otherwise. `kind` only
+  /// labels the log line.
+  void RepairOrPut(uint64_t salted_ns, int64_t frame, std::string payload,
+                   const char* kind);
 
   DetectionStore* store_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> repairs_{0};
+  std::mutex corrupt_mu_;
+  std::set<std::pair<uint64_t, int64_t>> corrupt_;
 };
 
 }  // namespace blazeit

@@ -100,6 +100,95 @@ TEST(AnalyzerTest, TimestampRange) {
       "AND timestamp < 1200");
   EXPECT_DOUBLE_EQ(q.begin_sec, 600);
   EXPECT_DOUBLE_EQ(q.end_sec, 1200);
+  EXPECT_FALSE(q.begin_exclusive);
+  EXPECT_FALSE(q.end_inclusive);
+}
+
+TEST(AnalyzerTest, TimestampBoundsAreFrameExact) {
+  // taipei is 30 fps; frame t is stamped t/30 seconds.
+  auto inclusive = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' AND timestamp >= 20 "
+      "AND timestamp <= 60");
+  EXPECT_FALSE(inclusive.begin_exclusive);
+  EXPECT_TRUE(inclusive.end_inclusive);
+  auto win = ResolveFrameWindow(inclusive, 30, 12000);
+  BLAZEIT_ASSERT_OK(win);
+  // <= 60 includes the frame stamped exactly 60 s (frame 1800).
+  EXPECT_EQ(win.value().begin, 600);
+  EXPECT_EQ(win.value().end, 1801);
+
+  auto exclusive = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' AND timestamp > 20 "
+      "AND timestamp < 60");
+  EXPECT_TRUE(exclusive.begin_exclusive);
+  EXPECT_FALSE(exclusive.end_inclusive);
+  win = ResolveFrameWindow(exclusive, 30, 12000);
+  BLAZEIT_ASSERT_OK(win);
+  // > 20 excludes frame 600 (stamped exactly 20 s); < 60 excludes 1800.
+  EXPECT_EQ(win.value().begin, 601);
+  EXPECT_EQ(win.value().end, 1800);
+
+  // A single instant is expressible: >= 50 AND <= 50 selects frame 1500.
+  auto instant = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' AND timestamp >= 50 "
+      "AND timestamp <= 50");
+  win = ResolveFrameWindow(instant, 30, 12000);
+  BLAZEIT_ASSERT_OK(win);
+  EXPECT_EQ(win.value().begin, 1500);
+  EXPECT_EQ(win.value().end, 1501);
+
+  // Non-integer boundaries round to the frames actually satisfying the
+  // predicate: >= 20.01 s starts at frame 601 (600.3 rounds up).
+  auto fractional = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' AND timestamp >= 20.01");
+  win = ResolveFrameWindow(fractional, 30, 12000);
+  BLAZEIT_ASSERT_OK(win);
+  EXPECT_EQ(win.value().begin, 601);
+  EXPECT_EQ(win.value().end, 12000);
+
+  // An inverted range is rejected; a range past the end of the day — or
+  // one so narrow no frame falls inside — resolves to an empty window.
+  auto inverted = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' AND timestamp >= 100 "
+      "AND timestamp <= 50");
+  EXPECT_FALSE(ResolveFrameWindow(inverted, 30, 12000).ok());
+  auto past_end = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' AND timestamp >= 1000");
+  win = ResolveFrameWindow(past_end, 30, 12000);
+  BLAZEIT_ASSERT_OK(win);
+  EXPECT_EQ(win.value().begin, win.value().end);
+  auto narrow = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' AND timestamp > 20 "
+      "AND timestamp < 20.02");
+  win = ResolveFrameWindow(narrow, 30, 12000);
+  BLAZEIT_ASSERT_OK(win);
+  EXPECT_EQ(win.value().begin, win.value().end);
+
+  // Frame-instant bounds whose double product lands an ulp off an
+  // integer still resolve exactly: 31/30 s names frame 31.
+  auto ulp = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' "
+      "AND timestamp >= 1.0333333333333334");
+  win = ResolveFrameWindow(ulp, 30, 12000);
+  BLAZEIT_ASSERT_OK(win);
+  EXPECT_EQ(win.value().begin, 31);
+
+  // Extreme literals (~1e21 s; * fps overflows int64) saturate instead
+  // of overflowing the frame cast: a huge lower bound selects nothing, a
+  // huge upper bound selects the whole day.
+  auto huge_begin = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' "
+      "AND timestamp >= 999999999999999999999");
+  win = ResolveFrameWindow(huge_begin, 30, 12000);
+  BLAZEIT_ASSERT_OK(win);
+  EXPECT_EQ(win.value().begin, win.value().end);
+  auto huge_end = MustAnalyze(
+      "SELECT * FROM taipei WHERE class = 'car' "
+      "AND timestamp <= 999999999999999999999");
+  win = ResolveFrameWindow(huge_end, 30, 12000);
+  BLAZEIT_ASSERT_OK(win);
+  EXPECT_EQ(win.value().begin, 0);
+  EXPECT_EQ(win.value().end, 12000);
 }
 
 TEST(AnalyzerTest, BinarySelect) {

@@ -14,6 +14,7 @@
 #include "storage/detection_store.h"
 #include "storage/persistent_cached_detector.h"
 #include "storage/record_format.h"
+#include "storage/store_artifact_cache.h"
 #include "testing/test_util.h"
 #include "util/crc32.h"
 #include "util/random.h"
@@ -494,6 +495,196 @@ TEST_F(StorageTest, CompactFlushesPendingRecordsFirst) {
   auto reopened = DetectionStore::Open(dir_);
   BLAZEIT_ASSERT_OK(reopened.status());
   EXPECT_EQ(reopened.value()->RecordCount(kNs), 5);
+}
+
+TEST_F(StorageTest, RepairReplacesRecordInPlaceAndSurvivesReopen) {
+  constexpr uint64_t kNs = 0x4E9A12;  // arbitrary namespace
+  const std::string good = EncodeFloatsPayload({1.0f, 2.0f, 3.0f});
+  const std::string fixed = EncodeFloatsPayload({7.0f, 8.0f});
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store.status());
+    for (int64_t f = 0; f < 10; ++f) {
+      BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, f, good));
+    }
+    BLAZEIT_ASSERT_OK(store.value()->Flush());
+  }
+
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  // A plain Put cannot override the indexed record (first write wins)...
+  BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, 5, fixed));
+  EXPECT_EQ(store.value()->GetRaw(kNs, 5).value(), good);
+  // ...Repair can, immediately and durably.
+  BLAZEIT_ASSERT_OK(store.value()->Repair(kNs, 5, fixed));
+  EXPECT_EQ(store.value()->GetRaw(kNs, 5).value(), fixed);
+  for (int64_t f = 0; f < 10; ++f) {
+    if (f == 5) continue;
+    EXPECT_EQ(store.value()->GetRaw(kNs, f).value(), good) << f;
+  }
+  // The namespace was rewritten into one segment; a fresh open resolves
+  // the repaired payload too.
+  EXPECT_EQ(OnlySegmentPath().empty(), false);
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened.status());
+  EXPECT_EQ(reopened.value()->RecordCount(kNs), 10);
+  EXPECT_EQ(reopened.value()->GetRaw(kNs, 5).value(), fixed);
+
+  // Repairing an absent record degrades to a plain put.
+  BLAZEIT_ASSERT_OK(reopened.value()->Repair(kNs, 99, fixed));
+  EXPECT_EQ(reopened.value()->GetRaw(kNs, 99).value(), fixed);
+
+  // Repairing the same record again wins over the first repair, across
+  // a reopen too (newer repair segments sort before older ones).
+  const std::string fixed2 = EncodeFloatsPayload({9.0f});
+  BLAZEIT_ASSERT_OK(reopened.value()->Repair(kNs, 5, fixed2));
+  EXPECT_EQ(reopened.value()->GetRaw(kNs, 5).value(), fixed2);
+  auto again = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(again.status());
+  EXPECT_EQ(again.value()->GetRaw(kNs, 5).value(), fixed2);
+}
+
+TEST_F(StorageTest, TargetedRepairHealsWholeNamespaceInOnePass) {
+  constexpr uint64_t kNs = 0xFA57;
+  const std::string good = EncodeFloatsPayload({1.0f});
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store.status());
+    BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, 0, good));
+    // Two poisoned records (CRC-valid, undecodable).
+    BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, 1, "garbage"));
+    BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, 2, "rubbish"));
+    BLAZEIT_ASSERT_OK(store.value()->Flush());
+  }
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  // Repairing record 1 rewrites the namespace and drops record 2 too —
+  // one rewrite heals everything instead of one rewrite per poisoned
+  // record read.
+  BLAZEIT_ASSERT_OK(store.value()->Repair(kNs, 1, good));
+  EXPECT_EQ(store.value()->GetRaw(kNs, 0).value(), good);
+  EXPECT_EQ(store.value()->GetRaw(kNs, 1).value(), good);
+  EXPECT_EQ(store.value()->GetRaw(kNs, 2).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, StoreWideRepairDropsUndecodableRecords) {
+  constexpr uint64_t kNs = 0xBAD;
+  const std::string good = EncodeDoublesPayload({0.25, 0.5});
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store.status());
+    for (int64_t f = 0; f < 5; ++f) {
+      BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, f, good));
+    }
+    // CRC-valid but semantically malformed: 7 bytes decode under no
+    // engine codec (not detections, not a float/double multiple).
+    BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, 5, "garbage"));
+    BLAZEIT_ASSERT_OK(store.value()->Flush());
+  }
+
+  auto store = DetectionStore::Open(dir_);  // CRC scan passes
+  BLAZEIT_ASSERT_OK(store.status());
+  EXPECT_FALSE(store.value()->GetDoubles(kNs, 5).ok());
+
+  auto stats = store.value()->Repair();
+  BLAZEIT_ASSERT_OK(stats.status());
+  EXPECT_EQ(stats.value().records_scanned, 6);
+  EXPECT_EQ(stats.value().malformed_dropped, 1);
+  EXPECT_EQ(stats.value().namespaces_rewritten, 1);
+  // The poisoned record is now a plain miss; the good ones survive.
+  EXPECT_EQ(store.value()->GetRaw(kNs, 5).status().code(),
+            StatusCode::kNotFound);
+  for (int64_t f = 0; f < 5; ++f) {
+    EXPECT_EQ(store.value()->GetRaw(kNs, f).value(), good) << f;
+  }
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened.status());
+  EXPECT_EQ(reopened.value()->RecordCount(kNs), 5);
+
+  // A clean store is a no-op scan.
+  auto clean = reopened.value()->Repair();
+  BLAZEIT_ASSERT_OK(clean.status());
+  EXPECT_EQ(clean.value().malformed_dropped, 0);
+  EXPECT_EQ(clean.value().namespaces_rewritten, 0);
+}
+
+TEST_F(StorageTest, PersistentDetectorRepairsCorruptRecordInPlace) {
+  auto video = SyntheticVideo::Create(TaipeiConfig(), 77, 10);
+  BLAZEIT_ASSERT_OK(video.status());
+  SimulatedDetector inner;
+  uint64_t ns = 0;
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store.status());
+    PersistentCachedDetector detector(&inner, store.value().get());
+    ns = detector.StreamNamespace(*video.value());
+    // Poison frame 3 before the detector ever writes it: CRC-valid, but
+    // not a decodable detections payload.
+    BLAZEIT_ASSERT_OK(store.value()->PutRaw(ns, 3, "garbage!"));
+    BLAZEIT_ASSERT_OK(store.value()->Flush());
+  }
+
+  std::vector<Detection> recomputed;
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store.status());
+    EXPECT_FALSE(store.value()->GetDetections(ns, 3).ok());
+    PersistentCachedDetector detector(&inner, store.value().get());
+    // Decode fails -> recompute -> Repair in place (not a shadowed Put).
+    recomputed = detector.Detect(*video.value(), 3);
+    EXPECT_EQ(detector.store_misses(), 1);
+    auto healed = store.value()->GetDetections(ns, 3);
+    BLAZEIT_ASSERT_OK(healed.status());
+    EXPECT_EQ(healed.value().size(), recomputed.size());
+  }
+
+  // The repair is durable: a third process reads the healed record as a
+  // plain store hit — no warning, no recompute, ever again.
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  auto healed = store.value()->GetDetections(ns, 3);
+  BLAZEIT_ASSERT_OK(healed.status());
+  ASSERT_EQ(healed.value().size(), recomputed.size());
+  for (size_t i = 0; i < recomputed.size(); ++i) {
+    EXPECT_EQ(healed.value()[i].class_id, recomputed[i].class_id);
+    EXPECT_EQ(healed.value()[i].score, recomputed[i].score);
+  }
+  PersistentCachedDetector detector(&inner, store.value().get());
+  (void)detector.Detect(*video.value(), 3);
+  EXPECT_EQ(detector.store_hits(), 1);
+  EXPECT_EQ(detector.store_misses(), 0);
+}
+
+TEST_F(StorageTest, ArtifactCacheRepairsCorruptRecordInPlace) {
+  constexpr uint64_t kNs = 42;
+  const uint64_t salted = HashCombine(kNs, kDerivedArtifactEpoch);
+  const std::vector<float> values = {1.5f, -2.5f, 3.25f};
+  {
+    auto store = DetectionStore::Open(dir_);
+    BLAZEIT_ASSERT_OK(store.status());
+    BLAZEIT_ASSERT_OK(store.value()->PutRaw(salted, 7, "bad"));
+    BLAZEIT_ASSERT_OK(store.value()->Flush());
+  }
+
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  StoreArtifactCache cache(store.value().get());
+  std::vector<float> out;
+  // Read fails (corrupt, not NotFound) and is remembered...
+  EXPECT_FALSE(cache.GetFrameFloats(kNs, 7, &out));
+  EXPECT_EQ(cache.misses(), 1);
+  // ...so the caller's recompute-and-put repairs the record in place.
+  cache.PutFrameFloats(kNs, 7, values);
+  EXPECT_EQ(cache.repairs(), 1);
+  EXPECT_TRUE(cache.GetFrameFloats(kNs, 7, &out));
+  EXPECT_EQ(out, values);
+
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened.status());
+  auto healed = reopened.value()->GetFloats(salted, 7);
+  BLAZEIT_ASSERT_OK(healed.status());
+  EXPECT_EQ(healed.value(), values);
 }
 
 TEST_F(StorageTest, DetectorNoiseChangesNamespace) {

@@ -18,6 +18,12 @@
 //       namespace, dropping the shadowed duplicates; record resolution is
 //       unchanged (the surviving payload per frame is the one reads
 //       already returned).
+//   storecli repair <store-dir>
+//       Reads every record and drops those whose payload no engine codec
+//       decodes (CRC-valid but semantically malformed), rewriting the
+//       affected namespaces in place. A dropped record becomes a plain
+//       miss, so the next engine run recomputes and re-stores it once
+//       instead of warning on every run.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -41,6 +47,7 @@ int Usage() {
                "  storecli inspect <segment-file>\n"
                "  storecli verify <store-dir>\n"
                "  storecli compact <store-dir>\n"
+               "  storecli repair <store-dir>\n"
                "streams: taipei night-street rialto grand-canal amsterdam "
                "archie\ndays: train held_out test\n");
   return 2;
@@ -172,6 +179,26 @@ int RunCompact(const std::string& dir) {
   return 0;
 }
 
+int RunRepair(const std::string& dir) {
+  auto store = DetectionStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  auto stats = store.value()->Repair();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf(
+      "repaired %s: %lld records scanned in %lld namespaces, "
+      "%lld malformed records dropped, %lld namespaces rewritten\n",
+      dir.c_str(), static_cast<long long>(stats.value().records_scanned),
+      static_cast<long long>(stats.value().namespaces_scanned),
+      static_cast<long long>(stats.value().malformed_dropped),
+      static_cast<long long>(stats.value().namespaces_rewritten));
+  if (stats.value().malformed_dropped > 0) {
+    std::printf(
+        "dropped records are recomputed and re-stored by the next engine "
+        "run that needs them\n");
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Logger::set_level(LogLevel::kWarning);
   if (argc < 3) return Usage();
@@ -185,6 +212,7 @@ int Main(int argc, char** argv) {
   if (command == "inspect") return RunInspect(argv[2]);
   if (command == "verify") return RunVerify(argv[2]);
   if (command == "compact") return RunCompact(argv[2]);
+  if (command == "repair") return RunRepair(argv[2]);
   return Usage();
 }
 
