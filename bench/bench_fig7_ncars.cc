@@ -30,7 +30,9 @@ int main() {
                 static_cast<long long>(naive.detection_calls),
                 static_cast<long long>(oracle.detection_calls),
                 static_cast<long long>(r.detection_calls),
-                r.found_all ? "" : " (exhausted)");
+                r.limit_satisfied
+                    ? ""
+                    : (r.scan_exhausted ? " (exhausted)" : " (incomplete)"));
   }
   std::printf(
       "\nShape check (paper): naive/NoScope complexity grows steeply with "

@@ -50,7 +50,7 @@ int main() {
                 static_cast<long long>(naive.detection_calls),
                 static_cast<long long>(oracle.detection_calls),
                 static_cast<long long>(r.value().detection_calls),
-                r.value().found_all ? "" : " (exhausted)");
+                r.value().limit_satisfied ? "" : " (exhausted)");
   }
   std::printf(
       "\n('c' = full object-detection calls; every returned frame is "

@@ -94,8 +94,12 @@ ScrubBaselineResult ScanScrub(StreamData* stream,
                               bool use_presence_oracle) {
   ScrubBaselineResult out;
   int64_t last_accepted = -1;
+  bool limit_reached = false;
   for (int64_t t = 0; t < stream->test_day->num_frames(); ++t) {
-    if (static_cast<int64_t>(out.frames.size()) >= limit) break;
+    if (static_cast<int64_t>(out.frames.size()) >= limit) {
+      limit_reached = true;
+      break;
+    }
     if (last_accepted >= 0 && gap > 0 && t - last_accepted < gap) continue;
     if (use_presence_oracle && !OraclePresence(stream, t, reqs)) continue;
     out.cost.ChargeDetection();
@@ -104,7 +108,8 @@ ScrubBaselineResult ScanScrub(StreamData* stream,
       last_accepted = t;
     }
   }
-  out.found_all = static_cast<int64_t>(out.frames.size()) >= limit;
+  out.limit_satisfied = static_cast<int64_t>(out.frames.size()) >= limit;
+  out.scan_exhausted = !limit_reached;
   out.detection_calls = out.cost.detection_calls();
   return out;
 }

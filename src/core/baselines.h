@@ -45,7 +45,12 @@ struct ScrubBaselineResult {
   std::vector<int64_t> frames;
   CostMeter cost;
   int64_t detection_calls = 0;
-  bool found_all = false;
+  /// True when LIMIT frames were found; false when the video ran out of
+  /// matches first (in which case scan_exhausted is true).
+  bool limit_satisfied = false;
+  /// True when the scan examined every frame of the video without
+  /// reaching LIMIT.
+  bool scan_exhausted = false;
 };
 
 /// Naive scrubbing: sequential scan with detection on every frame until

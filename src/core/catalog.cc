@@ -49,8 +49,11 @@ Status VideoCatalog::AddStream(const StreamConfig& config, DayLengths lengths,
 
   data->detector_impl = std::make_unique<SimulatedDetector>(detector_noise);
   if (store_ != nullptr) {
-    data->detector = std::make_unique<PersistentCachedDetector>(
+    auto persistent = std::make_unique<PersistentCachedDetector>(
         data->detector_impl.get(), store_.get());
+    data->detection_store = store_.get();
+    data->test_detections_ns = persistent->StreamNamespace(*data->test_day);
+    data->detector = std::move(persistent);
     data->artifact_cache = artifact_cache_.get();
   } else {
     data->detector = std::make_unique<CachedDetector>(

@@ -40,6 +40,13 @@ struct StreamData {
   /// catalog has a detection store enabled. Executors pass it into
   /// SpecializedNNConfig::cache. Not owned (lives in the catalog).
   ArtifactCache* artifact_cache = nullptr;
+  /// The store behind the detector (nullptr without persistence) and the
+  /// namespace the test day's detections live under — where the executors
+  /// look for per-segment sketches (storage/segment_sketch.h) when
+  /// EngineOptions::use_store_index is on. Not owned (lives in the
+  /// catalog).
+  DetectionStore* detection_store = nullptr;
+  uint64_t test_detections_ns = 0;
 
   double score_threshold() const { return config.detection_threshold; }
 };

@@ -10,11 +10,53 @@
 #include "filters/calibration.h"
 #include "filters/label_filter.h"
 #include "frameql/parser.h"
+#include "storage/segment_sketch.h"
 #include "track/iou_tracker.h"
 #include "util/logging.h"
 #include "util/random.h"
 
 namespace blazeit {
+
+namespace {
+
+/// The sketch probe mirroring exactly the per-frame predicate a full scan
+/// evaluates (requirements, class/ROI/area detection filters, or bare
+/// any-detection); shared with count-distinct via its one-requirement
+/// form.
+SketchProbe ProbeForQuery(const StreamData& stream,
+                          const AnalyzedQuery& query) {
+  SketchProbe probe;
+  probe.score_threshold = stream.config.detection_threshold;
+  probe.requirements = query.requirements;
+  probe.sel_class = query.sel_class;
+  probe.has_roi = query.has_roi;
+  probe.roi = query.roi;
+  probe.min_area_px = query.min_area_px;
+  probe.frame_width = stream.config.width;
+  probe.frame_height = stream.config.height;
+  probe.require_any = query.requirements.empty() && query.sel_class < 0 &&
+                      !query.has_roi && query.min_area_px <= 0;
+  return probe;
+}
+
+/// Candidate subranges of `window` under the stream's sketch index, or
+/// the whole window when no current index exists (or indexing is off).
+std::vector<SketchIndex::FrameRange> CandidateRangesForScan(
+    const StreamData& stream, const AnalyzedQuery& query, FrameWindow window,
+    bool use_store_index) {
+  if (use_store_index && stream.detection_store != nullptr) {
+    SketchIndex index = SketchIndex::Load(stream.detection_store,
+                                          stream.test_detections_ns);
+    if (index.valid()) {
+      return index.CandidateRanges(window.begin, window.end,
+                                   ProbeForQuery(stream, query));
+    }
+  }
+  if (window.end <= window.begin) return {};
+  return {{window.begin, window.end}};
+}
+
+}  // namespace
 
 BlazeItEngine::BlazeItEngine(VideoCatalog* catalog, EngineOptions options)
     : catalog_(catalog), options_(options) {}
@@ -75,7 +117,9 @@ Result<QueryOutput> BlazeItEngine::ExecutePrepared(
           FrameWindow window,
           ResolveFrameWindow(query, stream->config.fps,
                              stream->test_day->num_frames()));
-      ScrubbingExecutor executor(stream, options_.scrub, sweep_cache);
+      ScrubOptions scrub_options = options_.scrub;
+      scrub_options.use_store_index |= options_.use_store_index;
+      ScrubbingExecutor executor(stream, scrub_options, sweep_cache);
       BLAZEIT_ASSIGN_OR_RETURN(
           ScrubResult scrub,
           executor.Run(query.requirements, query.limit, query.gap, window));
@@ -116,16 +160,42 @@ Result<QueryOutput> BlazeItEngine::ExecuteCountDistinct(
       FrameWindow window,
       ResolveFrameWindow(query, stream->config.fps,
                          stream->test_day->num_frames()));
+  // Sketch consultation: a segment with no detections of the counted
+  // class contributes only empty tracker updates — the first one closes
+  // every open track without minting an id, the rest are no-ops. Skipping
+  // the whole gap and issuing one empty Update is therefore bit-identical
+  // to walking it, while the skipped frames charge no detector calls.
+  std::vector<SketchIndex::FrameRange> ranges;
+  bool pruned = false;
+  if (options_.use_store_index && stream->detection_store != nullptr) {
+    SketchIndex index = SketchIndex::Load(stream->detection_store,
+                                          stream->test_detections_ns);
+    if (index.valid()) {
+      SketchProbe probe;
+      probe.score_threshold = stream->config.detection_threshold;
+      probe.requirements = {{query.agg_class, 1}};
+      ranges = index.CandidateRanges(window.begin, window.end, probe);
+      pruned = true;
+    }
+  }
+  if (!pruned && window.end > window.begin) {
+    ranges.push_back({window.begin, window.end});
+  }
   IouTracker tracker;
   int64_t distinct = 0;
-  for (int64_t t = window.begin; t < window.end; ++t) {
-    out.cost.ChargeDetection();
-    std::vector<Detection> dets = FilterClass(
-        stream->test_labels->DetectionsAt(t), query.agg_class,
-        /*score_threshold=*/0.0);  // already thresholded by the labeled set
-    int64_t before = tracker.next_track_id();
-    tracker.Update(dets);
-    distinct += tracker.next_track_id() - before;
+  int64_t walked_to = window.begin;
+  for (const auto& range : ranges) {
+    if (range.begin > walked_to) tracker.Update({});  // skipped gap
+    for (int64_t t = range.begin; t < range.end; ++t) {
+      out.cost.ChargeDetection();
+      std::vector<Detection> dets = FilterClass(
+          stream->test_labels->DetectionsAt(t), query.agg_class,
+          /*score_threshold=*/0.0);  // already thresholded by the labeled set
+      int64_t before = tracker.next_track_id();
+      tracker.Update(dets);
+      distinct += tracker.next_track_id() - before;
+    }
+    walked_to = range.end;
   }
   out.scalar = static_cast<double>(distinct);
   return out;
@@ -226,39 +296,46 @@ Result<QueryOutput> BlazeItEngine::ExecuteFullScan(
                          stream->test_day->num_frames()));
   const bool filter_detections =
       query.sel_class >= 0 || query.has_roi || query.min_area_px > 0;
-  for (int64_t t = window.begin; t < window.end; ++t) {
-    out.cost.ChargeDetection();
-    // HAVING SUM(class=...) >= N requirements (reachable here when the
-    // query has no LIMIT to make it a scrubbing plan).
-    if (!query.requirements.empty() &&
-        !SatisfiesRequirements(*stream, t, query.requirements)) {
-      continue;
-    }
-    bool any;
-    if (filter_detections) {
-      any = false;
-      for (const Detection& det : stream->test_labels->DetectionsAt(t)) {
-        if (query.sel_class >= 0 && det.class_id != query.sel_class) {
-          continue;
-        }
-        if (query.has_roi &&
-            !query.roi.Contains(det.rect.CenterX(), det.rect.CenterY())) {
-          continue;
-        }
-        if (query.min_area_px > 0 &&
-            PixelArea(det.rect, stream->config.width,
-                      stream->config.height) < query.min_area_px) {
-          continue;
-        }
-        any = true;
-        break;
+  // Sketch-candidate subranges (the whole window when unindexed): a
+  // pruned segment provably contains no matching frame, so skipping it
+  // removes only detector charges, never results.
+  const std::vector<SketchIndex::FrameRange> ranges = CandidateRangesForScan(
+      *stream, query, window, options_.use_store_index);
+  for (const auto& range : ranges) {
+    for (int64_t t = range.begin; t < range.end; ++t) {
+      out.cost.ChargeDetection();
+      // HAVING SUM(class=...) >= N requirements (reachable here when the
+      // query has no LIMIT to make it a scrubbing plan).
+      if (!query.requirements.empty() &&
+          !SatisfiesRequirements(*stream, t, query.requirements)) {
+        continue;
       }
-    } else if (!query.requirements.empty()) {
-      any = true;  // the requirements check above is the whole predicate
-    } else {
-      any = !stream->test_labels->DetectionsAt(t).empty();
+      bool any;
+      if (filter_detections) {
+        any = false;
+        for (const Detection& det : stream->test_labels->DetectionsAt(t)) {
+          if (query.sel_class >= 0 && det.class_id != query.sel_class) {
+            continue;
+          }
+          if (query.has_roi &&
+              !query.roi.Contains(det.rect.CenterX(), det.rect.CenterY())) {
+            continue;
+          }
+          if (query.min_area_px > 0 &&
+              PixelArea(det.rect, stream->config.width,
+                        stream->config.height) < query.min_area_px) {
+            continue;
+          }
+          any = true;
+          break;
+        }
+      } else if (!query.requirements.empty()) {
+        any = true;  // the requirements check above is the whole predicate
+      } else {
+        any = !stream->test_labels->DetectionsAt(t).empty();
+      }
+      if (any) out.frames.push_back(t);
     }
-    if (any) out.frames.push_back(t);
   }
   return out;
 }

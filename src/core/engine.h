@@ -22,6 +22,15 @@ struct EngineOptions {
   AggregateOptions aggregate;
   ScrubOptions scrub;
   SelectionOptions selection;
+  /// Consult the detection store's per-segment sketches (built with
+  /// DetectionStore::BuildSketches or `storecli sketch rebuild`) so full
+  /// scans, count-distinct, and scrubbing skip provably non-matching
+  /// segments without decoding them. Outputs are bit-identical to the
+  /// unindexed path (sketch_invariance_test); only the charged detector
+  /// and NN calls drop. Off by default so cost accounting stays identical
+  /// with and without a store (the store_invariance_test contract); a
+  /// no-op for streams without a store or without current sketches.
+  bool use_store_index = false;
 };
 
 /// Everything a FrameQL query can return.

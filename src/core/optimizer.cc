@@ -54,6 +54,22 @@ int64_t JointTrainingInstances(StreamData* stream,
   return instances;
 }
 
+/// "; sketch-answerable: …" suffix for the plan rationale. Derived from
+/// the query's analyzer annotation only (never from whether an index
+/// actually exists), so plan descriptions are identical with and without
+/// a store.
+std::string SketchAnnotation(const AnalyzedQuery& query) {
+  const SketchSupport& s = query.sketch;
+  if (!s.any()) return "";
+  std::string conjuncts;
+  if (s.class_counts) conjuncts += " class-counts";
+  if (s.class_presence) conjuncts += " class-presence";
+  if (s.roi) conjuncts += " roi";
+  if (s.min_area) conjuncts += " min-area";
+  if (s.any_detection) conjuncts += " any-detection";
+  return StrFormat("; sketch-answerable:%s", conjuncts.c_str());
+}
+
 }  // namespace
 
 PlanChoice ChoosePlan(const AnalyzedQuery& query, StreamData* stream) {
@@ -79,22 +95,26 @@ PlanChoice ChoosePlan(const AnalyzedQuery& query, StreamData* stream) {
       choice.kind = PlanKind::kTrackerCountDistinct;
       choice.rationale =
           "COUNT(DISTINCT trackid) requires entity resolution over every "
-          "frame -> detector + motion-IOU tracker";
+          "frame -> detector + motion-IOU tracker" +
+          SketchAnnotation(query);
       return choice;
     case QueryKind::kScrubbing: {
       int64_t instances = JointTrainingInstances(stream, query.requirements);
       if (instances > 0) {
         choice.kind = PlanKind::kImportanceScrubbing;
-        choice.rationale = StrFormat(
-            "scrubbing with LIMIT %lld; %lld matching training frames -> "
-            "importance sampling on specialized-NN confidence",
-            static_cast<long long>(query.limit),
-            static_cast<long long>(instances));
+        choice.rationale =
+            StrFormat(
+                "scrubbing with LIMIT %lld; %lld matching training frames -> "
+                "importance sampling on specialized-NN confidence",
+                static_cast<long long>(query.limit),
+                static_cast<long long>(instances)) +
+            SketchAnnotation(query);
       } else {
         choice.kind = PlanKind::kScanScrubbing;
         choice.rationale =
             "scrubbing, but no matching frames in the training set -> "
-            "sequential scan with applicable filters";
+            "sequential scan with applicable filters" +
+            SketchAnnotation(query);
       }
       return choice;
     }
@@ -118,7 +138,8 @@ PlanChoice ChoosePlan(const AnalyzedQuery& query, StreamData* stream) {
       return choice;
     case QueryKind::kExhaustive:
       choice.kind = PlanKind::kFullScan;
-      choice.rationale = "no optimization applies; full detection scan";
+      choice.rationale = "no optimization applies; full detection scan" +
+                         SketchAnnotation(query);
       return choice;
   }
   return choice;

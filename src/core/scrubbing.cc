@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "exec/parallel_for.h"
+#include "storage/segment_sketch.h"
 #include "util/logging.h"
 
 namespace blazeit {
@@ -99,6 +100,33 @@ void InsertSorted(std::vector<int64_t>* accepted, int64_t frame) {
 
 }  // namespace
 
+/// Candidate subranges of the scan window, in walk order. `pruned` is true
+/// when a valid sketch index restricted the walk (the ranges then cover
+/// only segments the sketches could not refute).
+struct ScrubbingExecutor::FrameRanges {
+  std::vector<SketchIndex::FrameRange> ranges;
+  bool pruned = false;
+
+  int64_t total_frames() const {
+    int64_t total = 0;
+    for (const auto& r : ranges) total += r.end - r.begin;
+    return total;
+  }
+
+  /// Membership test; requires the ranges in ascending order (the
+  /// CandidateRanges contract — never call on density-ordered runs).
+  bool Contains(int64_t frame) const {
+    auto it = std::upper_bound(
+        ranges.begin(), ranges.end(), frame,
+        [](int64_t f, const SketchIndex::FrameRange& r) {
+          return f < r.begin;
+        });
+    if (it == ranges.begin()) return false;
+    --it;
+    return frame >= it->begin && frame < it->end;
+  }
+};
+
 ScrubbingExecutor::ScrubbingExecutor(StreamData* stream, ScrubOptions options,
                                      ArtifactCache* sweep_cache)
     : stream_(stream),
@@ -117,9 +145,38 @@ Result<ScrubResult> ScrubbingExecutor::Run(
     // Range entirely past the recorded day: zero frames match; return
     // empty (and free) rather than training an NN to discover that.
     ScrubResult empty;
+    empty.scan_exhausted = true;
     return empty;
   }
   CostMeter meter;
+
+  // --- sketch consultation (opt-in): candidate subranges of the window ---
+  FrameRanges candidates;
+  candidates.ranges = {{window.begin, window.end}};
+  FrameRanges scan_order = candidates;  // walk order of the scan fallback
+  if (options_.use_store_index && stream_->detection_store != nullptr) {
+    SketchIndex index = SketchIndex::Load(stream_->detection_store,
+                                          stream_->test_detections_ns);
+    if (index.valid()) {
+      SketchProbe probe;
+      probe.score_threshold = stream_->config.detection_threshold;
+      probe.requirements = reqs;
+      candidates.ranges =
+          index.CandidateRanges(window.begin, window.end, probe);
+      candidates.pruned = true;
+      scan_order = candidates;
+      if (options_.density_first) {
+        scan_order.ranges = index.DensityRankedRuns(
+            window.begin, window.end, probe, reqs.front().class_id);
+      }
+    }
+  }
+  if (candidates.ranges.empty()) {
+    // Every segment of the window is provably free of matches.
+    ScrubResult empty;
+    empty.scan_exhausted = true;
+    return empty;
+  }
 
   // --- training-data check (Section 7.1): any instance in the train day?
   // Sharded count scan; the sum folds in shard order (exact integers).
@@ -150,7 +207,7 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   if (train_instances == 0) {
     BLAZEIT_LOG(kDebug) << "no instances of the scrubbing query in the "
                            "training set; falling back to sequential scan";
-    return RunSequentialFallback(reqs, limit, gap, window, meter);
+    return RunSequentialFallback(reqs, limit, gap, meter, scan_order);
   }
 
   // --- train one NN with a count head per class ---
@@ -170,19 +227,35 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   SpecializedNN nn = std::move(trained).value();
   meter.ChargeTraining(nn.trained_frames());
 
-  // --- score the unseen window frames and rank by confidence ---
-  // Indices below are window-relative: index i is test frame
-  // window.begin + i, so confidences_ lines up with test_frames.
+  // --- score the unseen frames and rank by confidence ---
+  // Indices below are positions in test_frames, so confidences_ lines up
+  // with test_frames. The sweep covers only the sketch candidates when
+  // pruning applies and smoothing is off; smoothing mixes neighbor
+  // scores, so restricting its sweep would change the ranking signal and
+  // break bit-identity — with smoothing on, everything is scored and the
+  // refuted segments are skipped in the verification walk instead.
   const SyntheticVideo& test = *stream_->test_day;
   const int64_t n_window = window.end - window.begin;
-  std::vector<int64_t> test_frames(static_cast<size_t>(n_window));
-  std::iota(test_frames.begin(), test_frames.end(), window.begin);
+  const bool restricted_sweep =
+      candidates.pruned && options_.confidence_smoothing <= 0;
+  std::vector<int64_t> test_frames;
+  if (restricted_sweep) {
+    test_frames.reserve(static_cast<size_t>(candidates.total_frames()));
+    for (const auto& range : candidates.ranges) {
+      for (int64_t t = range.begin; t < range.end; ++t) {
+        test_frames.push_back(t);
+      }
+    }
+  } else {
+    test_frames.resize(static_cast<size_t>(n_window));
+    std::iota(test_frames.begin(), test_frames.end(), window.begin);
+  }
   auto mode = options_.conjunctive_product && reqs.size() > 1
                   ? SpecializedNN::ConjunctionMode::kProduct
                   : SpecializedNN::ConjunctionMode::kSum;
   confidences_ =
       nn.QueryConfidencesForFrames(test, test_frames, min_counts, mode);
-  meter.ChargeSpecializedNN(n_window);
+  meter.ChargeSpecializedNN(static_cast<int64_t>(test_frames.size()));
 
   // Rank by the (optionally smoothed) confidence signal.
   std::vector<float> ranking_signal = confidences_;
@@ -204,7 +277,7 @@ Result<ScrubResult> ScrubbingExecutor::Run(
           static_cast<double>(hi - lo + 1));
     }
   }
-  std::vector<int64_t> order(static_cast<size_t>(n_window));
+  std::vector<int64_t> order(test_frames.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
                    [&ranking_signal](int64_t a, int64_t b) {
@@ -215,9 +288,21 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   // --- verify candidates with the full detector, best-first ---
   ScrubResult result;
   std::vector<int64_t> accepted_sorted;
+  bool limit_reached = false;
   for (int64_t index : order) {
     const int64_t frame = test_frames[static_cast<size_t>(index)];
-    if (static_cast<int64_t>(result.frames.size()) >= limit) break;
+    if (static_cast<int64_t>(result.frames.size()) >= limit) {
+      limit_reached = true;
+      break;
+    }
+    // With smoothing on, everything was scored but refuted segments still
+    // need no verification: a sketch-refuted frame provably fails the
+    // requirements, so in the unindexed walk it would charge a detector
+    // call and change no state — skipping it is free and bit-identical.
+    if (candidates.pruned && !restricted_sweep &&
+        !candidates.Contains(frame)) {
+      continue;
+    }
     if (!GapAdmissible(accepted_sorted, frame, gap)) continue;
     meter.ChargeDetection();
     if (SatisfiesRequirements(*stream_, frame, reqs)) {
@@ -225,7 +310,9 @@ Result<ScrubResult> ScrubbingExecutor::Run(
       InsertSorted(&accepted_sorted, frame);
     }
   }
-  result.found_all = static_cast<int64_t>(result.frames.size()) >= limit;
+  result.limit_satisfied =
+      static_cast<int64_t>(result.frames.size()) >= limit;
+  result.scan_exhausted = !limit_reached;
   result.indexed_seconds = meter.detection_seconds();
   result.detection_calls = meter.detection_calls();
   result.cost = meter;
@@ -234,20 +321,29 @@ Result<ScrubResult> ScrubbingExecutor::Run(
 
 Result<ScrubResult> ScrubbingExecutor::RunSequentialFallback(
     const std::vector<ClassCountRequirement>& reqs, int64_t limit,
-    int64_t gap, FrameWindow window, CostMeter meter) {
+    int64_t gap, CostMeter meter, const FrameRanges& ranges) {
   ScrubResult result;
   result.fell_back_to_scan = true;
   std::vector<int64_t> accepted_sorted;
-  for (int64_t t = window.begin; t < window.end; ++t) {
-    if (static_cast<int64_t>(result.frames.size()) >= limit) break;
-    if (!GapAdmissible(accepted_sorted, t, gap)) continue;
-    meter.ChargeDetection();
-    if (SatisfiesRequirements(*stream_, t, reqs)) {
-      result.frames.push_back(t);
-      InsertSorted(&accepted_sorted, t);
+  bool limit_reached = false;
+  for (const auto& range : ranges.ranges) {
+    for (int64_t t = range.begin; t < range.end; ++t) {
+      if (static_cast<int64_t>(result.frames.size()) >= limit) {
+        limit_reached = true;
+        break;
+      }
+      if (!GapAdmissible(accepted_sorted, t, gap)) continue;
+      meter.ChargeDetection();
+      if (SatisfiesRequirements(*stream_, t, reqs)) {
+        result.frames.push_back(t);
+        InsertSorted(&accepted_sorted, t);
+      }
     }
+    if (limit_reached) break;
   }
-  result.found_all = static_cast<int64_t>(result.frames.size()) >= limit;
+  result.limit_satisfied =
+      static_cast<int64_t>(result.frames.size()) >= limit;
+  result.scan_exhausted = !limit_reached;
   result.indexed_seconds = meter.detection_seconds();
   result.detection_calls = meter.detection_calls();
   result.cost = meter;

@@ -23,6 +23,20 @@ struct ScrubOptions {
   /// and measures better in bench_ablation_scrubbing.
   bool conjunctive_product = false;
   uint64_t seed = 1;
+  /// Consult the detection store's per-segment sketches (see
+  /// storage/segment_sketch.h) to skip provably non-matching segments:
+  /// the NN scores only sketch-candidate frames (with smoothing off) and
+  /// both the verification walk and the scan fallback skip refuted
+  /// segments. Returned frames are bit-identical to the unindexed run —
+  /// only the charged NN/detector calls drop. A no-op unless the stream
+  /// is store-backed and sketches are built and current.
+  bool use_store_index = false;
+  /// With use_store_index: the sequential-scan fallback walks candidate
+  /// runs densest-first (NeedleTail-style) instead of ascending, so LIMIT
+  /// is typically satisfied after far fewer detector calls. This changes
+  /// the *discovery order* (and, under GAP, possibly which frames are
+  /// returned), so it is opt-in and outside the bit-identity contract.
+  bool density_first = false;
 };
 
 struct ScrubResult {
@@ -36,8 +50,14 @@ struct ScrubResult {
   double indexed_seconds = 0.0;
   /// Sample complexity: object-detection calls consumed.
   int64_t detection_calls = 0;
-  /// False when the video was exhausted before LIMIT frames were found.
-  bool found_all = false;
+  /// True when LIMIT frames were found. Distinct from scan_exhausted: a
+  /// query with fewer matches than LIMIT ends with limit_satisfied ==
+  /// false and scan_exhausted == true (the two used to be conflated in a
+  /// single `found_all` flag).
+  bool limit_satisfied = false;
+  /// True when every candidate frame of the window was examined — the
+  /// honest "there is nothing more to find" signal.
+  bool scan_exhausted = false;
   /// True when the training day had no instances of the query and the
   /// executor fell back to a sequential scan (Section 7.1).
   bool fell_back_to_scan = false;
@@ -64,15 +84,18 @@ class ScrubbingExecutor {
                           int64_t limit, int64_t gap,
                           FrameWindow window = FrameWindow{});
 
-  /// Confidence scores over the last Run's window, one per window frame
-  /// in ascending frame order (empty if the executor fell back to a
-  /// scan); used by benchmarks.
+  /// Confidence scores over the last Run's scored frames in ascending
+  /// frame order — the whole window, or only the sketch-candidate frames
+  /// when index pruning restricted the sweep (empty if the executor fell
+  /// back to a scan); used by benchmarks.
   const std::vector<float>& confidences() const { return confidences_; }
 
  private:
+  struct FrameRanges;  // candidate subranges of the window, in walk order
+
   Result<ScrubResult> RunSequentialFallback(
       const std::vector<ClassCountRequirement>& reqs, int64_t limit,
-      int64_t gap, FrameWindow window, CostMeter meter);
+      int64_t gap, CostMeter meter, const FrameRanges& ranges);
 
   StreamData* stream_;
   ArtifactCache* cache_;

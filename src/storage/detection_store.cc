@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "storage/segment_sketch.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -70,6 +71,11 @@ bool ParseRepairGeneration(const std::string& filename, uint64_t* generation) {
 /// detection payloads carry structure and reject most corruption.
 bool PayloadDecodes(const std::string& payload) {
   if (DecodeDetectionsPayload(payload).ok()) return true;
+  // Sketch payloads before the unstructured vector codecs: a sketch
+  // payload whose byte length happens to be a float/double multiple must
+  // not be classified as a data vector.
+  if (DecodeSegmentSketchPayload(payload).ok()) return true;
+  if (DecodeSketchMetaPayload(payload).ok()) return true;
   if (DecodeFloatsPayload(payload).ok()) return true;
   return DecodeDoublesPayload(payload).ok();
 }
@@ -484,39 +490,58 @@ Status DetectionStore::Flush() {
 }
 
 Status DetectionStore::FlushLocked() {
-  for (auto& [ns, shard] : shards_) {
-    if (shard.pending.empty()) continue;
-    ++flush_counter_;
-    const std::string final_path = NewSegmentPath(ns);
-    const std::string tmp_path = final_path + ".tmp";
-    auto writer = StoreWriter::Create(tmp_path, ns);
-    if (!writer.ok()) return writer.status();
-    for (const auto& [frame, payload] : shard.pending) {
-      BLAZEIT_RETURN_NOT_OK(writer.value()->Append(frame, payload));
-    }
-    BLAZEIT_RETURN_NOT_OK(writer.value()->Close());
-    std::error_code ec;
-    fs::rename(tmp_path, final_path, ec);
-    if (ec) {
-      return Status::Internal(
-          StrFormat("cannot publish store segment '%s': %s",
-                    final_path.c_str(), ec.message().c_str()));
-    }
-    // Fold the new segment into the disk index from the offsets the writer
-    // tracked — this process just wrote and checksummed every record, so
-    // re-reading the file to index it (the common case being the
-    // destructor flush at suite exit) would be pure waste.
-    auto reader = StoreReader::Open(final_path, ns,
-                                    /*validate_records=*/false);
-    if (!reader.ok()) return reader.status();
-    const size_t segment_index = shard.segments.size();
-    for (const auto& [frame, offset] : writer.value()->record_offsets()) {
-      shard.disk_index.emplace(frame, std::make_pair(segment_index, offset));
-    }
-    shard.segments.push_back(std::move(reader).value());
-    pending_records_ -= static_cast<int64_t>(shard.pending.size());
-    shard.pending.clear();
+  // Snapshot the dirty namespaces first: the sketch refresh below mutates
+  // sketch shards while we would otherwise still be iterating shards_.
+  std::vector<uint64_t> dirty;
+  for (const auto& [ns, shard] : shards_) {
+    if (!shard.pending.empty()) dirty.push_back(ns);
   }
+  for (uint64_t ns : dirty) {
+    BLAZEIT_RETURN_NOT_OK(FlushShardLocked(ns, &shards_.at(ns)));
+  }
+  // Eager sketch maintenance: a namespace is indexed iff its sketch shard
+  // exists, and new base records make those sketches stale (Load would
+  // reject them by record count), so refresh in the same flush.
+  for (uint64_t ns : dirty) {
+    if (shards_.count(SketchNamespace(ns)) > 0) {
+      BLAZEIT_RETURN_NOT_OK(RebuildSketchesLocked(ns));
+    }
+  }
+  return Status::OK();
+}
+
+Status DetectionStore::FlushShardLocked(uint64_t ns, Shard* shard) {
+  if (shard->pending.empty()) return Status::OK();
+  ++flush_counter_;
+  const std::string final_path = NewSegmentPath(ns);
+  const std::string tmp_path = final_path + ".tmp";
+  auto writer = StoreWriter::Create(tmp_path, ns);
+  if (!writer.ok()) return writer.status();
+  for (const auto& [frame, payload] : shard->pending) {
+    BLAZEIT_RETURN_NOT_OK(writer.value()->Append(frame, payload));
+  }
+  BLAZEIT_RETURN_NOT_OK(writer.value()->Close());
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::Internal(
+        StrFormat("cannot publish store segment '%s': %s",
+                  final_path.c_str(), ec.message().c_str()));
+  }
+  // Fold the new segment into the disk index from the offsets the writer
+  // tracked — this process just wrote and checksummed every record, so
+  // re-reading the file to index it (the common case being the
+  // destructor flush at suite exit) would be pure waste.
+  auto reader = StoreReader::Open(final_path, ns,
+                                  /*validate_records=*/false);
+  if (!reader.ok()) return reader.status();
+  const size_t segment_index = shard->segments.size();
+  for (const auto& [frame, offset] : writer.value()->record_offsets()) {
+    shard->disk_index.emplace(frame, std::make_pair(segment_index, offset));
+  }
+  shard->segments.push_back(std::move(reader).value());
+  pending_records_ -= static_cast<int64_t>(shard->pending.size());
+  shard->pending.clear();
   return Status::OK();
 }
 
@@ -598,6 +623,115 @@ Status DetectionStore::RewriteShardLocked(uint64_t ns, Shard* shard,
   return Status::OK();
 }
 
+Status DetectionStore::ReplaceNamespaceLocked(
+    uint64_t ns, std::map<int64_t, std::string> records) {
+  Shard& shard = shards_[ns];
+  pending_records_ -= static_cast<int64_t>(shard.pending.size());
+  shard.pending = std::move(records);
+  pending_records_ += static_cast<int64_t>(shard.pending.size());
+  // Clearing the disk index makes the rewrite's resolved view exactly the
+  // replacement set; the superseded segments are still listed in
+  // shard.segments, so the rewrite removes (or strands-and-retries) them.
+  shard.disk_index.clear();
+  shard.shadowed = 0;
+  return RewriteShardLocked(ns, &shard, /*validate_payloads=*/false);
+}
+
+Status DetectionStore::RebuildSketchesLocked(uint64_t base_ns) {
+  SketchBuilder builder;
+  int64_t base_records = 0;
+  auto base_it = shards_.find(base_ns);
+  if (base_it != shards_.end()) {
+    Shard& shard = base_it->second;
+    std::vector<int64_t> frames;
+    frames.reserve(shard.disk_index.size() + shard.pending.size());
+    for (const auto& [frame, _] : shard.disk_index) frames.push_back(frame);
+    for (const auto& [frame, _] : shard.pending) {
+      if (shard.disk_index.count(frame) == 0) frames.push_back(frame);
+    }
+    std::sort(frames.begin(), frames.end());
+    base_records = static_cast<int64_t>(frames.size());
+    for (int64_t frame : frames) {
+      auto pending = shard.pending.find(frame);
+      std::string payload;
+      if (pending != shard.pending.end()) {
+        payload = pending->second;
+      } else {
+        const auto& [segment_index, offset] = shard.disk_index.at(frame);
+        auto read = shard.segments[segment_index]->ReadPayloadAt(offset);
+        if (!read.ok()) return read.status();
+        payload = std::move(read).value();
+      }
+      auto detections = DecodeDetectionsPayload(payload);
+      if (!detections.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "namespace %016llx is not a detections namespace (frame %lld: "
+            "%s); only detection namespaces can be sketched",
+            static_cast<unsigned long long>(base_ns),
+            static_cast<long long>(frame),
+            detections.status().message().c_str()));
+      }
+      builder.Add(frame, detections.value());
+    }
+  }
+  std::map<int64_t, std::string> records;
+  SketchMeta meta;
+  meta.base_ns = base_ns;
+  meta.base_record_count = base_records;
+  std::vector<SegmentSketch> blocks = builder.Finish();
+  meta.block_count = static_cast<int64_t>(blocks.size());
+  records.emplace(kSketchMetaFrame, EncodeSketchMetaPayload(meta));
+  for (const SegmentSketch& block : blocks) {
+    records.emplace(block.first_frame, EncodeSegmentSketchPayload(block));
+  }
+  return ReplaceNamespaceLocked(SketchNamespace(base_ns), std::move(records));
+}
+
+Status DetectionStore::BuildSketches(uint64_t base_ns) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  BLAZEIT_RETURN_NOT_OK(FlushLocked());
+  if (shards_.find(base_ns) == shards_.end()) {
+    return Status::NotFound(
+        StrFormat("no records in namespace %016llx to sketch",
+                  static_cast<unsigned long long>(base_ns)));
+  }
+  return RebuildSketchesLocked(base_ns);
+}
+
+Status DetectionStore::DropSketches(uint64_t base_ns) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const uint64_t sketch_ns = SketchNamespace(base_ns);
+  if (shards_.find(sketch_ns) == shards_.end()) return Status::OK();
+  // An empty replacement writes a record-free tombstone segment via the
+  // repair path. (If an old sketch segment's unlink fails and later
+  // resurrects, Load's record-count gate only accepts it while the base
+  // is unchanged — in which case the resurrected sketches are still
+  // accurate.)
+  return ReplaceNamespaceLocked(sketch_ns, {});
+}
+
+Result<std::vector<DetectionStore::SketchInfo>> DetectionStore::ListSketches() {
+  // Built from the public lookups (each takes its own shared lock): sketch
+  // namespaces are recognized by their meta record, whose stored base_ns
+  // must round-trip through SketchNamespace.
+  std::vector<SketchInfo> out;
+  for (uint64_t ns : Namespaces()) {
+    auto payload = GetRaw(ns, kSketchMetaFrame);
+    if (!payload.ok()) continue;
+    auto meta = DecodeSketchMetaPayload(payload.value());
+    if (!meta.ok() || SketchNamespace(meta.value().base_ns) != ns) continue;
+    SketchInfo info;
+    info.base_ns = meta.value().base_ns;
+    info.sketch_ns = ns;
+    info.blocks = meta.value().block_count;
+    info.base_records_at_build = meta.value().base_record_count;
+    info.base_records_now = RecordCount(meta.value().base_ns);
+    info.current = info.base_records_now == info.base_records_at_build;
+    out.push_back(info);
+  }
+  return out;
+}
+
 Status DetectionStore::Repair(uint64_t ns, int64_t frame,
                               const std::string& payload) {
   std::unique_lock<std::shared_mutex> lock(mu_);
@@ -606,10 +740,19 @@ Status DetectionStore::Repair(uint64_t ns, int64_t frame,
   (void)it;
   if (inserted) ++pending_records_;
   if (shard.disk_index.count(frame) == 0) {
-    // Nothing on disk to override: the regular flush path suffices.
+    // Nothing on disk to override: the regular flush path suffices (and
+    // refreshes sketches when it runs).
     return Status::OK();
   }
-  return RewriteShardLocked(ns, &shard, /*validate_payloads=*/true);
+  BLAZEIT_RETURN_NOT_OK(
+      RewriteShardLocked(ns, &shard, /*validate_payloads=*/true));
+  // The repair replaced payloads without changing the record count, which
+  // is exactly the staleness Load's count gate cannot see — rebuild the
+  // sketches eagerly.
+  if (shards_.count(SketchNamespace(ns)) > 0) {
+    return RebuildSketchesLocked(ns);
+  }
+  return Status::OK();
 }
 
 Result<DetectionStore::RepairStats> DetectionStore::Repair() {
@@ -619,6 +762,7 @@ Result<DetectionStore::RepairStats> DetectionStore::Repair() {
   BLAZEIT_RETURN_NOT_OK(FlushLocked());
 
   RepairStats stats;
+  std::vector<uint64_t> rewritten;
   for (auto& [ns, shard] : shards_) {
     ++stats.namespaces_scanned;
     std::vector<int64_t> drop;
@@ -636,6 +780,15 @@ Result<DetectionStore::RepairStats> DetectionStore::Repair() {
     BLAZEIT_RETURN_NOT_OK(
         RewriteShardLocked(ns, &shard, /*validate_payloads=*/false));
     ++stats.namespaces_rewritten;
+    rewritten.push_back(ns);
+  }
+  // Dropping records changed the record count of each rewritten namespace;
+  // refresh the sketches of the indexed ones (after the scan loop — the
+  // rebuild mutates sketch shards, and must not race the iteration above).
+  for (uint64_t ns : rewritten) {
+    if (shards_.count(SketchNamespace(ns)) > 0) {
+      BLAZEIT_RETURN_NOT_OK(RebuildSketchesLocked(ns));
+    }
   }
   return stats;
 }
@@ -666,8 +819,19 @@ Result<DetectionStore::CompactionStats> DetectionStore::Compact() {
     for (const auto& [frame, _] : shard.disk_index) frames.push_back(frame);
     std::sort(frames.begin(), frames.end());
 
+    // A namespace that has been repaired must keep its repair generation
+    // through compaction: a regular segment name sorts *after* repair
+    // names, so if the unlink of a superseded repair segment failed (or a
+    // concurrent process still holds one), a regular-named compacted
+    // segment would lose first-write-wins to the stranded repair and
+    // resurrect its stale records — and a later Repair at generation+1
+    // must still sort ahead of the compacted view. Writing the compacted
+    // segment at the next repair generation preserves both orderings.
     ++flush_counter_;
-    const std::string final_path = NewSegmentPath(ns);
+    const std::string final_path =
+        shard.repair_generation > 0
+            ? RepairSegmentPath(ns, ++shard.repair_generation)
+            : NewSegmentPath(ns);
     const std::string tmp_path = final_path + ".tmp";
     auto writer = StoreWriter::Create(tmp_path, ns);
     if (!writer.ok()) return writer.status();

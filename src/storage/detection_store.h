@@ -210,6 +210,37 @@ class DetectionStore {
     int64_t namespaces_rewritten = 0;
   };
 
+  /// Builds (or rebuilds) the per-segment zone-map sketches of a detection
+  /// namespace (see storage/segment_sketch.h): pending records are flushed
+  /// first, every payload of `base_ns` is decoded as detections (an error
+  /// if the namespace holds any other payload kind), and the sketch
+  /// records land under SketchNamespace(base_ns) via the repair-named
+  /// rewrite path — so a fresh build always sorts before any stranded
+  /// older sketch segment. Once built, the namespace stays *indexed*: the
+  /// store refreshes its sketches automatically on every later Flush of
+  /// new base records and after every Repair that rewrites the base
+  /// payloads (Compact preserves the resolved view, so sketches survive it
+  /// unchanged).
+  Status BuildSketches(uint64_t base_ns);
+
+  /// Removes the sketches of `base_ns` (the namespace stops being indexed
+  /// and stops refreshing). No-op when none exist.
+  Status DropSketches(uint64_t base_ns);
+
+  /// One sketched namespace, for storecli sketch ls/verify.
+  struct SketchInfo {
+    uint64_t base_ns = 0;
+    uint64_t sketch_ns = 0;
+    int64_t blocks = 0;
+    int64_t base_records_at_build = 0;
+    int64_t base_records_now = 0;
+    /// Record counts match: SketchIndex::Load would accept this index.
+    bool current = false;
+  };
+
+  /// Every sketch namespace in the store with its staleness state.
+  Result<std::vector<SketchInfo>> ListSketches();
+
   /// Store-wide integrity repair: reads every record (pending records are
   /// flushed first), validates that its payload decodes under one of the
   /// engine's payload codecs (detections / floats / doubles), and rewrites
@@ -276,8 +307,23 @@ class DetectionStore {
   /// Ordering comes from a monotonic per-namespace `generation` persisted
   /// in the name — not the wall clock, which can step backwards.
   std::string RepairSegmentPath(uint64_t ns, uint64_t generation) const;
-  /// Flush body; caller holds mu_ exclusively.
+  /// Flush body; caller holds mu_ exclusively. Writes one segment per
+  /// dirty namespace, then refreshes the sketches of every dirty namespace
+  /// that is indexed (has a sketch shard).
   Status FlushLocked();
+  /// Writes one shard's pending records out as a new segment; caller holds
+  /// mu_ exclusively.
+  Status FlushShardLocked(uint64_t ns, Shard* shard);
+  /// Rebuilds SketchNamespace(base_ns) from the base shard's resolved
+  /// view; caller holds mu_ exclusively and must not be iterating shards_
+  /// unless the sketch shard already exists (the rebuild inserts it).
+  Status RebuildSketchesLocked(uint64_t base_ns);
+  /// Replaces the full record set of a namespace (first-write-wins cannot
+  /// update records in place) through the repair-named rewrite path, so
+  /// the replacement sorts before anything it supersedes even when an old
+  /// segment's unlink fails. Caller holds mu_ exclusively.
+  Status ReplaceNamespaceLocked(uint64_t ns,
+                                std::map<int64_t, std::string> records);
   /// Rewrites one namespace into a single fresh segment holding the
   /// resolved view (pending overrides disk, mirroring GetRaw's read
   /// order), then removes the old segments. With `validate_payloads`,

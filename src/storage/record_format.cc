@@ -163,11 +163,18 @@ Result<std::vector<Detection>> DecodeDetectionsPayload(
   }
   const uint32_t count = ReadRaw<uint32_t>(cursor);
   cursor += sizeof(uint32_t);
+  constexpr size_t kFixed =
+      sizeof(int32_t) + 5 * sizeof(double) + sizeof(uint32_t);
+  // A payload from another record kind misread as detections can claim
+  // billions of rows; every real row occupies at least its fixed-width
+  // prefix, so reject impossible counts before reserve() can throw.
+  if (static_cast<size_t>(end - cursor) < static_cast<size_t>(count) * kFixed) {
+    return Status::ParseError(StrFormat(
+        "detections payload too short for its claimed %u rows", count));
+  }
   std::vector<Detection> detections;
   detections.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    constexpr size_t kFixed =
-        sizeof(int32_t) + 5 * sizeof(double) + sizeof(uint32_t);
     if (static_cast<size_t>(end - cursor) < kFixed) {
       return Status::ParseError(
           StrFormat("detections payload ends inside row %u of %u", i, count));

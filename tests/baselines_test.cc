@@ -71,7 +71,8 @@ TEST_F(BaselinesTest, ScrubGapEnforced) {
 TEST_F(BaselinesTest, ScrubImpossibleQueryExhausts) {
   auto r = NaiveScrub(stream_, {{kBird, 1}}, 1, 0);
   EXPECT_TRUE(r.frames.empty());
-  EXPECT_FALSE(r.found_all);
+  EXPECT_FALSE(r.limit_satisfied);
+  EXPECT_TRUE(r.scan_exhausted);
   EXPECT_EQ(r.detection_calls, 6000);
 }
 

@@ -118,6 +118,18 @@ TEST_F(ParallelDeterminismTest, ScrubbingQuery) {
       "HAVING SUM(class='car') >= 2 LIMIT 5 GAP 50");
 }
 
+TEST_F(ParallelDeterminismTest, ScrubbingQueryWithCrossShardGap) {
+  // GAP 300 exceeds the exec runtime's shard size (kDefaultShardSize =
+  // 256), so a gap interval around an accepted frame always spans shard
+  // boundaries of the parallel NN sweep. Gap admissibility is enforced in
+  // the serial verification walk, not per shard — this pins that the
+  // returned frames (and their order, and the charged costs) do not vary
+  // with the pool size that computed the confidence sweep.
+  ExpectDeterministic(
+      "SELECT timestamp FROM taipei GROUP BY timestamp "
+      "HAVING SUM(class='car') >= 2 LIMIT 8 GAP 300");
+}
+
 TEST_F(ParallelDeterminismTest, BinarySelectQuery) {
   ExpectDeterministic(
       "SELECT timestamp FROM taipei WHERE class = 'bus' "

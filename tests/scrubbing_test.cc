@@ -39,7 +39,7 @@ TEST_F(ScrubbingTest, RespectsLimit) {
   auto r = ex.Run({{kCar, 2}}, 7, 0);
   BLAZEIT_ASSERT_OK(r);
   EXPECT_EQ(r.value().frames.size(), 7u);
-  EXPECT_TRUE(r.value().found_all);
+  EXPECT_TRUE(r.value().limit_satisfied);
 }
 
 TEST_F(ScrubbingTest, RespectsGap) {
@@ -70,10 +70,34 @@ TEST_F(ScrubbingTest, ImpossibleQueryExhaustsVideo) {
   auto r = ex.Run({{kBird, 1}}, 3, 0);  // no birds in taipei
   BLAZEIT_ASSERT_OK(r);
   EXPECT_TRUE(r.value().frames.empty());
-  EXPECT_FALSE(r.value().found_all);
+  EXPECT_FALSE(r.value().limit_satisfied);
+  EXPECT_TRUE(r.value().scan_exhausted);
   // Fallback path (no training instances) scans everything.
   EXPECT_TRUE(r.value().fell_back_to_scan);
   EXPECT_EQ(r.value().detection_calls, stream_->test_day->num_frames());
+}
+
+TEST_F(ScrubbingTest, FewerMatchesThanLimitExhaustsWithoutSatisfying) {
+  // A trained (non-fallback) run that finds every match but cannot reach
+  // LIMIT must report the two outcomes separately: the limit was NOT
+  // satisfied, and the scan WAS exhausted. The two used to be conflated
+  // in one `found_all` flag, which read "exhausted" as "failed".
+  const std::vector<ClassCountRequirement> reqs = {{kCar, 5}};
+  auto stats = CountRequirementInstances(*stream_, reqs);
+  if (stats.matching_frames == 0) GTEST_SKIP() << "no matches in test day";
+  ScrubbingExecutor ex(stream_, FastOptions());
+  auto r = ex.Run(reqs, stats.matching_frames + 10, 0);
+  BLAZEIT_ASSERT_OK(r);
+  EXPECT_EQ(static_cast<int64_t>(r.value().frames.size()),
+            stats.matching_frames);
+  EXPECT_FALSE(r.value().limit_satisfied);
+  EXPECT_TRUE(r.value().scan_exhausted);
+
+  // Exactly-enough matches: satisfied, and (with GAP 0) the verification
+  // walk had to visit everything anyway.
+  auto exact = ex.Run(reqs, stats.matching_frames, 0);
+  BLAZEIT_ASSERT_OK(exact);
+  EXPECT_TRUE(exact.value().limit_satisfied);
 }
 
 TEST_F(ScrubbingTest, MultiClassConjunction) {

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "storage/detection_store.h"
 #include "storage/persistent_cached_detector.h"
 #include "storage/record_format.h"
+#include "storage/segment_sketch.h"
 #include "storage/store_artifact_cache.h"
 #include "testing/test_util.h"
 #include "util/crc32.h"
@@ -103,6 +105,20 @@ TEST_F(StorageTest, DetectionsPayloadRoundTrip) {
   auto empty = DecodeDetectionsPayload(EncodeDetectionsPayload({}));
   BLAZEIT_ASSERT_OK(empty);
   EXPECT_TRUE(empty.value().empty());
+}
+
+TEST_F(StorageTest, DetectionsDecodeRejectsImpossibleCountWithoutAllocating) {
+  // A payload from another record kind misread as detections (the sketch
+  // rebuilder and repair validation probe arbitrary namespaces) can open
+  // with an enormous bit pattern; decode must fail with ParseError before
+  // reserving, not throw bad_alloc. 1e30f's little-endian bytes start a
+  // ~3.4e9 row claim.
+  auto floats = DecodeDetectionsPayload(EncodeFloatsPayload({1e30f, 0.0f}));
+  EXPECT_EQ(floats.status().code(), StatusCode::kParseError);
+
+  std::string hostile(sizeof(uint32_t), '\xff');
+  auto max_count = DecodeDetectionsPayload(hostile);
+  EXPECT_EQ(max_count.status().code(), StatusCode::kParseError);
 }
 
 TEST_F(StorageTest, StoreRoundTripProperty) {
@@ -685,6 +701,224 @@ TEST_F(StorageTest, ArtifactCacheRepairsCorruptRecordInPlace) {
   auto healed = reopened.value()->GetFloats(salted, 7);
   BLAZEIT_ASSERT_OK(healed.status());
   EXPECT_EQ(healed.value(), values);
+}
+
+TEST_F(StorageTest, CompactCarriesRepairGenerationPastStrandedSegments) {
+  // Regression: Compact() used to write a *regular*-named segment even
+  // when the namespace had live repair generations. A stranded older
+  // repair segment (a crashed unlink) sorts before every regular name, so
+  // it would shadow the compacted view and resurrect the pre-repair
+  // payload. Compacting a repaired namespace must advance the repair
+  // generation instead.
+  constexpr uint64_t kNs = 0xDEC0DE;
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  for (int64_t f = 0; f < 10; ++f) {
+    BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, f, "original"));
+  }
+  BLAZEIT_ASSERT_OK(store.value()->Flush());
+
+  // First repair: the namespace is rewritten into repair generation 1.
+  BLAZEIT_ASSERT_OK(store.value()->Repair(kNs, 5, "repaired-once"));
+  const std::string gen1_segment = OnlySegmentPath();
+  std::string gen1_bytes;
+  {
+    std::ifstream in(gen1_segment, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    gen1_bytes = buf.str();
+  }
+
+  // Second repair supersedes it (generation 2, generation 1 unlinked).
+  BLAZEIT_ASSERT_OK(store.value()->Repair(kNs, 5, "repaired-twice"));
+  EXPECT_EQ(store.value()->GetRaw(kNs, 5).value(), "repaired-twice");
+
+  // A later flush gives the namespace a second segment so Compact has
+  // something to merge.
+  BLAZEIT_ASSERT_OK(store.value()->PutRaw(kNs, 10, "late"));
+  BLAZEIT_ASSERT_OK(store.value()->Flush());
+  auto stats = store.value()->Compact();
+  BLAZEIT_ASSERT_OK(stats.status());
+  EXPECT_EQ(stats.value().namespaces_compacted, 1);
+
+  // Strand the generation-1 repair segment, as a failed unlink would.
+  {
+    std::ofstream out(gen1_segment, std::ios::binary);
+    out << gen1_bytes;
+  }
+
+  // The compacted segment must still win over the stranded stale repair:
+  // frame 5 resolves to the second repair, not the first.
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened.status());
+  EXPECT_EQ(reopened.value()->GetRaw(kNs, 5).value(), "repaired-twice");
+  EXPECT_EQ(reopened.value()->GetRaw(kNs, 10).value(), "late");
+
+  // And the generation survives the round trip: a repair *after* the
+  // compaction still wins over everything, across another reopen.
+  BLAZEIT_ASSERT_OK(reopened.value()->Repair(kNs, 5, "repaired-thrice"));
+  EXPECT_EQ(reopened.value()->GetRaw(kNs, 5).value(), "repaired-thrice");
+  auto again = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(again.status());
+  EXPECT_EQ(again.value()->GetRaw(kNs, 5).value(), "repaired-thrice");
+}
+
+namespace sketchtest {
+
+/// One detection of `class_id` centered in the unit frame.
+Detection Det(int class_id, double score = 0.9) {
+  Detection d;
+  d.class_id = class_id;
+  d.rect = {0.4, 0.4, 0.6, 0.6};
+  d.score = score;
+  return d;
+}
+
+}  // namespace sketchtest
+
+TEST_F(StorageTest, SketchBuildProbeAndInvalidation) {
+  constexpr uint64_t kNs = 0x5EEC;
+  constexpr int64_t kFrames = 2 * kSketchBlockFrames;  // two blocks
+  constexpr int64_t kBusFrame = kSketchBlockFrames + 100;
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  for (int64_t f = 0; f < kFrames; ++f) {
+    std::vector<Detection> dets = {sketchtest::Det(0)};  // class 0 everywhere
+    if (f == kBusFrame) dets.push_back(sketchtest::Det(1));
+    BLAZEIT_ASSERT_OK(
+        store.value()->PutRaw(kNs, f, EncodeDetectionsPayload(dets)));
+  }
+  BLAZEIT_ASSERT_OK(store.value()->Flush());
+  BLAZEIT_ASSERT_OK(store.value()->BuildSketches(kNs));
+
+  auto infos = store.value()->ListSketches();
+  BLAZEIT_ASSERT_OK(infos.status());
+  ASSERT_EQ(infos.value().size(), 1u);
+  EXPECT_EQ(infos.value()[0].base_ns, kNs);
+  EXPECT_EQ(infos.value()[0].blocks, 2);
+  EXPECT_TRUE(infos.value()[0].current);
+
+  SketchIndex index = SketchIndex::Load(store.value().get(), kNs);
+  ASSERT_TRUE(index.valid());
+
+  // Class 1 lives only in the second block: the probe prunes the first.
+  SketchProbe bus_probe;
+  bus_probe.score_threshold = 0.5;
+  bus_probe.requirements = {{1, 1}};
+  auto ranges = index.CandidateRanges(0, kFrames, bus_probe);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, kSketchBlockFrames);
+  EXPECT_EQ(ranges[0].end, kFrames);
+
+  // Class 0 is everywhere: nothing can be pruned.
+  SketchProbe car_probe;
+  car_probe.score_threshold = 0.5;
+  car_probe.requirements = {{0, 1}};
+  auto all = index.CandidateRanges(0, kFrames, car_probe);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].begin, 0);
+  EXPECT_EQ(all[0].end, kFrames);
+
+  // An unflushed Put of a new frame makes the index stale (Load refuses —
+  // conservative, never wrong answers)...
+  BLAZEIT_ASSERT_OK(store.value()->PutRaw(
+      kNs, kFrames, EncodeDetectionsPayload({sketchtest::Det(0)})));
+  EXPECT_FALSE(SketchIndex::Load(store.value().get(), kNs).valid());
+  auto stale = store.value()->ListSketches();
+  BLAZEIT_ASSERT_OK(stale.status());
+  ASSERT_EQ(stale.value().size(), 1u);
+  EXPECT_FALSE(stale.value()[0].current);
+
+  // ...and Flush refreshes it automatically: the namespace stays indexed.
+  BLAZEIT_ASSERT_OK(store.value()->Flush());
+  SketchIndex refreshed = SketchIndex::Load(store.value().get(), kNs);
+  ASSERT_TRUE(refreshed.valid());
+  EXPECT_EQ(refreshed.blocks().size(), 3u);  // one more (partial) block
+
+  // Repair rewrites a payload and refreshes the sketches eagerly: after
+  // repairing away the only class-1 detection, the probe refutes every
+  // block.
+  BLAZEIT_ASSERT_OK(store.value()->Repair(
+      kNs, kBusFrame, EncodeDetectionsPayload({sketchtest::Det(0)})));
+  SketchIndex repaired = SketchIndex::Load(store.value().get(), kNs);
+  ASSERT_TRUE(repaired.valid());
+  EXPECT_TRUE(repaired.CandidateRanges(0, kFrames, bus_probe).empty());
+
+  // Compact preserves the resolved view, so the sketches stay current...
+  auto stats = store.value()->Compact();
+  BLAZEIT_ASSERT_OK(stats.status());
+  EXPECT_TRUE(SketchIndex::Load(store.value().get(), kNs).valid());
+
+  // ...including across a reopen.
+  auto reopened = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(reopened.status());
+  SketchIndex persisted = SketchIndex::Load(reopened.value().get(), kNs);
+  ASSERT_TRUE(persisted.valid());
+  EXPECT_TRUE(persisted.CandidateRanges(0, kFrames, bus_probe).empty());
+
+  // Dropping unindexes the namespace.
+  BLAZEIT_ASSERT_OK(reopened.value()->DropSketches(kNs));
+  EXPECT_FALSE(SketchIndex::Load(reopened.value().get(), kNs).valid());
+  auto dropped = reopened.value()->ListSketches();
+  BLAZEIT_ASSERT_OK(dropped.status());
+  EXPECT_TRUE(dropped.value().empty());
+}
+
+TEST_F(StorageTest, SketchRefusesNonDetectionsNamespace) {
+  constexpr uint64_t kNs = 0xF10A7;
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  BLAZEIT_ASSERT_OK(
+      store.value()->PutRaw(kNs, 0, EncodeFloatsPayload({1.0f, 2.0f})));
+  BLAZEIT_ASSERT_OK(store.value()->Flush());
+  Status built = store.value()->BuildSketches(kNs);
+  EXPECT_EQ(built.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.value()->BuildSketches(0x404).code(), StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, SketchPayloadCodecRoundTrip) {
+  SegmentSketch sketch;
+  sketch.first_frame = 1024;
+  sketch.covered = kSketchBlockFrames;
+  sketch.frames_present = kSketchBlockFrames;
+  sketch.frames_with_any = 100;
+  ClassSketch cls;
+  cls.class_id = 2;
+  for (int b = 0; b < kSketchScoreBuckets; ++b) {
+    cls.frames_ge1[b] = 100 - b;
+    cls.max_count_ge[b] = 7;
+  }
+  cls.min_score = 0.25;
+  cls.max_score = 0.875;
+  cls.min_cx = 0.1;
+  cls.max_cx = 0.9;
+  cls.min_cy = 0.2;
+  cls.max_cy = 0.8;
+  cls.min_area = 0.01;
+  cls.max_area = 0.04;
+  sketch.classes.push_back(cls);
+  sketch.class_bitmap = 1u << 2;
+  auto decoded = DecodeSegmentSketchPayload(EncodeSegmentSketchPayload(sketch));
+  BLAZEIT_ASSERT_OK(decoded);
+  EXPECT_TRUE(decoded.value() == sketch);
+
+  SketchMeta meta;
+  meta.base_ns = 0xABCD;
+  meta.base_record_count = 12345;
+  meta.block_count = 25;
+  auto meta_decoded = DecodeSketchMetaPayload(EncodeSketchMetaPayload(meta));
+  BLAZEIT_ASSERT_OK(meta_decoded);
+  EXPECT_EQ(meta_decoded.value().base_ns, meta.base_ns);
+  EXPECT_EQ(meta_decoded.value().base_record_count, meta.base_record_count);
+  EXPECT_EQ(meta_decoded.value().block_count, meta.block_count);
+
+  // Truncations and garbage are rejected, never misdecoded.
+  const std::string bytes = EncodeSegmentSketchPayload(sketch);
+  for (size_t len : {size_t{0}, size_t{3}, bytes.size() - 1}) {
+    EXPECT_FALSE(DecodeSegmentSketchPayload(bytes.substr(0, len)).ok());
+  }
+  EXPECT_FALSE(DecodeSketchMetaPayload(bytes).ok());
+  EXPECT_FALSE(DecodeSegmentSketchPayload("garbage-bytes").ok());
 }
 
 TEST_F(StorageTest, DetectorNoiseChangesNamespace) {

@@ -120,6 +120,25 @@ TEST_F(StoreInvarianceTest, ColdStoreAndWarmStoreMatchStoreless) {
     ExpectIdentical(storeless[i], cold[i], kQueries[i]);
     ExpectIdentical(storeless[i], warm[i], kQueries[i]);
   }
+
+  // Building segment sketches is store maintenance, not a semantic
+  // change: with sketches present but use_store_index left off (the
+  // default), a rerun stays bit-identical to the storeless pass —
+  // including every cost category. (Opting in may only lower costs;
+  // sketch_invariance_test covers that contract.)
+  {
+    VideoCatalog catalog;
+    BLAZEIT_ASSERT_OK(catalog.EnableDetectionStore(dir_));
+    BLAZEIT_ASSERT_OK(catalog.AddStream(
+        TaipeiConfig(), testutil::SmallDays(2000, 2000, 4000)));
+    StreamData* stream = catalog.GetStream("taipei").value();
+    BLAZEIT_ASSERT_OK(
+        stream->detection_store->BuildSketches(stream->test_detections_ns));
+  }
+  std::vector<QueryOutput> sketched = RunAll(dir_);
+  for (size_t i = 0; i < storeless.size(); ++i) {
+    ExpectIdentical(storeless[i], sketched[i], kQueries[i]);
+  }
 }
 
 }  // namespace

@@ -24,7 +24,18 @@
 //       affected namespaces in place. A dropped record becomes a plain
 //       miss, so the next engine run recomputes and re-stores it once
 //       instead of warning on every run.
+//   storecli sketch ls <store-dir>
+//       Lists every sketched namespace with block count and staleness.
+//   storecli sketch verify <store-dir>
+//       Loads every sketch index the way the engine would and exits
+//       non-zero if any is stale or unloadable.
+//   storecli sketch rebuild <store-dir> [namespace-hex]
+//       (Re)builds segment sketches for one detections namespace, or for
+//       every detections namespace in the store when omitted.
+//   storecli sketch drop <store-dir> <namespace-hex>
+//       Removes a namespace's sketches; it stops being indexed.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -33,6 +44,7 @@
 #include "storage/detection_store.h"
 #include "storage/persistent_cached_detector.h"
 #include "storage/record_format.h"
+#include "storage/segment_sketch.h"
 #include "util/logging.h"
 #include "video/datasets.h"
 
@@ -48,6 +60,10 @@ int Usage() {
                "  storecli verify <store-dir>\n"
                "  storecli compact <store-dir>\n"
                "  storecli repair <store-dir>\n"
+               "  storecli sketch ls <store-dir>\n"
+               "  storecli sketch verify <store-dir>\n"
+               "  storecli sketch rebuild <store-dir> [namespace-hex]\n"
+               "  storecli sketch drop <store-dir> <namespace-hex>\n"
                "streams: taipei night-street rialto grand-canal amsterdam "
                "archie\ndays: train held_out test\n");
   return 2;
@@ -199,6 +215,97 @@ int RunRepair(const std::string& dir) {
   return 0;
 }
 
+int RunSketchLs(const std::string& dir) {
+  auto store = DetectionStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  auto infos = store.value()->ListSketches();
+  if (!infos.ok()) return Fail(infos.status());
+  std::printf("%-18s %-18s %8s %10s %10s %s\n", "base", "sketch", "blocks",
+              "built-at", "now", "state");
+  for (const auto& info : infos.value()) {
+    std::printf("%016llx   %016llx   %8lld %10lld %10lld %s\n",
+                static_cast<unsigned long long>(info.base_ns),
+                static_cast<unsigned long long>(info.sketch_ns),
+                static_cast<long long>(info.blocks),
+                static_cast<long long>(info.base_records_at_build),
+                static_cast<long long>(info.base_records_now),
+                info.current ? "current" : "STALE");
+  }
+  std::printf("%zu sketched namespaces\n", infos.value().size());
+  return 0;
+}
+
+int RunSketchVerify(const std::string& dir) {
+  auto store = DetectionStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  auto infos = store.value()->ListSketches();
+  if (!infos.ok()) return Fail(infos.status());
+  int failures = 0;
+  for (const auto& info : infos.value()) {
+    // Load the index exactly the way the engine's executors do; a stale or
+    // malformed index loads as invalid and the engine falls back to the
+    // unindexed path, so "invalid" here means "sketches are dead weight",
+    // not "queries return wrong answers".
+    SketchIndex index = SketchIndex::Load(store.value().get(), info.base_ns);
+    if (index.valid()) {
+      std::printf("%016llx: OK (%zu blocks)\n",
+                  static_cast<unsigned long long>(info.base_ns),
+                  index.blocks().size());
+    } else {
+      std::printf("%016llx: INVALID (stale or malformed; run "
+                  "`storecli sketch rebuild`)\n",
+                  static_cast<unsigned long long>(info.base_ns));
+      ++failures;
+    }
+  }
+  if (infos.value().empty()) std::printf("no sketched namespaces\n");
+  return failures == 0 ? 0 : 1;
+}
+
+int RunSketchRebuild(const std::string& dir, const std::string& ns_hex) {
+  auto store = DetectionStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  if (!ns_hex.empty()) {
+    const uint64_t ns = std::strtoull(ns_hex.c_str(), nullptr, 16);
+    Status built = store.value()->BuildSketches(ns);
+    if (!built.ok()) return Fail(built);
+    std::printf("rebuilt sketches for %016llx\n",
+                static_cast<unsigned long long>(ns));
+    return 0;
+  }
+  // No namespace given: sketch every detections namespace. Non-detections
+  // namespaces (artifact blobs, the sketches themselves) refuse with
+  // InvalidArgument, which is the expected skip, not an error.
+  int64_t built_count = 0, skipped = 0;
+  for (uint64_t ns : store.value()->Namespaces()) {
+    Status built = store.value()->BuildSketches(ns);
+    if (built.ok()) {
+      std::printf("rebuilt sketches for %016llx\n",
+                  static_cast<unsigned long long>(ns));
+      ++built_count;
+    } else if (built.code() == StatusCode::kInvalidArgument) {
+      ++skipped;
+    } else {
+      return Fail(built);
+    }
+  }
+  std::printf("%lld namespaces sketched, %lld non-detections skipped\n",
+              static_cast<long long>(built_count),
+              static_cast<long long>(skipped));
+  return 0;
+}
+
+int RunSketchDrop(const std::string& dir, const std::string& ns_hex) {
+  auto store = DetectionStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  const uint64_t ns = std::strtoull(ns_hex.c_str(), nullptr, 16);
+  Status dropped = store.value()->DropSketches(ns);
+  if (!dropped.ok()) return Fail(dropped);
+  std::printf("dropped sketches for %016llx\n",
+              static_cast<unsigned long long>(ns));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Logger::set_level(LogLevel::kWarning);
   if (argc < 3) return Usage();
@@ -213,6 +320,17 @@ int Main(int argc, char** argv) {
   if (command == "verify") return RunVerify(argv[2]);
   if (command == "compact") return RunCompact(argv[2]);
   if (command == "repair") return RunRepair(argv[2]);
+  if (command == "sketch") {
+    if (argc < 4) return Usage();
+    const std::string sub = argv[2];
+    if (sub == "ls") return RunSketchLs(argv[3]);
+    if (sub == "verify") return RunSketchVerify(argv[3]);
+    if (sub == "rebuild") {
+      return RunSketchRebuild(argv[3], argc > 4 ? argv[4] : "");
+    }
+    if (sub == "drop" && argc > 4) return RunSketchDrop(argv[3], argv[4]);
+    return Usage();
+  }
   return Usage();
 }
 
