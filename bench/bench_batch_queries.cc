@@ -26,7 +26,12 @@ int main() {
   lengths.held_out = 12000;
   lengths.test = 36000;
   VideoCatalog catalog = BuildCatalog({"taipei"}, lengths);
-  BlazeItEngine engine(&catalog);
+  EngineOptions opt;
+  // With BLAZEIT_REPORT_DIR set, attach EXPLAIN-style ExecutionReports and
+  // dump one per batched query; reporting only observes, so the simulated
+  // costs below are unchanged.
+  opt.collect_reports = !ReportDir().empty();
+  BlazeItEngine engine(&catalog, opt);
   PrintHeader(
       "BM_BatchedQueries: N same-stream queries, shared specialized-NN "
       "sweeps (simulated seconds)");
@@ -92,6 +97,7 @@ int main() {
                 qs.shared_models > 0 ? "reused" : "trained");
     shared_frames += qs.shared_nn_frames;
     shared_models += qs.shared_models;
+    DumpReport("batch_q" + std::to_string(i), out.results[i].value());
     nn_frames_charged += cost.specialized_nn_calls();
     if (cost.training_frames() > 0) ++trainings_charged;
     const double nn_bill =

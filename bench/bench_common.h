@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/catalog.h"
+#include "core/engine.h"
 #include "util/logging.h"
 #include "video/datasets.h"
 
@@ -67,6 +68,43 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n==================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("==================================================\n");
+}
+
+/// Directory for per-query ExecutionReport dumps, from the
+/// BLAZEIT_REPORT_DIR environment variable; empty when dumping is off.
+/// Harnesses that drive BlazeItEngine should turn on
+/// EngineOptions::collect_reports when this is non-empty and hand each
+/// QueryOutput to DumpReport — reporting only observes, so bench numbers
+/// (simulated costs) are unchanged either way.
+inline std::string ReportDir() {
+  const char* dir = std::getenv("BLAZEIT_REPORT_DIR");
+  return dir != nullptr ? dir : "";
+}
+
+/// Writes `<ReportDir()>/<label>.report.json` from the query's attached
+/// ExecutionReport. No-op when BLAZEIT_REPORT_DIR is unset; warns (rather
+/// than aborting a long bench run) when a dump was requested but the
+/// harness ran without collect_reports or the write fails.
+inline void DumpReport(const std::string& label, const QueryOutput& out) {
+  const std::string dir = ReportDir();
+  if (dir.empty()) return;
+  if (out.report == nullptr) {
+    std::fprintf(stderr,
+                 "BLAZEIT_REPORT_DIR set but %s has no report "
+                 "(EngineOptions::collect_reports off?)\n",
+                 label.c_str());
+    return;
+  }
+  const std::string path = dir + "/" + label + ".report.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "DumpReport: cannot open %s\n", path.c_str());
+    return;
+  }
+  const std::string json = out.report->ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 /// Pretty "Nx" speedup formatting used in the runtime tables.

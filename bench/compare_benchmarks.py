@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
 """Diffs two google-benchmark JSON reports and prints per-bench deltas.
 
-Usage: compare_benchmarks.py BASELINE.json NEW.json
+Usage: compare_benchmarks.py [--fail-on-regression PCT] BASELINE.json NEW.json
 
-Compares the `_mean` aggregate of every benchmark present in both files
-(falling back to the raw entry when a report was produced without
-repetitions) and prints baseline time, new time, delta, and speedup.
-Benchmarks present in only one file are listed separately so a renamed or
-added bench is visible rather than silently dropped. Exit code is always 0
-— this is a report, not a gate (see ci/check.sh).
+Compares the `_mean` aggregate of every benchmark (falling back to the raw
+entry when a report was produced without repetitions) and prints baseline
+time, new time, delta, and speedup. The table covers the *union* of
+benchmark names: a bench present in only one report shows up with a `new`
+or `missing` marker in the delta column instead of being dropped or
+printed as nan, so renames and additions are visible inline.
+
+By default exit code is 0 — a report, not a gate. With
+--fail-on-regression PCT, exits 1 when any shared benchmark's new time
+exceeds its baseline by more than PCT percent (missing/new benches never
+trip the gate; see ci/check.sh, which runs this mode non-gating).
 """
+import argparse
 import json
 import sys
 
@@ -38,6 +44,8 @@ def load_means(path):
 
 
 def fmt_time(ns):
+    if ns is None:
+        return f"{'-':>13}"
     if ns >= 1e6:
         return f"{ns / 1e6:10.2f} ms"
     if ns >= 1e3:
@@ -46,29 +54,54 @@ def fmt_time(ns):
 
 
 def main():
-    if len(sys.argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    base = load_means(sys.argv[1])
-    new = load_means(sys.argv[2])
-    shared = [name for name in base if name in new]
-    if not shared:
-        print("no benchmarks in common between the two reports")
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        type=float,
+        metavar="PCT",
+        default=None,
+        help="exit 1 when any shared bench slows down by more than PCT%%",
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    args = parser.parse_args()
+
+    base = load_means(args.baseline)
+    new = load_means(args.new)
+    # Union, baseline order first, then additions in new-report order.
+    names = list(base) + [n for n in new if n not in base]
+    if not names:
+        print("no benchmarks in either report")
         return 0
-    width = max(len(n) for n in shared)
+    width = max(len(n) for n in names)
     print(f"{'benchmark':<{width}}  {'baseline':>13}  {'new':>13}  "
           f"{'delta':>8}  {'speedup':>7}")
-    for name in shared:
-        b = base[name]
-        n = new[name]
-        delta = (n - b) / b * 100.0 if b else float("nan")
-        speedup = b / n if n else float("inf")
+    regressions = []
+    for name in names:
+        b = base.get(name)
+        n = new.get(name)
+        if b is None:
+            delta, speedup = f"{'new':>8}", f"{'-':>7}"
+        elif n is None:
+            delta, speedup = f"{'missing':>8}", f"{'-':>7}"
+        else:
+            pct = (n - b) / b * 100.0 if b else 0.0
+            delta = f"{pct:+7.1f}%"
+            speedup = f"{b / n:6.2f}x" if n else f"{'inf':>7}"
+            if (args.fail_on_regression is not None
+                    and pct > args.fail_on_regression):
+                regressions.append((name, pct))
         print(f"{name:<{width}}  {fmt_time(b)}  {fmt_time(n)}  "
-              f"{delta:+7.1f}%  {speedup:6.2f}x")
-    for name in sorted(set(base) - set(new)):
-        print(f"only in baseline: {name}")
-    for name in sorted(set(new) - set(base)):
-        print(f"only in new run:  {name}")
+              f"{delta}  {speedup}")
+    if regressions:
+        limit = args.fail_on_regression
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+              f"than {limit:g}%:", file=sys.stderr)
+        for name, pct in regressions:
+            print(f"  {name}: {pct:+.1f}%", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -70,5 +70,13 @@ if [[ "${MODE}" == "compare" ]]; then
     echo "warning: baseline ${BASELINE} not found; skipping diff" >&2
     exit 0
   fi
-  python3 bench/compare_benchmarks.py "${BASELINE}" "${OUT}"
+  # BLAZEIT_BENCH_FAIL_PCT turns the diff into a gate: exit 1 when any
+  # shared bench regresses more than that percentage (ci/check.sh sets it
+  # but treats the failure as non-gating; see compare_benchmarks.py).
+  COMPARE_ARGS=()
+  if [[ -n "${BLAZEIT_BENCH_FAIL_PCT:-}" ]]; then
+    COMPARE_ARGS+=(--fail-on-regression "${BLAZEIT_BENCH_FAIL_PCT}")
+  fi
+  python3 bench/compare_benchmarks.py \
+    ${COMPARE_ARGS[@]+"${COMPARE_ARGS[@]}"} "${BASELINE}" "${OUT}"
 fi

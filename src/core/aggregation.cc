@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "stats/control_variates.h"
 #include "stats/online_stats.h"
 #include "stats/sampler.h"
@@ -24,10 +25,12 @@ const char* AggregateMethodName(AggregateMethod method) {
 
 AggregationExecutor::AggregationExecutor(StreamData* stream,
                                          AggregateOptions options,
-                                         ArtifactCache* sweep_cache)
+                                         ArtifactCache* sweep_cache,
+                                         obs::QueryTrace* trace)
     : stream_(stream),
       cache_(sweep_cache != nullptr ? sweep_cache : stream->artifact_cache),
-      options_(options) {}
+      options_(options),
+      trace_(trace) {}
 
 Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
                                                  double confidence,
@@ -66,29 +69,36 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
   SpecializedNNConfig nn_config = options_.nn;
   nn_config.train.seed = HashCombine(options_.seed, 0xaaaa);
   nn_config.cache = cache_;
-  auto trained = SpecializedNN::Train(*stream_->train_day, {train_counts},
-                                      nn_config);
+  Result<SpecializedNN> trained = [&] {
+    obs::TraceSpan span(trace_, "train", &meter);
+    return SpecializedNN::Train(*stream_->train_day, {train_counts},
+                                nn_config);
+  }();
   BLAZEIT_RETURN_NOT_OK(trained.status());
   SpecializedNN nn = std::move(trained).value();
   meter.ChargeTraining(nn.trained_frames());
 
   // --- estimate the NN's error on the held-out day via the bootstrap ---
-  const SyntheticVideo& held_out = *stream_->held_out_day;
-  const std::vector<int>& held_truth =
-      stream_->held_out_labels->Counts(class_id);
-  std::vector<int64_t> held_frames(static_cast<size_t>(held_out.num_frames()));
-  std::iota(held_frames.begin(), held_frames.end(), 0);
-  std::vector<float> held_pred =
-      nn.ExpectedCountsForFrames(held_out, held_frames);
-  std::vector<double> predicted(held_pred.begin(), held_pred.end());
-  std::vector<double> truth(held_truth.begin(), held_truth.end());
-  meter.ChargeSpecializedNN(held_out.num_frames());
-  meter.ChargeThresholding(held_out.num_frames());
-  auto boot = BootstrapAbsError(predicted, truth, confidence,
-                                options_.bootstrap_resamples,
-                                HashCombine(options_.seed, 0xbbbb));
-  BLAZEIT_RETURN_NOT_OK(boot.status());
-  nn_bootstrap_ = boot.value();
+  {
+    obs::TraceSpan span(trace_, "holdout-bootstrap", &meter);
+    const SyntheticVideo& held_out = *stream_->held_out_day;
+    const std::vector<int>& held_truth =
+        stream_->held_out_labels->Counts(class_id);
+    std::vector<int64_t> held_frames(
+        static_cast<size_t>(held_out.num_frames()));
+    std::iota(held_frames.begin(), held_frames.end(), 0);
+    std::vector<float> held_pred =
+        nn.ExpectedCountsForFrames(held_out, held_frames);
+    std::vector<double> predicted(held_pred.begin(), held_pred.end());
+    std::vector<double> truth(held_truth.begin(), held_truth.end());
+    meter.ChargeSpecializedNN(held_out.num_frames());
+    meter.ChargeThresholding(held_out.num_frames());
+    auto boot = BootstrapAbsError(predicted, truth, confidence,
+                                  options_.bootstrap_resamples,
+                                  HashCombine(options_.seed, 0xbbbb));
+    BLAZEIT_RETURN_NOT_OK(boot.status());
+    nn_bootstrap_ = boot.value();
+  }
 
   // --- run the NN over the unseen test day (both paths need it) ---
   // The full-day NN sweeps (here and on the held-out day above) are the
@@ -102,14 +112,18 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
   const int64_t n_window = window.end - window.begin;
   std::vector<int64_t> test_frames(static_cast<size_t>(n_window));
   std::iota(test_frames.begin(), test_frames.end(), window.begin);
-  nn_counts_ = nn.ExpectedCountsForFrames(test, test_frames);
-  meter.ChargeSpecializedNN(n_window);
+  {
+    obs::TraceSpan span(trace_, "test-sweep", &meter);
+    nn_counts_ = nn.ExpectedCountsForFrames(test, test_frames);
+    meter.ChargeSpecializedNN(n_window);
+  }
 
   AggregateResult result;
   result.nn_error_bound = nn_bootstrap_->error_quantile;
 
   // --- Algorithm 1 branch: rewrite if the NN is provably accurate ---
   if (options_.allow_query_rewrite && nn_bootstrap_->error_quantile < error) {
+    obs::TraceSpan span(trace_, "estimate:query-rewrite", &meter);
     OnlineStats stats;
     for (float v : nn_counts_) stats.Add(v);
     result.estimate = stats.Mean();
@@ -124,6 +138,7 @@ Result<AggregateResult> AggregationExecutor::Run(int class_id, double error,
   }
 
   // --- control variates: NN as the cheap correlated auxiliary ---
+  obs::TraceSpan estimate_span(trace_, "estimate:control-variates", &meter);
   // Sampler indices are window-relative: index i means test frame
   // window.begin + i, so the proxy/oracle pair stays aligned with
   // nn_counts_ (which holds only window frames).
@@ -177,6 +192,7 @@ Result<AggregateResult> AggregationExecutor::RunPlainAqp(int class_id,
                                                          double confidence,
                                                          FrameWindow window,
                                                          CostMeter meter) {
+  obs::TraceSpan span(trace_, "estimate:plain-aqp", &meter);
   const std::vector<int>& test_truth = stream_->test_labels->Counts(class_id);
   CostMeter* meter_ptr = &meter;
   const int64_t window_begin = window.begin;

@@ -13,6 +13,10 @@
 
 namespace blazeit {
 
+namespace obs {
+class QueryTrace;  // obs/trace.h
+}
+
 /// Which path Algorithm 1 ended up taking.
 enum class AggregateMethod {
   kQueryRewrite,     // specialized NN accurate enough; ran it alone
@@ -63,9 +67,11 @@ class AggregationExecutor {
   /// `stream` must outlive the executor. `sweep_cache` overrides the
   /// stream's artifact cache (ExecuteBatch hands the batch's
   /// SweepCacheView in here so concurrent queries share NN sweeps);
-  /// nullptr keeps the stream's persistent cache.
+  /// nullptr keeps the stream's persistent cache. `trace` (nullable)
+  /// receives train/sweep/estimate stage spans.
   AggregationExecutor(StreamData* stream, AggregateOptions options = {},
-                      ArtifactCache* sweep_cache = nullptr);
+                      ArtifactCache* sweep_cache = nullptr,
+                      obs::QueryTrace* trace = nullptr);
 
   /// Runs FCOUNT(class) ERROR WITHIN `error` AT CONFIDENCE `confidence`
   /// over the test-day frames in `window` (default: the whole day). The
@@ -91,6 +97,7 @@ class AggregationExecutor {
   StreamData* stream_;
   ArtifactCache* cache_;
   AggregateOptions options_;
+  obs::QueryTrace* trace_;
   std::vector<float> nn_counts_;
   std::optional<BootstrapResult> nn_bootstrap_;
 };

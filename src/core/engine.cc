@@ -10,6 +10,7 @@
 #include "filters/calibration.h"
 #include "filters/label_filter.h"
 #include "frameql/parser.h"
+#include "obs/counting_cache.h"
 #include "storage/segment_sketch.h"
 #include "track/iou_tracker.h"
 #include "util/logging.h"
@@ -41,18 +42,35 @@ SketchProbe ProbeForQuery(const StreamData& stream,
 
 /// Candidate subranges of `window` under the stream's sketch index, or
 /// the whole window when no current index exists (or indexing is off).
+/// `sketch` (nullable) receives the consultation outcome for the query's
+/// ExecutionReport.
 std::vector<SketchIndex::FrameRange> CandidateRangesForScan(
     const StreamData& stream, const AnalyzedQuery& query, FrameWindow window,
-    bool use_store_index) {
+    bool use_store_index, obs::SketchStats* sketch) {
+  const int64_t window_frames =
+      window.end > window.begin ? window.end - window.begin : 0;
+  if (sketch != nullptr) {
+    sketch->consulted = use_store_index && stream.detection_store != nullptr;
+    sketch->window_frames = window_frames;
+    sketch->candidate_frames = window_frames;
+  }
   if (use_store_index && stream.detection_store != nullptr) {
     SketchIndex index = SketchIndex::Load(stream.detection_store,
                                           stream.test_detections_ns);
     if (index.valid()) {
-      return index.CandidateRanges(window.begin, window.end,
-                                   ProbeForQuery(stream, query));
+      std::vector<SketchIndex::FrameRange> ranges = index.CandidateRanges(
+          window.begin, window.end, ProbeForQuery(stream, query));
+      if (sketch != nullptr) {
+        sketch->pruned = true;
+        sketch->candidate_frames = 0;
+        for (const auto& range : ranges) {
+          sketch->candidate_frames += range.end - range.begin;
+        }
+      }
+      return ranges;
     }
   }
-  if (window.end <= window.begin) return {};
+  if (window_frames == 0) return {};
   return {{window.begin, window.end}};
 }
 
@@ -62,26 +80,57 @@ BlazeItEngine::BlazeItEngine(VideoCatalog* catalog, EngineOptions options)
     : catalog_(catalog), options_(options) {}
 
 Result<BlazeItEngine::Prepared> BlazeItEngine::Prepare(
-    const std::string& frameql) {
-  BLAZEIT_ASSIGN_OR_RETURN(FrameQLQuery parsed, ParseFrameQL(frameql));
+    const std::string& frameql, obs::QueryTrace* trace) {
   Prepared prepared;
-  BLAZEIT_ASSIGN_OR_RETURN(prepared.stream,
-                           catalog_->GetStream(parsed.table));
-  BLAZEIT_ASSIGN_OR_RETURN(
-      prepared.query, AnalyzeQuery(parsed, prepared.stream->config));
+  FrameQLQuery parsed;
+  {
+    obs::TraceSpan span(trace, "parse");
+    BLAZEIT_ASSIGN_OR_RETURN(parsed, ParseFrameQL(frameql));
+  }
+  {
+    obs::TraceSpan span(trace, "analyze");
+    BLAZEIT_ASSIGN_OR_RETURN(prepared.stream,
+                             catalog_->GetStream(parsed.table));
+    BLAZEIT_ASSIGN_OR_RETURN(
+        prepared.query, AnalyzeQuery(parsed, prepared.stream->config));
+  }
   return prepared;
 }
 
 Result<QueryOutput> BlazeItEngine::Execute(const std::string& frameql) {
-  BLAZEIT_ASSIGN_OR_RETURN(Prepared prepared, Prepare(frameql));
+  std::shared_ptr<obs::QueryTrace> trace;
+  if (options_.collect_reports) {
+    trace = std::make_shared<obs::QueryTrace>(frameql);
+  }
+  BLAZEIT_ASSIGN_OR_RETURN(Prepared prepared, Prepare(frameql, trace.get()));
   return ExecutePrepared(prepared.stream, prepared.query,
-                         /*sweep_cache=*/nullptr);
+                         /*sweep_cache=*/nullptr, frameql, std::move(trace));
 }
 
 Result<QueryOutput> BlazeItEngine::ExecutePrepared(
     StreamData* stream, const AnalyzedQuery& query,
-    ArtifactCache* sweep_cache) {
-  PlanChoice plan = ChoosePlan(query, stream);
+    ArtifactCache* sweep_cache, const std::string& frameql,
+    std::shared_ptr<obs::QueryTrace> trace) {
+  std::shared_ptr<obs::ExecutionReport> report;
+  std::optional<obs::CountingCacheView> counting;
+  if (options_.collect_reports) {
+    report = std::make_shared<obs::ExecutionReport>();
+    report->query = frameql;
+    if (trace == nullptr) trace = std::make_shared<obs::QueryTrace>(frameql);
+    // Count the query's artifact-cache traffic by wrapping whatever cache
+    // the executors would have used (possibly none). Output-neutral: a
+    // cache hit is bit-identical to recomputation and the wrapper only
+    // observes, so results and simulated costs are unchanged.
+    counting.emplace(sweep_cache != nullptr ? sweep_cache
+                                            : stream->artifact_cache);
+    sweep_cache = &*counting;
+  }
+
+  PlanChoice plan;
+  {
+    obs::TraceSpan span(trace.get(), "optimize");
+    plan = ChoosePlan(query, stream);
+  }
   BLAZEIT_LOG(kDebug) << "plan: " << PlanKindName(plan.kind) << " — "
                       << plan.rationale;
 
@@ -90,65 +139,94 @@ Result<QueryOutput> BlazeItEngine::ExecutePrepared(
   out.plan = plan.kind;
   out.plan_description = plan.rationale;
 
-  switch (query.kind) {
-    case QueryKind::kAggregate: {
-      BLAZEIT_ASSIGN_OR_RETURN(
-          FrameWindow window,
-          ResolveFrameWindow(query, stream->config.fps,
-                             stream->test_day->num_frames()));
-      AggregationExecutor executor(stream, options_.aggregate, sweep_cache);
-      BLAZEIT_ASSIGN_OR_RETURN(
-          AggregateResult agg,
-          executor.Run(query.agg_class, query.error, query.confidence,
-                       window));
-      out.scalar = agg.estimate;
-      if (query.scale_to_total) {
-        // COUNT(*) scales the frame-averaged estimate by the number of
-        // frames the query actually ranges over.
-        out.scalar *= static_cast<double>(window.end - window.begin);
+  const std::string execute_label =
+      std::string("execute:") + PlanKindName(plan.kind);
+  obs::TraceSpan execute_span(trace.get(), execute_label.c_str());
+
+  Result<QueryOutput> executed = [&]() -> Result<QueryOutput> {
+    switch (query.kind) {
+      case QueryKind::kAggregate: {
+        BLAZEIT_ASSIGN_OR_RETURN(
+            FrameWindow window,
+            ResolveFrameWindow(query, stream->config.fps,
+                               stream->test_day->num_frames()));
+        AggregationExecutor executor(stream, options_.aggregate, sweep_cache,
+                                     trace.get());
+        BLAZEIT_ASSIGN_OR_RETURN(
+            AggregateResult agg,
+            executor.Run(query.agg_class, query.error, query.confidence,
+                         window));
+        out.scalar = agg.estimate;
+        if (query.scale_to_total) {
+          // COUNT(*) scales the frame-averaged estimate by the number of
+          // frames the query actually ranges over.
+          out.scalar *= static_cast<double>(window.end - window.begin);
+        }
+        out.cost = agg.cost;
+        return out;
       }
-      out.cost = agg.cost;
-      return out;
-    }
-    case QueryKind::kCountDistinct:
-      return ExecuteCountDistinct(stream, query);
-    case QueryKind::kScrubbing: {
-      BLAZEIT_ASSIGN_OR_RETURN(
-          FrameWindow window,
-          ResolveFrameWindow(query, stream->config.fps,
-                             stream->test_day->num_frames()));
-      ScrubOptions scrub_options = options_.scrub;
-      scrub_options.use_store_index |= options_.use_store_index;
-      ScrubbingExecutor executor(stream, scrub_options, sweep_cache);
-      BLAZEIT_ASSIGN_OR_RETURN(
-          ScrubResult scrub,
-          executor.Run(query.requirements, query.limit, query.gap, window));
-      out.frames = scrub.frames;
-      out.cost = scrub.cost;
-      return out;
-    }
-    case QueryKind::kSelection: {
-      SelectionExecutor executor(stream, &udfs_, options_.selection,
-                                 sweep_cache);
-      BLAZEIT_ASSIGN_OR_RETURN(SelectionResult sel, executor.Run(query));
-      out.rows = std::move(sel.rows);
-      for (const SelectionEvent& event : sel.events) {
-        out.frames.push_back(event.first_frame);
+      case QueryKind::kCountDistinct:
+        return ExecuteCountDistinct(stream, query, trace.get(),
+                                    report.get());
+      case QueryKind::kScrubbing: {
+        BLAZEIT_ASSIGN_OR_RETURN(
+            FrameWindow window,
+            ResolveFrameWindow(query, stream->config.fps,
+                               stream->test_day->num_frames()));
+        ScrubOptions scrub_options = options_.scrub;
+        scrub_options.use_store_index |= options_.use_store_index;
+        ScrubbingExecutor executor(stream, scrub_options, sweep_cache,
+                                   trace.get());
+        BLAZEIT_ASSIGN_OR_RETURN(
+            ScrubResult scrub,
+            executor.Run(query.requirements, query.limit, query.gap,
+                         window));
+        out.frames = scrub.frames;
+        out.cost = scrub.cost;
+        if (report != nullptr) {
+          report->sketch.consulted = scrub.sketch_consulted;
+          report->sketch.pruned = scrub.sketch_pruned;
+          report->sketch.window_frames = scrub.sketch_window_frames;
+          report->sketch.candidate_frames = scrub.sketch_candidate_frames;
+        }
+        return out;
       }
-      out.cost = sel.cost;
-      out.plan_description += " | " + sel.plan;
-      return out;
+      case QueryKind::kSelection: {
+        SelectionExecutor executor(stream, &udfs_, options_.selection,
+                                   sweep_cache, trace.get());
+        BLAZEIT_ASSIGN_OR_RETURN(SelectionResult sel, executor.Run(query));
+        out.rows = std::move(sel.rows);
+        for (const SelectionEvent& event : sel.events) {
+          out.frames.push_back(event.first_frame);
+        }
+        out.cost = sel.cost;
+        out.plan_description += " | " + sel.plan;
+        return out;
+      }
+      case QueryKind::kBinarySelect:
+        return ExecuteBinarySelect(stream, query, sweep_cache, trace.get());
+      case QueryKind::kExhaustive:
+        return ExecuteFullScan(stream, query, trace.get(), report.get());
     }
-    case QueryKind::kBinarySelect:
-      return ExecuteBinarySelect(stream, query, sweep_cache);
-    case QueryKind::kExhaustive:
-      return ExecuteFullScan(stream, query);
+    return Status::Internal("unhandled query kind");
+  }();
+  if (!executed.ok()) return executed;
+
+  QueryOutput result = std::move(executed).value();
+  if (report != nullptr) {
+    report->plan = PlanKindName(result.plan);
+    report->plan_description = result.plan_description;
+    report->FillCost(result.cost);
+    report->cache = counting->stats();
+    report->trace = trace;
+    result.report = std::move(report);
   }
-  return Status::Internal("unhandled query kind");
+  return result;
 }
 
 Result<QueryOutput> BlazeItEngine::ExecuteCountDistinct(
-    StreamData* stream, const AnalyzedQuery& query) {
+    StreamData* stream, const AnalyzedQuery& query, obs::QueryTrace* trace,
+    obs::ExecutionReport* report) {
   // Entity resolution requires consecutive-frame detections, so this runs
   // the detector over the query's full time range (the paper does not
   // optimize distinct counts; they are supported for completeness of
@@ -181,6 +259,18 @@ Result<QueryOutput> BlazeItEngine::ExecuteCountDistinct(
   if (!pruned && window.end > window.begin) {
     ranges.push_back({window.begin, window.end});
   }
+  if (report != nullptr) {
+    report->sketch.consulted =
+        options_.use_store_index && stream->detection_store != nullptr;
+    report->sketch.pruned = pruned;
+    report->sketch.window_frames =
+        window.end > window.begin ? window.end - window.begin : 0;
+    report->sketch.candidate_frames = 0;
+    for (const auto& range : ranges) {
+      report->sketch.candidate_frames += range.end - range.begin;
+    }
+  }
+  obs::TraceSpan span(trace, "track", &out.cost);
   IouTracker tracker;
   int64_t distinct = 0;
   int64_t walked_to = window.begin;
@@ -203,7 +293,7 @@ Result<QueryOutput> BlazeItEngine::ExecuteCountDistinct(
 
 Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
     StreamData* stream, const AnalyzedQuery& query,
-    ArtifactCache* sweep_cache) {
+    ArtifactCache* sweep_cache, obs::QueryTrace* trace) {
   // NoScope replication: a specialized NN filters frames; the detector
   // verifies everything the NN lets through, so false positives are
   // eliminated and the false-negative rate is controlled by calibrating
@@ -230,6 +320,7 @@ Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
       stream->test_labels->Counts(query.sel_class);
   if (positives == 0) {
     // Cannot specialize: verify every frame in range.
+    obs::TraceSpan span(trace, "verify", &out.cost);
     for (int64_t t = window.begin; t < window.end; ++t) {
       out.cost.ChargeDetection();
       if (test_counts[static_cast<size_t>(t)] > 0) out.frames.push_back(t);
@@ -241,28 +332,39 @@ Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
   nn_config.train.seed = HashCombine(options_.selection.seed, 0xb1de);
   nn_config.cache =
       sweep_cache != nullptr ? sweep_cache : stream->artifact_cache;
-  auto trained =
-      SpecializedNN::Train(*stream->train_day, {train_counts}, nn_config);
+  Result<SpecializedNN> trained = [&] {
+    obs::TraceSpan span(trace, "train", &out.cost);
+    return SpecializedNN::Train(*stream->train_day, {train_counts},
+                                nn_config);
+  }();
   BLAZEIT_RETURN_NOT_OK(trained.status());
   out.cost.ChargeTraining(trained.value().trained_frames());
   LabelFilter filter(std::move(trained).value(), {1});
 
-  std::vector<char> positive_mask;
-  positive_mask.reserve(
-      static_cast<size_t>(stream->held_out_day->num_frames()));
-  const std::vector<int>& held_counts =
-      stream->held_out_labels->Counts(query.sel_class);
-  for (int c : held_counts) positive_mask.push_back(c > 0 ? 1 : 0);
-  auto calib = CalibrateNoFalseNegatives(&filter, *stream->held_out_day,
-                                         positive_mask);
-  BLAZEIT_RETURN_NOT_OK(calib.status());
-  out.cost.ChargeSpecializedNN(stream->held_out_day->num_frames());
+  {
+    obs::TraceSpan span(trace, "calibrate", &out.cost);
+    std::vector<char> positive_mask;
+    positive_mask.reserve(
+        static_cast<size_t>(stream->held_out_day->num_frames()));
+    const std::vector<int>& held_counts =
+        stream->held_out_labels->Counts(query.sel_class);
+    for (int c : held_counts) positive_mask.push_back(c > 0 ? 1 : 0);
+    auto calib = CalibrateNoFalseNegatives(&filter, *stream->held_out_day,
+                                           positive_mask);
+    BLAZEIT_RETURN_NOT_OK(calib.status());
+    out.cost.ChargeSpecializedNN(stream->held_out_day->num_frames());
+  }
 
   const int64_t n_window = window.end - window.begin;
   std::vector<int64_t> test_frames(static_cast<size_t>(n_window));
   std::iota(test_frames.begin(), test_frames.end(), window.begin);
-  std::vector<double> scores = filter.ScoreBatch(test, test_frames);
-  out.cost.ChargeSpecializedNN(n_window);
+  std::vector<double> scores;
+  {
+    obs::TraceSpan span(trace, "sweep", &out.cost);
+    scores = filter.ScoreBatch(test, test_frames);
+    out.cost.ChargeSpecializedNN(n_window);
+  }
+  obs::TraceSpan span(trace, "verify", &out.cost);
   for (int64_t i = 0; i < n_window; ++i) {
     const int64_t t = window.begin + i;
     if (scores[static_cast<size_t>(i)] < filter.threshold()) continue;
@@ -273,7 +375,8 @@ Result<QueryOutput> BlazeItEngine::ExecuteBinarySelect(
 }
 
 Result<QueryOutput> BlazeItEngine::ExecuteFullScan(
-    StreamData* stream, const AnalyzedQuery& query) {
+    StreamData* stream, const AnalyzedQuery& query, obs::QueryTrace* trace,
+    obs::ExecutionReport* report) {
   QueryOutput out;
   out.kind = query.kind;
   out.plan = PlanKind::kFullScan;
@@ -300,7 +403,9 @@ Result<QueryOutput> BlazeItEngine::ExecuteFullScan(
   // pruned segment provably contains no matching frame, so skipping it
   // removes only detector charges, never results.
   const std::vector<SketchIndex::FrameRange> ranges = CandidateRangesForScan(
-      *stream, query, window, options_.use_store_index);
+      *stream, query, window, options_.use_store_index,
+      report != nullptr ? &report->sketch : nullptr);
+  obs::TraceSpan span(trace, "scan", &out.cost);
   for (const auto& range : ranges) {
     for (int64_t t = range.begin; t < range.end; ++t) {
       out.cost.ChargeDetection();
@@ -358,9 +463,17 @@ Result<BatchOutput> BlazeItEngine::ExecuteBatch(
   out.stats.assign(n, BatchQueryStats{});
 
   // --- front half of every query: parse, bind, analyze ---
+  // One trace per query, created up front so the serial front half's
+  // spans land on it; per-query traces are what keeps batch tracing free
+  // of cross-query bleed (each trace is only ever written by the one
+  // thread executing its query).
+  std::vector<std::shared_ptr<obs::QueryTrace>> traces(n);
   std::vector<std::optional<Prepared>> prepared(n);
   for (size_t i = 0; i < n; ++i) {
-    auto p = Prepare(queries[i]);
+    if (options_.collect_reports) {
+      traces[i] = std::make_shared<obs::QueryTrace>(queries[i]);
+    }
+    auto p = Prepare(queries[i], traces[i].get());
     if (p.ok()) {
       prepared[i] = std::move(p).value();
     } else {
@@ -401,8 +514,8 @@ Result<BatchOutput> BlazeItEngine::ExecuteBatch(
         for (size_t idx : groups[static_cast<size_t>(g)]) {
           Prepared& p = *prepared[idx];
           SweepCacheView view(sweeps, p.stream->artifact_cache);
-          Result<QueryOutput> result =
-              ExecutePrepared(p.stream, p.query, &view);
+          Result<QueryOutput> result = ExecutePrepared(
+              p.stream, p.query, &view, queries[idx], traces[idx]);
           // Stats are filled only for successful queries (the documented
           // all-zero contract for failures).
           if (result.ok()) {
@@ -411,6 +524,13 @@ Result<BatchOutput> BlazeItEngine::ExecuteBatch(
             qs.shared_nn_frames = view.shared_nn_frames();
             qs.shared_filter_frames = view.shared_filter_frames();
             qs.shared_models = view.shared_models();
+            if (result.value().report != nullptr) {
+              obs::ExecutionReport& report = *result.value().report;
+              report.batch_group = g;
+              report.cache.shared_nn_frames = qs.shared_nn_frames;
+              report.cache.shared_filter_frames = qs.shared_filter_frames;
+              report.cache.shared_models = qs.shared_models;
+            }
             const CostMeter& cost = result.value().cost;
             qs.standalone_seconds = cost.TotalSeconds();
             double saved =

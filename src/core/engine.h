@@ -1,6 +1,7 @@
 #ifndef BLAZEIT_CORE_ENGINE_H_
 #define BLAZEIT_CORE_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/scrubbing.h"
 #include "core/selection.h"
 #include "core/udf.h"
+#include "obs/report.h"
 #include "sim/cost_model.h"
 #include "util/status.h"
 
@@ -31,6 +33,12 @@ struct EngineOptions {
   /// with and without a store (the store_invariance_test contract); a
   /// no-op for streams without a store or without current sketches.
   bool use_store_index = false;
+  /// Attach an obs::ExecutionReport (plan, stage trace, simulated-cost
+  /// breakdown, cache/sketch hit rates) to every QueryOutput. Reporting
+  /// only observes: query outputs and simulated costs are bit-identical
+  /// with it on or off. Off by default — the per-frame cache-counting
+  /// wrapper and span bookkeeping cost a little wall-clock.
+  bool collect_reports = false;
 };
 
 /// Everything a FrameQL query can return.
@@ -47,6 +55,10 @@ struct QueryOutput {
   CostMeter cost;
   /// The optimizer's plan description.
   std::string plan_description;
+  /// EXPLAIN-style report (null unless EngineOptions::collect_reports).
+  /// Shared so batch execution can fill in group/sharing fields after the
+  /// per-query run completes.
+  std::shared_ptr<obs::ExecutionReport> report;
 };
 
 /// Per-query diagnostics of one ExecuteBatch call. The per-query
@@ -142,20 +154,31 @@ class BlazeItEngine {
     AnalyzedQuery query;
   };
 
-  Result<Prepared> Prepare(const std::string& frameql);
+  /// `trace` (nullable) records parse/analyze spans.
+  Result<Prepared> Prepare(const std::string& frameql,
+                           obs::QueryTrace* trace = nullptr);
   /// Plan choice + dispatch. `sweep_cache` overrides the stream's
-  /// artifact cache for the executors (nullptr = standalone execution).
+  /// artifact cache for the executors (nullptr = standalone execution);
+  /// `frameql` and `trace` feed the ExecutionReport when
+  /// options_.collect_reports is on (trace is null otherwise).
   Result<QueryOutput> ExecutePrepared(StreamData* stream,
                                       const AnalyzedQuery& query,
-                                      ArtifactCache* sweep_cache);
+                                      ArtifactCache* sweep_cache,
+                                      const std::string& frameql,
+                                      std::shared_ptr<obs::QueryTrace> trace);
 
   Result<QueryOutput> ExecuteCountDistinct(StreamData* stream,
-                                           const AnalyzedQuery& query);
+                                           const AnalyzedQuery& query,
+                                           obs::QueryTrace* trace,
+                                           obs::ExecutionReport* report);
   Result<QueryOutput> ExecuteBinarySelect(StreamData* stream,
                                           const AnalyzedQuery& query,
-                                          ArtifactCache* sweep_cache);
+                                          ArtifactCache* sweep_cache,
+                                          obs::QueryTrace* trace);
   Result<QueryOutput> ExecuteFullScan(StreamData* stream,
-                                      const AnalyzedQuery& query);
+                                      const AnalyzedQuery& query,
+                                      obs::QueryTrace* trace,
+                                      obs::ExecutionReport* report);
 
   VideoCatalog* catalog_;
   EngineOptions options_;

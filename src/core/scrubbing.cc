@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "exec/parallel_for.h"
+#include "obs/trace.h"
 #include "storage/segment_sketch.h"
 #include "util/logging.h"
 
@@ -128,10 +129,12 @@ struct ScrubbingExecutor::FrameRanges {
 };
 
 ScrubbingExecutor::ScrubbingExecutor(StreamData* stream, ScrubOptions options,
-                                     ArtifactCache* sweep_cache)
+                                     ArtifactCache* sweep_cache,
+                                     obs::QueryTrace* trace)
     : stream_(stream),
       cache_(sweep_cache != nullptr ? sweep_cache : stream->artifact_cache),
-      options_(options) {}
+      options_(options),
+      trace_(trace) {}
 
 Result<ScrubResult> ScrubbingExecutor::Run(
     const std::vector<ClassCountRequirement>& reqs, int64_t limit,
@@ -171,10 +174,21 @@ Result<ScrubResult> ScrubbingExecutor::Run(
       }
     }
   }
+  const bool sketch_consulted =
+      options_.use_store_index && stream_->detection_store != nullptr;
+  const int64_t n_window = window.end - window.begin;
+  auto fill_sketch_stats = [&](ScrubResult* r) {
+    r->sketch_consulted = sketch_consulted;
+    r->sketch_pruned = candidates.pruned;
+    r->sketch_window_frames = n_window;
+    r->sketch_candidate_frames =
+        candidates.pruned ? candidates.total_frames() : n_window;
+  };
   if (candidates.ranges.empty()) {
     // Every segment of the window is provably free of matches.
     ScrubResult empty;
     empty.scan_exhausted = true;
+    fill_sketch_stats(&empty);
     return empty;
   }
 
@@ -207,7 +221,10 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   if (train_instances == 0) {
     BLAZEIT_LOG(kDebug) << "no instances of the scrubbing query in the "
                            "training set; falling back to sequential scan";
-    return RunSequentialFallback(reqs, limit, gap, meter, scan_order);
+    Result<ScrubResult> fallback =
+        RunSequentialFallback(reqs, limit, gap, meter, scan_order);
+    if (fallback.ok()) fill_sketch_stats(&fallback.value());
+    return fallback;
   }
 
   // --- train one NN with a count head per class ---
@@ -221,8 +238,10 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   SpecializedNNConfig nn_config = options_.nn;
   nn_config.train.seed = HashCombine(options_.seed, 0x5c4b);
   nn_config.cache = cache_;
-  auto trained =
-      SpecializedNN::Train(*stream_->train_day, head_labels, nn_config);
+  Result<SpecializedNN> trained = [&] {
+    obs::TraceSpan span(trace_, "train", &meter);
+    return SpecializedNN::Train(*stream_->train_day, head_labels, nn_config);
+  }();
   BLAZEIT_RETURN_NOT_OK(trained.status());
   SpecializedNN nn = std::move(trained).value();
   meter.ChargeTraining(nn.trained_frames());
@@ -235,7 +254,6 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   // break bit-identity — with smoothing on, everything is scored and the
   // refuted segments are skipped in the verification walk instead.
   const SyntheticVideo& test = *stream_->test_day;
-  const int64_t n_window = window.end - window.begin;
   const bool restricted_sweep =
       candidates.pruned && options_.confidence_smoothing <= 0;
   std::vector<int64_t> test_frames;
@@ -253,9 +271,12 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   auto mode = options_.conjunctive_product && reqs.size() > 1
                   ? SpecializedNN::ConjunctionMode::kProduct
                   : SpecializedNN::ConjunctionMode::kSum;
-  confidences_ =
-      nn.QueryConfidencesForFrames(test, test_frames, min_counts, mode);
-  meter.ChargeSpecializedNN(static_cast<int64_t>(test_frames.size()));
+  {
+    obs::TraceSpan span(trace_, "sweep", &meter);
+    confidences_ =
+        nn.QueryConfidencesForFrames(test, test_frames, min_counts, mode);
+    meter.ChargeSpecializedNN(static_cast<int64_t>(test_frames.size()));
+  }
 
   // Rank by the (optionally smoothed) confidence signal.
   std::vector<float> ranking_signal = confidences_;
@@ -286,6 +307,7 @@ Result<ScrubResult> ScrubbingExecutor::Run(
                    });
 
   // --- verify candidates with the full detector, best-first ---
+  obs::TraceSpan verify_span(trace_, "verify", &meter);
   ScrubResult result;
   std::vector<int64_t> accepted_sorted;
   bool limit_reached = false;
@@ -316,12 +338,14 @@ Result<ScrubResult> ScrubbingExecutor::Run(
   result.indexed_seconds = meter.detection_seconds();
   result.detection_calls = meter.detection_calls();
   result.cost = meter;
+  fill_sketch_stats(&result);
   return result;
 }
 
 Result<ScrubResult> ScrubbingExecutor::RunSequentialFallback(
     const std::vector<ClassCountRequirement>& reqs, int64_t limit,
     int64_t gap, CostMeter meter, const FrameRanges& ranges) {
+  obs::TraceSpan span(trace_, "scan", &meter);
   ScrubResult result;
   result.fell_back_to_scan = true;
   std::vector<int64_t> accepted_sorted;

@@ -11,6 +11,10 @@
 
 namespace blazeit {
 
+namespace obs {
+class QueryTrace;  // obs/trace.h
+}
+
 struct ScrubOptions {
   SpecializedNNConfig nn;
   /// Half-width (frames) of the moving average applied to the per-frame
@@ -61,6 +65,13 @@ struct ScrubResult {
   /// True when the training day had no instances of the query and the
   /// executor fell back to a sequential scan (Section 7.1).
   bool fell_back_to_scan = false;
+  /// Sketch-index activity, for the query's ExecutionReport: whether the
+  /// index was consulted, whether a current index pruned the walk, and
+  /// the window vs. candidate frame counts (equal when unpruned).
+  bool sketch_consulted = false;
+  bool sketch_pruned = false;
+  int64_t sketch_window_frames = 0;
+  int64_t sketch_candidate_frames = 0;
 };
 
 /// Executes cardinality-limited scrubbing queries (Section 7): trains one
@@ -74,9 +85,11 @@ class ScrubbingExecutor {
   /// `stream` must outlive the executor. `sweep_cache` overrides the
   /// stream's artifact cache (ExecuteBatch hands the batch's
   /// SweepCacheView in here so concurrent queries share NN sweeps);
-  /// nullptr keeps the stream's persistent cache.
+  /// nullptr keeps the stream's persistent cache. `trace` (nullable)
+  /// receives train/sweep/verify stage spans.
   ScrubbingExecutor(StreamData* stream, ScrubOptions options = {},
-                    ArtifactCache* sweep_cache = nullptr);
+                    ArtifactCache* sweep_cache = nullptr,
+                    obs::QueryTrace* trace = nullptr);
 
   /// Finds LIMIT matching frames among the test-day frames in `window`
   /// (default: the whole day).
@@ -100,6 +113,7 @@ class ScrubbingExecutor {
   StreamData* stream_;
   ArtifactCache* cache_;
   ScrubOptions options_;
+  obs::QueryTrace* trace_;
   std::vector<float> confidences_;
 };
 

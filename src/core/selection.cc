@@ -10,6 +10,7 @@
 #include "filters/label_filter.h"
 #include "filters/spatial_filter.h"
 #include "filters/temporal_filter.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -46,11 +47,13 @@ constexpr int kUdfRaster = 48;  // render size for object-level UDF checks
 SelectionExecutor::SelectionExecutor(StreamData* stream,
                                      const UdfRegistry* udfs,
                                      SelectionOptions options,
-                                     ArtifactCache* sweep_cache)
+                                     ArtifactCache* sweep_cache,
+                                     obs::QueryTrace* trace)
     : stream_(stream),
       udfs_(udfs),
       cache_(sweep_cache != nullptr ? sweep_cache : stream->artifact_cache),
-      options_(options) {}
+      options_(options),
+      trace_(trace) {}
 
 bool SelectionExecutor::FrameMatches(const LabeledSet& labels, int64_t frame,
                                      const AnalyzedQuery& query,
@@ -143,6 +146,7 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
   std::vector<char> predicate_positive(static_cast<size_t>(held.num_frames()),
                                        0);
   std::vector<char> class_positive(predicate_positive.size(), 0);
+  obs::TraceSpan holdout_span(trace_, "holdout-masks", &meter);
   exec::FramePipeline::Run(
       held.num_frames(),
       [&](int64_t begin, int64_t end, exec::FramePipeline::Scratch* scratch) {
@@ -155,10 +159,12 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
           }
         }
       });
+  holdout_span.Close();
 
   // ---- content filter (statistical; calibrated for no false negatives) --
   std::unique_ptr<ContentFilter> content;
   if (options_.use_content_filter) {
+    obs::TraceSpan span(trace_, "calibrate:content", &meter);
     for (const Predicate& pred : query.udf_predicates) {
       if (pred.kind != Predicate::Kind::kUdf) continue;
       if (pred.op != CmpOp::kGe && pred.op != CmpOp::kGt) continue;
@@ -203,6 +209,7 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
   // ---- label filter (specialized NN; calibrated on class presence) ----
   std::unique_ptr<LabelFilter> label;
   if (options_.use_label_filter) {
+    obs::TraceSpan span(trace_, "train:label-filter", &meter);
     const std::vector<int>& train_counts =
         stream_->train_labels->Counts(query.sel_class);
     int64_t positives = 0;
@@ -254,6 +261,7 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
   }
 
   // ---- execute the cascade over the test day, cheapest filter first ----
+  obs::TraceSpan cascade_span(trace_, "cascade", &meter);
   const SyntheticVideo& test = *stream_->test_day;
   SelectionResult result;
   std::vector<int64_t> matched_frames;
@@ -287,8 +295,10 @@ Result<SelectionResult> SelectionExecutor::Run(const AnalyzedQuery& query) {
   } else {
     after_label = std::move(after_content);
   }
+  cascade_span.Close();
   // Stage 3: full object detection on the survivors — serial: result.rows
   // appends in frame order and the cost meter is an ordered accumulator.
+  obs::TraceSpan verify_span(trace_, "verify", &meter);
   Image verify_scratch;
   for (int64_t frame : after_label) {
     meter.ChargeDetectionAspect(detection_aspect);

@@ -15,6 +15,10 @@
 
 namespace blazeit {
 
+namespace obs {
+class QueryTrace;  // obs/trace.h
+}
+
 /// Knobs enabling each inferred filter class; the Figure 11 factor
 /// analysis and lesion study toggle these.
 struct SelectionOptions {
@@ -66,9 +70,11 @@ class SelectionExecutor {
   /// overrides the stream's artifact cache (ExecuteBatch hands the
   /// batch's SweepCacheView in here so concurrent queries share NN and
   /// content-filter sweeps); nullptr keeps the stream's persistent cache.
+  /// `trace` (nullable) receives calibrate/train/cascade/verify spans.
   SelectionExecutor(StreamData* stream, const UdfRegistry* udfs,
                     SelectionOptions options = {},
-                    ArtifactCache* sweep_cache = nullptr);
+                    ArtifactCache* sweep_cache = nullptr,
+                    obs::QueryTrace* trace = nullptr);
 
   Result<SelectionResult> Run(const AnalyzedQuery& query);
 
@@ -87,6 +93,7 @@ class SelectionExecutor {
   const UdfRegistry* udfs_;
   ArtifactCache* cache_;
   SelectionOptions options_;
+  obs::QueryTrace* trace_;
 };
 
 /// Test-day frames whose *scene ground truth* satisfies the query

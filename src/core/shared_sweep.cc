@@ -1,6 +1,28 @@
 #include "core/shared_sweep.h"
 
+#include "obs/metrics.h"
+
 namespace blazeit {
+
+namespace {
+
+/// Registered kUnstable: which query of a concurrent batch group hits the
+/// shared tier (vs. computing and promoting) depends on scheduling — the
+/// values are scheduling-dependent even though query outputs are not (the
+/// shared value is bit-identical to recomputation by contract).
+obs::Counter* SharedHits() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "cache.hits{tier=shared}", obs::Stability::kUnstable);
+  return c;
+}
+
+obs::Counter* SharedPromotions() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "cache.promotions{tier=shared}", obs::Stability::kUnstable);
+  return c;
+}
+
+}  // namespace
 
 int64_t SharedSweepCache::frame_float_records() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -64,12 +86,14 @@ bool SweepCacheView::GetFrameFloats(uint64_t ns, int64_t frame,
                                     std::vector<float>* out) {
   if (shared_->GetFloats(ns, frame, out)) {
     ++shared_float_hits_;
+    SharedHits()->Add();
     return true;
   }
   if (underlying_ != nullptr && underlying_->GetFrameFloats(ns, frame, out)) {
     // Promote so later queries of the batch hit the memory tier; the
     // persistent value is bit-identical to recomputation by contract.
     shared_->PutFloats(ns, frame, *out);
+    SharedPromotions()->Add();
     return true;
   }
   return false;
@@ -85,11 +109,13 @@ bool SweepCacheView::GetFrameDoubles(uint64_t ns, int64_t frame,
                                      std::vector<double>* out) {
   if (shared_->GetDoubles(ns, frame, out)) {
     ++shared_double_hits_;
+    SharedHits()->Add();
     return true;
   }
   if (underlying_ != nullptr &&
       underlying_->GetFrameDoubles(ns, frame, out)) {
     shared_->PutDoubles(ns, frame, *out);
+    SharedPromotions()->Add();
     return true;
   }
   return false;
@@ -104,10 +130,12 @@ void SweepCacheView::PutFrameDoubles(uint64_t ns, int64_t frame,
 bool SweepCacheView::GetBlob(uint64_t ns, std::vector<float>* out) {
   if (shared_->GetBlob(ns, out)) {
     ++shared_blob_hits_;
+    SharedHits()->Add();
     return true;
   }
   if (underlying_ != nullptr && underlying_->GetBlob(ns, out)) {
     shared_->PutBlob(ns, *out);
+    SharedPromotions()->Add();
     return true;
   }
   return false;

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace blazeit {
 namespace exec {
 
@@ -136,10 +138,16 @@ void ThreadPool::WorkerLoop(int slot) {
 }
 
 void ThreadPool::WorkOn(Job* job, int slot) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* caller_shards = registry.GetCounter(
+      "exec.shards{where=caller}", obs::Stability::kUnstable);
+  static obs::Counter* worker_shards = registry.GetCounter(
+      "exec.shards{where=worker}", obs::Stability::kUnstable);
   for (;;) {
     const int64_t shard = job->next.fetch_add(1, std::memory_order_relaxed);
     if (shard >= job->num_shards) return;
     if (!job->cancelled.load(std::memory_order_relaxed)) {
+      (slot == 0 ? caller_shards : worker_shards)->Add();
       t_inside_shard = true;
       try {
         (*job->fn)(shard, slot);
@@ -165,11 +173,32 @@ void ThreadPool::RunShards(
     int64_t num_shards, const std::function<void(int64_t shard, int slot)>& fn) {
   if (num_shards <= 0) return;
 
+  // Call and shard counts are deterministic functions of the work (shard
+  // geometry is fixed-size and sharding decisions depend only on problem
+  // sizes), hence kStable; *where* each shard runs — inline, on the
+  // caller, or on a worker — and the queue depth are scheduling artifacts,
+  // hence kUnstable.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* run_calls =
+      registry.GetCounter("exec.run_calls", obs::Stability::kStable);
+  static obs::Counter* shards_total =
+      registry.GetCounter("exec.shards_total", obs::Stability::kStable);
+  static obs::Histogram* shards_per_run = registry.GetHistogram(
+      "exec.shards_per_run", {1, 2, 4, 8, 16, 32, 64, 128},
+      obs::Stability::kStable);
+  run_calls->Add();
+  shards_total->Add(num_shards);
+  shards_per_run->Observe(num_shards);
+
   // Serial paths: pool disabled, a single shard, or a nested call from
   // inside a shard (the pool is busy running *us*; queueing would
   // deadlock when every worker waits on its own sub-job). Inline
   // execution in ascending shard order is exactly the serial program.
   if (!enabled() || num_shards == 1 || t_inside_shard) {
+    static obs::Counter* inline_shards =
+        registry.GetCounter("exec.shards{where=inline}",
+                            obs::Stability::kUnstable);
+    inline_shards->Add(num_shards);
     for (int64_t shard = 0; shard < num_shards; ++shard) {
       fn(shard, 0);
     }
@@ -182,6 +211,9 @@ void ThreadPool::RunShards(
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->queue.push_back(&job);
+    static obs::Gauge* queue_depth =
+        registry.GetGauge("exec.queue_depth", obs::Stability::kUnstable);
+    queue_depth->Set(static_cast<int64_t>(impl_->queue.size()));
   }
   impl_->work_available.notify_all();
 

@@ -7,7 +7,9 @@
 
 #include "exec/frame_pipeline.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
 #include "nn/optimizer.h"
+#include "util/cpu_features.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "video/render_features.h"
@@ -190,6 +192,10 @@ Result<SpecializedNN> SpecializedNN::Train(
                     p.value->begin());
           offset += p.value->size();
         }
+        static obs::Counter* weight_hits =
+            obs::MetricsRegistry::Global().GetCounter(
+                "nn.weights_cache_hits", obs::Stability::kStable);
+        weight_hits->Add();
         return SpecializedNN(std::move(impl));
       }
       BLAZEIT_LOG(kWarning)
@@ -254,6 +260,10 @@ Result<SpecializedNN> SpecializedNN::Train(
     }
     BLAZEIT_LOG(kDebug) << "specialized NN epoch " << epoch << " loss "
                         << (batches ? epoch_loss / batches : 0.0);
+    static obs::Counter* train_batches =
+        obs::MetricsRegistry::Global().GetCounter("nn.train_batches",
+                                                  obs::Stability::kStable);
+    train_batches->Add(batches);
     opt.set_lr(opt.lr() * config.train.lr_decay);
   }
   if (config.cache != nullptr) {
@@ -321,6 +331,15 @@ std::vector<float> SpecializedNN::ProbsForFrames(
   // output bit: a partially warm cache and any thread count yield the
   // same floats as a cold serial run. Each shard writes only its own
   // frames' disjoint slices of `out`.
+  // Frames actually pushed through the kernels, labeled by the SIMD tier
+  // dispatch resolved to (latched for the process, so the label — like
+  // the count — is stable across pool sizes).
+  static obs::Counter* inference_frames =
+      obs::MetricsRegistry::Global().GetCounter(
+          std::string("nn.inference_frames{tier=") + ActiveSimdTierName() +
+              "}",
+          obs::Stability::kStable);
+  inference_frames->Add(static_cast<int64_t>(miss.size()));
   const int w = impl_->config.raster_width;
   const int h = impl_->config.raster_height;
   exec::FramePipeline::Run(

@@ -1,0 +1,154 @@
+#ifndef BLAZEIT_OBS_METRICS_H_
+#define BLAZEIT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace blazeit {
+namespace obs {
+
+/// Whether an instrument's value is a deterministic function of the work
+/// executed (kStable) or depends on scheduling — queue depths, which
+/// thread claimed a shard, cache races between concurrent groups
+/// (kUnstable). The determinism suite asserts bit-identical values across
+/// pool sizes for kStable instruments only; kUnstable instruments are
+/// still exported but excluded from that contract.
+enum class Stability { kStable, kUnstable };
+
+/// Monotonic counter. Add() is lock-free and safe from any thread.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time value (queue depth, pool size). Set/Add from any thread.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Integer-valued histogram with fixed bucket upper bounds. Values are
+/// integers (frame counts, bytes, shard counts) on purpose: integer sums
+/// are independent of accumulation order, so histogram totals stay inside
+/// the cross-thread-count determinism contract; a double sum would not.
+class Histogram {
+ public:
+  /// Records `v` into the first bucket whose upper bound is >= v (the
+  /// last bucket is unbounded).
+  void Observe(int64_t v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<int64_t> bucket_counts() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<int64_t> bounds);
+  std::vector<int64_t> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// One exported instrument value, decoupled from the live registry.
+struct MetricsSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    Stability stability = Stability::kStable;
+    /// Counter/gauge value; histogram observation count.
+    int64_t value = 0;
+    /// Histogram only.
+    int64_t sum = 0;
+    std::vector<int64_t> bounds;
+    std::vector<int64_t> buckets;
+  };
+
+  /// Sorted by name (the registry map order), so two snapshots of the
+  /// same instruments compare entry-by-entry.
+  std::vector<Entry> entries;
+
+  /// `name value` per line; histograms as count/sum/buckets.
+  std::string ToText() const;
+  /// {"metrics":[{"name":...,"kind":...,"stability":...,...},...]}
+  std::string ToJson() const;
+
+  /// This snapshot minus `base`: counters and histograms subtract the
+  /// baseline entry of the same name (absent baseline entries subtract
+  /// zero); gauges keep their current value. Used to isolate one query
+  /// run's activity out of the process-lifetime registry.
+  MetricsSnapshot DeltaFrom(const MetricsSnapshot& base) const;
+
+  /// Only the entries registered Stability::kStable — the set the
+  /// determinism suite compares across pool sizes.
+  MetricsSnapshot StableOnly() const;
+
+  const Entry* Find(const std::string& name) const;
+};
+
+/// Thread-safe instrument registry. Get* registers on first use and
+/// returns the same pointer ever after; instrument pointers are stable for
+/// the registry's lifetime, so hot paths cache them in function-local
+/// statics and never touch the registry lock again:
+///
+///   static obs::Counter* reads = obs::MetricsRegistry::Global().GetCounter(
+///       "store.payload_reads", obs::Stability::kStable);
+///   reads->Add();
+///
+/// Labels are formatted into the name by the caller, Prometheus-style:
+/// "cache.hits{tier=persistent,kind=blob}".
+class MetricsRegistry {
+ public:
+  /// The process-wide registry all built-in instrumentation uses.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, Stability stability);
+  Gauge* GetGauge(const std::string& name, Stability stability);
+  /// `bounds` is consulted only on first registration.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds, Stability stability);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Instrument {
+    MetricsSnapshot::Kind kind;
+    Stability stability;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace obs
+}  // namespace blazeit
+
+#endif  // BLAZEIT_OBS_METRICS_H_

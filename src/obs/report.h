@@ -1,0 +1,74 @@
+#ifndef BLAZEIT_OBS_REPORT_H_
+#define BLAZEIT_OBS_REPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/counting_cache.h"
+#include "obs/trace.h"
+#include "sim/cost_model.h"
+
+namespace blazeit {
+namespace obs {
+
+/// Sketch-index activity of one query (full scans, count-distinct, and
+/// scrubbing consult the index; other plans leave this default).
+struct SketchStats {
+  /// The plan asked the sketch index for candidates (use_store_index was
+  /// on and the plan supports pruning).
+  bool consulted = false;
+  /// A current index answered — candidate_frames is the pruned frame
+  /// count. False with consulted == true means the stale/absent fallback
+  /// ran (the whole window was walked).
+  bool pruned = false;
+  int64_t window_frames = 0;
+  int64_t candidate_frames = 0;
+};
+
+/// EXPLAIN-style artifact of one executed query: the chosen plan, the
+/// simulated-cost breakdown (copied from the query's CostMeter, so totals
+/// reconcile with QueryOutput::cost exactly), cache and sketch activity,
+/// and the lifecycle trace. Attached to QueryOutput when
+/// EngineOptions::collect_reports is on.
+struct ExecutionReport {
+  std::string query;
+  std::string plan;
+  std::string plan_description;
+  /// Shared-plan group index within the batch; -1 for standalone runs.
+  int64_t batch_group = -1;
+
+  // --- simulated-cost breakdown (== the QueryOutput's CostMeter) ---
+  int64_t detection_calls = 0;
+  int64_t specialized_nn_calls = 0;
+  int64_t filter_calls = 0;
+  int64_t training_frames = 0;
+  double detection_seconds = 0.0;
+  double specialized_nn_seconds = 0.0;
+  double filter_seconds = 0.0;
+  double training_seconds = 0.0;
+  double thresholding_seconds = 0.0;
+  double total_seconds = 0.0;
+  double query_seconds = 0.0;
+
+  CacheStats cache;
+  SketchStats sketch;
+
+  /// Present when tracing ran (always, under collect_reports).
+  std::shared_ptr<QueryTrace> trace;
+
+  /// Copies the meter's counters and seconds into the breakdown fields.
+  void FillCost(const CostMeter& meter);
+
+  /// Multi-line EXPLAIN text: plan, cost table, cache/sketch lines, and
+  /// the trace tree.
+  std::string ToText() const;
+  /// One JSON object; includes the Chrome trace under "trace" when
+  /// present, so the report is self-contained.
+  std::string ToJson() const;
+};
+
+}  // namespace obs
+}  // namespace blazeit
+
+#endif  // BLAZEIT_OBS_REPORT_H_

@@ -4,6 +4,23 @@
 #include <cstdint>
 #include <string>
 
+/// CostMeter's single-writer assertion (see below). Active in debug
+/// builds and — because the default CI build is RelWithDebInfo, where
+/// NDEBUG would compile a plain assert away — also under
+/// ThreadSanitizer, so the TSan CI lane always runs with the check on.
+#if !defined(NDEBUG) || defined(__SANITIZE_THREAD__)
+#define BLAZEIT_COSTMETER_THREAD_CHECK 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BLAZEIT_COSTMETER_THREAD_CHECK 1
+#endif
+#endif
+
+#ifdef BLAZEIT_COSTMETER_THREAD_CHECK
+#include <atomic>
+#include <thread>
+#endif
+
 namespace blazeit {
 
 /// Per-operation costs in simulated GPU/CPU seconds. Defaults follow the
@@ -38,10 +55,33 @@ struct CostProfile {
 /// Tracks the simulated time consumed by each operation class during query
 /// execution. All executors charge their work here; benchmarks read the
 /// totals to report "runtime" exactly the way the paper does.
+///
+/// Thread-safety: counters are plain fields on purpose — a meter belongs
+/// to exactly one query, and every charge site runs on that query's
+/// coordinating thread. The parallel stages (FramePipeline sweeps,
+/// ParallelMap scans) never charge; their callers charge the batched
+/// totals serially after the parallel section returns, which is also what
+/// keeps simulated costs bit-identical across pool sizes. The executors'
+/// one serial-context callback that charges from a lambda (the
+/// control-variates FrameOracle) runs on the coordinator too. This
+/// single-writer contract is asserted in debug/TSan builds: the first
+/// Charge* pins the owning thread, later charges from any other thread
+/// abort. Reset() (and copying, which the executors do when handing a
+/// meter by value) clears the owner, re-arming the check for the new
+/// context.
 class CostMeter {
  public:
   explicit CostMeter(CostProfile profile = CostProfile())
       : profile_(profile) {}
+
+#ifdef BLAZEIT_COSTMETER_THREAD_CHECK
+  /// The owner pin is an atomic, which would otherwise delete the copy
+  /// operations CostMeter relies on (AggregateExecutor passes meters by
+  /// value; QueryOutput copies them around). Copies take the counters but
+  /// not the owner: the copy belongs to whoever charges it next.
+  CostMeter(const CostMeter& other);
+  CostMeter& operator=(const CostMeter& other);
+#endif
 
   const CostProfile& profile() const { return profile_; }
 
@@ -78,6 +118,15 @@ class CostMeter {
   std::string ToString() const;
 
  private:
+#ifdef BLAZEIT_COSTMETER_THREAD_CHECK
+  /// Aborts if this meter has been charged from a different thread since
+  /// the last Reset()/copy. Called by every Charge*.
+  void CheckOwner();
+  std::atomic<std::thread::id> owner_{std::thread::id()};
+#else
+  void CheckOwner() {}
+#endif
+
   CostProfile profile_;
   int64_t detection_calls_ = 0;
   int64_t specialized_nn_calls_ = 0;

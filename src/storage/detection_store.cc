@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "obs/metrics.h"
 #include "storage/segment_sketch.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -194,6 +195,9 @@ Result<std::unique_ptr<StoreReader>> StoreReader::Open(
     BLAZEIT_RETURN_NOT_OK(reader->ScanAndIndex());
   }
   reader->in_.close();  // reopened lazily by ReadPayloadAt
+  static obs::Counter* opens = obs::MetricsRegistry::Global().GetCounter(
+      "store.segment_opens", obs::Stability::kStable);
+  opens->Add();
   return reader;
 }
 
@@ -232,6 +236,9 @@ Status StoreReader::ScanAndIndex() {
     index_[record.value().frame] = kStoreHeaderBytes + pos;
     pos += record.value().encoded_bytes;
   }
+  static obs::Counter* validated = obs::MetricsRegistry::Global().GetCounter(
+      "store.records_crc_validated", obs::Stability::kStable);
+  validated->Add(static_cast<int64_t>(index_.size()));
   return Status::OK();
 }
 
@@ -272,6 +279,13 @@ Result<std::string> StoreReader::ReadPayloadAt(uint64_t offset) {
                   StrFormat("%s: %s", path_.c_str(),
                             record.status().message().c_str()));
   }
+  static obs::Counter* reads = obs::MetricsRegistry::Global().GetCounter(
+      "store.payload_reads", obs::Stability::kStable);
+  static obs::Histogram* bytes = obs::MetricsRegistry::Global().GetHistogram(
+      "store.payload_bytes", {64, 256, 1024, 4096, 16384, 65536},
+      obs::Stability::kStable);
+  reads->Add();
+  bytes->Observe(static_cast<int64_t>(record.value().payload.size()));
   return std::move(record.value().payload);
 }
 
@@ -542,6 +556,9 @@ Status DetectionStore::FlushShardLocked(uint64_t ns, Shard* shard) {
   shard->segments.push_back(std::move(reader).value());
   pending_records_ -= static_cast<int64_t>(shard->pending.size());
   shard->pending.clear();
+  static obs::Counter* flushes = obs::MetricsRegistry::Global().GetCounter(
+      "store.segment_flushes", obs::Stability::kStable);
+  flushes->Add();
   return Status::OK();
 }
 
@@ -684,6 +701,9 @@ Status DetectionStore::RebuildSketchesLocked(uint64_t base_ns) {
   for (const SegmentSketch& block : blocks) {
     records.emplace(block.first_frame, EncodeSegmentSketchPayload(block));
   }
+  static obs::Counter* rebuilds = obs::MetricsRegistry::Global().GetCounter(
+      "store.sketch_rebuilds", obs::Stability::kStable);
+  rebuilds->Add();
   return ReplaceNamespaceLocked(SketchNamespace(base_ns), std::move(records));
 }
 
@@ -735,6 +755,9 @@ Result<std::vector<DetectionStore::SketchInfo>> DetectionStore::ListSketches() {
 Status DetectionStore::Repair(uint64_t ns, int64_t frame,
                               const std::string& payload) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  static obs::Counter* repairs = obs::MetricsRegistry::Global().GetCounter(
+      "store.record_repairs", obs::Stability::kStable);
+  repairs->Add();
   Shard& shard = shards_[ns];
   auto [it, inserted] = shard.pending.insert_or_assign(frame, payload);
   (void)it;
@@ -790,6 +813,9 @@ Result<DetectionStore::RepairStats> DetectionStore::Repair() {
       BLAZEIT_RETURN_NOT_OK(RebuildSketchesLocked(ns));
     }
   }
+  static obs::Counter* scans = obs::MetricsRegistry::Global().GetCounter(
+      "store.repair_scans", obs::Stability::kStable);
+  scans->Add();
   return stats;
 }
 
@@ -877,6 +903,9 @@ Result<DetectionStore::CompactionStats> DetectionStore::Compact() {
 
     RemoveSegmentsOrStrand(std::move(old_paths), &shard.stranded);
   }
+  static obs::Counter* compactions = obs::MetricsRegistry::Global().GetCounter(
+      "store.compactions", obs::Stability::kStable);
+  compactions->Add();
   return stats;
 }
 
@@ -907,6 +936,24 @@ int64_t DetectionStore::RecordCount(uint64_t ns) const {
   auto it = shards_.find(ns);
   if (it == shards_.end()) return 0;
   return RecordCountLocked(it->second.disk_index, it->second.pending);
+}
+
+std::vector<DetectionStore::NamespaceStats> DetectionStore::PerNamespaceStats()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<NamespaceStats> out;
+  out.reserve(shards_.size());
+  for (const auto& [ns, shard] : shards_) {
+    NamespaceStats stats;
+    stats.ns = ns;
+    stats.segments = static_cast<int64_t>(shard.segments.size());
+    stats.records = RecordCountLocked(shard.disk_index, shard.pending);
+    stats.pending = static_cast<int64_t>(shard.pending.size());
+    stats.shadowed = shard.shadowed;
+    stats.repair_generation = shard.repair_generation;
+    out.push_back(stats);
+  }
+  return out;
 }
 
 int64_t DetectionStore::TotalRecords() const {

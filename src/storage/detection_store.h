@@ -257,6 +257,21 @@ class DetectionStore {
   /// is next read.
   Result<RepairStats> Repair();
 
+  /// Per-namespace inventory for `storecli stats`: resolved record count
+  /// (disk winners + pending-only records, i.e. what RecordCount reports),
+  /// segment/pending/shadowed breakdown, and the repair generation.
+  struct NamespaceStats {
+    uint64_t ns = 0;
+    int64_t segments = 0;
+    int64_t records = 0;
+    int64_t pending = 0;
+    int64_t shadowed = 0;
+    uint64_t repair_generation = 0;
+  };
+
+  /// One entry per namespace, in ascending namespace order.
+  std::vector<NamespaceStats> PerNamespaceStats() const;
+
   const std::string& dir() const { return dir_; }
   std::vector<uint64_t> Namespaces() const;
   /// Records on disk + pending, across all namespaces.

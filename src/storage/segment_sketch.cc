@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "storage/detection_store.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -45,6 +46,29 @@ class Cursor {
 Status Malformed(const char* what) {
   return Status::ParseError(
       StrFormat("malformed segment-sketch payload: %s", what));
+}
+
+/// Load outcome accounting: how often queries found a current index vs.
+/// fell back to the full window (absent = never built, stale = built but
+/// out of date or unreadable).
+void CountLoad(const char* result) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* valid =
+      registry.GetCounter("sketch.loads{result=valid}",
+                          obs::Stability::kStable);
+  static obs::Counter* stale =
+      registry.GetCounter("sketch.loads{result=stale}",
+                          obs::Stability::kStable);
+  static obs::Counter* absent =
+      registry.GetCounter("sketch.loads{result=absent}",
+                          obs::Stability::kStable);
+  if (std::strcmp(result, "valid") == 0) {
+    valid->Add();
+  } else if (std::strcmp(result, "stale") == 0) {
+    stale->Add();
+  } else {
+    absent->Add();
+  }
 }
 
 /// Grid bucket answering threshold `t`: the largest bucket whose grid
@@ -332,13 +356,20 @@ SketchIndex SketchIndex::Load(DetectionStore* store, uint64_t base_ns) {
   if (store == nullptr) return index;
   const uint64_t sketch_ns = SketchNamespace(base_ns);
   auto meta_payload = store->GetRaw(sketch_ns, kSketchMetaFrame);
-  if (!meta_payload.ok()) return index;
+  if (!meta_payload.ok()) {
+    CountLoad("absent");
+    return index;
+  }
   auto meta = DecodeSketchMetaPayload(meta_payload.value());
-  if (!meta.ok() || meta.value().base_ns != base_ns) return index;
+  if (!meta.ok() || meta.value().base_ns != base_ns) {
+    CountLoad("absent");
+    return index;
+  }
   // Staleness gate: any Put since the build changes the base record
   // count, and Repair/Compact refresh the sketches in place, so a count
   // match means the sketches describe exactly what reads will serve.
   if (store->RecordCount(base_ns) != meta.value().base_record_count) {
+    CountLoad("stale");
     return index;
   }
   std::vector<SegmentSketch> blocks;
@@ -355,11 +386,13 @@ SketchIndex SketchIndex::Load(DetectionStore* store, uint64_t base_ns) {
       });
   if (!scan.ok() ||
       static_cast<int64_t>(blocks.size()) != meta.value().block_count) {
+    CountLoad("stale");
     return index;
   }
   index.meta_ = meta.value();
   index.blocks_ = std::move(blocks);  // Scan yields ascending frame order
   index.valid_ = true;
+  CountLoad("valid");
   return index;
 }
 
@@ -415,6 +448,10 @@ std::vector<SketchIndex::FrameRange> SketchIndex::CandidateRanges(
       out.push_back({b, e});
     }
   };
+  static obs::Counter* consulted = obs::MetricsRegistry::Global().GetCounter(
+      "sketch.blocks_consulted", obs::Stability::kStable);
+  static obs::Counter* refuted = obs::MetricsRegistry::Global().GetCounter(
+      "sketch.blocks_refuted", obs::Stability::kStable);
   int64_t pos = begin;
   for (const SegmentSketch& block : blocks_) {
     const int64_t b_begin = block.first_frame;
@@ -429,8 +466,11 @@ std::vector<SketchIndex::FrameRange> SketchIndex::CandidateRanges(
     // — an uncovered frame could hold anything.
     const bool fully_covered =
         i_end <= b_begin + static_cast<int64_t>(block.covered);
+    consulted->Add();
     if (!fully_covered || !SegmentCannotMatch(block, probe)) {
       emit(i_begin, i_end);
+    } else {
+      refuted->Add();
     }
     pos = i_end;
     if (pos >= end) break;

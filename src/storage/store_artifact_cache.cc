@@ -1,5 +1,6 @@
 #include "storage/store_artifact_cache.h"
 
+#include "obs/metrics.h"
 #include "storage/record_format.h"
 #include "util/logging.h"
 
@@ -15,6 +16,18 @@ void WarnOnce(const char* what, const Status& status) {
 /// artifacts computed by older implementations are never replayed.
 uint64_t Salted(uint64_t ns) {
   return HashCombine(ns, kDerivedArtifactEpoch);
+}
+
+obs::Counter* TierHits() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "cache.hits{tier=persistent}", obs::Stability::kStable);
+  return c;
+}
+
+obs::Counter* TierMisses() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "cache.misses{tier=persistent}", obs::Stability::kStable);
+  return c;
 }
 
 }  // namespace
@@ -42,9 +55,11 @@ bool StoreArtifactCache::GetFrameFloats(uint64_t ns, int64_t frame,
       MarkCorrupt(salted, frame);
     }
     ++misses_;
+    TierMisses()->Add();
     return false;
   }
   ++hits_;
+  TierHits()->Add();
   *out = std::move(values).value();
   return true;
 }
@@ -56,6 +71,9 @@ void StoreArtifactCache::RepairOrPut(uint64_t salted_ns, int64_t frame,
     st = store_->Repair(salted_ns, frame, payload);
     if (st.ok()) {
       ++repairs_;
+      static obs::Counter* repairs = obs::MetricsRegistry::Global().GetCounter(
+          "cache.repairs{tier=persistent}", obs::Stability::kStable);
+      repairs->Add();
       BLAZEIT_LOG(kWarning) << "artifact cache repaired corrupt record in "
                                "place ("
                             << kind << ", frame " << frame << ")";
@@ -81,9 +99,11 @@ bool StoreArtifactCache::GetFrameDoubles(uint64_t ns, int64_t frame,
       MarkCorrupt(salted, frame);
     }
     ++misses_;
+    TierMisses()->Add();
     return false;
   }
   ++hits_;
+  TierHits()->Add();
   *out = std::move(values).value();
   return true;
 }

@@ -46,4 +46,10 @@ bool CpuHasAvx2() {
   return has;
 }
 
+const char* ActiveSimdTierName() {
+  if (CpuHasAvx512()) return "avx512";
+  if (CpuHasAvx2()) return "avx2";
+  return "scalar";
+}
+
 }  // namespace blazeit

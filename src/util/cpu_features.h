@@ -24,6 +24,11 @@ bool CpuHasAvx512();
 /// mid tier between AVX-512 and scalar).
 bool CpuHasAvx2();
 
+/// Name of the widest tier dispatch will pick: "avx512", "avx2", or
+/// "scalar". Stable for the process lifetime (detection and overrides are
+/// latched at first call); used as a metric label for kernel accounting.
+const char* ActiveSimdTierName();
+
 }  // namespace blazeit
 
 #endif  // BLAZEIT_UTIL_CPU_FEATURES_H_

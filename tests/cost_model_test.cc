@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace blazeit {
 namespace {
 
@@ -61,6 +63,45 @@ TEST(CostMeterTest, ToStringMentionsTotals) {
   meter.ChargeDetection();
   EXPECT_NE(meter.ToString().find("detections=1"), std::string::npos);
 }
+
+#ifdef BLAZEIT_COSTMETER_THREAD_CHECK
+
+// The single-writer contract (see the CostMeter class comment): the first
+// charge pins the owning thread; copying or Reset() re-arms the pin for a
+// new context. These must all pass with the check compiled in — they are
+// the legal uses the executors rely on.
+TEST(CostMeterOwnerTest, CopyAndResetRearmTheOwnerPin) {
+  CostMeter meter;
+  meter.ChargeFilter();
+  CostMeter copy = meter;  // copies counters, not the owner
+  std::thread t1([&copy] { copy.ChargeFilter(); });
+  t1.join();
+  EXPECT_EQ(copy.filter_calls(), 2);
+  CostMeter assigned;
+  assigned = meter;
+  std::thread t2([&assigned] { assigned.ChargeDetection(); });
+  t2.join();
+  meter.Reset();
+  std::thread t3([&meter] { meter.ChargeFilter(); });
+  t3.join();
+  EXPECT_EQ(meter.filter_calls(), 1);
+}
+
+TEST(CostMeterOwnerDeathTest, CrossThreadChargeAborts) {
+  // GTEST_FLAG rather than GTEST_FLAG_SET: the TSan lane may resolve an
+  // older GoogleTest install that predates the setter macro.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  CostMeter meter;
+  meter.ChargeFilter();  // pins this thread as the owner
+  EXPECT_DEATH(
+      {
+        std::thread t([&meter] { meter.ChargeSpecializedNN(); });
+        t.join();
+      },
+      "two threads");
+}
+
+#endif  // BLAZEIT_COSTMETER_THREAD_CHECK
 
 }  // namespace
 }  // namespace blazeit

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/counting_cache.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "sim/cost_model.h"
+#include "testing/json_util.h"
+
+namespace blazeit {
+namespace obs {
+namespace {
+
+using testutil::JsonValidator;
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry + instruments
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("a.counter", Stability::kStable);
+  Counter* c2 = registry.GetCounter("a.counter", Stability::kStable);
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = registry.GetGauge("a.gauge", Stability::kUnstable);
+  EXPECT_EQ(g1, registry.GetGauge("a.gauge", Stability::kUnstable));
+  Histogram* h1 =
+      registry.GetHistogram("a.hist", {10, 100}, Stability::kStable);
+  // Bounds are consulted on first registration only.
+  Histogram* h2 = registry.GetHistogram("a.hist", {999}, Stability::kStable);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds(), (std::vector<int64_t>{10, 100}));
+}
+
+TEST(MetricsTest, CounterConcurrentAddsSum) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hits", Stability::kStable);
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Re-resolve through the registry the way hot paths do, so the test
+      // also exercises concurrent Get* against concurrent Add().
+      Counter* c = registry.GetCounter("hits", Stability::kStable);
+      for (int i = 0; i < kAddsPerThread; ++i) c->Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(), int64_t{kThreads} * kAddsPerThread);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("depth", Stability::kUnstable);
+  gauge->Set(7);
+  EXPECT_EQ(gauge->value(), 7);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->value(), 4);
+}
+
+TEST(MetricsTest, HistogramBucketsValuesInclusively) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("bytes", {10, 100},
+                                          Stability::kStable);
+  hist->Observe(5);     // <= 10
+  hist->Observe(10);    // == bound -> same bucket (upper bound is >= v)
+  hist->Observe(50);    // <= 100
+  hist->Observe(1000);  // overflow bucket
+  EXPECT_EQ(hist->count(), 4);
+  EXPECT_EQ(hist->sum(), 1065);
+  EXPECT_EQ(hist->bucket_counts(), (std::vector<int64_t>{2, 1, 1}));
+}
+
+TEST(MetricsTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last", Stability::kStable)->Add(2);
+  registry.GetGauge("a.first", Stability::kStable)->Set(1);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.entries.size(), 2u);
+  EXPECT_EQ(snap.entries[0].name, "a.first");
+  EXPECT_EQ(snap.entries[1].name, "z.last");
+  ASSERT_NE(snap.Find("z.last"), nullptr);
+  EXPECT_EQ(snap.Find("z.last")->value, 2);
+  EXPECT_EQ(snap.Find("missing"), nullptr);
+}
+
+TEST(MetricsTest, SnapshotTextAndJsonExports) {
+  MetricsRegistry registry;
+  registry.GetCounter("store.reads{tier=\"x\"}", Stability::kStable)->Add(3);
+  Histogram* hist = registry.GetHistogram("bytes", {64}, Stability::kStable);
+  hist->Observe(32);
+  hist->Observe(128);
+  MetricsSnapshot snap = registry.Snapshot();
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("store.reads{tier=\"x\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("bytes count=2 sum=160 buckets=[1,1]"),
+            std::string::npos);
+  const std::string json = snap.ToJson();
+  // The embedded quote in the label must be escaped, not break the JSON.
+  EXPECT_TRUE(JsonValidator::Valid(json)) << json;
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+}
+
+TEST(MetricsTest, DeltaFromSubtractsCountersAndKeepsGauges) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c", Stability::kStable);
+  Gauge* gauge = registry.GetGauge("g", Stability::kStable);
+  Histogram* hist = registry.GetHistogram("h", {10}, Stability::kStable);
+  counter->Add(5);
+  gauge->Set(3);
+  hist->Observe(4);
+  MetricsSnapshot base = registry.Snapshot();
+
+  counter->Add(7);
+  gauge->Set(9);
+  hist->Observe(40);
+  // A counter born after the baseline subtracts zero.
+  registry.GetCounter("later", Stability::kStable)->Add(2);
+  MetricsSnapshot delta = registry.Snapshot().DeltaFrom(base);
+
+  EXPECT_EQ(delta.Find("c")->value, 7);
+  EXPECT_EQ(delta.Find("g")->value, 9);
+  EXPECT_EQ(delta.Find("later")->value, 2);
+  const MetricsSnapshot::Entry* h = delta.Find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->value, 1);
+  EXPECT_EQ(h->sum, 40);
+  EXPECT_EQ(h->buckets, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(MetricsTest, StableOnlyDropsUnstableInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("stable.counter", Stability::kStable)->Add(1);
+  registry.GetGauge("unstable.gauge", Stability::kUnstable)->Set(5);
+  MetricsSnapshot stable = registry.Snapshot().StableOnly();
+  ASSERT_EQ(stable.entries.size(), 1u);
+  EXPECT_EQ(stable.entries[0].name, "stable.counter");
+}
+
+TEST(MetricsTest, GlobalRegistryIsASingleton) {
+  Counter* c = MetricsRegistry::Global().GetCounter("obs_test.probe",
+                                                    Stability::kStable);
+  EXPECT_EQ(c, MetricsRegistry::Global().GetCounter("obs_test.probe",
+                                                    Stability::kStable));
+}
+
+// ---------------------------------------------------------------------------
+// QueryTrace + TraceSpan
+
+TEST(TraceTest, StructureSignatureReflectsNesting) {
+  QueryTrace trace("q");
+  { TraceSpan parse(&trace, "parse"); }
+  {
+    TraceSpan execute(&trace, "execute");
+    {
+      TraceSpan train(&trace, "train");
+    }
+    TraceSpan sweep(&trace, "sweep");
+  }
+  EXPECT_EQ(trace.StructureSignature(),
+            "parse\n"
+            "execute\n"
+            "  train\n"
+            "  sweep\n");
+  for (const QueryTrace::Span& span : trace.spans()) {
+    EXPECT_TRUE(span.closed) << span.name;
+    EXPECT_GE(span.end_ns, span.start_ns) << span.name;
+  }
+}
+
+TEST(TraceTest, SpanRecordsMeterDeltas) {
+  QueryTrace trace("q");
+  CostMeter meter;
+  meter.ChargeFilter(100);  // pre-span cost must not be attributed
+  {
+    TraceSpan span(&trace, "detect", &meter);
+    meter.ChargeDetection();
+  }
+  const std::vector<QueryTrace::Span> spans = trace.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].has_cost);
+  EXPECT_DOUBLE_EQ(spans[0].cost_end_seconds - spans[0].cost_begin_seconds,
+                   meter.profile().detection_sec_per_frame);
+}
+
+TEST(TraceTest, ExplicitCloseEndsSpanEarlyAndIsIdempotent) {
+  QueryTrace trace("q");
+  {
+    TraceSpan first(&trace, "first");
+    first.Close();
+    first.Close();  // no-op
+    // A sibling opened after the Close must not nest under "first".
+    TraceSpan second(&trace, "second");
+  }
+  EXPECT_EQ(trace.StructureSignature(), "first\nsecond\n");
+}
+
+TEST(TraceTest, NullTraceSpanIsANoop) {
+  TraceSpan span(nullptr, "anything");
+  span.Close();  // must not crash
+}
+
+TEST(TraceTest, ChromeJsonValidatesAndHasCompleteEvents) {
+  QueryTrace trace("SELECT \"quoted\"\nquery");
+  CostMeter meter;
+  {
+    TraceSpan outer(&trace, "execute", &meter);
+    meter.ChargeSpecializedNN(10);
+    TraceSpan inner(&trace, "sweep", &meter);
+  }
+  const std::string json = trace.ToChromeJson();
+  EXPECT_TRUE(JsonValidator::Valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulated_seconds\""), std::string::npos);
+  // The query name (with its quote and newline) must arrive escaped.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CountingCacheView
+
+/// Map-backed ArtifactCache for exercising the hit paths.
+class MapCache final : public ArtifactCache {
+ public:
+  bool GetFrameFloats(uint64_t ns, int64_t frame,
+                      std::vector<float>* out) override {
+    auto it = floats_.find({ns, frame});
+    if (it == floats_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  void PutFrameFloats(uint64_t ns, int64_t frame,
+                      const std::vector<float>& values) override {
+    floats_[{ns, frame}] = values;
+  }
+  bool GetFrameDoubles(uint64_t ns, int64_t frame,
+                       std::vector<double>* out) override {
+    auto it = doubles_.find({ns, frame});
+    if (it == doubles_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  void PutFrameDoubles(uint64_t ns, int64_t frame,
+                       const std::vector<double>& values) override {
+    doubles_[{ns, frame}] = values;
+  }
+  bool GetBlob(uint64_t ns, std::vector<float>* out) override {
+    auto it = blobs_.find(ns);
+    if (it == blobs_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  void PutBlob(uint64_t ns, const std::vector<float>& values) override {
+    blobs_[ns] = values;
+  }
+
+ private:
+  std::map<std::pair<uint64_t, int64_t>, std::vector<float>> floats_;
+  std::map<std::pair<uint64_t, int64_t>, std::vector<double>> doubles_;
+  std::map<uint64_t, std::vector<float>> blobs_;
+};
+
+TEST(CountingCacheTest, NullUnderlyingCountsMissesAndDropsPuts) {
+  CountingCacheView view(nullptr);
+  std::vector<float> floats;
+  std::vector<double> doubles;
+  EXPECT_FALSE(view.GetFrameFloats(1, 0, &floats));
+  EXPECT_FALSE(view.GetFrameDoubles(1, 0, &doubles));
+  EXPECT_FALSE(view.GetBlob(1, &floats));
+  view.PutFrameFloats(1, 0, {1.0f});
+  view.PutBlob(1, {1.0f});
+  // Still a miss: puts against a null cache go nowhere.
+  EXPECT_FALSE(view.GetFrameFloats(1, 0, &floats));
+  EXPECT_EQ(view.stats().hits(), 0);
+  EXPECT_EQ(view.stats().misses(), 4);
+  EXPECT_EQ(view.stats().frame_float_misses, 2);
+  EXPECT_EQ(view.stats().frame_double_misses, 1);
+  EXPECT_EQ(view.stats().blob_misses, 1);
+}
+
+TEST(CountingCacheTest, CountsPerKindHitsThroughUnderlyingCache) {
+  MapCache cache;
+  CountingCacheView view(&cache);
+  std::vector<float> floats;
+  std::vector<double> doubles;
+  EXPECT_FALSE(view.GetBlob(7, &floats));  // cold miss
+  view.PutBlob(7, {1.0f, 2.0f});
+  EXPECT_TRUE(view.GetBlob(7, &floats));
+  EXPECT_EQ(floats, (std::vector<float>{1.0f, 2.0f}));
+  view.PutFrameDoubles(7, 3, {0.5});
+  EXPECT_TRUE(view.GetFrameDoubles(7, 3, &doubles));
+  EXPECT_EQ(view.stats().blob_hits, 1);
+  EXPECT_EQ(view.stats().blob_misses, 1);
+  EXPECT_EQ(view.stats().frame_double_hits, 1);
+  EXPECT_EQ(view.stats().hits(), 2);
+  EXPECT_EQ(view.stats().misses(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionReport
+
+TEST(ReportTest, FillCostReconcilesWithMeterExactly) {
+  CostMeter meter;
+  meter.ChargeDetection();
+  meter.ChargeSpecializedNN(1000);
+  meter.ChargeFilter(500);
+  meter.ChargeTraining(2000);
+  meter.ChargeThresholding(100);
+  ExecutionReport report;
+  report.FillCost(meter);
+  EXPECT_EQ(report.detection_calls, meter.detection_calls());
+  EXPECT_EQ(report.specialized_nn_calls, meter.specialized_nn_calls());
+  EXPECT_EQ(report.filter_calls, meter.filter_calls());
+  EXPECT_EQ(report.training_frames, meter.training_frames());
+  // Bit-exact, not approximate: the report is the meter's accounting.
+  EXPECT_EQ(report.detection_seconds, meter.detection_seconds());
+  EXPECT_EQ(report.specialized_nn_seconds, meter.specialized_nn_seconds());
+  EXPECT_EQ(report.filter_seconds, meter.filter_seconds());
+  EXPECT_EQ(report.training_seconds, meter.training_seconds());
+  EXPECT_EQ(report.thresholding_seconds, meter.thresholding_seconds());
+  EXPECT_EQ(report.total_seconds, meter.TotalSeconds());
+  EXPECT_EQ(report.query_seconds, meter.QuerySeconds());
+}
+
+TEST(ReportTest, TextAndJsonAreSelfContained) {
+  ExecutionReport report;
+  report.query = "SELECT FCOUNT(*) FROM \"odd\" stream";
+  report.plan = "specialized-aggregate";
+  report.plan_description = "NN + control variates";
+  CostMeter meter;
+  meter.ChargeSpecializedNN(10);
+  report.FillCost(meter);
+  report.cache.frame_float_hits = 4;
+  report.cache.frame_float_misses = 6;
+  report.sketch.consulted = true;
+  report.sketch.pruned = true;
+  report.sketch.window_frames = 100;
+  report.sketch.candidate_frames = 25;
+  report.trace = std::make_shared<QueryTrace>(report.query);
+  {
+    TraceSpan span(report.trace.get(), "execute", &meter);
+  }
+  const std::string text = report.ToText();
+  EXPECT_NE(text.find("specialized-aggregate"), std::string::npos);
+  EXPECT_NE(text.find("execute"), std::string::npos);
+  const std::string json = report.ToJson();
+  EXPECT_TRUE(JsonValidator::Valid(json)) << json;
+  EXPECT_NE(json.find("\"plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace blazeit

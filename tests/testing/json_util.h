@@ -1,0 +1,143 @@
+#ifndef BLAZEIT_TESTS_TESTING_JSON_UTIL_H_
+#define BLAZEIT_TESTS_TESTING_JSON_UTIL_H_
+
+#include <cctype>
+#include <string>
+
+namespace blazeit {
+namespace testutil {
+
+/// Minimal recursive-descent JSON well-formedness checker (ECMA-404) for
+/// validating the observability exports (Chrome traces, metrics
+/// snapshots, ExecutionReports) without a JSON library dependency.
+/// Deliberately strict where it matters for our emitters: `nan`/`inf`
+/// from a printf of a non-finite double are rejected, as chrome://tracing
+/// would reject them.
+class JsonValidator {
+ public:
+  /// True iff `text` is exactly one complete JSON value.
+  static bool Valid(const std::string& text) {
+    JsonValidator v(text);
+    v.SkipWs();
+    if (!v.Value()) return false;
+    v.SkipWs();
+    return v.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Eat(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Value() {
+    switch (Peek()) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!Eat(*p)) return false;
+    }
+    return true;
+  }
+
+  bool Object() {
+    if (!Eat('{')) return false;
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool Array() {
+    if (!Eat('[')) return false;
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    Eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace testutil
+}  // namespace blazeit
+
+#endif  // BLAZEIT_TESTS_TESTING_JSON_UTIL_H_

@@ -7,6 +7,10 @@
 //       runs start warm. `frames` overrides the default day length.
 //   storecli ls <store-dir>
 //       Lists every record namespace with its record count.
+//   storecli stats <store-dir> [--json]
+//       Per-namespace inventory (segments, records, pending, shadowed
+//       duplicates, repair generation) plus sketch coverage and staleness;
+//       --json emits one machine-readable object.
 //   storecli inspect <segment-file>
 //       Prints the segment header and per-record summary stats.
 //   storecli verify <store-dir>
@@ -34,13 +38,27 @@
 //       every detections namespace in the store when omitted.
 //   storecli sketch drop <store-dir> <namespace-hex>
 //       Removes a namespace's sketches; it stops being indexed.
+//   storecli query <store-dir> <stream> <frameql> [options]
+//       Executes one FrameQL query against the store with reporting on
+//       and prints its ExecutionReport (EXPLAIN-style plan + stage trace
+//       + simulated-cost breakdown + cache/sketch hit rates). Options:
+//       --json (report as JSON), --trace FILE (write the Chrome
+//       trace_event JSON; load in chrome://tracing), --metrics FILE
+//       (write the process metrics snapshot JSON), --train/--held/--test N
+//       (day lengths; defaults are the paper-scale days), --small-nn
+//       (the test suites' small specialized NN, so a store the test lane
+//       warmed is reused).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/catalog.h"
+#include "core/engine.h"
 #include "detect/simulated_detector.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "storage/detection_store.h"
 #include "storage/persistent_cached_detector.h"
 #include "storage/record_format.h"
@@ -132,6 +150,170 @@ int RunLs(const std::string& dir) {
   std::printf("%lld records in %zu namespaces\n",
               static_cast<long long>(total),
               store.value()->Namespaces().size());
+  return 0;
+}
+
+int RunStats(const std::string& dir, bool json) {
+  auto store = DetectionStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  const auto namespaces = store.value()->PerNamespaceStats();
+  auto sketches = store.value()->ListSketches();
+  if (!sketches.ok()) return Fail(sketches.status());
+
+  if (json) {
+    std::string out = "{\"dir\":\"" + dir + "\",\"namespaces\":[";
+    bool first = true;
+    for (const auto& ns : namespaces) {
+      if (!first) out += ",";
+      first = false;
+      char buf[256];
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"ns\":\"%016llx\",\"segments\":%lld,\"records\":%lld,"
+          "\"pending\":%lld,\"shadowed\":%lld,\"repair_generation\":%llu}",
+          static_cast<unsigned long long>(ns.ns),
+          static_cast<long long>(ns.segments),
+          static_cast<long long>(ns.records),
+          static_cast<long long>(ns.pending),
+          static_cast<long long>(ns.shadowed),
+          static_cast<unsigned long long>(ns.repair_generation));
+      out += buf;
+    }
+    out += "],\"sketches\":[";
+    first = true;
+    for (const auto& info : sketches.value()) {
+      if (!first) out += ",";
+      first = false;
+      char buf[256];
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"base_ns\":\"%016llx\",\"blocks\":%lld,"
+          "\"base_records_at_build\":%lld,\"base_records_now\":%lld,"
+          "\"current\":%s}",
+          static_cast<unsigned long long>(info.base_ns),
+          static_cast<long long>(info.blocks),
+          static_cast<long long>(info.base_records_at_build),
+          static_cast<long long>(info.base_records_now),
+          info.current ? "true" : "false");
+      out += buf;
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
+  std::printf("%-18s %8s %10s %8s %9s %6s\n", "namespace", "segments",
+              "records", "pending", "shadowed", "repgen");
+  int64_t records = 0, segments = 0, shadowed = 0;
+  for (const auto& ns : namespaces) {
+    std::printf("%016llx   %8lld %10lld %8lld %9lld %6llu\n",
+                static_cast<unsigned long long>(ns.ns),
+                static_cast<long long>(ns.segments),
+                static_cast<long long>(ns.records),
+                static_cast<long long>(ns.pending),
+                static_cast<long long>(ns.shadowed),
+                static_cast<unsigned long long>(ns.repair_generation));
+    records += ns.records;
+    segments += ns.segments;
+    shadowed += ns.shadowed;
+  }
+  std::printf("%lld records in %zu namespaces (%lld segments, %lld "
+              "shadowed duplicates)\n",
+              static_cast<long long>(records), namespaces.size(),
+              static_cast<long long>(segments),
+              static_cast<long long>(shadowed));
+  int64_t current = 0;
+  for (const auto& info : sketches.value()) {
+    if (info.current) ++current;
+  }
+  std::printf("sketches: %zu namespaces indexed, %lld current, %lld stale\n",
+              sketches.value().size(), static_cast<long long>(current),
+              static_cast<long long>(
+                  static_cast<int64_t>(sketches.value().size()) - current));
+  return 0;
+}
+
+int WriteFileOrFail(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return 0;
+}
+
+struct QueryArgs {
+  std::string dir;
+  std::string stream;
+  std::string frameql;
+  bool json = false;
+  std::string trace_path;
+  std::string metrics_path;
+  int64_t train = kDefaultTrainFrames;
+  int64_t held = kDefaultHeldOutFrames;
+  int64_t test = kDefaultTestFrames;
+  bool small_nn = false;
+};
+
+int RunQuery(const QueryArgs& args) {
+  auto config = StreamConfigByName(args.stream);
+  if (!config.ok()) return Fail(config.status());
+
+  VideoCatalog catalog;
+  Status enabled = catalog.EnableDetectionStore(args.dir);
+  if (!enabled.ok()) return Fail(enabled);
+  DayLengths lengths;
+  lengths.train = args.train;
+  lengths.held_out = args.held;
+  lengths.test = args.test;
+  Status added = catalog.AddStream(config.value(), lengths);
+  if (!added.ok()) return Fail(added);
+
+  EngineOptions options;
+  options.collect_reports = true;
+  options.use_store_index = true;
+  if (args.small_nn) {
+    // Mirror the test suites' SmallNN so their warm store replays.
+    SpecializedNNConfig nn;
+    nn.raster_width = 16;
+    nn.raster_height = 16;
+    nn.hidden_dims = {32};
+    options.aggregate.nn = nn;
+    options.scrub.nn = nn;
+    options.selection.nn = nn;
+  }
+  BlazeItEngine engine(&catalog, options);
+  auto out = engine.Execute(args.frameql);
+  if (!out.ok()) return Fail(out.status());
+  Status flushed = catalog.FlushDetectionStore();
+  if (!flushed.ok()) return Fail(flushed);
+
+  const obs::ExecutionReport* report = out.value().report.get();
+  if (report == nullptr) {
+    std::fprintf(stderr, "error: engine produced no execution report\n");
+    return 1;
+  }
+  if (args.json) {
+    std::printf("%s\n", report->ToJson().c_str());
+  } else {
+    std::printf("%s", report->ToText().c_str());
+  }
+  if (!args.trace_path.empty()) {
+    if (report->trace == nullptr) {
+      std::fprintf(stderr, "error: report carries no trace\n");
+      return 1;
+    }
+    const int rc =
+        WriteFileOrFail(args.trace_path, report->trace->ToChromeJson());
+    if (rc != 0) return rc;
+  }
+  if (!args.metrics_path.empty()) {
+    const int rc = WriteFileOrFail(
+        args.metrics_path, obs::MetricsRegistry::Global().Snapshot().ToJson());
+    if (rc != 0) return rc;
+  }
   return 0;
 }
 
@@ -316,6 +498,38 @@ int Main(int argc, char** argv) {
     return RunBuild(argv[2], argv[3], argv[4], frames);
   }
   if (command == "ls") return RunLs(argv[2]);
+  if (command == "stats") {
+    const bool json = argc > 3 && std::strcmp(argv[3], "--json") == 0;
+    return RunStats(argv[2], json);
+  }
+  if (command == "query") {
+    if (argc < 5) return Usage();
+    QueryArgs args;
+    args.dir = argv[2];
+    args.stream = argv[3];
+    args.frameql = argv[4];
+    for (int i = 5; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--json") {
+        args.json = true;
+      } else if (flag == "--small-nn") {
+        args.small_nn = true;
+      } else if (flag == "--trace" && i + 1 < argc) {
+        args.trace_path = argv[++i];
+      } else if (flag == "--metrics" && i + 1 < argc) {
+        args.metrics_path = argv[++i];
+      } else if (flag == "--train" && i + 1 < argc) {
+        args.train = std::atoll(argv[++i]);
+      } else if (flag == "--held" && i + 1 < argc) {
+        args.held = std::atoll(argv[++i]);
+      } else if (flag == "--test" && i + 1 < argc) {
+        args.test = std::atoll(argv[++i]);
+      } else {
+        return Usage();
+      }
+    }
+    return RunQuery(args);
+  }
   if (command == "inspect") return RunInspect(argv[2]);
   if (command == "verify") return RunVerify(argv[2]);
   if (command == "compact") return RunCompact(argv[2]);
