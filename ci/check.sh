@@ -81,6 +81,35 @@ print("artifacts valid:", ", ".join(sys.argv[1:]))' \
     "${ARTIFACT_DIR}/query_report.json" \
     "${ARTIFACT_DIR}/query_trace.json" \
     "${ARTIFACT_DIR}/metrics_snapshot.json"
+
+  # Serving-layer replay smoke: a three-client workload through the
+  # multi-tenant admission queue (same warm store and NN config), with
+  # the per-query reports and Prometheus metrics dump archived. The
+  # python check validates the JSON, that every response succeeded, and
+  # that the window coalesced the two same-plan clients cross-client.
+  echo "==> storecli: serve replay smoke"
+  cat > "${ARTIFACT_DIR}/serve_workload.txt" <<'EOF'
+alice SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.1 AT CONFIDENCE 95%
+bob SELECT FCOUNT(*) FROM taipei WHERE class = 'car' ERROR WITHIN 0.05 AT CONFIDENCE 95%
+carol SELECT timestamp FROM taipei WHERE class = 'bus' AND timestamp >= 30
+EOF
+  "${STORECLI}" serve "${STORE_DIR}" "${ARTIFACT_DIR}/serve_workload.txt" \
+    --small-nn --train 6000 --held 6000 --test 12000 \
+    --prom "${ARTIFACT_DIR}/serve_metrics.prom" \
+    > "${ARTIFACT_DIR}/serve_report.json"
+  python3 - "${ARTIFACT_DIR}/serve_report.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert len(d["responses"]) == 3, d["responses"]
+assert all(r["ok"] for r in d["responses"]), d["responses"]
+assert all("report" in r for r in d["responses"]), d["responses"]
+assert d["stats"]["cross_client_groups"] >= 1, d["stats"]
+assert d["rejected"] == [], d["rejected"]
+print("serve replay valid: 3 responses,",
+      d["stats"]["cross_client_groups"], "cross-client group(s)")
+EOF
+  grep -q '^# TYPE blazeit_serve_submitted counter$' \
+    "${ARTIFACT_DIR}/serve_metrics.prom"
 else
   echo "==> storecli not built; skipping sketch round trip"
 fi
@@ -105,16 +134,16 @@ fi
 # -fsanitize=thread and run them. Races found here should be fixed
 # promptly but do not fail the build — TSan availability and signal
 # quality vary across CI machines.
-echo "==> tsan lane (non-gating): exec + storage + logging + batch + obs suites"
+echo "==> tsan lane (non-gating): exec + storage + logging + batch + serve + obs suites"
 TSAN_BUILD="${BUILD_DIR}-tsan"
 if cmake -B "${TSAN_BUILD}" -S . -DBLAZEIT_TSAN=ON \
       -DBLAZEIT_BUILD_BENCHES=OFF -DBLAZEIT_BUILD_EXAMPLES=OFF \
       -DBLAZEIT_BUILD_TOOLS=OFF > /dev/null \
     && cmake --build "${TSAN_BUILD}" -j "${JOBS}" \
       --target exec_test storage_test util_test \
-      batch_determinism_test cost_model_test obs_test > /dev/null \
+      batch_determinism_test cost_model_test obs_test serve_test > /dev/null \
     && ctest --test-dir "${TSAN_BUILD}" \
-      -R '^(exec_test|storage_test|util_test|batch_determinism_test|cost_model_test|obs_test)$' \
+      -R '^(exec_test|storage_test|util_test|batch_determinism_test|cost_model_test|obs_test|serve_test)$' \
       --output-on-failure; then
   echo "==> tsan lane clean"
 else

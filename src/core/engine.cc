@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/scheduler.h"
 #include "core/shared_sweep.h"
 #include "exec/thread_pool.h"
 #include "filters/calibration.h"
@@ -79,9 +80,9 @@ std::vector<SketchIndex::FrameRange> CandidateRangesForScan(
 BlazeItEngine::BlazeItEngine(VideoCatalog* catalog, EngineOptions options)
     : catalog_(catalog), options_(options) {}
 
-Result<BlazeItEngine::Prepared> BlazeItEngine::Prepare(
-    const std::string& frameql, obs::QueryTrace* trace) {
-  Prepared prepared;
+Result<PreparedQuery> BlazeItEngine::Prepare(const std::string& frameql,
+                                             obs::QueryTrace* trace) {
+  PreparedQuery prepared;
   FrameQLQuery parsed;
   {
     obs::TraceSpan span(trace, "parse");
@@ -102,7 +103,8 @@ Result<QueryOutput> BlazeItEngine::Execute(const std::string& frameql) {
   if (options_.collect_reports) {
     trace = std::make_shared<obs::QueryTrace>(frameql);
   }
-  BLAZEIT_ASSIGN_OR_RETURN(Prepared prepared, Prepare(frameql, trace.get()));
+  BLAZEIT_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                           Prepare(frameql, trace.get()));
   return ExecutePrepared(prepared.stream, prepared.query,
                          /*sweep_cache=*/nullptr, frameql, std::move(trace));
 }
@@ -466,85 +468,41 @@ Result<BatchOutput> BlazeItEngine::ExecuteBatch(
   // One trace per query, created up front so the serial front half's
   // spans land on it; per-query traces are what keeps batch tracing free
   // of cross-query bleed (each trace is only ever written by the one
-  // thread executing its query).
-  std::vector<std::shared_ptr<obs::QueryTrace>> traces(n);
-  std::vector<std::optional<Prepared>> prepared(n);
+  // thread executing its query). Group keys are derived from the *batch*
+  // position — failed prepares hold their slot so key uniqueness (and
+  // therefore grouping) is unchanged by where errors land.
+  std::vector<ScheduledQuery> scheduled;
+  std::vector<size_t> slots;  // scheduled index -> batch index
+  scheduled.reserve(n);
+  slots.reserve(n);
   for (size_t i = 0; i < n; ++i) {
+    std::shared_ptr<obs::QueryTrace> trace;
     if (options_.collect_reports) {
-      traces[i] = std::make_shared<obs::QueryTrace>(queries[i]);
+      trace = std::make_shared<obs::QueryTrace>(queries[i]);
     }
-    auto p = Prepare(queries[i], traces[i].get());
-    if (p.ok()) {
-      prepared[i] = std::move(p).value();
-    } else {
+    auto p = Prepare(queries[i], trace.get());
+    if (!p.ok()) {
       out.results[i] = p.status();
+      continue;
     }
+    ScheduledQuery sq;
+    sq.prepared = std::move(p).value();
+    sq.frameql = queries[i];
+    sq.trace = std::move(trace);
+    sq.group_key = SharedSweepGroupKey(sq.prepared.query, i);
+    scheduled.push_back(std::move(sq));
+    slots.push_back(i);
   }
 
-  // --- shared-plan pass: group by (stream, NN config, classes) ---
-  // Groups keep first-appearance order and queries keep submission order
-  // within a group, so the leader of each group — the query that pays for
-  // the group's training run and sweeps — is always the earliest one.
-  std::vector<std::vector<size_t>> groups;
-  std::unordered_map<uint64_t, size_t> key_to_group;
-  for (size_t i = 0; i < n; ++i) {
-    if (!prepared[i].has_value()) continue;
-    const uint64_t key = SharedSweepGroupKey(prepared[i]->query, i);
-    auto [it, inserted] = key_to_group.emplace(key, groups.size());
-    if (inserted) groups.emplace_back();
-    groups[it->second].push_back(i);
+  // --- grouping + shared-sweep execution live in QueryScheduler ---
+  QueryScheduler scheduler(this);
+  ScheduleOutcome run = scheduler.Run(scheduled, sweeps,
+                                      exec::ThreadPool::Budget::kAnalytics);
+  out.groups = run.groups;
+  for (size_t j = 0; j < scheduled.size(); ++j) {
+    out.stats[slots[j]] = run.stats[j];
+    out.results[slots[j]] = std::move(run.results[j]);
   }
-  out.groups = static_cast<int64_t>(groups.size());
-
-  // --- run the groups concurrently, each group serially ---
-  // Per-query results/stats go to disjoint slots; per-query outputs are
-  // independent of scheduling because every cache hit is bit-identical to
-  // recomputation (the ArtifactCache contract), so this parallelism — like
-  // the exec pool's — cannot change output bits.
-  //
-  // Parallelism shape: with a single group RunShards executes inline on
-  // the caller (no nested-section marking), so the group's NN
-  // training/inference keeps full intra-query sharding. With multiple
-  // groups the pool parallelizes *across* groups and each query's inner
-  // parallel sections run inline on that group's worker — batch-level
-  // concurrency replaces intra-query concurrency, keeping total CPU use
-  // bounded by the one process-wide pool.
-  exec::ThreadPool::Instance().RunShards(
-      static_cast<int64_t>(groups.size()), [&](int64_t g, int /*slot*/) {
-        for (size_t idx : groups[static_cast<size_t>(g)]) {
-          Prepared& p = *prepared[idx];
-          SweepCacheView view(sweeps, p.stream->artifact_cache);
-          Result<QueryOutput> result = ExecutePrepared(
-              p.stream, p.query, &view, queries[idx], traces[idx]);
-          // Stats are filled only for successful queries (the documented
-          // all-zero contract for failures).
-          if (result.ok()) {
-            BatchQueryStats& qs = out.stats[idx];
-            qs.group = g;
-            qs.shared_nn_frames = view.shared_nn_frames();
-            qs.shared_filter_frames = view.shared_filter_frames();
-            qs.shared_models = view.shared_models();
-            if (result.value().report != nullptr) {
-              obs::ExecutionReport& report = *result.value().report;
-              report.batch_group = g;
-              report.cache.shared_nn_frames = qs.shared_nn_frames;
-              report.cache.shared_filter_frames = qs.shared_filter_frames;
-              report.cache.shared_models = qs.shared_models;
-            }
-            const CostMeter& cost = result.value().cost;
-            qs.standalone_seconds = cost.TotalSeconds();
-            double saved =
-                static_cast<double>(qs.shared_nn_frames) *
-                    cost.profile().specialized_nn_sec_per_frame +
-                static_cast<double>(qs.shared_filter_frames) *
-                    cost.profile().filter_sec_per_frame;
-            if (qs.shared_models > 0) saved += cost.training_seconds();
-            qs.batch_seconds =
-                std::max(0.0, qs.standalone_seconds - saved);
-          }
-          out.results[idx] = std::move(result);
-        }
-      });
 
   // Serial fixed-order fold for the totals.
   for (size_t i = 0; i < n; ++i) {

@@ -18,6 +18,7 @@
 namespace blazeit {
 
 class SharedSweepCache;  // core/shared_sweep.h
+class QueryScheduler;    // core/scheduler.h
 
 /// Per-query execution options forwarded to the executors.
 struct EngineOptions {
@@ -103,6 +104,15 @@ struct BatchOutput {
   double batch_seconds = 0.0;
 };
 
+/// A parsed + analyzed query bound to its stream, ready to execute — the
+/// front half of Execute, split out so schedulers (QueryScheduler, the
+/// serving layer's AdmissionQueue) can prepare queries at admission time
+/// and execute them later.
+struct PreparedQuery {
+  StreamData* stream = nullptr;
+  AnalyzedQuery query;
+};
+
 /// The BlazeIt engine: the public entry point tying everything together.
 /// Parse -> analyze -> rule-based plan choice -> execute (Figure 2).
 ///
@@ -140,6 +150,13 @@ class BlazeItEngine {
   Result<BatchOutput> ExecuteBatch(const std::vector<std::string>& queries,
                                    SharedSweepCache* sweeps);
 
+  /// Parses, binds, and analyzes one query without executing it. `trace`
+  /// (nullable) records the parse/analyze spans. Thread-safe: the catalog
+  /// is read-only after setup, so concurrent Prepare calls (the serving
+  /// layer prepares at admission time) never race.
+  Result<PreparedQuery> Prepare(const std::string& frameql,
+                                obs::QueryTrace* trace = nullptr);
+
   /// UDFs available to queries (register custom ones here).
   UdfRegistry* mutable_udfs() { return &udfs_; }
   const UdfRegistry& udfs() const { return udfs_; }
@@ -148,15 +165,11 @@ class BlazeItEngine {
   EngineOptions* mutable_options() { return &options_; }
 
  private:
-  /// A parsed + analyzed query bound to its stream, ready to execute.
-  struct Prepared {
-    StreamData* stream = nullptr;
-    AnalyzedQuery query;
-  };
+  /// QueryScheduler executes prepared queries against shared sweeps on
+  /// the engine's behalf; the dispatch below stays private so every other
+  /// caller goes through Execute/ExecuteBatch.
+  friend class QueryScheduler;
 
-  /// `trace` (nullable) records parse/analyze spans.
-  Result<Prepared> Prepare(const std::string& frameql,
-                           obs::QueryTrace* trace = nullptr);
   /// Plan choice + dispatch. `sweep_cache` overrides the stream's
   /// artifact cache for the executors (nullptr = standalone execution);
   /// `frameql` and `trace` feed the ExecutionReport when

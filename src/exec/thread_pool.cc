@@ -29,6 +29,8 @@ thread_local bool t_inside_shard = false;
 struct ThreadPool::Job {
   int64_t num_shards = 0;
   const std::function<void(int64_t, int)>* fn = nullptr;
+  /// Worker-cap class this job is charged against (see Budget).
+  Budget budget = Budget::kDefault;
   /// Next shard to claim; claims past num_shards mean the job is drained.
   std::atomic<int64_t> next{0};
   /// Shards finished (or abandoned); the job completes at num_shards.
@@ -54,6 +56,10 @@ struct ThreadPool::Impl {
   std::deque<Job*> queue;
   std::vector<std::thread> workers;
   bool shutting_down = false;
+  /// Per-budget worker caps (<= 0 = unlimited) and how many workers are
+  /// currently attached to jobs of each class. Both guarded by `mu`.
+  int budget_limit[kNumBudgets] = {0, 0, 0};
+  int budget_active[kNumBudgets] = {0, 0, 0};
 };
 
 ThreadPool& ThreadPool::Instance() {
@@ -102,27 +108,55 @@ void ThreadPool::Reconfigure(int threads) {
   }
 }
 
+ThreadPool::Job* ThreadPool::PickJobLocked() {
+  for (auto it = impl_->queue.begin(); it != impl_->queue.end();) {
+    Job* job = *it;
+    if (job->next.load(std::memory_order_relaxed) >= job->num_shards) {
+      // Drained: every shard is claimed (though maybe still running).
+      // Drop it so later scans skip it; the owner's unlink tolerates the
+      // job already being gone from the queue.
+      it = impl_->queue.erase(it);
+      continue;
+    }
+    const int b = static_cast<int>(job->budget);
+    if (impl_->budget_limit[b] > 0 &&
+        impl_->budget_active[b] >= impl_->budget_limit[b]) {
+      ++it;  // class at its worker cap; look for other-class work
+      continue;
+    }
+    return job;
+  }
+  return nullptr;
+}
+
 void ThreadPool::WorkerLoop(int slot) {
   for (;;) {
     Job* job = nullptr;
+    int budget_idx = 0;
     {
       std::unique_lock<std::mutex> lock(impl_->mu);
-      impl_->work_available.wait(lock, [this] {
-        return impl_->shutting_down || !impl_->queue.empty();
+      impl_->work_available.wait(lock, [this, &job] {
+        if (impl_->shutting_down) return true;
+        job = PickJobLocked();
+        return job != nullptr;
       });
       if (impl_->shutting_down) return;
-      job = impl_->queue.front();
-      if (job->next.load(std::memory_order_relaxed) >= job->num_shards) {
-        // Drained: every shard is claimed (though maybe still running).
-        // Drop it from the queue so the wait above blocks again.
-        impl_->queue.pop_front();
-        continue;
-      }
       // Registered under the queue lock: the owner unlinks the job under
       // this same lock before freeing it, so attach-or-miss is atomic.
+      // The budget charge rides the same lock so caps are never oversubscribed.
+      budget_idx = static_cast<int>(job->budget);
+      ++impl_->budget_active[budget_idx];
       job->active_workers.fetch_add(1, std::memory_order_relaxed);
     }
     WorkOn(job, slot);
+    {
+      // Release the budget slot and wake workers parked on a capped
+      // class before detaching from the job (the two waits are separate
+      // condition variables).
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      --impl_->budget_active[budget_idx];
+    }
+    impl_->work_available.notify_all();
     {
       // Detach *under the job mutex* and notify before releasing it: the
       // owner's wait predicate requires active_workers == 0, so if the
@@ -169,8 +203,29 @@ void ThreadPool::WorkOn(Job* job, int slot) {
   }
 }
 
+void ThreadPool::SetBudgetLimit(Budget budget, int max_workers) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->budget_limit[static_cast<int>(budget)] =
+        max_workers < 0 ? 0 : max_workers;
+  }
+  // Raising (or clearing) a cap can make parked work runnable.
+  impl_->work_available.notify_all();
+}
+
+int ThreadPool::BudgetLimit(Budget budget) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->budget_limit[static_cast<int>(budget)];
+}
+
 void ThreadPool::RunShards(
     int64_t num_shards, const std::function<void(int64_t shard, int slot)>& fn) {
+  RunShards(num_shards, fn, Budget::kDefault);
+}
+
+void ThreadPool::RunShards(
+    int64_t num_shards, const std::function<void(int64_t shard, int slot)>& fn,
+    Budget budget) {
   if (num_shards <= 0) return;
 
   // Call and shard counts are deterministic functions of the work (shard
@@ -208,6 +263,7 @@ void ThreadPool::RunShards(
   Job job;
   job.num_shards = num_shards;
   job.fn = &fn;
+  job.budget = budget;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->queue.push_back(&job);

@@ -1,0 +1,132 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace blazeit {
+namespace obs {
+
+namespace {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+/// (the registry uses dots) maps to '_'.
+std::string SanitizeName(const std::string& raw) {
+  std::string out = "blazeit_";
+  for (char c : raw) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& raw) {
+  std::string out;
+  for (char c : raw) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Splits the registry's "name{k=v,k2=v2}" convention into the base name
+/// and a rendered Prometheus label block ("" when unlabeled).
+void SplitName(const std::string& full, std::string* base,
+               std::string* labels) {
+  const size_t brace = full.find('{');
+  if (brace == std::string::npos || full.back() != '}') {
+    *base = SanitizeName(full);
+    labels->clear();
+    return;
+  }
+  *base = SanitizeName(full.substr(0, brace));
+  std::string body = full.substr(brace + 1, full.size() - brace - 2);
+  std::string out = "{";
+  size_t start = 0;
+  bool first = true;
+  while (start <= body.size()) {
+    size_t comma = body.find(',', start);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string pair = body.substr(start, comma - start);
+    const size_t eq = pair.find('=');
+    if (!pair.empty()) {
+      if (!first) out.push_back(',');
+      first = false;
+      if (eq == std::string::npos) {
+        out += pair + "=\"\"";
+      } else {
+        out += pair.substr(0, eq) + "=\"" +
+               EscapeLabelValue(pair.substr(eq + 1)) + "\"";
+      }
+    }
+    start = comma + 1;
+  }
+  out.push_back('}');
+  *labels = std::move(out);
+}
+
+const char* TypeName(MetricsSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricsSnapshot::Kind::kCounter:
+      return "counter";
+    case MetricsSnapshot::Kind::kGauge:
+      return "gauge";
+    case MetricsSnapshot::Kind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string PrometheusSnapshot(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
+    std::string base;
+    std::string labels;
+    SplitName(entry.name, &base, &labels);
+    // Entries are sorted by name, so a family's labeled series are
+    // contiguous and one TYPE line covers them all.
+    if (base != last_family) {
+      out += "# TYPE " + base + " " + TypeName(entry.kind) + "\n";
+      last_family = base;
+    }
+    if (entry.kind == MetricsSnapshot::Kind::kHistogram) {
+      // Inner label block for _bucket: append le= to any existing labels.
+      const std::string open =
+          labels.empty() ? "{"
+                         : labels.substr(0, labels.size() - 1) + ",";
+      int64_t cumulative = 0;
+      for (size_t b = 0; b < entry.bounds.size(); ++b) {
+        if (b < entry.buckets.size()) cumulative += entry.buckets[b];
+        out += base + "_bucket" + open + "le=\"" +
+               std::to_string(entry.bounds[b]) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += base + "_bucket" + open + "le=\"+Inf\"} " +
+             std::to_string(entry.value) + "\n";
+      out += base + "_sum" + labels + " " + std::to_string(entry.sum) + "\n";
+      out += base + "_count" + labels + " " + std::to_string(entry.value) +
+             "\n";
+    } else {
+      out += base + labels + " " + std::to_string(entry.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText() {
+  return PrometheusSnapshot(MetricsRegistry::Global().Snapshot());
+}
+
+}  // namespace obs
+}  // namespace blazeit

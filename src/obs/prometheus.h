@@ -1,0 +1,32 @@
+#ifndef BLAZEIT_OBS_PROMETHEUS_H_
+#define BLAZEIT_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace blazeit {
+namespace obs {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4) — the wire format a /metrics endpoint serves and
+/// `storecli serve --prom` dumps. Mapping from the registry's naming
+/// convention:
+///   - metric names gain a "blazeit_" prefix and dots become underscores
+///     ("serve.queue_depth" -> "blazeit_serve_queue_depth");
+///   - the registry's inline label syntax "name{k=v,k2=v2}" becomes
+///     Prometheus labels with quoted values: {k="v",k2="v2"};
+///   - counters/gauges emit one sample; histograms emit cumulative
+///     _bucket{le="..."} samples plus _sum and _count.
+/// One # TYPE line is emitted per metric family (entries sharing a base
+/// name, e.g. the per-tenant serve.submitted{client=...} series).
+std::string PrometheusSnapshot(const MetricsSnapshot& snapshot);
+
+/// PrometheusSnapshot of the process-wide registry, as an endpoint would
+/// serve it.
+std::string PrometheusText();
+
+}  // namespace obs
+}  // namespace blazeit
+
+#endif  // BLAZEIT_OBS_PROMETHEUS_H_

@@ -68,6 +68,9 @@ std::string ExecutionReport::ToText() const {
   if (!plan_description.empty()) {
     out += "  " + plan_description + "\n";
   }
+  if (accuracy_tier != "full") {
+    out += "accuracy tier: " + accuracy_tier + "\n";
+  }
   out += "simulated cost:\n";
   AppendCostLine("detection", detection_calls, detection_seconds, &out);
   AppendCostLine("specialized-nn", specialized_nn_calls,
@@ -132,6 +135,7 @@ std::string ExecutionReport::ToJson() const {
   out += ",\"plan\":\"" + JsonEscape(plan) + "\"";
   out += ",\"plan_description\":\"" + JsonEscape(plan_description) + "\"";
   out += ",\"batch_group\":" + std::to_string(batch_group);
+  out += ",\"accuracy_tier\":\"" + JsonEscape(accuracy_tier) + "\"";
   out += ",\"cost\":{";
   out += "\"detection_calls\":" + std::to_string(detection_calls);
   out += ",\"specialized_nn_calls\":" + std::to_string(specialized_nn_calls);

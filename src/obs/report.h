@@ -37,6 +37,12 @@ struct ExecutionReport {
   std::string plan_description;
   /// Shared-plan group index within the batch; -1 for standalone runs.
   int64_t batch_group = -1;
+  /// Accuracy tier the query actually ran at. "full" is the normal
+  /// engine path (the optimizer's plan, paper guarantees intact); the
+  /// serving layer sets "degraded-sampling" / "degraded-scan" when load
+  /// shedding downgraded the query to a cheap baseline, so the downgrade
+  /// is visible to clients in the report.
+  std::string accuracy_tier = "full";
 
   // --- simulated-cost breakdown (== the QueryOutput's CostMeter) ---
   int64_t detection_calls = 0;

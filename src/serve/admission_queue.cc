@@ -1,0 +1,371 @@
+#include "serve/admission_queue.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "core/baselines.h"
+#include "core/optimizer.h"
+#include "core/scrubbing.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "storage/segment_sketch.h"
+
+namespace blazeit {
+namespace serve {
+
+namespace {
+
+using exec::ThreadPool;
+
+/// Admission counters are functions of the workload and the (virtual-
+/// clock) admission schedule, not of pool scheduling, hence kStable; the
+/// depth gauge and latency histogram describe queue state over wall
+/// interleavings, hence kUnstable.
+obs::Counter* SubmittedCounter(const std::string& client) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "serve.submitted{client=" + client + "}", obs::Stability::kStable);
+}
+
+obs::Counter* RejectedCounter(const char* reason) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      std::string("serve.rejected{reason=") + reason + "}",
+      obs::Stability::kStable);
+}
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge(
+      "serve.queue_depth", obs::Stability::kUnstable);
+  return gauge;
+}
+
+obs::Histogram* AdmissionLatencyHistogram() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.admission_latency_ticks", {0, 1, 2, 4, 8, 16, 32, 64},
+      obs::Stability::kUnstable);
+  return hist;
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(BlazeItEngine* engine, ServeOptions options)
+    : engine_(engine), options_(options), scheduler_(engine) {
+  ThreadPool& pool = ThreadPool::Instance();
+  prev_serving_limit_ = pool.BudgetLimit(ThreadPool::Budget::kServing);
+  prev_analytics_limit_ = pool.BudgetLimit(ThreadPool::Budget::kAnalytics);
+  if (options_.serving_budget > 0) {
+    pool.SetBudgetLimit(ThreadPool::Budget::kServing,
+                        options_.serving_budget);
+  }
+  if (options_.analytics_budget > 0) {
+    pool.SetBudgetLimit(ThreadPool::Budget::kAnalytics,
+                        options_.analytics_budget);
+  }
+}
+
+AdmissionQueue::~AdmissionQueue() {
+  ThreadPool& pool = ThreadPool::Instance();
+  if (options_.serving_budget > 0) {
+    pool.SetBudgetLimit(ThreadPool::Budget::kServing, prev_serving_limit_);
+  }
+  if (options_.analytics_budget > 0) {
+    pool.SetBudgetLimit(ThreadPool::Budget::kAnalytics,
+                        prev_analytics_limit_);
+  }
+}
+
+Result<int64_t> AdmissionQueue::Submit(const std::string& client,
+                                       const std::string& frameql) {
+  // The front half runs before admission (and outside the lock): the
+  // catalog is read-only, so concurrent Prepare calls are safe, and a
+  // parse error must land in the response — the same place serial Execute
+  // reports it — not block the admission slot.
+  PendingEntry entry;
+  entry.client = client;
+  entry.frameql = frameql;
+  if (engine_->options().collect_reports) {
+    entry.trace = std::make_shared<obs::QueryTrace>(frameql);
+  }
+  auto prepared = engine_->Prepare(frameql, entry.trace.get());
+  if (prepared.ok()) {
+    entry.prepared = std::move(prepared).value();
+  } else {
+    entry.prepare_error = prepared.status();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const int64_t depth = static_cast<int64_t>(pending_.size());
+  if (depth >= options_.max_queue_depth) {
+    ++stats_.rejected_queue_full;
+    RejectedCounter("queue_full")->Add();
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(depth) + " pending)");
+  }
+  if (client_pending_[client] >= options_.per_client_quota) {
+    ++stats_.rejected_quota;
+    RejectedCounter("quota")->Add();
+    return Status::ResourceExhausted(
+        "client '" + client + "' is at its quota (" +
+        std::to_string(options_.per_client_quota) + " pending)");
+  }
+  entry.ticket = next_ticket_++;
+  entry.admitted_tick = clock_;
+  entry.shed = options_.shed_depth >= 0 && depth >= options_.shed_depth;
+  ++stats_.submitted;
+  SubmittedCounter(client)->Add();
+  ++client_pending_[client];
+  if (pending_.empty()) window_open_tick_ = clock_;
+  const int64_t ticket = entry.ticket;
+  pending_.push_back(std::move(entry));
+  QueueDepthGauge()->Set(static_cast<int64_t>(pending_.size()));
+  if (options_.window_ticks == 0) RunPending(lock);
+  return ticket;
+}
+
+void AdmissionQueue::Advance(int64_t ticks) {
+  std::unique_lock<std::mutex> lock(mu_);
+  clock_ += ticks < 0 ? 0 : ticks;
+  if (!pending_.empty() &&
+      clock_ - window_open_tick_ >= options_.window_ticks) {
+    RunPending(lock);
+  }
+}
+
+void AdmissionQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!pending_.empty()) RunPending(lock);
+}
+
+std::vector<ServeResponse> AdmissionQueue::TakeCompleted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServeResponse> out = std::move(completed_);
+  completed_.clear();
+  return out;
+}
+
+int64_t AdmissionQueue::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_;
+}
+
+int64_t AdmissionQueue::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(pending_.size());
+}
+
+ServerStats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AdmissionQueue::Deliver(ServeResponse&& response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionLatencyHistogram()->Observe(response.executed_tick -
+                                       response.admitted_tick);
+  completed_.push_back(std::move(response));
+}
+
+void AdmissionQueue::RunPending(std::unique_lock<std::mutex>& lock) {
+  // Cut the batch under mu_, then execute with only exec_mu_ held:
+  // submissions keep flowing into the next window while this one runs,
+  // and concurrently closed windows execute one at a time in cut order.
+  std::vector<PendingEntry> batch = std::move(pending_);
+  pending_.clear();
+  client_pending_.clear();
+  const int64_t executed_tick = clock_;
+  QueueDepthGauge()->Set(0);
+  lock.unlock();
+
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  static obs::Counter* batches_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.batches",
+                                                obs::Stability::kStable);
+  static obs::Counter* shed_counter =
+      obs::MetricsRegistry::Global().GetCounter("serve.shed",
+                                                obs::Stability::kStable);
+  batches_counter->Add();
+
+  const size_t n = batch.size();
+  std::vector<ServeResponse> shells(n);
+  std::vector<ScheduledQuery> scheduled;
+  std::vector<size_t> slots;  // scheduled index -> batch index
+  int64_t shed_this_batch = 0;
+  for (size_t i = 0; i < n; ++i) {
+    PendingEntry& entry = batch[i];
+    ServeResponse& resp = shells[i];
+    resp.ticket = entry.ticket;
+    resp.client = entry.client;
+    resp.frameql = entry.frameql;
+    resp.admitted_tick = entry.admitted_tick;
+    resp.executed_tick = executed_tick;
+    if (!entry.prepared.has_value()) {
+      resp.output = entry.prepare_error;
+      Deliver(std::move(resp));
+      continue;
+    }
+    const QueryKind kind = entry.prepared->query.kind;
+    if (entry.shed && (kind == QueryKind::kAggregate ||
+                       kind == QueryKind::kScrubbing)) {
+      shed_counter->Add();
+      ++shed_this_batch;
+      resp.degraded = true;
+      resp.output = RunDegraded(*entry.prepared, entry.frameql);
+      Deliver(std::move(resp));
+      continue;
+    }
+    // Not sheddable (or not shed): the full plan. Group keys use the
+    // batch position, so with a fixed admission order the grouping — and
+    // therefore every output bit — replays exactly.
+    ScheduledQuery sq;
+    sq.prepared = *entry.prepared;
+    sq.frameql = entry.frameql;
+    sq.trace = entry.trace;
+    sq.group_key = SharedSweepGroupKey(entry.prepared->query, i);
+    scheduled.push_back(std::move(sq));
+    slots.push_back(i);
+  }
+
+  // One scheduler run per window, against the scheduler's session sweeps
+  // (warm across windows). The callback streams each response out as its
+  // group completes, from whichever pool worker ran it.
+  ScheduleOutcome outcome = scheduler_.Run(
+      scheduled, /*sweeps=*/nullptr, ThreadPool::Budget::kServing,
+      [&](size_t j, const Result<QueryOutput>& result,
+          const BatchQueryStats& stats) {
+        ServeResponse resp = shells[slots[j]];
+        resp.output = result;
+        resp.stats = stats;
+        Deliver(std::move(resp));
+      });
+
+  // Cumulative coalescing accounting: which groups spanned clients, and
+  // how much charged NN work the shared sweeps absorbed this window.
+  std::unordered_map<int64_t, int64_t> group_sizes;
+  std::unordered_map<int64_t, std::set<std::string>> group_clients;
+  std::lock_guard<std::mutex> stats_lock(mu_);
+  ++stats_.batches;
+  stats_.shed += shed_this_batch;
+  stats_.groups += outcome.groups;
+  for (size_t j = 0; j < scheduled.size(); ++j) {
+    if (!outcome.results[j].ok()) continue;
+    const BatchQueryStats& qs = outcome.stats[j];
+    ++group_sizes[qs.group];
+    group_clients[qs.group].insert(batch[slots[j]].client);
+    stats_.shared_nn_frames += qs.shared_nn_frames;
+    stats_.shared_filter_frames += qs.shared_filter_frames;
+    stats_.shared_models += qs.shared_models;
+    stats_.standalone_seconds += qs.standalone_seconds;
+    stats_.batch_seconds += qs.batch_seconds;
+  }
+  for (const auto& [group, size] : group_sizes) {
+    if (size > 1) stats_.coalesced_queries += size;
+  }
+  for (const auto& [group, clients] : group_clients) {
+    if (clients.size() > 1) ++stats_.cross_client_groups;
+  }
+}
+
+Result<QueryOutput> AdmissionQueue::RunDegraded(const PreparedQuery& prepared,
+                                                const std::string& frameql) {
+  const AnalyzedQuery& query = prepared.query;
+  StreamData* stream = prepared.stream;
+  BLAZEIT_ASSIGN_OR_RETURN(
+      FrameWindow window,
+      ResolveFrameWindow(query, stream->config.fps,
+                         stream->test_day->num_frames()));
+  QueryOutput out;
+  out.kind = query.kind;
+  std::shared_ptr<obs::ExecutionReport> report;
+  if (engine_->options().collect_reports) {
+    report = std::make_shared<obs::ExecutionReport>();
+    report->query = frameql;
+  }
+
+  if (query.kind == QueryKind::kAggregate) {
+    // The paper's plain sampling estimator: no NN training, no sweeps —
+    // the cheap path under pressure. It samples the whole test day, so a
+    // windowed query's estimate is the day-wide frame average scaled to
+    // the window (an accuracy trade the report discloses).
+    out.plan = PlanKind::kAqpAggregation;
+    out.plan_description =
+        "load-shed: sampling estimator, no NN training";
+    BLAZEIT_ASSIGN_OR_RETURN(
+        AqpResult aqp,
+        NaiveAqpAggregate(stream, query.agg_class, query.error,
+                          query.confidence,
+                          engine_->options().aggregate.seed));
+    out.scalar = aqp.estimate;
+    if (query.scale_to_total) {
+      out.scalar *= static_cast<double>(window.end - window.begin);
+    }
+    out.cost = aqp.cost;
+    if (report != nullptr) report->accuracy_tier = "degraded-sampling";
+  } else {
+    // Sketch-only scan: no NN ranking; the sketch index (when current)
+    // still skips refuted segments, so shedding keeps the index's pruning
+    // while dropping the expensive specialized-NN ordering.
+    out.plan = PlanKind::kScanScrubbing;
+    out.plan_description = "load-shed: sketch-only scan, no NN ranking";
+    std::vector<SketchIndex::FrameRange> ranges;
+    bool pruned = false;
+    if (engine_->options().use_store_index &&
+        stream->detection_store != nullptr) {
+      SketchIndex index = SketchIndex::Load(stream->detection_store,
+                                            stream->test_detections_ns);
+      if (index.valid()) {
+        SketchProbe probe;
+        probe.score_threshold = stream->config.detection_threshold;
+        probe.requirements = query.requirements;
+        ranges = index.CandidateRanges(window.begin, window.end, probe);
+        pruned = true;
+      }
+    }
+    if (!pruned && window.end > window.begin) {
+      ranges.push_back({window.begin, window.end});
+    }
+    int64_t last_accepted = -1;
+    bool limit_reached = false;
+    for (const auto& range : ranges) {
+      for (int64_t t = range.begin; t < range.end && !limit_reached; ++t) {
+        if (static_cast<int64_t>(out.frames.size()) >= query.limit) {
+          limit_reached = true;
+          break;
+        }
+        if (last_accepted >= 0 && query.gap > 0 &&
+            t - last_accepted < query.gap) {
+          continue;
+        }
+        out.cost.ChargeDetection();
+        if (SatisfiesRequirements(*stream, t, query.requirements)) {
+          out.frames.push_back(t);
+          last_accepted = t;
+        }
+      }
+      if (limit_reached) break;
+    }
+    if (report != nullptr) {
+      report->accuracy_tier = "degraded-scan";
+      report->sketch.consulted = engine_->options().use_store_index &&
+                                 stream->detection_store != nullptr;
+      report->sketch.pruned = pruned;
+      report->sketch.window_frames =
+          window.end > window.begin ? window.end - window.begin : 0;
+      report->sketch.candidate_frames = 0;
+      for (const auto& range : ranges) {
+        report->sketch.candidate_frames += range.end - range.begin;
+      }
+    }
+  }
+
+  if (report != nullptr) {
+    report->plan = PlanKindName(out.plan);
+    report->plan_description = out.plan_description;
+    report->FillCost(out.cost);
+    out.report = std::move(report);
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace blazeit

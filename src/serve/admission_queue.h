@@ -1,0 +1,183 @@
+#ifndef BLAZEIT_SERVE_ADMISSION_QUEUE_H_
+#define BLAZEIT_SERVE_ADMISSION_QUEUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/scheduler.h"
+
+namespace blazeit {
+namespace serve {
+
+/// Knobs of the multi-tenant serving core. Defaults are permissive: a
+/// one-tick window, deep queue, generous quota, shedding off.
+struct ServeOptions {
+  /// Virtual-clock ticks an admission window stays open: queries admitted
+  /// while a window is open coalesce into one scheduler run (cross-client
+  /// shared sweeps). 0 = pass-through — every Submit executes its query
+  /// immediately and returns with the response already completed.
+  int64_t window_ticks = 1;
+  /// Bound on queries admitted-but-not-yet-executed. A Submit past the
+  /// bound fails with ResourceExhausted instead of queueing unboundedly.
+  int64_t max_queue_depth = 256;
+  /// Per-client bound on pending queries (fairness: one chatty client
+  /// cannot fill the whole queue). Exceeding it is ResourceExhausted.
+  int64_t per_client_quota = 32;
+  /// Load shedding: a query admitted while the pending depth is at or
+  /// above this executes on the paper's cheap baseline instead of the
+  /// optimizer's plan (aggregates -> sampling estimator, scrubbing ->
+  /// sketch-only scan; other kinds always run the full plan). The
+  /// downgrade is reported in the response and its ExecutionReport
+  /// accuracy_tier. < 0 disables shedding.
+  int64_t shed_depth = -1;
+  /// Worker caps applied to the process pool's sub-pool budgets while
+  /// this queue exists (<= 0 leaves a budget unlimited): `serving_budget`
+  /// caps the queue's own jobs, `analytics_budget` caps concurrent
+  /// ExecuteBatch/training work so it cannot starve serving. Previous
+  /// caps are restored on destruction.
+  int serving_budget = 0;
+  int analytics_budget = 0;
+};
+
+/// One submitted query's response. `output` and its CostMeter are
+/// bit-identical to a serial engine.Execute of the same query unless
+/// `degraded` is set (the only case where charged work differs).
+struct ServeResponse {
+  int64_t ticket = -1;
+  std::string client;
+  std::string frameql;
+  int64_t admitted_tick = 0;
+  int64_t executed_tick = 0;
+  /// Load shedding downgraded this query to a baseline plan.
+  bool degraded = false;
+  Result<QueryOutput> output{Status::Internal("pending")};
+  /// Shared-sweep accounting within the coalesced batch (group index,
+  /// NN frames / models served from another client's sweep). All-zero
+  /// for failed or degraded queries.
+  BatchQueryStats stats;
+};
+
+/// Cumulative counters over the queue's lifetime (the BatchQueryStats
+/// totals, aggregated across admission windows).
+struct ServerStats {
+  int64_t submitted = 0;
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_quota = 0;
+  int64_t shed = 0;
+  /// Admission windows executed.
+  int64_t batches = 0;
+  /// Shared-plan groups across all batches.
+  int64_t groups = 0;
+  /// Queries that shared a group with at least one other query.
+  int64_t coalesced_queries = 0;
+  /// Groups whose members came from more than one client — the
+  /// cross-client amortization ExecuteBatch alone cannot reach.
+  int64_t cross_client_groups = 0;
+  int64_t shared_nn_frames = 0;
+  int64_t shared_filter_frames = 0;
+  int64_t shared_models = 0;
+  double standalone_seconds = 0.0;
+  double batch_seconds = 0.0;
+};
+
+/// The multi-tenant serving core: a bounded admission queue in front of
+/// QueryScheduler. Arriving queries are parsed/analyzed at Submit time,
+/// held for the batching window, coalesced *across clients* by
+/// SharedSweepGroupKey, executed as one scheduler run (sweeps stay warm
+/// across windows in the scheduler's session cache), and streamed into
+/// the completed set as their group finishes.
+///
+/// Time is a deterministic virtual clock advanced by Advance(), so tests
+/// replay admission schedules exactly. Determinism contract: with a fixed
+/// admission order, every non-degraded response's output — answer,
+/// frames, rows, simulated CostMeter — is bit-identical to serial
+/// engine.Execute at any pool size (tests/serve_determinism_test.cc);
+/// coalescing only drops *charged* work, visible in stats.
+///
+/// Thread-safe: Submit/Advance/Drain/TakeCompleted may be called from
+/// concurrent client threads. Batches execute one at a time, in the order
+/// their windows closed.
+class AdmissionQueue {
+ public:
+  /// `engine` (and its catalog) must outlive the queue.
+  AdmissionQueue(BlazeItEngine* engine, ServeOptions options = {});
+  ~AdmissionQueue();
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits one query for `client`, returning its ticket. Parse/analyze
+  /// errors are *admitted* and land in the response's output — exactly
+  /// where a serial Execute would report them; only capacity produces a
+  /// Submit error: ResourceExhausted when the queue is full or the
+  /// client's quota is spent.
+  Result<int64_t> Submit(const std::string& client,
+                         const std::string& frameql);
+
+  /// Advances the virtual clock. If the advance closes the open admission
+  /// window, the pending batch executes before returning (on the calling
+  /// thread, helped by the pool under the serving budget).
+  void Advance(int64_t ticks = 1);
+
+  /// Executes whatever is pending regardless of window state.
+  void Drain();
+
+  /// Moves out every response completed so far. Order follows group
+  /// completion (streaming), not admission; match by ticket.
+  std::vector<ServeResponse> TakeCompleted();
+
+  int64_t now() const;
+  int64_t queue_depth() const;
+  ServerStats stats() const;
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct PendingEntry {
+    int64_t ticket = -1;
+    std::string client;
+    std::string frameql;
+    int64_t admitted_tick = 0;
+    bool shed = false;
+    std::shared_ptr<obs::QueryTrace> trace;
+    Status prepare_error;
+    std::optional<PreparedQuery> prepared;
+  };
+
+  /// Cuts the pending batch and executes it. Entered with `lock` held on
+  /// mu_; unlocks it before executing (so Submit keeps working into the
+  /// next window) and leaves it unlocked.
+  void RunPending(std::unique_lock<std::mutex>& lock);
+
+  /// The shed path: the paper's cheap baseline for `prepared`'s kind.
+  Result<QueryOutput> RunDegraded(const PreparedQuery& prepared,
+                                  const std::string& frameql);
+
+  void Deliver(ServeResponse&& response);
+
+  BlazeItEngine* engine_;
+  ServeOptions options_;
+  QueryScheduler scheduler_;
+  int prev_serving_limit_ = 0;
+  int prev_analytics_limit_ = 0;
+
+  mutable std::mutex mu_;
+  /// Serializes batch execution; taken only with mu_ released.
+  std::mutex exec_mu_;
+  int64_t clock_ = 0;
+  int64_t window_open_tick_ = 0;
+  int64_t next_ticket_ = 0;
+  std::vector<PendingEntry> pending_;
+  std::map<std::string, int64_t> client_pending_;
+  std::vector<ServeResponse> completed_;
+  ServerStats stats_;
+};
+
+}  // namespace serve
+}  // namespace blazeit
+
+#endif  // BLAZEIT_SERVE_ADMISSION_QUEUE_H_

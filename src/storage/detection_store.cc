@@ -506,9 +506,28 @@ Status DetectionStore::Flush() {
 Status DetectionStore::FlushLocked() {
   // Snapshot the dirty namespaces first: the sketch refresh below mutates
   // sketch shards while we would otherwise still be iterating shards_.
+  // For indexed namespaces, also record what the pending set looks like
+  // relative to disk *before* the flush folds it in — an append-only
+  // flush lets the sketch refresh rebuild just the tail block.
   std::vector<uint64_t> dirty;
+  std::map<uint64_t, SketchRefreshHint> hints;
   for (const auto& [ns, shard] : shards_) {
-    if (!shard.pending.empty()) dirty.push_back(ns);
+    if (shard.pending.empty()) continue;
+    dirty.push_back(ns);
+    if (shards_.count(SketchNamespace(ns)) == 0) continue;
+    SketchRefreshHint hint;
+    hint.prior_count = static_cast<int64_t>(shard.disk_index.size());
+    for (const auto& [frame, _] : shard.disk_index) {
+      hint.prior_max = std::max(hint.prior_max, frame);
+    }
+    hint.append_only = hint.prior_max >= 0;
+    for (const auto& [frame, _] : shard.pending) {
+      if (frame <= hint.prior_max) {
+        hint.append_only = false;
+        break;
+      }
+    }
+    hints.emplace(ns, hint);
   }
   for (uint64_t ns : dirty) {
     BLAZEIT_RETURN_NOT_OK(FlushShardLocked(ns, &shards_.at(ns)));
@@ -518,7 +537,9 @@ Status DetectionStore::FlushLocked() {
   // reject them by record count), so refresh in the same flush.
   for (uint64_t ns : dirty) {
     if (shards_.count(SketchNamespace(ns)) > 0) {
-      BLAZEIT_RETURN_NOT_OK(RebuildSketchesLocked(ns));
+      auto hint = hints.find(ns);
+      BLAZEIT_RETURN_NOT_OK(RefreshSketchesLocked(
+          ns, hint != hints.end() ? &hint->second : nullptr));
     }
   }
   return Status::OK();
@@ -654,6 +675,19 @@ Status DetectionStore::ReplaceNamespaceLocked(
   return RewriteShardLocked(ns, &shard, /*validate_payloads=*/false);
 }
 
+namespace {
+
+/// Sketch blocks encoded per refresh, full or incremental — the signal
+/// the incremental path exists to shrink: an append-only flush should
+/// move this by ~1 tail block, not by the whole namespace.
+obs::Counter* SketchBlocksRebuiltCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "store.sketch_blocks_rebuilt", obs::Stability::kStable);
+  return counter;
+}
+
+}  // namespace
+
 Status DetectionStore::RebuildSketchesLocked(uint64_t base_ns) {
   SketchBuilder builder;
   int64_t base_records = 0;
@@ -704,6 +738,113 @@ Status DetectionStore::RebuildSketchesLocked(uint64_t base_ns) {
   static obs::Counter* rebuilds = obs::MetricsRegistry::Global().GetCounter(
       "store.sketch_rebuilds", obs::Stability::kStable);
   rebuilds->Add();
+  SketchBlocksRebuiltCounter()->Add(static_cast<int64_t>(blocks.size()));
+  return ReplaceNamespaceLocked(SketchNamespace(base_ns), std::move(records));
+}
+
+Status DetectionStore::RefreshSketchesLocked(uint64_t base_ns,
+                                             const SketchRefreshHint* hint) {
+  if (hint == nullptr || !hint->append_only || hint->prior_count == 0) {
+    return RebuildSketchesLocked(base_ns);
+  }
+  auto sketch_it = shards_.find(SketchNamespace(base_ns));
+  auto base_it = shards_.find(base_ns);
+  if (sketch_it == shards_.end() || base_it == shards_.end()) {
+    return RebuildSketchesLocked(base_ns);
+  }
+  Shard& sketch_shard = sketch_it->second;
+  Shard& base_shard = base_it->second;
+
+  // The resolved read GetRaw would serve (pending first, then disk).
+  auto read_resolved = [](Shard& shard,
+                          int64_t frame) -> Result<std::string> {
+    auto pending = shard.pending.find(frame);
+    if (pending != shard.pending.end()) return pending->second;
+    auto disk = shard.disk_index.find(frame);
+    if (disk == shard.disk_index.end()) {
+      return Status::NotFound("no such sketch record");
+    }
+    const auto& [segment_index, offset] = disk->second;
+    return shard.segments[segment_index]->ReadPayloadAt(offset);
+  };
+
+  // The shortcut is only sound against a sketch that was *current* before
+  // this flush: its meta must match the pre-flush record count exactly.
+  // Anything else (undecodable meta, staleness, foreign namespace) gets
+  // the full rebuild, which is always correct.
+  auto meta_payload = read_resolved(sketch_shard, kSketchMetaFrame);
+  if (!meta_payload.ok()) return RebuildSketchesLocked(base_ns);
+  auto meta = DecodeSketchMetaPayload(meta_payload.value());
+  if (!meta.ok() || meta.value().base_ns != base_ns ||
+      meta.value().base_record_count != hint->prior_count ||
+      meta.value().block_count <= 0) {
+    return RebuildSketchesLocked(base_ns);
+  }
+
+  // Each block's sketch is a pure function of its own block's records, so
+  // an append past prior_max can only change blocks at or after the old
+  // tail block. Copy everything before it forward without decoding.
+  const int64_t tail_start =
+      (hint->prior_max / kSketchBlockFrames) * kSketchBlockFrames;
+  std::map<int64_t, std::string> records;
+  for (const auto& [frame, payload] : sketch_shard.pending) {
+    if (frame == kSketchMetaFrame || frame >= tail_start) continue;
+    records.emplace(frame, payload);
+  }
+  for (const auto& [frame, loc] : sketch_shard.disk_index) {
+    if (frame == kSketchMetaFrame || frame >= tail_start) continue;
+    if (records.count(frame) > 0) continue;
+    auto payload = sketch_shard.segments[loc.first]->ReadPayloadAt(loc.second);
+    if (!payload.ok()) return RebuildSketchesLocked(base_ns);
+    records.emplace(frame, std::move(payload).value());
+  }
+
+  // Rebuild the tail from the base records at/after tail_start; feeding
+  // the builder a block's full record set in ascending frame order is
+  // exactly what the full rebuild does for that block.
+  std::vector<int64_t> tail_frames;
+  int64_t base_records = static_cast<int64_t>(base_shard.disk_index.size());
+  for (const auto& [frame, _] : base_shard.disk_index) {
+    if (frame >= tail_start) tail_frames.push_back(frame);
+  }
+  for (const auto& [frame, _] : base_shard.pending) {
+    if (base_shard.disk_index.count(frame) == 0) {
+      ++base_records;
+      if (frame >= tail_start) tail_frames.push_back(frame);
+    }
+  }
+  std::sort(tail_frames.begin(), tail_frames.end());
+  SketchBuilder builder;
+  for (int64_t frame : tail_frames) {
+    auto payload = read_resolved(base_shard, frame);
+    if (!payload.ok()) return payload.status();
+    auto detections = DecodeDetectionsPayload(payload.value());
+    if (!detections.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "namespace %016llx is not a detections namespace (frame %lld: "
+          "%s); only detection namespaces can be sketched",
+          static_cast<unsigned long long>(base_ns),
+          static_cast<long long>(frame),
+          detections.status().message().c_str()));
+    }
+    builder.Add(frame, detections.value());
+  }
+  std::vector<SegmentSketch> blocks = builder.Finish();
+  for (const SegmentSketch& block : blocks) {
+    records.emplace(block.first_frame, EncodeSegmentSketchPayload(block));
+  }
+
+  SketchMeta new_meta;
+  new_meta.base_ns = base_ns;
+  new_meta.base_record_count = base_records;
+  new_meta.block_count = static_cast<int64_t>(records.size());
+  records.emplace(kSketchMetaFrame, EncodeSketchMetaPayload(new_meta));
+
+  static obs::Counter* incremental =
+      obs::MetricsRegistry::Global().GetCounter(
+          "store.sketch_incremental_refreshes", obs::Stability::kStable);
+  incremental->Add();
+  SketchBlocksRebuiltCounter()->Add(static_cast<int64_t>(blocks.size()));
   return ReplaceNamespaceLocked(SketchNamespace(base_ns), std::move(records));
 }
 

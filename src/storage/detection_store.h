@@ -333,6 +333,27 @@ class DetectionStore {
   /// view; caller holds mu_ exclusively and must not be iterating shards_
   /// unless the sketch shard already exists (the rebuild inserts it).
   Status RebuildSketchesLocked(uint64_t base_ns);
+  /// What FlushLocked observed about a dirty indexed namespace *before*
+  /// flushing it, deciding whether the sketch refresh can be incremental.
+  struct SketchRefreshHint {
+    /// Resolved record count at the last sketch build (== the pre-flush
+    /// disk index size; sketches are only ever built with pending empty).
+    int64_t prior_count = 0;
+    /// Highest frame on disk pre-flush; -1 when the namespace was empty.
+    int64_t prior_max = -1;
+    /// Every pending record appended strictly past prior_max.
+    bool append_only = false;
+  };
+  /// Refreshes SketchNamespace(base_ns) after a flush. When `hint` shows
+  /// a pure append onto a current sketch, only blocks at/after the old
+  /// tail block are rebuilt — each sketch block is a pure function of its
+  /// own block's records, so the untouched prefix is copied forward
+  /// byte-for-byte (bit-identical to a full rebuild, regression-tested in
+  /// tests/storage_test.cc). Anything surprising (stale meta, overwrite,
+  /// empty base) falls back to RebuildSketchesLocked. Caller holds mu_
+  /// exclusively.
+  Status RefreshSketchesLocked(uint64_t base_ns,
+                               const SketchRefreshHint* hint);
   /// Replaces the full record set of a namespace (first-write-wins cannot
   /// update records in place) through the repair-named rewrite path, so
   /// the replacement sorts before anything it supersedes even when an old

@@ -22,6 +22,8 @@ const char* CodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -19,6 +19,9 @@ enum class StatusCode {
   kUnimplemented,
   kParseError,
   kInternal,
+  /// A bounded resource (admission queue capacity, per-client quota) is
+  /// spent; the request was refused, not queued. Retry after draining.
+  kResourceExhausted,
 };
 
 /// A Status holds the outcome of an operation: either OK or an error code
@@ -53,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,6 +8,7 @@
 
 #include "obs/counting_cache.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "sim/cost_model.h"
@@ -357,6 +358,80 @@ TEST(ReportTest, TextAndJsonAreSelfContained) {
   EXPECT_TRUE(JsonValidator::Valid(json)) << json;
   EXPECT_NE(json.find("\"plan\""), std::string::npos);
   EXPECT_NE(json.find("\"trace\""), std::string::npos);
+}
+
+TEST(ReportTest, AccuracyTierDefaultsToFullAndSurfacesDowngrades) {
+  ExecutionReport report;
+  report.query = "q";
+  // "full" is the default; ToText stays quiet about it (no tier line),
+  // ToJson always carries it so downstream parsers need no fallback.
+  EXPECT_EQ(report.accuracy_tier, "full");
+  EXPECT_EQ(report.ToText().find("accuracy tier"), std::string::npos);
+  EXPECT_NE(report.ToJson().find("\"accuracy_tier\":\"full\""),
+            std::string::npos);
+
+  report.accuracy_tier = "degraded-sampling";
+  EXPECT_NE(report.ToText().find("accuracy tier: degraded-sampling"),
+            std::string::npos);
+  const std::string json = report.ToJson();
+  EXPECT_TRUE(JsonValidator::Valid(json)) << json;
+  EXPECT_NE(json.find("\"accuracy_tier\":\"degraded-sampling\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exporter
+
+TEST(PrometheusTest, RendersCountersGaugesAndLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.submitted{client=alice}", Stability::kStable)
+      ->Add(3);
+  registry.GetCounter("serve.submitted{client=bob}", Stability::kStable)
+      ->Add(1);
+  registry.GetGauge("serve.queue_depth", Stability::kUnstable)->Set(7);
+  const std::string text = PrometheusSnapshot(registry.Snapshot());
+
+  // Dots sanitize to underscores under the blazeit_ prefix; labels render
+  // quoted; one TYPE line covers a family's contiguous labeled series.
+  EXPECT_NE(text.find("# TYPE blazeit_serve_submitted counter\n"
+                      "blazeit_serve_submitted{client=\"alice\"} 3\n"
+                      "blazeit_serve_submitted{client=\"bob\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE blazeit_serve_queue_depth gauge\n"
+                      "blazeit_serve_queue_depth 7\n"),
+            std::string::npos)
+      << text;
+  // Exactly one TYPE line for the two-series counter family.
+  const size_t first = text.find("# TYPE blazeit_serve_submitted");
+  EXPECT_EQ(text.find("# TYPE blazeit_serve_submitted", first + 1),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, RendersHistogramsCumulatively) {
+  MetricsRegistry registry;
+  Histogram* hist =
+      registry.GetHistogram("latency", {1, 2}, Stability::kStable);
+  hist->Observe(1);
+  hist->Observe(5);  // overflow bucket
+  const std::string text = PrometheusSnapshot(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE blazeit_latency histogram\n"
+                      "blazeit_latency_bucket{le=\"1\"} 1\n"
+                      "blazeit_latency_bucket{le=\"2\"} 1\n"
+                      "blazeit_latency_bucket{le=\"+Inf\"} 2\n"
+                      "blazeit_latency_sum 6\n"
+                      "blazeit_latency_count 2\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTest, EscapesLabelValuesAndSanitizesNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("odd.name{k=a\"b\\c}", Stability::kStable)->Add(1);
+  const std::string text = PrometheusSnapshot(registry.Snapshot());
+  EXPECT_NE(text.find("blazeit_odd_name{k=\"a\\\"b\\\\c\"} 1"),
+            std::string::npos)
+      << text;
 }
 
 }  // namespace

@@ -1,0 +1,319 @@
+// The serving layer's fast-lane contract: admission control (bounded
+// queue, per-client quotas -> ResourceExhausted), deterministic
+// virtual-clock batching windows, zero-window pass-through that is
+// bit-identical to serial Execute, parse errors landing in the response
+// slot (not the Submit result), load shedding downgrading aggregates and
+// scrubbing to the paper's cheap baselines with the downgrade disclosed
+// in the ExecutionReport's accuracy_tier, and cross-client coalescing
+// surfacing in ServerStats. Everything here avoids NN training (naive
+// selections, exhaustive scans, shed baselines) so the suite stays in
+// the fast lane; the bit-identity sweep across pool sizes lives in
+// serve_determinism_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/optimizer.h"
+#include "serve/admission_queue.h"
+#include "testing/test_util.h"
+#include "util/status.h"
+
+namespace blazeit {
+namespace {
+
+using serve::AdmissionQueue;
+using serve::ServeOptions;
+using serve::ServeResponse;
+
+::testing::AssertionResult BitsEqual(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bits";
+}
+
+/// Cheap queries: a naive content-based selection (no applicable filters,
+/// so no NN) and an exhaustive scan. Identical selections from different
+/// clients share a plan group, which is what the coalescing stats watch.
+const char kSelectBus[] =
+    "SELECT * FROM taipei WHERE class = 'bus' AND timestamp >= 0 "
+    "AND timestamp < 200";
+const char kExhaustive[] =
+    "SELECT timestamp FROM taipei WHERE class = 'bus' AND timestamp >= 30";
+const char kAggregate[] =
+    "SELECT FCOUNT(*) FROM taipei WHERE class = 'car' "
+    "ERROR WITHIN 0.1 AT CONFIDENCE 95%";
+const char kScrubbing[] =
+    "SELECT timestamp FROM taipei GROUP BY timestamp "
+    "HAVING SUM(class='car') >= 2 LIMIT 5 GAP 50";
+
+class ServeTest : public testutil::CatalogFixture<ServeTest> {
+ public:
+  static DayLengths Lengths() { return testutil::SmallDays(600, 400, 1200); }
+
+ protected:
+  static void SetUpTestSuite() {
+    CatalogFixture::SetUpTestSuite();
+    EngineOptions options = testutil::SmallEngineOptions();
+    options.collect_reports = true;
+    engine_ = new BlazeItEngine(catalog_, options);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+    CatalogFixture::TearDownTestSuite();
+  }
+
+  static void ExpectSameOutput(const QueryOutput& served,
+                               const QueryOutput& serial) {
+    EXPECT_EQ(served.kind, serial.kind);
+    EXPECT_EQ(served.plan, serial.plan);
+    EXPECT_TRUE(BitsEqual(served.scalar, serial.scalar));
+    EXPECT_EQ(served.frames, serial.frames);
+    ASSERT_EQ(served.rows.size(), serial.rows.size());
+    for (size_t r = 0; r < serial.rows.size(); ++r) {
+      EXPECT_EQ(served.rows[r].frame, serial.rows[r].frame);
+    }
+    EXPECT_EQ(served.cost.detection_calls(), serial.cost.detection_calls());
+    EXPECT_EQ(served.cost.specialized_nn_calls(),
+              serial.cost.specialized_nn_calls());
+    EXPECT_TRUE(
+        BitsEqual(served.cost.TotalSeconds(), serial.cost.TotalSeconds()));
+    EXPECT_EQ(served.plan_description, serial.plan_description);
+  }
+
+  static BlazeItEngine* engine_;
+};
+
+BlazeItEngine* ServeTest::engine_ = nullptr;
+
+TEST_F(ServeTest, ZeroWindowPassThroughMatchesSerialExecute) {
+  ServeOptions options;
+  options.window_ticks = 0;  // every Submit executes immediately
+  AdmissionQueue queue(engine_, options);
+
+  auto ticket = queue.Submit("alice", kExhaustive);
+  BLAZEIT_ASSERT_OK(ticket);
+  EXPECT_EQ(queue.queue_depth(), 0);  // already executed, nothing pending
+
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 1u);
+  const ServeResponse& resp = completed[0];
+  EXPECT_EQ(resp.ticket, ticket.value());
+  EXPECT_EQ(resp.client, "alice");
+  EXPECT_FALSE(resp.degraded);
+  BLAZEIT_ASSERT_OK(resp.output);
+
+  auto serial = engine_->Execute(kExhaustive);
+  BLAZEIT_ASSERT_OK(serial);
+  ExpectSameOutput(resp.output.value(), serial.value());
+  // TakeCompleted moves responses out; a second take is empty.
+  EXPECT_TRUE(queue.TakeCompleted().empty());
+}
+
+TEST_F(ServeTest, WindowHoldsQueriesUntilClockAdvances) {
+  ServeOptions options;
+  options.window_ticks = 2;
+  AdmissionQueue queue(engine_, options);
+
+  BLAZEIT_ASSERT_OK(queue.Submit("alice", kExhaustive));
+  BLAZEIT_ASSERT_OK(queue.Submit("bob", kSelectBus));
+  EXPECT_EQ(queue.queue_depth(), 2);
+  EXPECT_TRUE(queue.TakeCompleted().empty());
+
+  queue.Advance();  // tick 1 of 2: window still open
+  EXPECT_EQ(queue.queue_depth(), 2);
+  queue.Advance();  // tick 2 closes the window and runs the batch
+  EXPECT_EQ(queue.queue_depth(), 0);
+
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 2u);
+  for (const ServeResponse& resp : completed) {
+    BLAZEIT_EXPECT_OK(resp.output);
+    EXPECT_EQ(resp.admitted_tick, 0);
+    EXPECT_EQ(resp.executed_tick, 2);
+  }
+  EXPECT_EQ(queue.stats().batches, 1);
+  EXPECT_EQ(queue.stats().submitted, 2);
+}
+
+TEST_F(ServeTest, PerClientQuotaExhaustionIsResourceExhausted) {
+  ServeOptions options;
+  options.window_ticks = 100;  // hold everything pending
+  options.per_client_quota = 1;
+  AdmissionQueue queue(engine_, options);
+
+  BLAZEIT_ASSERT_OK(queue.Submit("alice", kExhaustive));
+  auto over = queue.Submit("alice", kExhaustive);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  // The quota is per client: another client still gets in.
+  BLAZEIT_ASSERT_OK(queue.Submit("bob", kExhaustive));
+  EXPECT_EQ(queue.stats().rejected_quota, 1);
+  EXPECT_EQ(queue.stats().submitted, 2);
+
+  // Draining frees the quota: the same client can submit again.
+  queue.Drain();
+  BLAZEIT_ASSERT_OK(queue.Submit("alice", kExhaustive));
+  queue.Drain();
+  EXPECT_EQ(queue.TakeCompleted().size(), 3u);
+}
+
+TEST_F(ServeTest, FullQueueRejectsWithResourceExhausted) {
+  ServeOptions options;
+  options.window_ticks = 100;
+  options.max_queue_depth = 1;
+  AdmissionQueue queue(engine_, options);
+
+  BLAZEIT_ASSERT_OK(queue.Submit("alice", kExhaustive));
+  auto over = queue.Submit("bob", kExhaustive);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.stats().rejected_queue_full, 1);
+  queue.Drain();
+}
+
+TEST_F(ServeTest, ParseErrorLandsInResponseNotSubmit) {
+  AdmissionQueue queue(engine_);
+  auto ticket = queue.Submit("alice", "SELEC oops");
+  BLAZEIT_ASSERT_OK(ticket);  // admission succeeds; the *query* failed
+  queue.Drain();
+
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 1u);
+  ASSERT_FALSE(completed[0].output.ok());
+  // Same error, same place, as serial Execute.
+  auto serial = engine_->Execute("SELEC oops");
+  ASSERT_FALSE(serial.ok());
+  EXPECT_EQ(completed[0].output.status(), serial.status());
+}
+
+TEST_F(ServeTest, ShedAggregateDowngradesToSamplingEstimator) {
+  ServeOptions options;
+  options.window_ticks = 100;
+  options.shed_depth = 0;  // everything admitted under pressure
+  AdmissionQueue queue(engine_, options);
+
+  BLAZEIT_ASSERT_OK(queue.Submit("alice", kAggregate));
+  queue.Drain();
+
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 1u);
+  const ServeResponse& resp = completed[0];
+  EXPECT_TRUE(resp.degraded);
+  BLAZEIT_ASSERT_OK(resp.output);
+  const QueryOutput& out = resp.output.value();
+  EXPECT_EQ(out.plan, PlanKind::kAqpAggregation);
+  EXPECT_GT(out.scalar, 0.0);
+  // No NN was trained or swept on the shed path.
+  EXPECT_EQ(out.cost.specialized_nn_calls(), 0);
+  EXPECT_EQ(out.cost.training_frames(), 0);
+  ASSERT_NE(out.report, nullptr);
+  EXPECT_EQ(out.report->accuracy_tier, "degraded-sampling");
+  EXPECT_NE(out.report->ToJson().find("\"accuracy_tier\":\"degraded-sampling\""),
+            std::string::npos);
+  EXPECT_EQ(queue.stats().shed, 1);
+}
+
+TEST_F(ServeTest, ShedScrubbingDowngradesToSketchOnlyScan) {
+  ServeOptions options;
+  options.window_ticks = 100;
+  options.shed_depth = 0;
+  AdmissionQueue queue(engine_, options);
+
+  BLAZEIT_ASSERT_OK(queue.Submit("alice", kScrubbing));
+  queue.Drain();
+
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 1u);
+  const ServeResponse& resp = completed[0];
+  EXPECT_TRUE(resp.degraded);
+  BLAZEIT_ASSERT_OK(resp.output);
+  const QueryOutput& out = resp.output.value();
+  EXPECT_EQ(out.plan, PlanKind::kScanScrubbing);
+  EXPECT_LE(out.frames.size(), 5u);  // LIMIT respected
+  for (size_t i = 1; i < out.frames.size(); ++i) {
+    EXPECT_GE(out.frames[i] - out.frames[i - 1], 50);  // GAP respected
+  }
+  EXPECT_EQ(out.cost.specialized_nn_calls(), 0);
+  ASSERT_NE(out.report, nullptr);
+  EXPECT_EQ(out.report->accuracy_tier, "degraded-scan");
+}
+
+TEST_F(ServeTest, ShedLeavesUnsheddableKindsOnFullPlan) {
+  ServeOptions options;
+  options.window_ticks = 100;
+  options.shed_depth = 0;
+  AdmissionQueue queue(engine_, options);
+
+  // Exhaustive scans have no cheaper baseline; they run the full plan
+  // even under shedding pressure, bit-identical to serial.
+  BLAZEIT_ASSERT_OK(queue.Submit("alice", kExhaustive));
+  queue.Drain();
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_FALSE(completed[0].degraded);
+  BLAZEIT_ASSERT_OK(completed[0].output);
+  auto serial = engine_->Execute(kExhaustive);
+  BLAZEIT_ASSERT_OK(serial);
+  ExpectSameOutput(completed[0].output.value(), serial.value());
+  ASSERT_NE(completed[0].output.value().report, nullptr);
+  EXPECT_EQ(completed[0].output.value().report->accuracy_tier, "full");
+  EXPECT_EQ(queue.stats().shed, 0);
+}
+
+TEST_F(ServeTest, CrossClientCoalescingSurfacesInStats) {
+  ServeOptions options;
+  options.window_ticks = 100;
+  AdmissionQueue queue(engine_, options);
+
+  // The same selection from two clients lands in one shared-plan group;
+  // a third, different query gets its own.
+  BLAZEIT_ASSERT_OK(queue.Submit("alice", kSelectBus));
+  BLAZEIT_ASSERT_OK(queue.Submit("bob", kSelectBus));
+  BLAZEIT_ASSERT_OK(queue.Submit("carol", kExhaustive));
+  queue.Drain();
+
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 3u);
+  for (const ServeResponse& resp : completed) BLAZEIT_EXPECT_OK(resp.output);
+  const serve::ServerStats stats = queue.stats();
+  EXPECT_EQ(stats.batches, 1);
+  EXPECT_EQ(stats.groups, 2);
+  EXPECT_EQ(stats.coalesced_queries, 2);
+  EXPECT_EQ(stats.cross_client_groups, 1);
+  EXPECT_GE(stats.standalone_seconds, stats.batch_seconds);
+}
+
+TEST_F(ServeTest, TicketsAreMonotonicAndResponsesCarryMetadata) {
+  ServeOptions options;
+  options.window_ticks = 1;
+  AdmissionQueue queue(engine_, options);
+
+  auto t0 = queue.Submit("alice", kExhaustive);
+  auto t1 = queue.Submit("bob", kSelectBus);
+  BLAZEIT_ASSERT_OK(t0);
+  BLAZEIT_ASSERT_OK(t1);
+  EXPECT_LT(t0.value(), t1.value());
+  queue.Advance();
+
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 2u);
+  for (const ServeResponse& resp : completed) {
+    if (resp.ticket == t0.value()) {
+      EXPECT_EQ(resp.client, "alice");
+      EXPECT_EQ(resp.frameql, kExhaustive);
+    } else {
+      EXPECT_EQ(resp.ticket, t1.value());
+      EXPECT_EQ(resp.client, "bob");
+      EXPECT_EQ(resp.frameql, kSelectBus);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blazeit

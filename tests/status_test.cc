@@ -30,6 +30,17 @@ TEST(StatusTest, FactoryCodes) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ResourceExhaustedFormatsLikeOtherCodes) {
+  const Status s = Status::ResourceExhausted("queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "queue full");
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: queue full");
+  EXPECT_EQ(s, Status::ResourceExhausted("queue full"));
+  EXPECT_FALSE(s == Status::ResourceExhausted("quota spent"));
 }
 
 TEST(StatusTest, Equality) {

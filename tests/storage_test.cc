@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "detect/simulated_detector.h"
+#include "obs/metrics.h"
 #include "storage/detection_store.h"
 #include "storage/persistent_cached_detector.h"
 #include "storage/record_format.h"
@@ -862,6 +863,69 @@ TEST_F(StorageTest, SketchBuildProbeAndInvalidation) {
   auto dropped = reopened.value()->ListSketches();
   BLAZEIT_ASSERT_OK(dropped.status());
   EXPECT_TRUE(dropped.value().empty());
+}
+
+TEST_F(StorageTest, AppendOnlyFlushRefreshesSketchTailIncrementally) {
+  constexpr uint64_t kNs = 0xA99E;
+  constexpr int64_t kFrames = 3 * kSketchBlockFrames;  // three full blocks
+  constexpr int64_t kHole = 7;  // a gap in block 0, re-filled later
+  auto store = DetectionStore::Open(dir_);
+  BLAZEIT_ASSERT_OK(store.status());
+  for (int64_t f = 0; f < kFrames; ++f) {
+    if (f == kHole) continue;
+    std::vector<Detection> dets = {sketchtest::Det(0)};
+    if (f == 5) dets.push_back(sketchtest::Det(1));  // prefix-only class
+    BLAZEIT_ASSERT_OK(
+        store.value()->PutRaw(kNs, f, EncodeDetectionsPayload(dets)));
+  }
+  BLAZEIT_ASSERT_OK(store.value()->Flush());
+  BLAZEIT_ASSERT_OK(store.value()->BuildSketches(kNs));
+
+  obs::Counter* rebuilt = obs::MetricsRegistry::Global().GetCounter(
+      "store.sketch_blocks_rebuilt", obs::Stability::kStable);
+  obs::Counter* incremental = obs::MetricsRegistry::Global().GetCounter(
+      "store.sketch_incremental_refreshes", obs::Stability::kStable);
+
+  // A pure append past the tail: the flush refresh must rebuild only the
+  // block containing the previous maximum frame and the new partial
+  // block, copying the two untouched prefix blocks raw.
+  int64_t rebuilt_before = rebuilt->value();
+  int64_t incremental_before = incremental->value();
+  for (int64_t f = kFrames; f < kFrames + 10; ++f) {
+    BLAZEIT_ASSERT_OK(store.value()->PutRaw(
+        kNs, f, EncodeDetectionsPayload({sketchtest::Det(0)})));
+  }
+  BLAZEIT_ASSERT_OK(store.value()->Flush());
+  EXPECT_EQ(incremental->value(), incremental_before + 1);
+  EXPECT_EQ(rebuilt->value() - rebuilt_before, 2);
+
+  SketchIndex incremental_index = SketchIndex::Load(store.value().get(), kNs);
+  ASSERT_TRUE(incremental_index.valid());
+  ASSERT_EQ(incremental_index.blocks().size(), 4u);
+
+  // The refreshed index is bit-identical to a from-scratch rebuild —
+  // block by block, including the raw-copied prefix.
+  BLAZEIT_ASSERT_OK(store.value()->BuildSketches(kNs));
+  SketchIndex full_index = SketchIndex::Load(store.value().get(), kNs);
+  ASSERT_TRUE(full_index.valid());
+  ASSERT_EQ(full_index.blocks().size(), incremental_index.blocks().size());
+  for (size_t b = 0; b < full_index.blocks().size(); ++b) {
+    EXPECT_TRUE(incremental_index.blocks()[b] == full_index.blocks()[b])
+        << "block " << b;
+  }
+  EXPECT_EQ(incremental_index.meta().base_record_count,
+            full_index.meta().base_record_count);
+
+  // A non-append flush (filling the old hole rewrites history below the
+  // tail) must fall back to the full rebuild of all four blocks.
+  rebuilt_before = rebuilt->value();
+  incremental_before = incremental->value();
+  BLAZEIT_ASSERT_OK(store.value()->PutRaw(
+      kNs, kHole, EncodeDetectionsPayload({sketchtest::Det(0)})));
+  BLAZEIT_ASSERT_OK(store.value()->Flush());
+  EXPECT_EQ(incremental->value(), incremental_before);
+  EXPECT_EQ(rebuilt->value() - rebuilt_before, 4);
+  EXPECT_TRUE(SketchIndex::Load(store.value().get(), kNs).valid());
 }
 
 TEST_F(StorageTest, SketchRefusesNonDetectionsNamespace) {

@@ -47,18 +47,44 @@
 //       (write the process metrics snapshot JSON), --train/--held/--test N
 //       (day lengths; defaults are the paper-scale days), --small-nn
 //       (the test suites' small specialized NN, so a store the test lane
-//       warmed is reused).
+//       warmed is reused), --repeat N (run the query N times against the
+//       same engine; the report printed is the last run's, prefixed by a
+//       per-run summary line), --concurrency N (run the repeats from N
+//       client threads concurrently; outputs stay bit-identical to
+//       serial because engine execution is determinism-contracted).
+//   storecli serve <store-dir> <workload-file> [options]
+//       Replays a query workload against the multi-tenant serving core
+//       (serve::AdmissionQueue): each workload line is `client frameql`
+//       (blank lines and # comments skipped), submitted in file order,
+//       then the queue is drained. Prints one JSON object with per-query
+//       reports (sorted by ticket), rejected submissions, and the
+//       server's cumulative stats. Options: --stream S (register stream
+//       S; repeatable, default taipei), --window T / --max-queue N /
+//       --quota N / --shed-depth N (ServeOptions knobs), --tick-every K
+//       (advance the virtual clock after every K submissions, closing
+//       admission windows mid-replay; 0 = drain-only), --repeat N
+//       (replay the workload N times), --prom FILE (write the final
+//       metrics registry snapshot in Prometheus text format),
+//       --small-nn / --train / --held / --test as for `query`.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/catalog.h"
 #include "core/engine.h"
 #include "detect/simulated_detector.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/report.h"
+#include "serve/admission_queue.h"
 #include "storage/detection_store.h"
 #include "storage/persistent_cached_detector.h"
 #include "storage/record_format.h"
@@ -82,6 +108,15 @@ int Usage() {
                "  storecli sketch verify <store-dir>\n"
                "  storecli sketch rebuild <store-dir> [namespace-hex]\n"
                "  storecli sketch drop <store-dir> <namespace-hex>\n"
+               "  storecli query <store-dir> <stream> <frameql> [--json]\n"
+               "      [--trace FILE] [--metrics FILE] [--small-nn]\n"
+               "      [--train N] [--held N] [--test N]\n"
+               "      [--repeat N] [--concurrency N]\n"
+               "  storecli serve <store-dir> <workload-file> [--stream S]...\n"
+               "      [--window T] [--max-queue N] [--quota N]\n"
+               "      [--shed-depth N] [--tick-every K] [--repeat N]\n"
+               "      [--prom FILE] [--small-nn] [--train N] [--held N]\n"
+               "      [--test N]\n"
                "streams: taipei night-street rialto grand-canal amsterdam "
                "archie\ndays: train held_out test\n");
   return 2;
@@ -255,7 +290,26 @@ struct QueryArgs {
   int64_t held = kDefaultHeldOutFrames;
   int64_t test = kDefaultTestFrames;
   bool small_nn = false;
+  int64_t repeat = 1;
+  int64_t concurrency = 1;
 };
+
+EngineOptions ToolEngineOptions(bool small_nn) {
+  EngineOptions options;
+  options.collect_reports = true;
+  options.use_store_index = true;
+  if (small_nn) {
+    // Mirror the test suites' SmallNN so their warm store replays.
+    SpecializedNNConfig nn;
+    nn.raster_width = 16;
+    nn.raster_height = 16;
+    nn.hidden_dims = {32};
+    options.aggregate.nn = nn;
+    options.scrub.nn = nn;
+    options.selection.nn = nn;
+  }
+  return options;
+}
 
 int RunQuery(const QueryArgs& args) {
   auto config = StreamConfigByName(args.stream);
@@ -271,22 +325,43 @@ int RunQuery(const QueryArgs& args) {
   Status added = catalog.AddStream(config.value(), lengths);
   if (!added.ok()) return Fail(added);
 
-  EngineOptions options;
-  options.collect_reports = true;
-  options.use_store_index = true;
-  if (args.small_nn) {
-    // Mirror the test suites' SmallNN so their warm store replays.
-    SpecializedNNConfig nn;
-    nn.raster_width = 16;
-    nn.raster_height = 16;
-    nn.hidden_dims = {32};
-    options.aggregate.nn = nn;
-    options.scrub.nn = nn;
-    options.selection.nn = nn;
+  BlazeItEngine engine(&catalog, ToolEngineOptions(args.small_nn));
+  const int64_t repeat = std::max<int64_t>(1, args.repeat);
+  const int64_t concurrency =
+      std::min(std::max<int64_t>(1, args.concurrency), repeat);
+  Result<QueryOutput> out = Status::Internal("no run executed");
+  if (concurrency <= 1) {
+    for (int64_t r = 0; r < repeat; ++r) {
+      out = engine.Execute(args.frameql);
+      if (!out.ok()) return Fail(out.status());
+    }
+  } else {
+    // Repeats are spread over client threads; execution stays
+    // determinism-contracted, so the kept (last-indexed) output is
+    // bit-identical to a serial run of the same query.
+    std::vector<Result<QueryOutput>> runs(
+        static_cast<size_t>(repeat), Result<QueryOutput>(Status::Internal("")));
+    std::atomic<int64_t> next{0};
+    std::vector<std::thread> threads;
+    for (int64_t c = 0; c < concurrency; ++c) {
+      threads.emplace_back([&] {
+        for (int64_t r = next.fetch_add(1); r < repeat;
+             r = next.fetch_add(1)) {
+          runs[static_cast<size_t>(r)] = engine.Execute(args.frameql);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& run : runs) {
+      if (!run.ok()) return Fail(run.status());
+    }
+    out = std::move(runs.back());
   }
-  BlazeItEngine engine(&catalog, options);
-  auto out = engine.Execute(args.frameql);
-  if (!out.ok()) return Fail(out.status());
+  if (repeat > 1) {
+    std::printf("%lld runs x %lld threads completed\n",
+                static_cast<long long>(repeat),
+                static_cast<long long>(concurrency));
+  }
   Status flushed = catalog.FlushDetectionStore();
   if (!flushed.ok()) return Fail(flushed);
 
@@ -312,6 +387,210 @@ int RunQuery(const QueryArgs& args) {
   if (!args.metrics_path.empty()) {
     const int rc = WriteFileOrFail(
         args.metrics_path, obs::MetricsRegistry::Global().Snapshot().ToJson());
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+struct ServeArgs {
+  std::string dir;
+  std::string workload;
+  std::vector<std::string> streams;
+  int64_t window = 1;
+  int64_t max_queue = 256;
+  int64_t quota = 32;
+  int64_t shed_depth = -1;
+  int64_t tick_every = 0;
+  int64_t repeat = 1;
+  std::string prom_path;
+  bool small_nn = false;
+  int64_t train = kDefaultTrainFrames;
+  int64_t held = kDefaultHeldOutFrames;
+  int64_t test = kDefaultTestFrames;
+};
+
+std::string CliJsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+int RunServe(const ServeArgs& args) {
+  // One workload line is `client frameql`; the first whitespace run splits
+  // them, so queries keep their internal spaces.
+  struct WorkItem {
+    std::string client;
+    std::string frameql;
+  };
+  std::vector<WorkItem> workload;
+  {
+    std::ifstream in(args.workload);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read workload %s\n",
+                   args.workload.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      const size_t space = line.find_first_of(" \t", first);
+      if (space == std::string::npos) {
+        std::fprintf(stderr, "error: workload line has no query: %s\n",
+                     line.c_str());
+        return 1;
+      }
+      const size_t query = line.find_first_not_of(" \t", space);
+      if (query == std::string::npos) {
+        std::fprintf(stderr, "error: workload line has no query: %s\n",
+                     line.c_str());
+        return 1;
+      }
+      workload.push_back(
+          {line.substr(first, space - first), line.substr(query)});
+    }
+  }
+
+  VideoCatalog catalog;
+  Status enabled = catalog.EnableDetectionStore(args.dir);
+  if (!enabled.ok()) return Fail(enabled);
+  DayLengths lengths;
+  lengths.train = args.train;
+  lengths.held_out = args.held;
+  lengths.test = args.test;
+  std::vector<std::string> streams = args.streams;
+  if (streams.empty()) streams.push_back("taipei");
+  for (const std::string& stream : streams) {
+    auto config = StreamConfigByName(stream);
+    if (!config.ok()) return Fail(config.status());
+    Status added = catalog.AddStream(config.value(), lengths);
+    if (!added.ok()) return Fail(added);
+  }
+
+  BlazeItEngine engine(&catalog, ToolEngineOptions(args.small_nn));
+  serve::ServeOptions sopts;
+  sopts.window_ticks = args.window;
+  sopts.max_queue_depth = args.max_queue;
+  sopts.per_client_quota = args.quota;
+  sopts.shed_depth = args.shed_depth;
+  serve::AdmissionQueue queue(&engine, sopts);
+
+  struct Rejection {
+    std::string client;
+    std::string frameql;
+    std::string error;
+  };
+  std::vector<Rejection> rejected;
+  const int64_t repeat = std::max<int64_t>(1, args.repeat);
+  int64_t since_tick = 0;
+  for (int64_t rep = 0; rep < repeat; ++rep) {
+    for (const WorkItem& item : workload) {
+      auto ticket = queue.Submit(item.client, item.frameql);
+      if (!ticket.ok()) {
+        rejected.push_back(
+            {item.client, item.frameql, ticket.status().ToString()});
+      }
+      if (args.tick_every > 0 && ++since_tick >= args.tick_every) {
+        since_tick = 0;
+        queue.Advance();
+      }
+    }
+  }
+  queue.Drain();
+  Status flushed = catalog.FlushDetectionStore();
+  if (!flushed.ok()) return Fail(flushed);
+
+  std::vector<serve::ServeResponse> responses = queue.TakeCompleted();
+  std::sort(responses.begin(), responses.end(),
+            [](const serve::ServeResponse& a, const serve::ServeResponse& b) {
+              return a.ticket < b.ticket;
+            });
+
+  std::string out = "{\"responses\":[";
+  bool first = true;
+  for (const serve::ServeResponse& r : responses) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ticket\":" + std::to_string(r.ticket);
+    out += ",\"client\":\"" + CliJsonEscape(r.client) + "\"";
+    out += ",\"frameql\":\"" + CliJsonEscape(r.frameql) + "\"";
+    out += ",\"admitted_tick\":" + std::to_string(r.admitted_tick);
+    out += ",\"executed_tick\":" + std::to_string(r.executed_tick);
+    out += std::string(",\"degraded\":") + (r.degraded ? "true" : "false");
+    out += std::string(",\"ok\":") + (r.output.ok() ? "true" : "false");
+    if (r.output.ok()) {
+      out += ",\"group\":" + std::to_string(r.stats.group);
+      out +=
+          ",\"shared_nn_frames\":" + std::to_string(r.stats.shared_nn_frames);
+      out += ",\"shared_models\":" + std::to_string(r.stats.shared_models);
+      if (r.output.value().report != nullptr) {
+        out += ",\"report\":" + r.output.value().report->ToJson();
+      }
+    } else {
+      out += ",\"error\":\"" + CliJsonEscape(r.output.status().ToString()) +
+             "\"";
+    }
+    out += "}";
+  }
+  out += "],\"rejected\":[";
+  first = true;
+  for (const Rejection& r : rejected) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"client\":\"" + CliJsonEscape(r.client) + "\"";
+    out += ",\"frameql\":\"" + CliJsonEscape(r.frameql) + "\"";
+    out += ",\"error\":\"" + CliJsonEscape(r.error) + "\"}";
+  }
+  const serve::ServerStats stats = queue.stats();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "],\"stats\":{\"submitted\":%lld,\"rejected_queue_full\":%lld,"
+      "\"rejected_quota\":%lld,\"shed\":%lld,\"batches\":%lld,"
+      "\"groups\":%lld,\"coalesced_queries\":%lld,"
+      "\"cross_client_groups\":%lld,\"shared_nn_frames\":%lld,"
+      "\"shared_filter_frames\":%lld,\"shared_models\":%lld,"
+      "\"standalone_seconds\":%.6f,\"batch_seconds\":%.6f}}",
+      static_cast<long long>(stats.submitted),
+      static_cast<long long>(stats.rejected_queue_full),
+      static_cast<long long>(stats.rejected_quota),
+      static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.batches),
+      static_cast<long long>(stats.groups),
+      static_cast<long long>(stats.coalesced_queries),
+      static_cast<long long>(stats.cross_client_groups),
+      static_cast<long long>(stats.shared_nn_frames),
+      static_cast<long long>(stats.shared_filter_frames),
+      static_cast<long long>(stats.shared_models),
+      stats.standalone_seconds, stats.batch_seconds);
+  out += buf;
+  std::printf("%s\n", out.c_str());
+
+  if (!args.prom_path.empty()) {
+    const int rc = WriteFileOrFail(args.prom_path, obs::PrometheusText());
     if (rc != 0) return rc;
   }
   return 0;
@@ -524,11 +803,52 @@ int Main(int argc, char** argv) {
         args.held = std::atoll(argv[++i]);
       } else if (flag == "--test" && i + 1 < argc) {
         args.test = std::atoll(argv[++i]);
+      } else if (flag == "--repeat" && i + 1 < argc) {
+        args.repeat = std::atoll(argv[++i]);
+      } else if (flag == "--concurrency" && i + 1 < argc) {
+        args.concurrency = std::atoll(argv[++i]);
       } else {
         return Usage();
       }
     }
     return RunQuery(args);
+  }
+  if (command == "serve") {
+    if (argc < 4) return Usage();
+    ServeArgs args;
+    args.dir = argv[2];
+    args.workload = argv[3];
+    for (int i = 4; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--stream" && i + 1 < argc) {
+        args.streams.push_back(argv[++i]);
+      } else if (flag == "--window" && i + 1 < argc) {
+        args.window = std::atoll(argv[++i]);
+      } else if (flag == "--max-queue" && i + 1 < argc) {
+        args.max_queue = std::atoll(argv[++i]);
+      } else if (flag == "--quota" && i + 1 < argc) {
+        args.quota = std::atoll(argv[++i]);
+      } else if (flag == "--shed-depth" && i + 1 < argc) {
+        args.shed_depth = std::atoll(argv[++i]);
+      } else if (flag == "--tick-every" && i + 1 < argc) {
+        args.tick_every = std::atoll(argv[++i]);
+      } else if (flag == "--repeat" && i + 1 < argc) {
+        args.repeat = std::atoll(argv[++i]);
+      } else if (flag == "--prom" && i + 1 < argc) {
+        args.prom_path = argv[++i];
+      } else if (flag == "--small-nn") {
+        args.small_nn = true;
+      } else if (flag == "--train" && i + 1 < argc) {
+        args.train = std::atoll(argv[++i]);
+      } else if (flag == "--held" && i + 1 < argc) {
+        args.held = std::atoll(argv[++i]);
+      } else if (flag == "--test" && i + 1 < argc) {
+        args.test = std::atoll(argv[++i]);
+      } else {
+        return Usage();
+      }
+    }
+    return RunServe(args);
   }
   if (command == "inspect") return RunInspect(argv[2]);
   if (command == "verify") return RunVerify(argv[2]);
