@@ -110,6 +110,53 @@ print("serve replay valid: 3 responses,",
 EOF
   grep -q '^# TYPE blazeit_serve_submitted counter$' \
     "${ARTIFACT_DIR}/serve_metrics.prom"
+
+  # Debug-endpoint smoke: rerun the same serve workload with the HTTP
+  # debug server up (--listen 0 picks an ephemeral port, written to the
+  # port file; --linger-ms keeps the process alive after the replay so we
+  # can scrape it). Gating — /healthz must be 200, /metrics must be a
+  # Prometheus exposition, and /tracez must carry the replayed queries in
+  # the flight recorder.
+  echo "==> storecli: debug endpoint smoke (/healthz /metrics /tracez)"
+  PORT_FILE="${ARTIFACT_DIR}/debug_port.txt"
+  rm -f "${PORT_FILE}"
+  "${STORECLI}" serve "${STORE_DIR}" "${ARTIFACT_DIR}/serve_workload.txt" \
+    --small-nn --train 6000 --held 6000 --test 12000 \
+    --listen 0 --port-file "${PORT_FILE}" --linger-ms 30000 \
+    > "${ARTIFACT_DIR}/serve_report_debug.json" &
+  SERVE_PID=$!
+  for _ in $(seq 1 300); do
+    [[ -s "${PORT_FILE}" ]] && break
+    kill -0 "${SERVE_PID}" 2>/dev/null \
+      || { echo "==> FAIL: serve exited before publishing its port" >&2; exit 1; }
+    sleep 0.1
+  done
+  [[ -s "${PORT_FILE}" ]] \
+    || { echo "==> FAIL: debug server port file never appeared" >&2; kill "${SERVE_PID}"; exit 1; }
+  DEBUG_PORT="$(cat "${PORT_FILE}")"
+  DEBUG_URL="http://127.0.0.1:${DEBUG_PORT}"
+  HEALTH_CODE="$(curl -s -o "${ARTIFACT_DIR}/healthz.json" \
+    -w '%{http_code}' "${DEBUG_URL}/healthz")"
+  [[ "${HEALTH_CODE}" == "200" ]] \
+    || { echo "==> FAIL: /healthz returned ${HEALTH_CODE}" >&2; kill "${SERVE_PID}"; exit 1; }
+  curl -s "${DEBUG_URL}/metrics" > "${ARTIFACT_DIR}/debug_metrics.prom"
+  grep -q '^# TYPE blazeit_' "${ARTIFACT_DIR}/debug_metrics.prom" \
+    || { echo "==> FAIL: /metrics is not a Prometheus exposition" >&2; kill "${SERVE_PID}"; exit 1; }
+  curl -s "${DEBUG_URL}/tracez" > "${ARTIFACT_DIR}/tracez.json"
+  curl -s "${DEBUG_URL}/statusz" > "${ARTIFACT_DIR}/statusz.json"
+  python3 - "${ARTIFACT_DIR}/tracez.json" "${ARTIFACT_DIR}/statusz.json" <<'EOF'
+import json, sys
+tracez = json.load(open(sys.argv[1]))
+assert len(tracez["recent"]) >= 1, tracez
+assert all(r["correlation_id"] > 0 for r in tracez["recent"]), tracez
+statusz = json.load(open(sys.argv[2]))
+sections = {s["section"] for s in statusz["sections"]}
+assert {"engine", "storage", "serve"} <= sections, sections
+print("debug endpoints valid:", len(tracez["recent"]), "trace(s),",
+      len(sections), "statusz section(s)")
+EOF
+  kill "${SERVE_PID}" 2>/dev/null || true
+  wait "${SERVE_PID}" 2>/dev/null || true
 else
   echo "==> storecli not built; skipping sketch round trip"
 fi
@@ -134,16 +181,17 @@ fi
 # -fsanitize=thread and run them. Races found here should be fixed
 # promptly but do not fail the build — TSan availability and signal
 # quality vary across CI machines.
-echo "==> tsan lane (non-gating): exec + storage + logging + batch + serve + obs suites"
+echo "==> tsan lane (non-gating): exec + storage + logging + batch + serve + obs + net suites"
 TSAN_BUILD="${BUILD_DIR}-tsan"
 if cmake -B "${TSAN_BUILD}" -S . -DBLAZEIT_TSAN=ON \
       -DBLAZEIT_BUILD_BENCHES=OFF -DBLAZEIT_BUILD_EXAMPLES=OFF \
       -DBLAZEIT_BUILD_TOOLS=OFF > /dev/null \
     && cmake --build "${TSAN_BUILD}" -j "${JOBS}" \
       --target exec_test storage_test util_test \
-      batch_determinism_test cost_model_test obs_test serve_test > /dev/null \
+      batch_determinism_test cost_model_test obs_test serve_test \
+      net_test flight_recorder_test > /dev/null \
     && ctest --test-dir "${TSAN_BUILD}" \
-      -R '^(exec_test|storage_test|util_test|batch_determinism_test|cost_model_test|obs_test|serve_test)$' \
+      -R '^(exec_test|storage_test|util_test|batch_determinism_test|cost_model_test|obs_test|serve_test|net_test|flight_recorder_test)$' \
       --output-on-failure; then
   echo "==> tsan lane clean"
 else

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <optional>
 #include <unordered_map>
@@ -11,11 +12,15 @@
 #include "filters/calibration.h"
 #include "filters/label_filter.h"
 #include "frameql/parser.h"
+#include "net/http.h"
 #include "obs/counting_cache.h"
+#include "obs/debug_server.h"
+#include "obs/flight_recorder.h"
 #include "storage/segment_sketch.h"
 #include "track/iou_tracker.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/string_util.h"
 
 namespace blazeit {
 
@@ -78,7 +83,55 @@ std::vector<SketchIndex::FrameRange> CandidateRangesForScan(
 }  // namespace
 
 BlazeItEngine::BlazeItEngine(VideoCatalog* catalog, EngineOptions options)
-    : catalog_(catalog), options_(options) {}
+    : catalog_(catalog), options_(options) {
+  if (!options_.export_statusz) return;
+  obs::StatusRegistry& registry = obs::StatusRegistry::Global();
+  statusz_tokens_.push_back(registry.AddSection("engine", [this] {
+    std::string streams = "[";
+    bool first = true;
+    for (const std::string& name : catalog_->StreamNames()) {
+      if (!first) streams += ",";
+      first = false;
+      streams += "\"" + net::JsonEscape(name) + "\"";
+    }
+    streams += "]";
+    return StrFormat(
+        "{\"streams\":%s,\"use_store_index\":%s,\"collect_reports\":%s}",
+        streams.c_str(), options_.use_store_index ? "true" : "false",
+        options_.collect_reports ? "true" : "false");
+  }));
+  statusz_tokens_.push_back(registry.AddSection("storage", [this] {
+    DetectionStore* store = catalog_->detection_store();
+    if (store == nullptr) return std::string("{\"enabled\":false}");
+    std::string out = StrFormat(
+        "{\"enabled\":true,\"dir\":\"%s\",\"total_records\":%lld,"
+        "\"pending_records\":%lld,\"namespaces\":[",
+        net::JsonEscape(store->dir()).c_str(),
+        static_cast<long long>(store->TotalRecords()),
+        static_cast<long long>(store->pending_records()));
+    bool first = true;
+    for (const auto& ns : store->PerNamespaceStats()) {
+      if (!first) out += ",";
+      first = false;
+      out += StrFormat(
+          "{\"ns\":\"%016llx\",\"segments\":%lld,\"records\":%lld,"
+          "\"pending\":%lld,\"shadowed\":%lld}",
+          static_cast<unsigned long long>(ns.ns),
+          static_cast<long long>(ns.segments),
+          static_cast<long long>(ns.records),
+          static_cast<long long>(ns.pending),
+          static_cast<long long>(ns.shadowed));
+    }
+    out += "]}";
+    return out;
+  }));
+}
+
+BlazeItEngine::~BlazeItEngine() {
+  for (int64_t token : statusz_tokens_) {
+    obs::StatusRegistry::Global().Remove(token);
+  }
+}
 
 Result<PreparedQuery> BlazeItEngine::Prepare(const std::string& frameql,
                                              obs::QueryTrace* trace) {
@@ -95,24 +148,53 @@ Result<PreparedQuery> BlazeItEngine::Prepare(const std::string& frameql,
     BLAZEIT_ASSIGN_OR_RETURN(
         prepared.query, AnalyzeQuery(parsed, prepared.stream->config));
   }
+  prepared.correlation_id = obs::FlightRecorder::NextCorrelationId();
   return prepared;
 }
 
 Result<QueryOutput> BlazeItEngine::Execute(const std::string& frameql) {
+  const auto started = std::chrono::steady_clock::now();
   std::shared_ptr<obs::QueryTrace> trace;
   if (options_.collect_reports) {
     trace = std::make_shared<obs::QueryTrace>(frameql);
   }
-  BLAZEIT_ASSIGN_OR_RETURN(PreparedQuery prepared,
-                           Prepare(frameql, trace.get()));
-  return ExecutePrepared(prepared.stream, prepared.query,
-                         /*sweep_cache=*/nullptr, frameql, std::move(trace));
+  Result<PreparedQuery> prepared = Prepare(frameql, trace.get());
+  Result<QueryOutput> result =
+      prepared.ok()
+          ? ExecutePrepared(prepared.value().stream, prepared.value().query,
+                            /*sweep_cache=*/nullptr, frameql, trace,
+                            prepared.value().correlation_id)
+          : Result<QueryOutput>(prepared.status());
+
+  // Flight-record the completed query (observe-only; outputs unchanged).
+  obs::FlightRecord record;
+  record.correlation_id = prepared.ok()
+                              ? prepared.value().correlation_id
+                              : obs::FlightRecorder::NextCorrelationId();
+  record.query = frameql;
+  record.accuracy_tier = "full";
+  record.ok = result.ok();
+  if (result.ok()) {
+    record.plan = PlanKindName(result.value().plan);
+    record.cost_seconds = result.value().cost.TotalSeconds();
+    record.trace = result.value().report != nullptr
+                       ? result.value().report->trace
+                       : trace;
+  } else {
+    record.error = result.status().ToString();
+    record.trace = trace;
+  }
+  record.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
+  obs::FlightRecorder::Global().Record(std::move(record));
+  return result;
 }
 
 Result<QueryOutput> BlazeItEngine::ExecutePrepared(
     StreamData* stream, const AnalyzedQuery& query,
     ArtifactCache* sweep_cache, const std::string& frameql,
-    std::shared_ptr<obs::QueryTrace> trace) {
+    std::shared_ptr<obs::QueryTrace> trace, int64_t correlation_id) {
   std::shared_ptr<obs::ExecutionReport> report;
   std::optional<obs::CountingCacheView> counting;
   if (options_.collect_reports) {
@@ -133,8 +215,8 @@ Result<QueryOutput> BlazeItEngine::ExecutePrepared(
     obs::TraceSpan span(trace.get(), "optimize");
     plan = ChoosePlan(query, stream);
   }
-  BLAZEIT_LOG(kDebug) << "plan: " << PlanKindName(plan.kind) << " — "
-                      << plan.rationale;
+  BLAZEIT_LOG(kDebug).Field("cid", correlation_id)
+      << "plan: " << PlanKindName(plan.kind) << " — " << plan.rationale;
 
   QueryOutput out;
   out.kind = query.kind;

@@ -40,6 +40,12 @@ struct EngineOptions {
   /// with it on or off. Off by default — the per-frame cache-counting
   /// wrapper and span bookkeeping cost a little wall-clock.
   bool collect_reports = false;
+  /// Register "engine" and "storage" sections with the process-wide
+  /// obs::StatusRegistry (rendered by the debug server's /statusz) for
+  /// this engine's lifetime. Off by default so tests and libraries that
+  /// build many engines don't pollute the global registry; `storecli
+  /// serve --listen` turns it on.
+  bool export_statusz = false;
 };
 
 /// Everything a FrameQL query can return.
@@ -111,6 +117,11 @@ struct BatchOutput {
 struct PreparedQuery {
   StreamData* stream = nullptr;
   AnalyzedQuery query;
+  /// Process-unique id minted at Prepare time, threaded through log lines
+  /// (cid=N fields) and the flight recorder so one query's lifecycle can
+  /// be grepped end to end. Never part of query outputs or reports — ids
+  /// differ across runs, and outputs must not.
+  int64_t correlation_id = -1;
 };
 
 /// The BlazeIt engine: the public entry point tying everything together.
@@ -126,6 +137,9 @@ class BlazeItEngine {
  public:
   /// `catalog` must outlive the engine.
   explicit BlazeItEngine(VideoCatalog* catalog, EngineOptions options = {});
+  ~BlazeItEngine();
+  BlazeItEngine(const BlazeItEngine&) = delete;
+  BlazeItEngine& operator=(const BlazeItEngine&) = delete;
 
   /// Parses, optimizes, and executes one FrameQL query.
   Result<QueryOutput> Execute(const std::string& frameql);
@@ -173,12 +187,14 @@ class BlazeItEngine {
   /// Plan choice + dispatch. `sweep_cache` overrides the stream's
   /// artifact cache for the executors (nullptr = standalone execution);
   /// `frameql` and `trace` feed the ExecutionReport when
-  /// options_.collect_reports is on (trace is null otherwise).
+  /// options_.collect_reports is on (trace is null otherwise);
+  /// `correlation_id` tags the plan-choice log line (cid=N).
   Result<QueryOutput> ExecutePrepared(StreamData* stream,
                                       const AnalyzedQuery& query,
                                       ArtifactCache* sweep_cache,
                                       const std::string& frameql,
-                                      std::shared_ptr<obs::QueryTrace> trace);
+                                      std::shared_ptr<obs::QueryTrace> trace,
+                                      int64_t correlation_id);
 
   Result<QueryOutput> ExecuteCountDistinct(StreamData* stream,
                                            const AnalyzedQuery& query,
@@ -196,6 +212,8 @@ class BlazeItEngine {
   VideoCatalog* catalog_;
   EngineOptions options_;
   UdfRegistry udfs_;
+  /// StatusRegistry tokens held while options_.export_statusz.
+  std::vector<int64_t> statusz_tokens_;
 };
 
 }  // namespace blazeit

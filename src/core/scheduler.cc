@@ -57,7 +57,8 @@ ScheduleOutcome QueryScheduler::Run(const std::vector<ScheduledQuery>& queries,
           const ScheduledQuery& q = queries[idx];
           SweepCacheView view(sweeps, q.prepared.stream->artifact_cache);
           Result<QueryOutput> result = engine_->ExecutePrepared(
-              q.prepared.stream, q.prepared.query, &view, q.frameql, q.trace);
+              q.prepared.stream, q.prepared.query, &view, q.frameql, q.trace,
+              q.prepared.correlation_id);
           // Stats are filled only for successful queries (the documented
           // all-zero contract for failures).
           if (result.ok()) {

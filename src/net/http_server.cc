@@ -1,0 +1,356 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace blazeit {
+namespace net {
+
+namespace {
+
+/// Wire counters are scheduling- and client-driven, hence kUnstable.
+obs::Counter* ResponseCounter(int status) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "net.http_responses{code=" + std::to_string(status) + "}",
+      obs::Stability::kUnstable);
+}
+
+obs::Counter* DroppedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "net.http_overload_drops", obs::Stability::kUnstable);
+  return counter;
+}
+
+void SetSocketTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// send() the whole buffer; MSG_NOSIGNAL so a client that hung up mid-
+/// response yields EPIPE instead of SIGPIPE.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SendResponse(int fd, const HttpResponse& response, bool head_only) {
+  HttpResponse out = response;
+  if (head_only) {
+    // HEAD keeps the Content-Length of the suppressed body.
+    const std::string length = std::to_string(out.body.size());
+    out.body.clear();
+    std::string serialized = SerializeResponse(out);
+    const std::string needle = "Content-Length: 0\r\n";
+    const size_t at = serialized.find(needle);
+    if (at != std::string::npos) {
+      serialized.replace(at, needle.size(),
+                         "Content-Length: " + length + "\r\n");
+    }
+    SendAll(fd, serialized);
+  } else {
+    SendAll(fd, SerializeResponse(out));
+  }
+  ResponseCounter(out.status)->Add();
+}
+
+HttpResponse ErrorResponse(int status, const std::string& detail) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::string(StatusReason(status)) + ": " + detail + "\n";
+  return response;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Options options) : options_(std::move(options)) {
+  if (options_.worker_threads < 1) options_.worker_threads = 1;
+  if (options_.max_pending_connections < 1) {
+    options_.max_pending_connections = 1;
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[path] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::FailedPrecondition("server already running");
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::Internal("bind " + options_.bind_address + ":" +
+                            std::to_string(options_.port) + ": " + err);
+  }
+  if (listen(fd, options_.max_pending_connections) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::Internal("listen: " + err);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::Internal("getsockname: " + err);
+  }
+
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  running_ = true;
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.worker_threads));
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+    // Unblocks accept() in the accept thread.
+    shutdown(listen_fd_, SHUT_RDWR);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    accept_thread = std::move(accept_thread_);
+    workers = std::move(workers_);
+    workers_.clear();
+  }
+  queue_cv_.notify_all();
+  if (accept_thread.joinable()) accept_thread.join();
+  for (std::thread& worker : workers) worker.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : pending_) {
+      SendResponse(fd, ErrorResponse(503, "server shutting down"),
+                   /*head_only=*/false);
+      close(fd);
+    }
+    pending_.clear();
+    running_ = false;
+    stopping_ = false;
+  }
+}
+
+bool HttpServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ && !stopping_;
+}
+
+int HttpServer::port() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return port_;
+}
+
+void HttpServer::AcceptLoop() {
+  while (true) {
+    int listen_fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      listen_fd = listen_fd_;
+    }
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      // Transient accept failure (EMFILE, ...): drop this edge and keep
+      // serving; the debug surface must not take the process down.
+      continue;
+    }
+    SetSocketTimeout(fd, options_.io_timeout_ms);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        close(fd);
+        return;
+      }
+      if (static_cast<int>(pending_.size()) >=
+          options_.max_pending_connections) {
+        DroppedCounter()->Add();
+        SendResponse(fd, ErrorResponse(503, "connection queue full"),
+                     /*head_only=*/false);
+        close(fd);
+        continue;
+      }
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  const HttpLimits& limits = options_.limits;
+  // Read until the blank line, bounded by max_head_bytes.
+  std::string buffer;
+  size_t head_end = std::string::npos;
+  char chunk[4096];
+  while (head_end == std::string::npos) {
+    if (buffer.size() > limits.max_head_bytes) {
+      SendResponse(fd, ErrorResponse(431, "request head exceeds " +
+                                              std::to_string(
+                                                  limits.max_head_bytes) +
+                                              " bytes"),
+                   /*head_only=*/false);
+      return;
+    }
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (!buffer.empty()) {
+        SendResponse(fd, ErrorResponse(408, "timed out reading request"),
+                     /*head_only=*/false);
+      }
+      return;  // client went away (or sent nothing)
+    }
+    const size_t scan_from = buffer.size() < 3 ? 0 : buffer.size() - 3;
+    buffer.append(chunk, static_cast<size_t>(n));
+    head_end = buffer.find("\r\n\r\n", scan_from);
+    size_t delim = 4;
+    if (head_end == std::string::npos) {
+      head_end = buffer.find("\n\n", scan_from);
+      delim = 2;
+    }
+    if (head_end != std::string::npos) {
+      std::string head = buffer.substr(0, head_end);
+      std::string rest = buffer.substr(head_end + delim);
+
+      auto parsed = ParseRequestHead(head, limits);
+      if (!parsed.ok()) {
+        const int code = parsed.status().code() ==
+                                 StatusCode::kResourceExhausted
+                             ? 431
+                             : 400;
+        SendResponse(fd, ErrorResponse(code, parsed.status().ToString()),
+                     /*head_only=*/false);
+        return;
+      }
+      HttpRequest request = std::move(parsed).value();
+
+      size_t content_length = 0;
+      if (const std::string* cl = request.FindHeader("content-length")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          SendResponse(fd, ErrorResponse(400, "bad Content-Length"),
+                       /*head_only=*/false);
+          return;
+        }
+        content_length = static_cast<size_t>(v);
+      }
+      if (content_length > limits.max_body_bytes) {
+        SendResponse(fd, ErrorResponse(413, "body exceeds " +
+                                                std::to_string(
+                                                    limits.max_body_bytes) +
+                                                " bytes"),
+                     /*head_only=*/false);
+        return;
+      }
+      request.body = std::move(rest);
+      while (request.body.size() < content_length) {
+        const ssize_t m = recv(fd, chunk, sizeof(chunk), 0);
+        if (m <= 0) {
+          SendResponse(fd, ErrorResponse(408, "timed out reading body"),
+                       /*head_only=*/false);
+          return;
+        }
+        request.body.append(chunk, static_cast<size_t>(m));
+      }
+      request.body.resize(content_length);
+
+      if (request.method != "GET" && request.method != "HEAD" &&
+          request.method != "POST") {
+        SendResponse(fd, ErrorResponse(405, request.method + " not supported"),
+                     /*head_only=*/false);
+        return;
+      }
+      SendResponse(fd, Dispatch(request), request.method == "HEAD");
+      return;
+    }
+  }
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handlers_.find(request.path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    return ErrorResponse(404, "no handler for " + request.path);
+  }
+  try {
+    return handler(request);
+  } catch (const std::exception& e) {
+    BLAZEIT_LOG(kWarning) << "handler for " << request.path
+                          << " threw: " << e.what();
+    return ErrorResponse(500, "handler failed");
+  } catch (...) {
+    return ErrorResponse(500, "handler failed");
+  }
+}
+
+}  // namespace net
+}  // namespace blazeit

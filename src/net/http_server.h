@@ -1,0 +1,101 @@
+#ifndef BLAZEIT_NET_HTTP_SERVER_H_
+#define BLAZEIT_NET_HTTP_SERVER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "util/status.h"
+
+namespace blazeit {
+namespace net {
+
+/// Dependency-free blocking HTTP/1.1 server for the observability
+/// endpoints: one accept thread hands connections to a small dedicated
+/// worker pool (its own std::threads — never the query ThreadPool, so a
+/// scrape can never contend with query execution for pool workers, and a
+/// saturated query pool can never starve /healthz).
+///
+/// Deliberately tiny: one request per connection (`Connection: close`),
+/// exact-path routing, bounded head/body sizes (HttpLimits), socket read
+/// and write timeouts. Everything a Prometheus scraper, curl, or a load
+/// balancer health check needs — and nothing more.
+///
+/// Thread-safe: Handle() may be called before or after Start(); handlers
+/// run concurrently on worker threads and must be thread-safe themselves.
+class HttpServer {
+ public:
+  /// Handlers take the parsed request and return the full response. A
+  /// throwing handler produces a 500 instead of killing the worker.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    /// Bind address. The debug surface defaults to loopback: exposing it
+    /// beyond the host is an operator decision, not a default.
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port (read it back via port()).
+    int port = 0;
+    /// Dedicated connection workers.
+    int worker_threads = 2;
+    /// Accepted-but-unclaimed connection bound; excess connections get an
+    /// immediate 503 instead of queueing unboundedly.
+    int max_pending_connections = 16;
+    /// Per-connection socket read/write timeout.
+    int io_timeout_ms = 5000;
+    HttpLimits limits;
+  };
+
+  HttpServer() : HttpServer(Options{}) {}
+  explicit HttpServer(Options options);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Routes exact matches of `path` (no query string) to `handler`.
+  /// Re-registering a path replaces the handler.
+  void Handle(const std::string& path, Handler handler);
+
+  /// Binds, listens, and spawns the accept + worker threads. Fails with
+  /// Internal if the address cannot be bound (port in use, ...).
+  Status Start();
+
+  /// Stops accepting, drains queued connections with 503, joins all
+  /// threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const;
+  /// The bound port (the ephemeral pick when options.port == 0); -1
+  /// before Start().
+  int port() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::map<std::string, Handler> handlers_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+  bool running_ = false;
+  bool stopping_ = false;
+  int listen_fd_ = -1;
+  int port_ = -1;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace net
+}  // namespace blazeit
+
+#endif  // BLAZEIT_NET_HTTP_SERVER_H_

@@ -1,6 +1,7 @@
 #include "serve/admission_queue.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <unordered_map>
 #include <utility>
@@ -9,8 +10,12 @@
 #include "core/optimizer.h"
 #include "core/scrubbing.h"
 #include "exec/thread_pool.h"
+#include "net/http.h"
+#include "obs/debug_server.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/segment_sketch.h"
+#include "util/string_util.h"
 
 namespace blazeit {
 namespace serve {
@@ -32,6 +37,19 @@ obs::Counter* RejectedCounter(const char* reason) {
   return obs::MetricsRegistry::Global().GetCounter(
       std::string("serve.rejected{reason=") + reason + "}",
       obs::Stability::kStable);
+}
+
+obs::Counter* CancelledCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "serve.cancelled", obs::Stability::kStable);
+  return counter;
+}
+
+/// Milliseconds elapsed since `start` on the steady clock.
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 obs::Gauge* QueueDepthGauge() {
@@ -62,9 +80,74 @@ AdmissionQueue::AdmissionQueue(BlazeItEngine* engine, ServeOptions options)
     pool.SetBudgetLimit(ThreadPool::Budget::kAnalytics,
                         options_.analytics_budget);
   }
+
+  statusz_token_ = obs::StatusRegistry::Global().AddSection("serve", [this] {
+    ThreadPool& p = ThreadPool::Instance();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = StrFormat(
+        "{\"options\":{\"window_ticks\":%lld,\"max_queue_depth\":%lld,"
+        "\"per_client_quota\":%lld,\"shed_depth\":%lld,"
+        "\"wall_clock_tick_ms\":%lld},\"clock\":%lld,\"queue_depth\":%zu,"
+        "\"budgets\":{\"serving\":%d,\"analytics\":%d},"
+        "\"stats\":{\"submitted\":%lld,\"rejected_queue_full\":%lld,"
+        "\"rejected_quota\":%lld,\"shed\":%lld,\"cancelled\":%lld,"
+        "\"batches\":%lld,\"groups\":%lld,\"coalesced_queries\":%lld,"
+        "\"cross_client_groups\":%lld,\"standalone_seconds\":%.6f,"
+        "\"batch_seconds\":%.6f},\"clients\":[",
+        static_cast<long long>(options_.window_ticks),
+        static_cast<long long>(options_.max_queue_depth),
+        static_cast<long long>(options_.per_client_quota),
+        static_cast<long long>(options_.shed_depth),
+        static_cast<long long>(options_.wall_clock_tick_ms),
+        static_cast<long long>(clock_), pending_.size(),
+        p.BudgetLimit(ThreadPool::Budget::kServing),
+        p.BudgetLimit(ThreadPool::Budget::kAnalytics),
+        static_cast<long long>(stats_.submitted),
+        static_cast<long long>(stats_.rejected_queue_full),
+        static_cast<long long>(stats_.rejected_quota),
+        static_cast<long long>(stats_.shed),
+        static_cast<long long>(stats_.cancelled),
+        static_cast<long long>(stats_.batches),
+        static_cast<long long>(stats_.groups),
+        static_cast<long long>(stats_.coalesced_queries),
+        static_cast<long long>(stats_.cross_client_groups),
+        stats_.standalone_seconds, stats_.batch_seconds);
+    bool first = true;
+    for (const auto& [client, counters] : client_counters_) {
+      if (!first) out += ",";
+      first = false;
+      int64_t in_queue = 0;
+      auto it = client_pending_.find(client);
+      if (it != client_pending_.end()) in_queue = it->second;
+      out += StrFormat(
+          "{\"client\":\"%s\",\"submitted\":%lld,\"rejected\":%lld,"
+          "\"shed\":%lld,\"cancelled\":%lld,\"pending\":%lld}",
+          net::JsonEscape(client).c_str(),
+          static_cast<long long>(counters.submitted),
+          static_cast<long long>(counters.rejected),
+          static_cast<long long>(counters.shed),
+          static_cast<long long>(counters.cancelled),
+          static_cast<long long>(in_queue));
+    }
+    out += "]}";
+    return out;
+  });
+
+  if (options_.wall_clock_tick_ms > 0) {
+    ticker_ = std::thread([this] { TickerLoop(); });
+  }
 }
 
 AdmissionQueue::~AdmissionQueue() {
+  if (ticker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(ticker_mu_);
+      ticker_stop_ = true;
+    }
+    ticker_cv_.notify_all();
+    ticker_.join();
+  }
+  obs::StatusRegistry::Global().Remove(statusz_token_);
   ThreadPool& pool = ThreadPool::Instance();
   if (options_.serving_budget > 0) {
     pool.SetBudgetLimit(ThreadPool::Budget::kServing, prev_serving_limit_);
@@ -90,26 +173,31 @@ Result<int64_t> AdmissionQueue::Submit(const std::string& client,
   auto prepared = engine_->Prepare(frameql, entry.trace.get());
   if (prepared.ok()) {
     entry.prepared = std::move(prepared).value();
+    entry.correlation_id = entry.prepared->correlation_id;
   } else {
     entry.prepare_error = prepared.status();
+    entry.correlation_id = obs::FlightRecorder::NextCorrelationId();
   }
 
   std::unique_lock<std::mutex> lock(mu_);
   const int64_t depth = static_cast<int64_t>(pending_.size());
   if (depth >= options_.max_queue_depth) {
     ++stats_.rejected_queue_full;
+    ++client_counters_[client].rejected;
     RejectedCounter("queue_full")->Add();
     return Status::ResourceExhausted(
         "admission queue full (" + std::to_string(depth) + " pending)");
   }
   if (client_pending_[client] >= options_.per_client_quota) {
     ++stats_.rejected_quota;
+    ++client_counters_[client].rejected;
     RejectedCounter("quota")->Add();
     return Status::ResourceExhausted(
         "client '" + client + "' is at its quota (" +
         std::to_string(options_.per_client_quota) + " pending)");
   }
   entry.ticket = next_ticket_++;
+  ++client_counters_[client].submitted;
   entry.admitted_tick = clock_;
   entry.shed = options_.shed_depth >= 0 && depth >= options_.shed_depth;
   ++stats_.submitted;
@@ -137,6 +225,55 @@ void AdmissionQueue::Drain() {
   if (!pending_.empty()) RunPending(lock);
 }
 
+Status AdmissionQueue::Cancel(int64_t ticket) {
+  ServeResponse resp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find_if(
+        pending_.begin(), pending_.end(),
+        [ticket](const PendingEntry& e) { return e.ticket == ticket; });
+    if (it == pending_.end()) {
+      return Status::NotFound("ticket " + std::to_string(ticket) +
+                              " is not pending (unknown, already executed, "
+                              "or its window already cut)");
+    }
+    resp.ticket = it->ticket;
+    resp.correlation_id = it->correlation_id;
+    resp.client = it->client;
+    resp.frameql = it->frameql;
+    resp.admitted_tick = it->admitted_tick;
+    resp.executed_tick = clock_;
+    resp.output = Status::Cancelled("cancelled before execution");
+    // The quota slot frees now — a client may cancel-and-resubmit within
+    // one window without tripping its own quota.
+    auto pending_it = client_pending_.find(it->client);
+    if (pending_it != client_pending_.end() && pending_it->second > 0) {
+      --pending_it->second;
+    }
+    ++stats_.cancelled;
+    ++client_counters_[it->client].cancelled;
+    CancelledCounter()->Add();
+    pending_.erase(it);
+    QueueDepthGauge()->Set(static_cast<int64_t>(pending_.size()));
+  }
+  // Deliver takes mu_ itself.
+  Deliver(std::move(resp), /*wall_ms=*/0.0);
+  return Status::OK();
+}
+
+void AdmissionQueue::TickerLoop() {
+  const auto period = std::chrono::milliseconds(options_.wall_clock_tick_ms);
+  std::unique_lock<std::mutex> lock(ticker_mu_);
+  while (!ticker_stop_) {
+    if (ticker_cv_.wait_for(lock, period, [this] { return ticker_stop_; })) {
+      return;
+    }
+    lock.unlock();
+    Advance(1);
+    lock.lock();
+  }
+}
+
 std::vector<ServeResponse> AdmissionQueue::TakeCompleted() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ServeResponse> out = std::move(completed_);
@@ -159,11 +296,43 @@ ServerStats AdmissionQueue::stats() const {
   return stats_;
 }
 
-void AdmissionQueue::Deliver(ServeResponse&& response) {
+void AdmissionQueue::Deliver(ServeResponse&& response, double wall_ms) {
+  // Flight-record the completed serve query (observe-only: ids and wall
+  // times never feed back into outputs or reports).
+  obs::FlightRecord record;
+  record.correlation_id = response.correlation_id;
+  record.client = response.client;
+  record.query = response.frameql;
+  record.degraded = response.degraded;
+  record.wall_ms = wall_ms;
+  record.ok = response.output.ok();
+  if (response.output.ok()) {
+    const QueryOutput& output = response.output.value();
+    record.plan = PlanKindName(output.plan);
+    record.cost_seconds = output.cost.TotalSeconds();
+    if (output.report != nullptr) {
+      record.trace = output.report->trace;
+      record.accuracy_tier = output.report->accuracy_tier;
+    }
+    if (record.accuracy_tier.empty()) {
+      record.accuracy_tier = response.degraded ? "degraded" : "full";
+    }
+  } else {
+    record.error = response.output.status().ToString();
+  }
+  obs::FlightRecorder::Global().Record(std::move(record));
+
   std::lock_guard<std::mutex> lock(mu_);
+  if (response.degraded) ++client_counters_[response.client].shed;
   AdmissionLatencyHistogram()->Observe(response.executed_tick -
                                        response.admitted_tick);
   completed_.push_back(std::move(response));
+}
+
+std::map<std::string, AdmissionQueue::ClientCounters>
+AdmissionQueue::client_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return client_counters_;
 }
 
 void AdmissionQueue::RunPending(std::unique_lock<std::mutex>& lock) {
@@ -195,13 +364,14 @@ void AdmissionQueue::RunPending(std::unique_lock<std::mutex>& lock) {
     PendingEntry& entry = batch[i];
     ServeResponse& resp = shells[i];
     resp.ticket = entry.ticket;
+    resp.correlation_id = entry.correlation_id;
     resp.client = entry.client;
     resp.frameql = entry.frameql;
     resp.admitted_tick = entry.admitted_tick;
     resp.executed_tick = executed_tick;
     if (!entry.prepared.has_value()) {
       resp.output = entry.prepare_error;
-      Deliver(std::move(resp));
+      Deliver(std::move(resp), /*wall_ms=*/0.0);
       continue;
     }
     const QueryKind kind = entry.prepared->query.kind;
@@ -210,8 +380,9 @@ void AdmissionQueue::RunPending(std::unique_lock<std::mutex>& lock) {
       shed_counter->Add();
       ++shed_this_batch;
       resp.degraded = true;
+      const auto shed_started = std::chrono::steady_clock::now();
       resp.output = RunDegraded(*entry.prepared, entry.frameql);
-      Deliver(std::move(resp));
+      Deliver(std::move(resp), MsSince(shed_started));
       continue;
     }
     // Not sheddable (or not shed): the full plan. Group keys use the
@@ -228,7 +399,9 @@ void AdmissionQueue::RunPending(std::unique_lock<std::mutex>& lock) {
 
   // One scheduler run per window, against the scheduler's session sweeps
   // (warm across windows). The callback streams each response out as its
-  // group completes, from whichever pool worker ran it.
+  // group completes, from whichever pool worker ran it. Wall times are
+  // batch-relative (cut to completion), the latency a waiting client saw.
+  const auto batch_started = std::chrono::steady_clock::now();
   ScheduleOutcome outcome = scheduler_.Run(
       scheduled, /*sweeps=*/nullptr, ThreadPool::Budget::kServing,
       [&](size_t j, const Result<QueryOutput>& result,
@@ -236,7 +409,7 @@ void AdmissionQueue::RunPending(std::unique_lock<std::mutex>& lock) {
         ServeResponse resp = shells[slots[j]];
         resp.output = result;
         resp.stats = stats;
-        Deliver(std::move(resp));
+        Deliver(std::move(resp), MsSince(batch_started));
       });
 
   // Cumulative coalescing accounting: which groups spanned clients, and

@@ -1,12 +1,14 @@
 #ifndef BLAZEIT_SERVE_ADMISSION_QUEUE_H_
 #define BLAZEIT_SERVE_ADMISSION_QUEUE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
@@ -43,6 +45,11 @@ struct ServeOptions {
   /// caps are restored on destruction.
   int serving_budget = 0;
   int analytics_budget = 0;
+  /// Wall-clock window driver (opt-in): > 0 starts a timer thread that
+  /// calls Advance(1) every this-many milliseconds, so windows cut on
+  /// real time without the caller driving the clock. 0 (default) keeps
+  /// time fully virtual — the deterministic mode every replay test uses.
+  int64_t wall_clock_tick_ms = 0;
 };
 
 /// One submitted query's response. `output` and its CostMeter are
@@ -52,6 +59,9 @@ struct ServeResponse {
   int64_t ticket = -1;
   std::string client;
   std::string frameql;
+  /// Correlation id minted at admission (matches the query's cid=N log
+  /// fields and its /tracez flight record). Not part of `output`.
+  int64_t correlation_id = -1;
   int64_t admitted_tick = 0;
   int64_t executed_tick = 0;
   /// Load shedding downgraded this query to a baseline plan.
@@ -70,6 +80,8 @@ struct ServerStats {
   int64_t rejected_queue_full = 0;
   int64_t rejected_quota = 0;
   int64_t shed = 0;
+  /// Pending queries withdrawn via Cancel before their window cut.
+  int64_t cancelled = 0;
   /// Admission windows executed.
   int64_t batches = 0;
   /// Shared-plan groups across all batches.
@@ -127,6 +139,13 @@ class AdmissionQueue {
   /// Executes whatever is pending regardless of window state.
   void Drain();
 
+  /// Withdraws a not-yet-cut pending query: the ticket's entry leaves the
+  /// queue, its quota slot frees immediately, and a response carrying
+  /// Status::Cancelled lands in the completed set (so callers matching by
+  /// ticket always get exactly one response). NotFound if the ticket is
+  /// unknown or its window already cut — execution is never interrupted.
+  Status Cancel(int64_t ticket);
+
   /// Moves out every response completed so far. Order follows group
   /// completion (streaming), not admission; match by ticket.
   std::vector<ServeResponse> TakeCompleted();
@@ -136,9 +155,20 @@ class AdmissionQueue {
   ServerStats stats() const;
   const ServeOptions& options() const { return options_; }
 
+  /// Lifetime per-tenant accounting (rendered in the /statusz "serve"
+  /// section alongside the aggregate ServerStats).
+  struct ClientCounters {
+    int64_t submitted = 0;
+    int64_t rejected = 0;
+    int64_t shed = 0;
+    int64_t cancelled = 0;
+  };
+  std::map<std::string, ClientCounters> client_counters() const;
+
  private:
   struct PendingEntry {
     int64_t ticket = -1;
+    int64_t correlation_id = -1;
     std::string client;
     std::string frameql;
     int64_t admitted_tick = 0;
@@ -157,13 +187,20 @@ class AdmissionQueue {
   Result<QueryOutput> RunDegraded(const PreparedQuery& prepared,
                                   const std::string& frameql);
 
-  void Deliver(ServeResponse&& response);
+  /// Moves the response into the completed set and flight-records it
+  /// (wall_ms = execution wall time observed by the completion path; 0
+  /// for prepare errors and cancellations, which ran nothing).
+  void Deliver(ServeResponse&& response, double wall_ms);
+
+  /// The wall-clock window driver (runs only when wall_clock_tick_ms>0).
+  void TickerLoop();
 
   BlazeItEngine* engine_;
   ServeOptions options_;
   QueryScheduler scheduler_;
   int prev_serving_limit_ = 0;
   int prev_analytics_limit_ = 0;
+  int64_t statusz_token_ = 0;
 
   mutable std::mutex mu_;
   /// Serializes batch execution; taken only with mu_ released.
@@ -175,6 +212,14 @@ class AdmissionQueue {
   std::map<std::string, int64_t> client_pending_;
   std::vector<ServeResponse> completed_;
   ServerStats stats_;
+  std::map<std::string, ClientCounters> client_counters_;
+
+  /// Ticker state has its own mutex so stopping never contends with a
+  /// window executing under mu_/exec_mu_.
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+  std::thread ticker_;
 };
 
 }  // namespace serve

@@ -29,10 +29,21 @@ class Logger {
 };
 
 /// Stream-style logging helper: BLAZEIT_LOG(kInfo) << "trained " << n;
+///
+/// Structured fields: .Field("cid", id) appends logfmt-style ` key=value`
+/// pairs after the free-form message, in call order —
+///   BLAZEIT_LOG(kInfo).Field("cid", 7) << "plan chosen";
+/// renders "plan chosen cid=7". Values containing spaces, quotes, or '='
+/// are double-quoted with '"' and '\' escaped, so lines stay one-token-
+/// per-field greppable (cid=7 matches exactly one query's lines).
 class LogMessage {
  public:
   explicit LogMessage(LogLevel level) : level_(level) {}
-  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+  ~LogMessage() {
+    std::string line = stream_.str();
+    line += fields_;
+    Logger::Log(level_, line);
+  }
 
   template <typename T>
   LogMessage& operator<<(const T& v) {
@@ -40,9 +51,33 @@ class LogMessage {
     return *this;
   }
 
+  LogMessage& Field(const std::string& key, const std::string& value) {
+    fields_ += ' ';
+    fields_ += key;
+    fields_ += '=';
+    if (value.find_first_of(" \"=") != std::string::npos) {
+      fields_ += '"';
+      for (char c : value) {
+        if (c == '"' || c == '\\') fields_ += '\\';
+        fields_ += c;
+      }
+      fields_ += '"';
+    } else {
+      fields_ += value;
+    }
+    return *this;
+  }
+  template <typename T>
+  LogMessage& Field(const std::string& key, const T& value) {
+    std::ostringstream formatted;
+    formatted << value;
+    return Field(key, formatted.str());
+  }
+
  private:
   LogLevel level_;
   std::ostringstream stream_;
+  std::string fields_;
 };
 
 #define BLAZEIT_LOG(severity) \

@@ -22,6 +22,9 @@ enum class StatusCode {
   /// A bounded resource (admission queue capacity, per-client quota) is
   /// spent; the request was refused, not queued. Retry after draining.
   kResourceExhausted,
+  /// The caller withdrew the operation (AdmissionQueue::Cancel) before it
+  /// ran; no work was performed on its behalf.
+  kCancelled,
 };
 
 /// A Status holds the outcome of an operation: either OK or an error code
@@ -59,6 +62,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -434,6 +434,53 @@ TEST(PrometheusTest, EscapesLabelValuesAndSanitizesNames) {
       << text;
 }
 
+TEST(PrometheusTest, EmptyRegistryRendersEmptyExposition) {
+  MetricsRegistry registry;
+  EXPECT_EQ(PrometheusSnapshot(registry.Snapshot()), "");
+}
+
+TEST(PrometheusTest, EscapesNewlinesInLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("q.error{msg=line one\nline two}", Stability::kStable)
+      ->Add(2);
+  const std::string text = PrometheusSnapshot(registry.Snapshot());
+  // The embedded newline becomes the two characters \n, keeping the
+  // sample on one physical line (a raw newline would corrupt the
+  // exposition for every scraper).
+  EXPECT_NE(text.find("blazeit_q_error{msg=\"line one\\nline two\"} 2"),
+            std::string::npos)
+      << text;
+  const size_t sample = text.find("blazeit_q_error{");
+  ASSERT_NE(sample, std::string::npos);
+  const size_t eol = text.find('\n', sample);
+  ASSERT_NE(eol, std::string::npos);
+  EXPECT_EQ(text.substr(sample, eol - sample),
+            "blazeit_q_error{msg=\"line one\\nline two\"} 2");
+}
+
+TEST(PrometheusTest, InfBucketAlwaysEqualsCount) {
+  MetricsRegistry registry;
+  // No overflow observations: +Inf must still render and equal count.
+  Histogram* bounded =
+      registry.GetHistogram("inside", {10, 100}, Stability::kStable);
+  bounded->Observe(1);
+  bounded->Observe(50);
+  // Zero observations: all buckets (including +Inf) and count are 0.
+  registry.GetHistogram("idle", {5}, Stability::kStable);
+  const std::string text = PrometheusSnapshot(registry.Snapshot());
+  EXPECT_NE(text.find("blazeit_inside_bucket{le=\"+Inf\"} 2\n"
+                      "blazeit_inside_sum 51\n"
+                      "blazeit_inside_count 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("blazeit_idle_bucket{le=\"5\"} 0\n"
+                      "blazeit_idle_bucket{le=\"+Inf\"} 0\n"
+                      "blazeit_idle_sum 0\n"
+                      "blazeit_idle_count 0\n"),
+            std::string::npos)
+      << text;
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace blazeit

@@ -11,12 +11,15 @@
 // serve_determinism_test.cc.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/optimizer.h"
+#include "obs/flight_recorder.h"
 #include "serve/admission_queue.h"
 #include "testing/test_util.h"
 #include "util/status.h"
@@ -313,6 +316,171 @@ TEST_F(ServeTest, TicketsAreMonotonicAndResponsesCarryMetadata) {
       EXPECT_EQ(resp.frameql, kSelectBus);
     }
   }
+}
+
+TEST_F(ServeTest, CancelWithdrawsPendingQueryAndFreesQuota) {
+  ServeOptions options;
+  options.window_ticks = 100;  // hold everything pending
+  options.per_client_quota = 1;
+  AdmissionQueue queue(engine_, options);
+
+  auto ticket = queue.Submit("alice", kExhaustive);
+  BLAZEIT_ASSERT_OK(ticket);
+  EXPECT_EQ(queue.queue_depth(), 1);
+
+  BLAZEIT_EXPECT_OK(queue.Cancel(ticket.value()));
+  EXPECT_EQ(queue.queue_depth(), 0);
+
+  // The cancelled ticket still produces exactly one response, carrying
+  // Cancelled in its output slot.
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].ticket, ticket.value());
+  EXPECT_EQ(completed[0].client, "alice");
+  ASSERT_FALSE(completed[0].output.ok());
+  EXPECT_EQ(completed[0].output.status().code(), StatusCode::kCancelled);
+
+  // The quota slot freed immediately: the same client gets in again
+  // without a drain.
+  BLAZEIT_ASSERT_OK(queue.Submit("alice", kExhaustive));
+  EXPECT_EQ(queue.stats().cancelled, 1);
+
+  // Cancelling the same ticket twice (or an unknown one) is NotFound.
+  EXPECT_EQ(queue.Cancel(ticket.value()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(queue.Cancel(123456).code(), StatusCode::kNotFound);
+  queue.Drain();
+}
+
+TEST_F(ServeTest, CancelAfterWindowCutIsNotFound) {
+  ServeOptions options;
+  options.window_ticks = 1;
+  AdmissionQueue queue(engine_, options);
+
+  auto ticket = queue.Submit("alice", kExhaustive);
+  BLAZEIT_ASSERT_OK(ticket);
+  queue.Advance();  // window cuts; the query executes
+
+  // Execution is never interrupted: once cut, Cancel refuses.
+  EXPECT_EQ(queue.Cancel(ticket.value()).code(), StatusCode::kNotFound);
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 1u);
+  BLAZEIT_EXPECT_OK(completed[0].output);
+  EXPECT_EQ(queue.stats().cancelled, 0);
+}
+
+TEST_F(ServeTest, CancelledQueriesNeverExecute) {
+  ServeOptions options;
+  options.window_ticks = 100;
+  AdmissionQueue queue(engine_, options);
+
+  auto keep = queue.Submit("alice", kExhaustive);
+  auto drop = queue.Submit("bob", kSelectBus);
+  BLAZEIT_ASSERT_OK(keep);
+  BLAZEIT_ASSERT_OK(drop);
+  BLAZEIT_EXPECT_OK(queue.Cancel(drop.value()));
+  queue.Drain();
+
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 2u);
+  for (const ServeResponse& resp : completed) {
+    if (resp.ticket == keep.value()) {
+      BLAZEIT_EXPECT_OK(resp.output);
+    } else {
+      EXPECT_EQ(resp.ticket, drop.value());
+      EXPECT_EQ(resp.output.status().code(), StatusCode::kCancelled);
+    }
+  }
+  // Only the surviving query reached the scheduler.
+  EXPECT_EQ(queue.stats().batches, 1);
+  EXPECT_EQ(queue.stats().coalesced_queries, 0);
+}
+
+TEST_F(ServeTest, WallClockDriverCutsWindowsWithoutManualAdvance) {
+  ServeOptions options;
+  options.window_ticks = 1;
+  options.wall_clock_tick_ms = 5;  // timer thread drives Advance(1)
+  AdmissionQueue queue(engine_, options);
+
+  auto ticket = queue.Submit("alice", kExhaustive);
+  BLAZEIT_ASSERT_OK(ticket);
+
+  // Never call Advance/Drain: the ticker must cut the window. Generous
+  // deadline so a loaded CI machine cannot flake this.
+  std::vector<ServeResponse> completed;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (completed.empty() && std::chrono::steady_clock::now() < deadline) {
+    completed = queue.TakeCompleted();
+    if (completed.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].ticket, ticket.value());
+  BLAZEIT_EXPECT_OK(completed[0].output);
+  EXPECT_GT(queue.now(), 0);  // the virtual clock really moved
+
+  // The ticker keeps running; the response matches serial execution
+  // (wall-clock mode changes *when* windows cut, never *what* runs).
+  auto serial = engine_->Execute(kExhaustive);
+  BLAZEIT_ASSERT_OK(serial);
+  ExpectSameOutput(completed[0].output.value(), serial.value());
+}
+
+TEST_F(ServeTest, ResponsesCarryCorrelationIdsIntoFlightRecorder) {
+  ServeOptions options;
+  options.window_ticks = 1;
+  AdmissionQueue queue(engine_, options);
+
+  auto ticket = queue.Submit("alice", kExhaustive);
+  BLAZEIT_ASSERT_OK(ticket);
+  queue.Advance();
+
+  std::vector<ServeResponse> completed = queue.TakeCompleted();
+  ASSERT_EQ(completed.size(), 1u);
+  const ServeResponse& resp = completed[0];
+  EXPECT_GT(resp.correlation_id, 0);
+
+  // The completion path flight-recorded the query under the same
+  // correlation id, attributed to the submitting client.
+  bool found = false;
+  for (const obs::FlightRecord& record :
+       obs::FlightRecorder::Global().Snapshot()) {
+    if (record.correlation_id != resp.correlation_id) continue;
+    found = true;
+    EXPECT_EQ(record.client, "alice");
+    EXPECT_EQ(record.query, kExhaustive);
+    EXPECT_TRUE(record.ok);
+    EXPECT_FALSE(record.degraded);
+    EXPECT_GE(record.wall_ms, 0.0);
+    break;
+  }
+  EXPECT_TRUE(found) << "correlation id " << resp.correlation_id
+                     << " not in the flight recorder";
+}
+
+TEST_F(ServeTest, PerClientCountersTrackLifecycle) {
+  ServeOptions options;
+  options.window_ticks = 100;
+  options.per_client_quota = 1;
+  AdmissionQueue queue(engine_, options);
+
+  BLAZEIT_ASSERT_OK(queue.Submit("alice", kExhaustive));
+  EXPECT_FALSE(queue.Submit("alice", kExhaustive).ok());  // quota
+  auto bob = queue.Submit("bob", kSelectBus);
+  BLAZEIT_ASSERT_OK(bob);
+  BLAZEIT_EXPECT_OK(queue.Cancel(bob.value()));
+  queue.Drain();
+
+  const auto counters = queue.client_counters();
+  ASSERT_EQ(counters.count("alice"), 1u);
+  ASSERT_EQ(counters.count("bob"), 1u);
+  EXPECT_EQ(counters.at("alice").submitted, 1);
+  EXPECT_EQ(counters.at("alice").rejected, 1);
+  EXPECT_EQ(counters.at("alice").cancelled, 0);
+  EXPECT_EQ(counters.at("bob").submitted, 1);
+  EXPECT_EQ(counters.at("bob").cancelled, 1);
+  queue.TakeCompleted();
 }
 
 }  // namespace

@@ -196,6 +196,40 @@ TEST_F(LoggingTest, StreamInsertionsCompose) {
   EXPECT_EQ((*CapturedLogs())[0].second, "trained 42 epochs at 0.5");
 }
 
+TEST_F(LoggingTest, StructuredFieldsAppendAfterMessage) {
+  Logger::set_level(LogLevel::kDebug);
+  BLAZEIT_LOG(kInfo).Field("cid", 7).Field("client", "alice") << "plan chosen";
+  ASSERT_EQ(CapturedLogs()->size(), 1u);
+  EXPECT_EQ((*CapturedLogs())[0].second, "plan chosen cid=7 client=alice");
+}
+
+TEST_F(LoggingTest, FieldValuesNeedingQuotesAreQuotedAndEscaped) {
+  Logger::set_level(LogLevel::kDebug);
+  BLAZEIT_LOG(kInfo)
+          .Field("query", "SELECT * FROM t")  // spaces
+          .Field("path", "a=b")               // '='
+          .Field("msg", "say \"hi\" \\now")   // quotes + backslash
+      << "failed";
+  ASSERT_EQ(CapturedLogs()->size(), 1u);
+  EXPECT_EQ((*CapturedLogs())[0].second,
+            "failed query=\"SELECT * FROM t\" path=\"a=b\" "
+            "msg=\"say \\\"hi\\\" \\\\now\"");
+}
+
+TEST_F(LoggingTest, FieldFormatsNonStringValues) {
+  Logger::set_level(LogLevel::kDebug);
+  BLAZEIT_LOG(kInfo).Field("wall_ms", 12.5).Field("ok", true) << "done";
+  ASSERT_EQ(CapturedLogs()->size(), 1u);
+  EXPECT_EQ((*CapturedLogs())[0].second, "done wall_ms=12.5 ok=1");
+}
+
+TEST_F(LoggingTest, FieldsWithoutMessageStillRender) {
+  Logger::set_level(LogLevel::kDebug);
+  BLAZEIT_LOG(kInfo).Field("cid", 3);
+  ASSERT_EQ(CapturedLogs()->size(), 1u);
+  EXPECT_EQ((*CapturedLogs())[0].second, " cid=3");
+}
+
 TEST_F(LoggingTest, LevelRoundTrips) {
   Logger::set_level(LogLevel::kError);
   EXPECT_EQ(Logger::level(), LogLevel::kError);

@@ -66,12 +66,22 @@
 //       (replay the workload N times), --prom FILE (write the final
 //       metrics registry snapshot in Prometheus text format),
 //       --small-nn / --train / --held / --test as for `query`.
+//       Debug server: --listen PORT starts the HTTP observability front
+//       end on 127.0.0.1:PORT (0 = ephemeral pick; the bound port goes to
+//       stderr and to --port-file FILE when given) serving /metrics,
+//       /healthz, /statusz, /tracez, /varz; --linger-ms N keeps the
+//       process (and the endpoints) alive N ms after the replay JSON
+//       prints, so scrapers can read post-run state; --wall-clock-ms N
+//       drives the admission clock from a real timer (one tick every N
+//       ms) instead of --tick-every's virtual schedule.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -81,6 +91,7 @@
 #include "core/catalog.h"
 #include "core/engine.h"
 #include "detect/simulated_detector.h"
+#include "obs/debug_server.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/report.h"
@@ -116,7 +127,8 @@ int Usage() {
                "      [--window T] [--max-queue N] [--quota N]\n"
                "      [--shed-depth N] [--tick-every K] [--repeat N]\n"
                "      [--prom FILE] [--small-nn] [--train N] [--held N]\n"
-               "      [--test N]\n"
+               "      [--test N] [--listen PORT] [--port-file FILE]\n"
+               "      [--linger-ms N] [--wall-clock-ms N]\n"
                "streams: taipei night-street rialto grand-canal amsterdam "
                "archie\ndays: train held_out test\n");
   return 2;
@@ -407,6 +419,14 @@ struct ServeArgs {
   int64_t train = kDefaultTrainFrames;
   int64_t held = kDefaultHeldOutFrames;
   int64_t test = kDefaultTestFrames;
+  /// Debug server: < 0 = off; 0 = ephemeral port; > 0 = fixed port.
+  int64_t listen_port = -1;
+  /// File the bound port is written to (scrapers poll this).
+  std::string port_file;
+  /// Keep the process alive this long after printing the replay JSON.
+  int64_t linger_ms = 0;
+  /// ServeOptions::wall_clock_tick_ms (real-time window driver).
+  int64_t wall_clock_ms = 0;
 };
 
 std::string CliJsonEscape(const std::string& s) {
@@ -490,13 +510,65 @@ int RunServe(const ServeArgs& args) {
     if (!added.ok()) return Fail(added);
   }
 
-  BlazeItEngine engine(&catalog, ToolEngineOptions(args.small_nn));
+  EngineOptions eopts = ToolEngineOptions(args.small_nn);
+  eopts.export_statusz = args.listen_port >= 0;
+  BlazeItEngine engine(&catalog, eopts);
   serve::ServeOptions sopts;
   sopts.window_ticks = args.window;
   sopts.max_queue_depth = args.max_queue;
   sopts.per_client_quota = args.quota;
   sopts.shed_depth = args.shed_depth;
+  sopts.wall_clock_tick_ms = args.wall_clock_ms;
   serve::AdmissionQueue queue(&engine, sopts);
+
+  // Debug server + store health check. Declared after the catalog/queue
+  // so teardown removes the health callback and stops the server before
+  // the state they read dies.
+  struct HealthTokenGuard {
+    int64_t token = 0;
+    ~HealthTokenGuard() {
+      if (token != 0) obs::StatusRegistry::Global().Remove(token);
+    }
+  };
+  std::unique_ptr<obs::DebugServer> debug;
+  HealthTokenGuard health;
+  if (args.listen_port >= 0) {
+    obs::DebugServer::Options dopts;
+    dopts.http.port = static_cast<int>(args.listen_port);
+    debug = std::make_unique<obs::DebugServer>(dopts);
+    health.token = obs::StatusRegistry::Global().AddHealthCheck(
+        "store", [&catalog]() -> Result<std::string> {
+          DetectionStore* store = catalog.detection_store();
+          if (store == nullptr) {
+            return Status::FailedPrecondition("no detection store enabled");
+          }
+          std::string detail =
+              std::to_string(store->TotalRecords()) + " records, " +
+              std::to_string(store->pending_records()) + " pending";
+          auto sketches = store->ListSketches();
+          if (!sketches.ok()) return sketches.status();
+          int64_t stale = 0;
+          for (const auto& info : sketches.value()) {
+            if (!info.current) ++stale;
+          }
+          // Stale sketches degrade pruning, not correctness — report the
+          // staleness in the detail but stay healthy.
+          if (stale > 0) {
+            detail += ", " + std::to_string(stale) +
+                      " stale sketch namespace(s)";
+          }
+          return detail;
+        });
+    Status started = debug->Start();
+    if (!started.ok()) return Fail(started);
+    std::fprintf(stderr, "debug server listening on 127.0.0.1:%d\n",
+                 debug->port());
+    if (!args.port_file.empty()) {
+      const int rc =
+          WriteFileOrFail(args.port_file, std::to_string(debug->port()) + "\n");
+      if (rc != 0) return rc;
+    }
+  }
 
   struct Rejection {
     std::string client;
@@ -592,6 +664,12 @@ int RunServe(const ServeArgs& args) {
   if (!args.prom_path.empty()) {
     const int rc = WriteFileOrFail(args.prom_path, obs::PrometheusText());
     if (rc != 0) return rc;
+  }
+  if (debug != nullptr && args.linger_ms > 0) {
+    // The replay JSON is printed; hold the endpoints open so scrapers can
+    // read post-run /metrics, /statusz, and /tracez.
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.linger_ms));
   }
   return 0;
 }
@@ -844,6 +922,14 @@ int Main(int argc, char** argv) {
         args.held = std::atoll(argv[++i]);
       } else if (flag == "--test" && i + 1 < argc) {
         args.test = std::atoll(argv[++i]);
+      } else if (flag == "--listen" && i + 1 < argc) {
+        args.listen_port = std::atoll(argv[++i]);
+      } else if (flag == "--port-file" && i + 1 < argc) {
+        args.port_file = argv[++i];
+      } else if (flag == "--linger-ms" && i + 1 < argc) {
+        args.linger_ms = std::atoll(argv[++i]);
+      } else if (flag == "--wall-clock-ms" && i + 1 < argc) {
+        args.wall_clock_ms = std::atoll(argv[++i]);
       } else {
         return Usage();
       }
