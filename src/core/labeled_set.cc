@@ -11,7 +11,7 @@ LabeledSet::LabeledSet(const SyntheticVideo* day,
 
 void LabeledSet::BuildAllCounts() const {
   if (built_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(build_mu_);
+  util::MutexLock lock(build_mu_);
   if (built_.load(std::memory_order_relaxed)) return;
   for (int c = 0; c < kNumClasses; ++c) {
     counts_[c].assign(static_cast<size_t>(day_->num_frames()), 0);

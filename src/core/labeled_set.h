@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "detect/detector.h"
+#include "util/mutex.h"
 #include "video/synthetic_video.h"
 
 namespace blazeit {
@@ -43,15 +43,17 @@ class LabeledSet {
   int MaxCount(int class_id) const;
 
  private:
-  void BuildAllCounts() const;
+  void BuildAllCounts() const BLAZEIT_EXCLUDES(build_mu_);
 
   const SyntheticVideo* day_;
   const ObjectDetector* detector_;
   double score_threshold_;
   /// Guards the one-shot lazy build; counts_ is never mutated once
   /// built_ flips (released by the store below, acquired by the fast-path
-  /// load), so post-build readers skip the lock entirely.
-  mutable std::mutex build_mu_;
+  /// load), so post-build readers skip the lock entirely. counts_ is not
+  /// GUARDED_BY(build_mu_) for exactly that reason: post-build reads are
+  /// deliberately lock-free behind the built_ acquire/release pair.
+  mutable util::Mutex build_mu_;
   mutable std::map<int, std::vector<int>> counts_;
   mutable std::atomic<bool> built_{false};
 };

@@ -25,23 +25,23 @@ obs::Counter* SharedPromotions() {
 }  // namespace
 
 int64_t SharedSweepCache::frame_float_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return static_cast<int64_t>(floats_.size());
 }
 
 int64_t SharedSweepCache::frame_double_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return static_cast<int64_t>(doubles_.size());
 }
 
 int64_t SharedSweepCache::blob_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return static_cast<int64_t>(blobs_.size());
 }
 
 bool SharedSweepCache::GetFloats(uint64_t ns, int64_t frame,
                                  std::vector<float>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = floats_.find({ns, frame});
   if (it == floats_.end()) return false;
   *out = it->second;
@@ -50,13 +50,13 @@ bool SharedSweepCache::GetFloats(uint64_t ns, int64_t frame,
 
 void SharedSweepCache::PutFloats(uint64_t ns, int64_t frame,
                                  const std::vector<float>& v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   floats_.emplace(Key{ns, frame}, v);  // first write wins
 }
 
 bool SharedSweepCache::GetDoubles(uint64_t ns, int64_t frame,
                                   std::vector<double>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = doubles_.find({ns, frame});
   if (it == doubles_.end()) return false;
   *out = it->second;
@@ -65,12 +65,12 @@ bool SharedSweepCache::GetDoubles(uint64_t ns, int64_t frame,
 
 void SharedSweepCache::PutDoubles(uint64_t ns, int64_t frame,
                                   const std::vector<double>& v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   doubles_.emplace(Key{ns, frame}, v);
 }
 
 bool SharedSweepCache::GetBlob(uint64_t ns, std::vector<float>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = blobs_.find(ns);
   if (it == blobs_.end()) return false;
   *out = it->second;
@@ -78,7 +78,7 @@ bool SharedSweepCache::GetBlob(uint64_t ns, std::vector<float>* out) const {
 }
 
 void SharedSweepCache::PutBlob(uint64_t ns, const std::vector<float>& v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   blobs_.emplace(ns, v);
 }
 

@@ -2,12 +2,12 @@
 #define BLAZEIT_CORE_SHARED_SWEEP_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/artifact_cache.h"
+#include "util/mutex.h"
 
 namespace blazeit {
 
@@ -38,9 +38,9 @@ class SharedSweepCache {
   SharedSweepCache& operator=(const SharedSweepCache&) = delete;
 
   /// Resident record counts (diagnostics; storecli-style reporting).
-  int64_t frame_float_records() const;
-  int64_t frame_double_records() const;
-  int64_t blob_records() const;
+  int64_t frame_float_records() const BLAZEIT_EXCLUDES(mu_);
+  int64_t frame_double_records() const BLAZEIT_EXCLUDES(mu_);
+  int64_t blob_records() const BLAZEIT_EXCLUDES(mu_);
 
  private:
   friend class SweepCacheView;
@@ -56,17 +56,25 @@ class SharedSweepCache {
     }
   };
 
-  bool GetFloats(uint64_t ns, int64_t frame, std::vector<float>* out) const;
-  void PutFloats(uint64_t ns, int64_t frame, const std::vector<float>& v);
-  bool GetDoubles(uint64_t ns, int64_t frame, std::vector<double>* out) const;
-  void PutDoubles(uint64_t ns, int64_t frame, const std::vector<double>& v);
-  bool GetBlob(uint64_t ns, std::vector<float>* out) const;
-  void PutBlob(uint64_t ns, const std::vector<float>& v);
+  bool GetFloats(uint64_t ns, int64_t frame, std::vector<float>* out) const
+      BLAZEIT_EXCLUDES(mu_);
+  void PutFloats(uint64_t ns, int64_t frame, const std::vector<float>& v)
+      BLAZEIT_EXCLUDES(mu_);
+  bool GetDoubles(uint64_t ns, int64_t frame, std::vector<double>* out) const
+      BLAZEIT_EXCLUDES(mu_);
+  void PutDoubles(uint64_t ns, int64_t frame, const std::vector<double>& v)
+      BLAZEIT_EXCLUDES(mu_);
+  bool GetBlob(uint64_t ns, std::vector<float>* out) const
+      BLAZEIT_EXCLUDES(mu_);
+  void PutBlob(uint64_t ns, const std::vector<float>& v) BLAZEIT_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::vector<float>, KeyHash> floats_;
-  std::unordered_map<Key, std::vector<double>, KeyHash> doubles_;
-  std::unordered_map<uint64_t, std::vector<float>> blobs_;
+  mutable util::Mutex mu_;
+  std::unordered_map<Key, std::vector<float>, KeyHash> floats_
+      BLAZEIT_GUARDED_BY(mu_);
+  std::unordered_map<Key, std::vector<double>, KeyHash> doubles_
+      BLAZEIT_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::vector<float>> blobs_
+      BLAZEIT_GUARDED_BY(mu_);
 };
 
 /// One query's handle onto the batch's shared sweeps: an ArtifactCache

@@ -6,7 +6,7 @@ std::vector<Detection> CachedDetector::Detect(const SyntheticVideo& video,
                                               int64_t frame) const {
   DetectionCacheKey key{video.fingerprint(), frame};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
   }
@@ -14,7 +14,7 @@ std::vector<Detection> CachedDetector::Detect(const SyntheticVideo& video,
   // racing computations of one frame produce identical vectors and
   // whichever insert lands first wins harmlessly.
   std::vector<Detection> dets = inner_->Detect(video, frame);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   cache_.emplace(key, dets);
   return dets;
 }

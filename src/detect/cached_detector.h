@@ -2,12 +2,12 @@
 #define BLAZEIT_DETECT_CACHED_DETECTOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "detect/detector.h"
+#include "util/mutex.h"
 
 namespace blazeit {
 
@@ -58,21 +58,21 @@ class CachedDetector : public ObjectDetector {
     return inner_->ParamsFingerprint();
   }
 
-  size_t cache_size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t cache_size() const BLAZEIT_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return cache_.size();
   }
-  void ClearCache() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ClearCache() BLAZEIT_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     cache_.clear();
   }
 
  private:
   const ObjectDetector* inner_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   mutable std::unordered_map<DetectionCacheKey, std::vector<Detection>,
                              DetectionCacheKeyHash>
-      cache_;
+      cache_ BLAZEIT_GUARDED_BY(mu_);
 };
 
 }  // namespace blazeit

@@ -1,15 +1,14 @@
 #include "exec/thread_pool.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 
 namespace blazeit {
 namespace exec {
@@ -42,24 +41,30 @@ struct ThreadPool::Job {
   /// Set on the first throw so unclaimed shards are skipped.
   std::atomic<bool> cancelled{false};
 
-  std::mutex mu;
-  std::condition_variable all_done;
+  util::Mutex mu;
+  util::CondVar all_done;
   /// Lowest-shard-index exception, matching what serial execution would
   /// surface first regardless of completion order.
-  std::exception_ptr exception;
-  int64_t exception_shard = -1;
+  std::exception_ptr exception BLAZEIT_GUARDED_BY(mu);
+  int64_t exception_shard BLAZEIT_GUARDED_BY(mu) = -1;
 };
 
 struct ThreadPool::Impl {
-  std::mutex mu;
-  std::condition_variable work_available;
-  std::deque<Job*> queue;
+  util::Mutex mu;
+  util::CondVar work_available;
+  std::deque<Job*> queue BLAZEIT_GUARDED_BY(mu);
+  /// Touched only by Reconfigure (documented not to race with RunShards)
+  /// and the const sizing accessors, so deliberately not guarded.
   std::vector<std::thread> workers;
-  bool shutting_down = false;
+  bool shutting_down BLAZEIT_GUARDED_BY(mu) = false;
   /// Per-budget worker caps (<= 0 = unlimited) and how many workers are
-  /// currently attached to jobs of each class. Both guarded by `mu`.
-  int budget_limit[kNumBudgets] = {0, 0, 0};
-  int budget_active[kNumBudgets] = {0, 0, 0};
+  /// currently attached to jobs of each class.
+  int budget_limit[kNumBudgets] BLAZEIT_GUARDED_BY(mu) = {0, 0, 0};
+  int budget_active[kNumBudgets] BLAZEIT_GUARDED_BY(mu) = {0, 0, 0};
+
+  /// Next runnable job under the budget caps; erases drained jobs
+  /// encountered during the scan.
+  Job* PickJobLocked() BLAZEIT_REQUIRES(mu);
 };
 
 ThreadPool& ThreadPool::Instance() {
@@ -93,14 +98,14 @@ int ThreadPool::max_parallelism() const {
 void ThreadPool::Reconfigure(int threads) {
   if (threads < 1) threads = 1;
   {
-    std::unique_lock<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     impl_->shutting_down = true;
   }
-  impl_->work_available.notify_all();
+  impl_->work_available.NotifyAll();
   for (std::thread& worker : impl_->workers) worker.join();
   impl_->workers.clear();
   {
-    std::unique_lock<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     impl_->shutting_down = false;
   }
   for (int slot = 1; slot < threads; ++slot) {
@@ -108,19 +113,18 @@ void ThreadPool::Reconfigure(int threads) {
   }
 }
 
-ThreadPool::Job* ThreadPool::PickJobLocked() {
-  for (auto it = impl_->queue.begin(); it != impl_->queue.end();) {
+ThreadPool::Job* ThreadPool::Impl::PickJobLocked() {
+  for (auto it = queue.begin(); it != queue.end();) {
     Job* job = *it;
     if (job->next.load(std::memory_order_relaxed) >= job->num_shards) {
       // Drained: every shard is claimed (though maybe still running).
       // Drop it so later scans skip it; the owner's unlink tolerates the
       // job already being gone from the queue.
-      it = impl_->queue.erase(it);
+      it = queue.erase(it);
       continue;
     }
     const int b = static_cast<int>(job->budget);
-    if (impl_->budget_limit[b] > 0 &&
-        impl_->budget_active[b] >= impl_->budget_limit[b]) {
+    if (budget_limit[b] > 0 && budget_active[b] >= budget_limit[b]) {
       ++it;  // class at its worker cap; look for other-class work
       continue;
     }
@@ -134,12 +138,13 @@ void ThreadPool::WorkerLoop(int slot) {
     Job* job = nullptr;
     int budget_idx = 0;
     {
-      std::unique_lock<std::mutex> lock(impl_->mu);
-      impl_->work_available.wait(lock, [this, &job] {
-        if (impl_->shutting_down) return true;
-        job = PickJobLocked();
-        return job != nullptr;
-      });
+      util::MutexLock lock(impl_->mu);
+      impl_->work_available.Wait(
+          impl_->mu, [this, &job]() BLAZEIT_NO_THREAD_SAFETY_ANALYSIS {
+            if (impl_->shutting_down) return true;
+            job = impl_->PickJobLocked();
+            return job != nullptr;
+          });
       if (impl_->shutting_down) return;
       // Registered under the queue lock: the owner unlinks the job under
       // this same lock before freeing it, so attach-or-miss is atomic.
@@ -153,10 +158,10 @@ void ThreadPool::WorkerLoop(int slot) {
       // Release the budget slot and wake workers parked on a capped
       // class before detaching from the job (the two waits are separate
       // condition variables).
-      std::lock_guard<std::mutex> lock(impl_->mu);
+      util::MutexLock lock(impl_->mu);
       --impl_->budget_active[budget_idx];
     }
-    impl_->work_available.notify_all();
+    impl_->work_available.NotifyAll();
     {
       // Detach *under the job mutex* and notify before releasing it: the
       // owner's wait predicate requires active_workers == 0, so if the
@@ -164,9 +169,9 @@ void ThreadPool::WorkerLoop(int slot) {
       // between decrement and notify could observe completion, return
       // from RunShards, and destroy the stack-allocated Job while this
       // thread still needs its mutex.
-      std::lock_guard<std::mutex> lock(job->mu);
+      util::MutexLock lock(job->mu);
       job->active_workers.fetch_sub(1, std::memory_order_acq_rel);
-      job->all_done.notify_all();
+      job->all_done.NotifyAll();
     }
   }
 }
@@ -187,7 +192,7 @@ void ThreadPool::WorkOn(Job* job, int slot) {
         (*job->fn)(shard, slot);
       } catch (...) {
         job->cancelled.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(job->mu);
+        util::MutexLock lock(job->mu);
         if (job->exception_shard < 0 || shard < job->exception_shard) {
           job->exception = std::current_exception();
           job->exception_shard = shard;
@@ -197,24 +202,24 @@ void ThreadPool::WorkOn(Job* job, int slot) {
     }
     if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job->num_shards) {
-      std::lock_guard<std::mutex> lock(job->mu);
-      job->all_done.notify_all();
+      util::MutexLock lock(job->mu);
+      job->all_done.NotifyAll();
     }
   }
 }
 
 void ThreadPool::SetBudgetLimit(Budget budget, int max_workers) {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     impl_->budget_limit[static_cast<int>(budget)] =
         max_workers < 0 ? 0 : max_workers;
   }
   // Raising (or clearing) a cap can make parked work runnable.
-  impl_->work_available.notify_all();
+  impl_->work_available.NotifyAll();
 }
 
 int ThreadPool::BudgetLimit(Budget budget) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   return impl_->budget_limit[static_cast<int>(budget)];
 }
 
@@ -265,13 +270,13 @@ void ThreadPool::RunShards(
   job.fn = &fn;
   job.budget = budget;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     impl_->queue.push_back(&job);
     static obs::Gauge* queue_depth =
         registry.GetGauge("exec.queue_depth", obs::Stability::kUnstable);
     queue_depth->Set(static_cast<int64_t>(impl_->queue.size()));
   }
-  impl_->work_available.notify_all();
+  impl_->work_available.NotifyAll();
 
   // The caller is slot 0 and works too: no idle thread, and a saturated
   // pool degrades to caller-does-everything rather than stalling.
@@ -280,7 +285,7 @@ void ThreadPool::RunShards(
   {
     // Unlink so no further worker can attach; registered workers hold
     // active_workers and are drained below before `job` leaves scope.
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     for (auto it = impl_->queue.begin(); it != impl_->queue.end(); ++it) {
       if (*it == &job) {
         impl_->queue.erase(it);
@@ -289,8 +294,8 @@ void ThreadPool::RunShards(
     }
   }
   {
-    std::unique_lock<std::mutex> lock(job.mu);
-    job.all_done.wait(lock, [&job] {
+    util::MutexLock lock(job.mu);
+    job.all_done.Wait(job.mu, [&job] {
       return job.done.load(std::memory_order_acquire) == job.num_shards &&
              job.active_workers.load(std::memory_order_acquire) == 0;
     });

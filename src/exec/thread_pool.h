@@ -107,9 +107,6 @@ class ThreadPool {
   ThreadPool();
 
   void WorkerLoop(int slot);
-  /// Next runnable job under the budget caps; requires impl_->mu held.
-  /// Erases drained jobs encountered during the scan.
-  Job* PickJobLocked();
   /// Claims and runs shards of `job` until none remain.
   static void WorkOn(Job* job, int slot);
 

@@ -92,12 +92,12 @@ HttpServer::HttpServer(Options options) : options_(std::move(options)) {
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Handle(const std::string& path, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   handlers_[path] = std::move(handler);
 }
 
 Status HttpServer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (running_) return Status::FailedPrecondition("server already running");
 
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
@@ -151,7 +151,7 @@ void HttpServer::Stop() {
   std::thread accept_thread;
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!running_) return;
     stopping_ = true;
     // Unblocks accept() in the accept thread.
@@ -162,11 +162,11 @@ void HttpServer::Stop() {
     workers = std::move(workers_);
     workers_.clear();
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (accept_thread.joinable()) accept_thread.join();
   for (std::thread& worker : workers) worker.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (int fd : pending_) {
       SendResponse(fd, ErrorResponse(503, "server shutting down"),
                    /*head_only=*/false);
@@ -179,12 +179,12 @@ void HttpServer::Stop() {
 }
 
 bool HttpServer::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return running_ && !stopping_;
 }
 
 int HttpServer::port() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return port_;
 }
 
@@ -192,14 +192,14 @@ void HttpServer::AcceptLoop() {
   while (true) {
     int listen_fd;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (stopping_) return;
       listen_fd = listen_fd_;
     }
     const int fd = accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (stopping_) return;
       // Transient accept failure (EMFILE, ...): drop this edge and keep
       // serving; the debug surface must not take the process down.
@@ -207,7 +207,7 @@ void HttpServer::AcceptLoop() {
     }
     SetSocketTimeout(fd, options_.io_timeout_ms);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (stopping_) {
         close(fd);
         return;
@@ -222,7 +222,7 @@ void HttpServer::AcceptLoop() {
       }
       pending_.push_back(fd);
     }
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
 }
 
@@ -230,8 +230,10 @@ void HttpServer::WorkerLoop() {
   while (true) {
     int fd;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      util::MutexLock lock(mu_);
+      queue_cv_.Wait(mu_, [this]() BLAZEIT_NO_THREAD_SAFETY_ANALYSIS {
+        return stopping_ || !pending_.empty();
+      });
       if (pending_.empty()) return;  // stopping
       fd = pending_.front();
       pending_.pop_front();
@@ -334,7 +336,7 @@ void HttpServer::ServeConnection(int fd) {
 HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
   Handler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = handlers_.find(request.path);
     if (it != handlers_.end()) handler = it->second;
   }

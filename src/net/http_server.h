@@ -1,16 +1,15 @@
 #ifndef BLAZEIT_NET_HTTP_SERVER_H_
 #define BLAZEIT_NET_HTTP_SERVER_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/http.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace blazeit {
@@ -59,20 +58,21 @@ class HttpServer {
 
   /// Routes exact matches of `path` (no query string) to `handler`.
   /// Re-registering a path replaces the handler.
-  void Handle(const std::string& path, Handler handler);
+  void Handle(const std::string& path, Handler handler)
+      BLAZEIT_EXCLUDES(mu_);
 
   /// Binds, listens, and spawns the accept + worker threads. Fails with
   /// Internal if the address cannot be bound (port in use, ...).
-  Status Start();
+  Status Start() BLAZEIT_EXCLUDES(mu_);
 
   /// Stops accepting, drains queued connections with 503, joins all
   /// threads. Idempotent; also run by the destructor.
-  void Stop();
+  void Stop() BLAZEIT_EXCLUDES(mu_);
 
-  bool running() const;
+  bool running() const BLAZEIT_EXCLUDES(mu_);
   /// The bound port (the ephemeral pick when options.port == 0); -1
   /// before Start().
-  int port() const;
+  int port() const BLAZEIT_EXCLUDES(mu_);
 
  private:
   void AcceptLoop();
@@ -82,14 +82,15 @@ class HttpServer {
 
   Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;
-  std::map<std::string, Handler> handlers_;
-  std::deque<int> pending_;  // accepted fds awaiting a worker
-  bool running_ = false;
-  bool stopping_ = false;
-  int listen_fd_ = -1;
-  int port_ = -1;
+  mutable util::Mutex mu_;
+  util::CondVar queue_cv_;
+  std::map<std::string, Handler> handlers_ BLAZEIT_GUARDED_BY(mu_);
+  std::deque<int> pending_
+      BLAZEIT_GUARDED_BY(mu_);  // accepted fds awaiting a worker
+  bool running_ BLAZEIT_GUARDED_BY(mu_) = false;
+  bool stopping_ BLAZEIT_GUARDED_BY(mu_) = false;
+  int listen_fd_ BLAZEIT_GUARDED_BY(mu_) = -1;
+  int port_ BLAZEIT_GUARDED_BY(mu_) = -1;
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

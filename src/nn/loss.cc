@@ -1,8 +1,9 @@
 #include "nn/loss.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace blazeit {
 
@@ -24,13 +25,13 @@ Matrix Softmax(const Matrix& logits) {
 
 double SoftmaxCrossEntropy::Forward(const Matrix& logits,
                                     const std::vector<int>& labels) {
-  assert(static_cast<int>(labels.size()) == logits.rows());
+  BLAZEIT_CHECK(static_cast<int>(labels.size()) == logits.rows());
   probs_ = Softmax(logits);
   labels_ = labels;
   double loss = 0.0;
   for (int r = 0; r < logits.rows(); ++r) {
-    assert(labels[static_cast<size_t>(r)] >= 0 &&
-           labels[static_cast<size_t>(r)] < logits.cols());
+    BLAZEIT_CHECK(labels[static_cast<size_t>(r)] >= 0 &&
+                  labels[static_cast<size_t>(r)] < logits.cols());
     float p = probs_.At(r, labels[static_cast<size_t>(r)]);
     loss -= static_cast<double>(std::log(std::max(p, 1e-12f)));
   }

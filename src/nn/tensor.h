@@ -1,9 +1,10 @@
 #ifndef BLAZEIT_NN_TENSOR_H_
 #define BLAZEIT_NN_TENSOR_H_
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "util/check.h"
 
 namespace blazeit {
 
@@ -36,7 +37,7 @@ class Matrix {
 
  private:
   size_t Index(int r, int c) const {
-    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    BLAZEIT_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return static_cast<size_t>(r) * static_cast<size_t>(cols_) +
            static_cast<size_t>(c);
   }

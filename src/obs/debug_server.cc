@@ -42,7 +42,7 @@ StatusRegistry& StatusRegistry::Global() {
 }
 
 int64_t StatusRegistry::AddSection(const std::string& name, SectionFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Entry entry;
   entry.token = next_token_++;
   entry.name = name;
@@ -52,7 +52,7 @@ int64_t StatusRegistry::AddSection(const std::string& name, SectionFn fn) {
 }
 
 int64_t StatusRegistry::AddHealthCheck(const std::string& name, HealthFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Entry entry;
   entry.token = next_token_++;
   entry.name = name;
@@ -62,7 +62,7 @@ int64_t StatusRegistry::AddHealthCheck(const std::string& name, HealthFn fn) {
 }
 
 void StatusRegistry::Remove(int64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [token](const Entry& e) {
                                   return e.token == token;
@@ -76,7 +76,7 @@ StatusRegistry::RenderSections() const {
   // a callback still touches the owner's state (the un-registration
   // contract the providers' destructors rely on).
   std::vector<std::pair<std::string, std::string>> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const Entry& entry : entries_) {
     if (entry.section) out.emplace_back(entry.name, entry.section());
   }
@@ -86,7 +86,7 @@ StatusRegistry::RenderSections() const {
 std::vector<StatusRegistry::HealthResult> StatusRegistry::RunHealthChecks()
     const {
   std::vector<HealthResult> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const Entry& entry : entries_) {
     if (!entry.health) continue;
     HealthResult result;

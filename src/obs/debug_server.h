@@ -6,12 +6,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "net/http_server.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace blazeit {
@@ -42,13 +42,16 @@ class StatusRegistry {
   StatusRegistry(const StatusRegistry&) = delete;
   StatusRegistry& operator=(const StatusRegistry&) = delete;
 
-  int64_t AddSection(const std::string& name, SectionFn fn);
-  int64_t AddHealthCheck(const std::string& name, HealthFn fn);
-  void Remove(int64_t token);
+  int64_t AddSection(const std::string& name, SectionFn fn)
+      BLAZEIT_EXCLUDES(mu_);
+  int64_t AddHealthCheck(const std::string& name, HealthFn fn)
+      BLAZEIT_EXCLUDES(mu_);
+  void Remove(int64_t token) BLAZEIT_EXCLUDES(mu_);
 
   /// Every registered section, in registration order: (name, JSON body).
   /// Invokes the callbacks.
-  std::vector<std::pair<std::string, std::string>> RenderSections() const;
+  std::vector<std::pair<std::string, std::string>> RenderSections() const
+      BLAZEIT_EXCLUDES(mu_);
 
   struct HealthResult {
     std::string name;
@@ -65,9 +68,9 @@ class StatusRegistry {
     HealthFn health;
   };
 
-  mutable std::mutex mu_;
-  int64_t next_token_ = 1;
-  std::vector<Entry> entries_;
+  mutable util::Mutex mu_;
+  int64_t next_token_ BLAZEIT_GUARDED_BY(mu_) = 1;
+  std::vector<Entry> entries_ BLAZEIT_GUARDED_BY(mu_);
 };
 
 /// The HTTP observability front end: binds net::HttpServer to the

@@ -70,7 +70,7 @@ void FlightRecorder::Record(FlightRecord record) {
   total_.fetch_add(1, std::memory_order_relaxed);
 
   if (options_.slowest_k > 0) {
-    std::lock_guard<std::mutex> lock(slowest_mu_);
+    util::MutexLock lock(slowest_mu_);
     if (static_cast<int64_t>(slowest_.size()) < options_.slowest_k) {
       slowest_.push_back(record);
       std::push_heap(slowest_.begin(), slowest_.end(), SlowerThan);
@@ -84,7 +84,7 @@ void FlightRecorder::Record(FlightRecord record) {
   Shard& shard = shards_[static_cast<size_t>(seq % options_.shards)];
   const size_t slot =
       static_cast<size_t>((seq / options_.shards) % per_shard_);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   shard.ring[slot] = std::move(record);
 }
 
@@ -93,7 +93,7 @@ std::vector<FlightRecord> FlightRecorder::Snapshot() const {
   out.reserve(static_cast<size_t>(options_.capacity));
   for (int s = 0; s < options_.shards; ++s) {
     const Shard& shard = shards_[static_cast<size_t>(s)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     for (const FlightRecord& record : shard.ring) {
       if (record.sequence >= 0) out.push_back(record);
     }
@@ -108,7 +108,7 @@ std::vector<FlightRecord> FlightRecorder::Snapshot() const {
 std::vector<FlightRecord> FlightRecorder::SlowestSnapshot() const {
   std::vector<FlightRecord> out;
   {
-    std::lock_guard<std::mutex> lock(slowest_mu_);
+    util::MutexLock lock(slowest_mu_);
     out = slowest_;
   }
   std::sort(out.begin(), out.end(),

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/mutex.h"
 
 namespace blazeit {
 namespace obs {
@@ -99,8 +99,9 @@ class FlightRecorder {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<FlightRecord> ring;  // per-shard slots, overwrite in place
+    mutable util::Mutex mu;
+    std::vector<FlightRecord> ring
+        BLAZEIT_GUARDED_BY(mu);  // per-shard slots, overwrite in place
   };
 
   Options options_;
@@ -109,9 +110,9 @@ class FlightRecorder {
   std::atomic<int64_t> total_{0};
   std::unique_ptr<Shard[]> shards_;
 
-  mutable std::mutex slowest_mu_;
+  mutable util::Mutex slowest_mu_;
   /// Min-heap by wall_ms (front = fastest of the retained slow set).
-  std::vector<FlightRecord> slowest_;
+  std::vector<FlightRecord> slowest_ BLAZEIT_GUARDED_BY(slowest_mu_);
 };
 
 }  // namespace obs

@@ -85,7 +85,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      Stability stability) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = instruments_.find(name);
   if (it == instruments_.end()) {
     Instrument inst;
@@ -101,7 +101,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  Stability stability) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = instruments_.find(name);
   if (it == instruments_.end()) {
     Instrument inst;
@@ -118,7 +118,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<int64_t> bounds,
                                          Stability stability) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = instruments_.find(name);
   if (it == instruments_.end()) {
     Instrument inst;
@@ -133,7 +133,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.entries.reserve(instruments_.size());
   for (const auto& [name, inst] : instruments_) {

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace blazeit {
 namespace obs {
@@ -127,13 +128,16 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name, Stability stability);
-  Gauge* GetGauge(const std::string& name, Stability stability);
+  Counter* GetCounter(const std::string& name, Stability stability)
+      BLAZEIT_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, Stability stability)
+      BLAZEIT_EXCLUDES(mu_);
   /// `bounds` is consulted only on first registration.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<int64_t> bounds, Stability stability);
+                          std::vector<int64_t> bounds, Stability stability)
+      BLAZEIT_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const BLAZEIT_EXCLUDES(mu_);
 
  private:
   struct Instrument {
@@ -144,8 +148,8 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Instrument> instruments_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Instrument> instruments_ BLAZEIT_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

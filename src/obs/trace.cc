@@ -39,12 +39,12 @@ QueryTrace::QueryTrace(std::string name)
     : name_(std::move(name)), t0_(std::chrono::steady_clock::now()) {}
 
 std::vector<QueryTrace::Span> QueryTrace::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return spans_;
 }
 
 int QueryTrace::Open(const char* name, const CostMeter* meter) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Span span;
   span.name = name;
   span.parent = stack_.empty() ? -1 : stack_.back();
@@ -61,7 +61,7 @@ int QueryTrace::Open(const char* name, const CostMeter* meter) {
 }
 
 void QueryTrace::Close(int index, const CostMeter* meter) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (index < 0 || index >= static_cast<int>(spans_.size())) return;
   Span& span = spans_[static_cast<size_t>(index)];
   span.end_ns = NowNs();

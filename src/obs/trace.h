@@ -3,9 +3,10 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace blazeit {
 
@@ -48,7 +49,7 @@ class QueryTrace {
   QueryTrace& operator=(const QueryTrace&) = delete;
 
   const std::string& name() const { return name_; }
-  std::vector<Span> spans() const;
+  std::vector<Span> spans() const BLAZEIT_EXCLUDES(mu_);
 
   /// Indented tree with per-span wall ms and simulated-cost deltas.
   std::string ToText() const;
@@ -66,17 +67,17 @@ class QueryTrace {
   friend class TraceSpan;
 
   /// Returns the new span's index.
-  int Open(const char* name, const CostMeter* meter);
-  void Close(int index, const CostMeter* meter);
+  int Open(const char* name, const CostMeter* meter) BLAZEIT_EXCLUDES(mu_);
+  void Close(int index, const CostMeter* meter) BLAZEIT_EXCLUDES(mu_);
 
   int64_t NowNs() const;
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::string name_;
   std::chrono::steady_clock::time_point t0_;
-  std::vector<Span> spans_;
+  std::vector<Span> spans_ BLAZEIT_GUARDED_BY(mu_);
   /// Indices of currently open spans, innermost last.
-  std::vector<int> stack_;
+  std::vector<int> stack_ BLAZEIT_GUARDED_BY(mu_);
 };
 
 /// RAII span. A null trace makes every operation a no-op, so call sites

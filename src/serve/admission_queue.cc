@@ -83,7 +83,7 @@ AdmissionQueue::AdmissionQueue(BlazeItEngine* engine, ServeOptions options)
 
   statusz_token_ = obs::StatusRegistry::Global().AddSection("serve", [this] {
     ThreadPool& p = ThreadPool::Instance();
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     std::string out = StrFormat(
         "{\"options\":{\"window_ticks\":%lld,\"max_queue_depth\":%lld,"
         "\"per_client_quota\":%lld,\"shed_depth\":%lld,"
@@ -141,10 +141,10 @@ AdmissionQueue::AdmissionQueue(BlazeItEngine* engine, ServeOptions options)
 AdmissionQueue::~AdmissionQueue() {
   if (ticker_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(ticker_mu_);
+      util::MutexLock lock(ticker_mu_);
       ticker_stop_ = true;
     }
-    ticker_cv_.notify_all();
+    ticker_cv_.NotifyAll();
     ticker_.join();
   }
   obs::StatusRegistry::Global().Remove(statusz_token_);
@@ -179,7 +179,7 @@ Result<int64_t> AdmissionQueue::Submit(const std::string& client,
     entry.correlation_id = obs::FlightRecorder::NextCorrelationId();
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const int64_t depth = static_cast<int64_t>(pending_.size());
   if (depth >= options_.max_queue_depth) {
     ++stats_.rejected_queue_full;
@@ -212,7 +212,7 @@ Result<int64_t> AdmissionQueue::Submit(const std::string& client,
 }
 
 void AdmissionQueue::Advance(int64_t ticks) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   clock_ += ticks < 0 ? 0 : ticks;
   if (!pending_.empty() &&
       clock_ - window_open_tick_ >= options_.window_ticks) {
@@ -221,14 +221,14 @@ void AdmissionQueue::Advance(int64_t ticks) {
 }
 
 void AdmissionQueue::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (!pending_.empty()) RunPending(lock);
 }
 
 Status AdmissionQueue::Cancel(int64_t ticket) {
   ServeResponse resp;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = std::find_if(
         pending_.begin(), pending_.end(),
         [ticket](const PendingEntry& e) { return e.ticket == ticket; });
@@ -263,36 +263,41 @@ Status AdmissionQueue::Cancel(int64_t ticket) {
 
 void AdmissionQueue::TickerLoop() {
   const auto period = std::chrono::milliseconds(options_.wall_clock_tick_ms);
-  std::unique_lock<std::mutex> lock(ticker_mu_);
+  util::MutexLock lock(ticker_mu_);
   while (!ticker_stop_) {
-    if (ticker_cv_.wait_for(lock, period, [this] { return ticker_stop_; })) {
+    if (ticker_cv_.WaitFor(ticker_mu_, period,
+                           [this]() BLAZEIT_NO_THREAD_SAFETY_ANALYSIS {
+                             return ticker_stop_;
+                           })) {
       return;
     }
-    lock.unlock();
+    // Advance takes mu_ (and may execute a window); drop ticker_mu_ so a
+    // concurrent destructor's stop signal never waits on a running batch.
+    lock.Unlock();
     Advance(1);
-    lock.lock();
+    lock.Lock();
   }
 }
 
 std::vector<ServeResponse> AdmissionQueue::TakeCompleted() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<ServeResponse> out = std::move(completed_);
   completed_.clear();
   return out;
 }
 
 int64_t AdmissionQueue::now() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return clock_;
 }
 
 int64_t AdmissionQueue::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return static_cast<int64_t>(pending_.size());
 }
 
 ServerStats AdmissionQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
@@ -322,7 +327,7 @@ void AdmissionQueue::Deliver(ServeResponse&& response, double wall_ms) {
   }
   obs::FlightRecorder::Global().Record(std::move(record));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (response.degraded) ++client_counters_[response.client].shed;
   AdmissionLatencyHistogram()->Observe(response.executed_tick -
                                        response.admitted_tick);
@@ -331,11 +336,12 @@ void AdmissionQueue::Deliver(ServeResponse&& response, double wall_ms) {
 
 std::map<std::string, AdmissionQueue::ClientCounters>
 AdmissionQueue::client_counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return client_counters_;
 }
 
-void AdmissionQueue::RunPending(std::unique_lock<std::mutex>& lock) {
+void AdmissionQueue::RunPending(util::MutexLock& lock) {
+  mu_.AssertHeld();
   // Cut the batch under mu_, then execute with only exec_mu_ held:
   // submissions keep flowing into the next window while this one runs,
   // and concurrently closed windows execute one at a time in cut order.
@@ -344,9 +350,9 @@ void AdmissionQueue::RunPending(std::unique_lock<std::mutex>& lock) {
   client_pending_.clear();
   const int64_t executed_tick = clock_;
   QueueDepthGauge()->Set(0);
-  lock.unlock();
+  lock.Unlock();
 
-  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  util::MutexLock exec_lock(exec_mu_);
   static obs::Counter* batches_counter =
       obs::MetricsRegistry::Global().GetCounter("serve.batches",
                                                 obs::Stability::kStable);
@@ -416,7 +422,7 @@ void AdmissionQueue::RunPending(std::unique_lock<std::mutex>& lock) {
   // how much charged NN work the shared sweeps absorbed this window.
   std::unordered_map<int64_t, int64_t> group_sizes;
   std::unordered_map<int64_t, std::set<std::string>> group_clients;
-  std::lock_guard<std::mutex> stats_lock(mu_);
+  util::MutexLock stats_lock(mu_);
   ++stats_.batches;
   stats_.shed += shed_this_batch;
   stats_.groups += outcome.groups;

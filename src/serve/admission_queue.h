@@ -1,11 +1,9 @@
 #ifndef BLAZEIT_SERVE_ADMISSION_QUEUE_H_
 #define BLAZEIT_SERVE_ADMISSION_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -13,6 +11,7 @@
 
 #include "core/engine.h"
 #include "core/scheduler.h"
+#include "util/mutex.h"
 
 namespace blazeit {
 namespace serve {
@@ -128,31 +127,31 @@ class AdmissionQueue {
   /// where a serial Execute would report them; only capacity produces a
   /// Submit error: ResourceExhausted when the queue is full or the
   /// client's quota is spent.
-  Result<int64_t> Submit(const std::string& client,
-                         const std::string& frameql);
+  Result<int64_t> Submit(const std::string& client, const std::string& frameql)
+      BLAZEIT_EXCLUDES(mu_);
 
   /// Advances the virtual clock. If the advance closes the open admission
   /// window, the pending batch executes before returning (on the calling
   /// thread, helped by the pool under the serving budget).
-  void Advance(int64_t ticks = 1);
+  void Advance(int64_t ticks = 1) BLAZEIT_EXCLUDES(mu_);
 
   /// Executes whatever is pending regardless of window state.
-  void Drain();
+  void Drain() BLAZEIT_EXCLUDES(mu_);
 
   /// Withdraws a not-yet-cut pending query: the ticket's entry leaves the
   /// queue, its quota slot frees immediately, and a response carrying
   /// Status::Cancelled lands in the completed set (so callers matching by
   /// ticket always get exactly one response). NotFound if the ticket is
   /// unknown or its window already cut — execution is never interrupted.
-  Status Cancel(int64_t ticket);
+  Status Cancel(int64_t ticket) BLAZEIT_EXCLUDES(mu_);
 
   /// Moves out every response completed so far. Order follows group
   /// completion (streaming), not admission; match by ticket.
-  std::vector<ServeResponse> TakeCompleted();
+  std::vector<ServeResponse> TakeCompleted() BLAZEIT_EXCLUDES(mu_);
 
-  int64_t now() const;
-  int64_t queue_depth() const;
-  ServerStats stats() const;
+  int64_t now() const BLAZEIT_EXCLUDES(mu_);
+  int64_t queue_depth() const BLAZEIT_EXCLUDES(mu_);
+  ServerStats stats() const BLAZEIT_EXCLUDES(mu_);
   const ServeOptions& options() const { return options_; }
 
   /// Lifetime per-tenant accounting (rendered in the /statusz "serve"
@@ -163,7 +162,8 @@ class AdmissionQueue {
     int64_t shed = 0;
     int64_t cancelled = 0;
   };
-  std::map<std::string, ClientCounters> client_counters() const;
+  std::map<std::string, ClientCounters> client_counters() const
+      BLAZEIT_EXCLUDES(mu_);
 
  private:
   struct PendingEntry {
@@ -180,8 +180,11 @@ class AdmissionQueue {
 
   /// Cuts the pending batch and executes it. Entered with `lock` held on
   /// mu_; unlocks it before executing (so Submit keeps working into the
-  /// next window) and leaves it unlocked.
-  void RunPending(std::unique_lock<std::mutex>& lock);
+  /// next window) and leaves it unlocked. The hand-off through a scoped-
+  /// lock reference is beyond the static analysis (which cannot track a
+  /// capability through a reference parameter), so the entry contract is
+  /// asserted at runtime instead.
+  void RunPending(util::MutexLock& lock) BLAZEIT_NO_THREAD_SAFETY_ANALYSIS;
 
   /// The shed path: the paper's cheap baseline for `prepared`'s kind.
   Result<QueryOutput> RunDegraded(const PreparedQuery& prepared,
@@ -190,7 +193,8 @@ class AdmissionQueue {
   /// Moves the response into the completed set and flight-records it
   /// (wall_ms = execution wall time observed by the completion path; 0
   /// for prepare errors and cancellations, which ran nothing).
-  void Deliver(ServeResponse&& response, double wall_ms);
+  void Deliver(ServeResponse&& response, double wall_ms)
+      BLAZEIT_EXCLUDES(mu_);
 
   /// The wall-clock window driver (runs only when wall_clock_tick_ms>0).
   void TickerLoop();
@@ -202,23 +206,24 @@ class AdmissionQueue {
   int prev_analytics_limit_ = 0;
   int64_t statusz_token_ = 0;
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   /// Serializes batch execution; taken only with mu_ released.
-  std::mutex exec_mu_;
-  int64_t clock_ = 0;
-  int64_t window_open_tick_ = 0;
-  int64_t next_ticket_ = 0;
-  std::vector<PendingEntry> pending_;
-  std::map<std::string, int64_t> client_pending_;
-  std::vector<ServeResponse> completed_;
-  ServerStats stats_;
-  std::map<std::string, ClientCounters> client_counters_;
+  util::Mutex exec_mu_;
+  int64_t clock_ BLAZEIT_GUARDED_BY(mu_) = 0;
+  int64_t window_open_tick_ BLAZEIT_GUARDED_BY(mu_) = 0;
+  int64_t next_ticket_ BLAZEIT_GUARDED_BY(mu_) = 0;
+  std::vector<PendingEntry> pending_ BLAZEIT_GUARDED_BY(mu_);
+  std::map<std::string, int64_t> client_pending_ BLAZEIT_GUARDED_BY(mu_);
+  std::vector<ServeResponse> completed_ BLAZEIT_GUARDED_BY(mu_);
+  ServerStats stats_ BLAZEIT_GUARDED_BY(mu_);
+  std::map<std::string, ClientCounters> client_counters_
+      BLAZEIT_GUARDED_BY(mu_);
 
   /// Ticker state has its own mutex so stopping never contends with a
   /// window executing under mu_/exec_mu_.
-  std::mutex ticker_mu_;
-  std::condition_variable ticker_cv_;
-  bool ticker_stop_ = false;
+  util::Mutex ticker_mu_;
+  util::CondVar ticker_cv_;
+  bool ticker_stop_ BLAZEIT_GUARDED_BY(ticker_mu_) = false;
   std::thread ticker_;
 };
 

@@ -171,6 +171,9 @@ Result<std::unique_ptr<StoreReader>> StoreReader::Open(
   }
   std::unique_ptr<StoreReader> reader(
       new StoreReader(path, std::move(in)));
+  // No other thread can reach the reader yet; the lock exists to satisfy
+  // the in_ ownership contract (and costs one uncontended acquire).
+  util::MutexLock io_lock(reader->io_mu_);
 
   char header_buf[kStoreHeaderBytes];
   reader->in_.read(header_buf, sizeof(header_buf));
@@ -243,7 +246,7 @@ Status StoreReader::ScanAndIndex() {
 }
 
 Result<std::string> StoreReader::ReadPayloadAt(uint64_t offset) {
-  std::lock_guard<std::mutex> io_lock(io_mu_);
+  util::MutexLock io_lock(io_mu_);
   if (!in_.is_open()) {
     in_.open(path_, std::ios::binary);
     if (!in_) {
@@ -355,7 +358,7 @@ DetectionStore::~DetectionStore() {
 }
 
 bool DetectionStore::Contains(uint64_t ns, int64_t frame) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderLock lock(mu_);
   auto it = shards_.find(ns);
   if (it == shards_.end()) return false;
   return it->second.pending.count(frame) > 0 ||
@@ -366,7 +369,7 @@ Result<std::string> DetectionStore::GetRaw(uint64_t ns, int64_t frame) {
   // Shared lock: lookups race only with other lookups (the common case —
   // parallel frame scans all reading one warm store); the per-segment
   // file handle is guarded inside ReadPayloadAt.
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderLock lock(mu_);
   auto it = shards_.find(ns);
   if (it != shards_.end()) {
     auto pending = it->second.pending.find(frame);
@@ -385,7 +388,7 @@ Result<std::string> DetectionStore::GetRaw(uint64_t ns, int64_t frame) {
 
 Status DetectionStore::PutRaw(uint64_t ns, int64_t frame,
                               std::string payload) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   Shard& shard = shards_[ns];
   // First write wins: records are deterministic per (namespace, frame), so
   // a duplicate Put is a repeat of known content, and keeping the indexed
@@ -446,7 +449,7 @@ Status DetectionStore::Scan(
   // not recursive.
   std::vector<int64_t> frames;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    util::ReaderLock lock(mu_);
     auto it = shards_.find(ns);
     if (it == shards_.end()) return Status::OK();
     const Shard& shard = it->second;
@@ -499,7 +502,7 @@ std::string DetectionStore::RepairSegmentPath(uint64_t ns,
 }
 
 Status DetectionStore::Flush() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   return FlushLocked();
 }
 
@@ -849,7 +852,7 @@ Status DetectionStore::RefreshSketchesLocked(uint64_t base_ns,
 }
 
 Status DetectionStore::BuildSketches(uint64_t base_ns) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   BLAZEIT_RETURN_NOT_OK(FlushLocked());
   if (shards_.find(base_ns) == shards_.end()) {
     return Status::NotFound(
@@ -860,7 +863,7 @@ Status DetectionStore::BuildSketches(uint64_t base_ns) {
 }
 
 Status DetectionStore::DropSketches(uint64_t base_ns) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   const uint64_t sketch_ns = SketchNamespace(base_ns);
   if (shards_.find(sketch_ns) == shards_.end()) return Status::OK();
   // An empty replacement writes a record-free tombstone segment via the
@@ -895,7 +898,7 @@ Result<std::vector<DetectionStore::SketchInfo>> DetectionStore::ListSketches() {
 
 Status DetectionStore::Repair(uint64_t ns, int64_t frame,
                               const std::string& payload) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   static obs::Counter* repairs = obs::MetricsRegistry::Global().GetCounter(
       "store.record_repairs", obs::Stability::kStable);
   repairs->Add();
@@ -920,7 +923,7 @@ Status DetectionStore::Repair(uint64_t ns, int64_t frame,
 }
 
 Result<DetectionStore::RepairStats> DetectionStore::Repair() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   // Pending records were encoded by this process's codecs; flush so the
   // scan below sees one on-disk view per namespace.
   BLAZEIT_RETURN_NOT_OK(FlushLocked());
@@ -961,7 +964,7 @@ Result<DetectionStore::RepairStats> DetectionStore::Repair() {
 }
 
 Result<DetectionStore::CompactionStats> DetectionStore::Compact() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterLock lock(mu_);
   // Anything pending goes to disk first so compaction sees every record.
   BLAZEIT_RETURN_NOT_OK(FlushLocked());
 
@@ -1051,7 +1054,7 @@ Result<DetectionStore::CompactionStats> DetectionStore::Compact() {
 }
 
 std::vector<uint64_t> DetectionStore::Namespaces() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderLock lock(mu_);
   std::vector<uint64_t> out;
   out.reserve(shards_.size());
   for (const auto& [ns, _] : shards_) out.push_back(ns);
@@ -1060,7 +1063,7 @@ std::vector<uint64_t> DetectionStore::Namespaces() const {
 
 namespace {
 
-int64_t RecordCountLocked(
+int64_t ResolvedRecordCount(
     const std::unordered_map<int64_t, std::pair<size_t, uint64_t>>& disk_index,
     const std::map<int64_t, std::string>& pending) {
   int64_t total = static_cast<int64_t>(disk_index.size());
@@ -1073,22 +1076,22 @@ int64_t RecordCountLocked(
 }  // namespace
 
 int64_t DetectionStore::RecordCount(uint64_t ns) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderLock lock(mu_);
   auto it = shards_.find(ns);
   if (it == shards_.end()) return 0;
-  return RecordCountLocked(it->second.disk_index, it->second.pending);
+  return ResolvedRecordCount(it->second.disk_index, it->second.pending);
 }
 
 std::vector<DetectionStore::NamespaceStats> DetectionStore::PerNamespaceStats()
     const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderLock lock(mu_);
   std::vector<NamespaceStats> out;
   out.reserve(shards_.size());
   for (const auto& [ns, shard] : shards_) {
     NamespaceStats stats;
     stats.ns = ns;
     stats.segments = static_cast<int64_t>(shard.segments.size());
-    stats.records = RecordCountLocked(shard.disk_index, shard.pending);
+    stats.records = ResolvedRecordCount(shard.disk_index, shard.pending);
     stats.pending = static_cast<int64_t>(shard.pending.size());
     stats.shadowed = shard.shadowed;
     stats.repair_generation = shard.repair_generation;
@@ -1098,16 +1101,16 @@ std::vector<DetectionStore::NamespaceStats> DetectionStore::PerNamespaceStats()
 }
 
 int64_t DetectionStore::TotalRecords() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderLock lock(mu_);
   int64_t total = 0;
   for (const auto& [ns, shard] : shards_) {
-    total += RecordCountLocked(shard.disk_index, shard.pending);
+    total += ResolvedRecordCount(shard.disk_index, shard.pending);
   }
   return total;
 }
 
 int64_t DetectionStore::ShadowedRecords() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderLock lock(mu_);
   int64_t total = 0;
   for (const auto& [ns, shard] : shards_) total += shard.shadowed;
   return total;

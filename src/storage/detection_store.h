@@ -6,14 +6,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "detect/detection.h"
 #include "storage/record_format.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace blazeit {
@@ -83,23 +82,25 @@ class StoreReader {
   /// Thread-safe: the shared file handle (seek + read is a stateful pair)
   /// is mutex-guarded, so concurrent readers of one segment serialize on
   /// the I/O while the store's surrounding index lookups stay shared.
-  Result<std::string> ReadPayloadAt(uint64_t offset);
+  Result<std::string> ReadPayloadAt(uint64_t offset) BLAZEIT_EXCLUDES(io_mu_);
 
  private:
   StoreReader(std::string path, std::ifstream in)
       : path_(std::move(path)), in_(std::move(in)) {}
 
-  Status ScanAndIndex();
+  /// Construction-time only (called by Open under io_mu_, before the
+  /// reader is shared).
+  Status ScanAndIndex() BLAZEIT_REQUIRES(io_mu_);
 
   std::string path_;
   /// Guards in_: ReadPayloadAt's reopen/seek/read sequence must be atomic
   /// per segment under concurrent GetRaw calls.
-  std::mutex io_mu_;
+  util::Mutex io_mu_;
   /// Closed after ScanAndIndex (stores accumulate segments without bound,
   /// and holding one fd per segment forever would hit EMFILE on long-lived
   /// stores); ReadPayloadAt reopens on first use and then keeps it open,
   /// so only actively-read segments cost a descriptor.
-  std::ifstream in_;
+  std::ifstream in_ BLAZEIT_GUARDED_BY(io_mu_);
   SegmentHeader header_;
   std::unordered_map<int64_t, uint64_t> index_;
 };
@@ -279,8 +280,8 @@ class DetectionStore {
   /// Records on disk + pending in one namespace (index lookups only; no
   /// payload reads).
   int64_t RecordCount(uint64_t ns) const;
-  int64_t pending_records() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+  int64_t pending_records() const BLAZEIT_EXCLUDES(mu_) {
+    util::ReaderLock lock(mu_);
     return pending_records_;
   }
   /// On-disk duplicate records shadowed by first-write-wins, across all
@@ -325,14 +326,14 @@ class DetectionStore {
   /// Flush body; caller holds mu_ exclusively. Writes one segment per
   /// dirty namespace, then refreshes the sketches of every dirty namespace
   /// that is indexed (has a sketch shard).
-  Status FlushLocked();
+  Status FlushLocked() BLAZEIT_REQUIRES(mu_);
   /// Writes one shard's pending records out as a new segment; caller holds
   /// mu_ exclusively.
-  Status FlushShardLocked(uint64_t ns, Shard* shard);
+  Status FlushShardLocked(uint64_t ns, Shard* shard) BLAZEIT_REQUIRES(mu_);
   /// Rebuilds SketchNamespace(base_ns) from the base shard's resolved
   /// view; caller holds mu_ exclusively and must not be iterating shards_
   /// unless the sketch shard already exists (the rebuild inserts it).
-  Status RebuildSketchesLocked(uint64_t base_ns);
+  Status RebuildSketchesLocked(uint64_t base_ns) BLAZEIT_REQUIRES(mu_);
   /// What FlushLocked observed about a dirty indexed namespace *before*
   /// flushing it, deciding whether the sketch refresh can be incremental.
   struct SketchRefreshHint {
@@ -352,14 +353,15 @@ class DetectionStore {
   /// tests/storage_test.cc). Anything surprising (stale meta, overwrite,
   /// empty base) falls back to RebuildSketchesLocked. Caller holds mu_
   /// exclusively.
-  Status RefreshSketchesLocked(uint64_t base_ns,
-                               const SketchRefreshHint* hint);
+  Status RefreshSketchesLocked(uint64_t base_ns, const SketchRefreshHint* hint)
+      BLAZEIT_REQUIRES(mu_);
   /// Replaces the full record set of a namespace (first-write-wins cannot
   /// update records in place) through the repair-named rewrite path, so
   /// the replacement sorts before anything it supersedes even when an old
   /// segment's unlink fails. Caller holds mu_ exclusively.
   Status ReplaceNamespaceLocked(uint64_t ns,
-                                std::map<int64_t, std::string> records);
+                                std::map<int64_t, std::string> records)
+      BLAZEIT_REQUIRES(mu_);
   /// Rewrites one namespace into a single fresh segment holding the
   /// resolved view (pending overrides disk, mirroring GetRaw's read
   /// order), then removes the old segments. With `validate_payloads`,
@@ -367,16 +369,16 @@ class DetectionStore {
   /// copied (the one-pass healing of the targeted Repair; the store-wide
   /// Repair() passes false because its scan already validated). Caller
   /// holds mu_ exclusively.
-  Status RewriteShardLocked(uint64_t ns, Shard* shard,
-                            bool validate_payloads);
+  Status RewriteShardLocked(uint64_t ns, Shard* shard, bool validate_payloads)
+      BLAZEIT_REQUIRES(mu_);
 
   std::string dir_;
   /// Shared for index lookups, exclusive for mutation; see the class
   /// comment.
-  mutable std::shared_mutex mu_;
-  std::map<uint64_t, Shard> shards_;
-  int64_t pending_records_ = 0;
-  uint64_t flush_counter_ = 0;
+  mutable util::SharedMutex mu_;
+  std::map<uint64_t, Shard> shards_ BLAZEIT_GUARDED_BY(mu_);
+  int64_t pending_records_ BLAZEIT_GUARDED_BY(mu_) = 0;
+  uint64_t flush_counter_ BLAZEIT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace blazeit

@@ -18,7 +18,7 @@ std::vector<Detection> PersistentCachedDetector::Detect(
     const SyntheticVideo& video, int64_t frame) const {
   DetectionCacheKey key{video.fingerprint(), frame};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
   }
@@ -31,7 +31,7 @@ std::vector<Detection> PersistentCachedDetector::Detect(
   auto stored = store_->GetDetections(ns, frame);
   if (stored.ok()) {
     store_hits_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return cache_.emplace(key, std::move(stored).value()).first->second;
   }
   // A record that exists but fails to decode means on-disk corruption that
@@ -54,7 +54,7 @@ std::vector<Detection> PersistentCachedDetector::Detect(
     BLAZEIT_LOG(kWarning) << "detection store write failed: "
                           << put.ToString();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return cache_.emplace(key, std::move(dets)).first->second;
 }
 

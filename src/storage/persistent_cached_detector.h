@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "detect/cached_detector.h"
 #include "detect/detector.h"
 #include "storage/detection_store.h"
+#include "util/mutex.h"
 
 namespace blazeit {
 
@@ -47,18 +47,18 @@ class PersistentCachedDetector : public ObjectDetector {
 
   int64_t store_hits() const { return store_hits_.load(); }
   int64_t store_misses() const { return store_misses_.load(); }
-  size_t memory_cache_size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t memory_cache_size() const BLAZEIT_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return cache_.size();
   }
 
  private:
   const ObjectDetector* inner_;
   DetectionStore* store_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   mutable std::unordered_map<DetectionCacheKey, std::vector<Detection>,
                              DetectionCacheKeyHash>
-      cache_;
+      cache_ BLAZEIT_GUARDED_BY(mu_);
   mutable std::atomic<int64_t> store_hits_{0};
   mutable std::atomic<int64_t> store_misses_{0};
 };

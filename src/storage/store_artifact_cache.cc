@@ -33,12 +33,12 @@ obs::Counter* TierMisses() {
 }  // namespace
 
 void StoreArtifactCache::MarkCorrupt(uint64_t salted_ns, int64_t frame) {
-  std::lock_guard<std::mutex> lock(corrupt_mu_);
+  util::MutexLock lock(corrupt_mu_);
   corrupt_.emplace(salted_ns, frame);
 }
 
 bool StoreArtifactCache::ConsumeCorrupt(uint64_t salted_ns, int64_t frame) {
-  std::lock_guard<std::mutex> lock(corrupt_mu_);
+  util::MutexLock lock(corrupt_mu_);
   return corrupt_.erase({salted_ns, frame}) > 0;
 }
 

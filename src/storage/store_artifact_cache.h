@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "storage/detection_store.h"
 #include "util/artifact_cache.h"
+#include "util/mutex.h"
 
 namespace blazeit {
 
@@ -53,8 +53,10 @@ class StoreArtifactCache : public ArtifactCache {
   static constexpr int64_t kBlobFrame = -1;
 
   /// Marks (salted ns, frame) as corrupt-on-disk / consumes the mark.
-  void MarkCorrupt(uint64_t salted_ns, int64_t frame);
-  bool ConsumeCorrupt(uint64_t salted_ns, int64_t frame);
+  void MarkCorrupt(uint64_t salted_ns, int64_t frame)
+      BLAZEIT_EXCLUDES(corrupt_mu_);
+  bool ConsumeCorrupt(uint64_t salted_ns, int64_t frame)
+      BLAZEIT_EXCLUDES(corrupt_mu_);
   /// Shared write path: repairs the record in place when it was marked
   /// corrupt by an earlier failed read, plain-puts otherwise. `kind` only
   /// labels the log line.
@@ -65,8 +67,8 @@ class StoreArtifactCache : public ArtifactCache {
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> repairs_{0};
-  std::mutex corrupt_mu_;
-  std::set<std::pair<uint64_t, int64_t>> corrupt_;
+  util::Mutex corrupt_mu_;
+  std::set<std::pair<uint64_t, int64_t>> corrupt_ BLAZEIT_GUARDED_BY(corrupt_mu_);
 };
 
 }  // namespace blazeit

@@ -41,6 +41,19 @@ class CheckFailure {
   } else                                 \
     ::blazeit::CheckFailure(__FILE__, __LINE__, #condition)
 
+/// Debug-only invariant check for hot paths (per-element indexing, inner
+/// loops) where an always-on branch would be measurable. Compiles to
+/// nothing under NDEBUG; otherwise identical to BLAZEIT_CHECK. Prefer
+/// BLAZEIT_CHECK everywhere the cost is amortized (per call, per batch).
+#ifdef NDEBUG
+#define BLAZEIT_DCHECK(condition)        \
+  if (true || (condition)) {             \
+  } else                                 \
+    ::blazeit::CheckFailure(__FILE__, __LINE__, #condition)
+#else
+#define BLAZEIT_DCHECK(condition) BLAZEIT_CHECK(condition)
+#endif
+
 }  // namespace blazeit
 
 #endif  // BLAZEIT_UTIL_CHECK_H_

@@ -2,17 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace blazeit {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-Logger::Sink g_sink = nullptr;
 /// Single sink/stderr mutex: one fully formatted line is emitted per
 /// acquisition, so concurrent exec-pool workers never interleave output.
-std::mutex g_mutex;
+util::Mutex g_mutex;
+Logger::Sink g_sink BLAZEIT_GUARDED_BY(g_mutex) = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -37,7 +38,7 @@ void Logger::set_level(LogLevel level) {
 }
 
 void Logger::set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  util::MutexLock lock(g_mutex);
   g_sink = sink;
 }
 
@@ -45,7 +46,7 @@ void Logger::Log(LogLevel level, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
   Sink sink;
   {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    util::MutexLock lock(g_mutex);
     sink = g_sink;
   }
   // Invoke outside the lock so a sink that logs does not self-deadlock.
@@ -53,7 +54,7 @@ void Logger::Log(LogLevel level, const std::string& message) {
     sink(level, message);
     return;
   }
-  std::lock_guard<std::mutex> lock(g_mutex);
+  util::MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 

@@ -1,10 +1,11 @@
 #ifndef BLAZEIT_UTIL_STATUS_H_
 #define BLAZEIT_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "util/check.h"
 
 namespace blazeit {
 
@@ -92,22 +93,23 @@ class Result {
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit construction from an error status.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    BLAZEIT_CHECK(!status_.ok())
+        << " Result constructed from OK status without value";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    BLAZEIT_CHECK(ok()) << " value() on error: " << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    BLAZEIT_CHECK(ok()) << " value() on error: " << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    BLAZEIT_CHECK(ok()) << " value() on error: " << status_.ToString();
     return std::move(*value_);
   }
 

@@ -1,0 +1,95 @@
+#ifndef BLAZEIT_UTIL_THREAD_ANNOTATIONS_H_
+#define BLAZEIT_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros (no-ops on GCC and other
+/// compilers), following the abseil/LLVM naming. Annotations turn each
+/// hand-rolled mutex protocol — which members a mutex guards, which
+/// `*Locked` helpers require it held, which public APIs must not be called
+/// with it held — from a comment into a machine-checked contract:
+///
+///   util::Mutex mu_;
+///   int64_t clock_ BLAZEIT_GUARDED_BY(mu_) = 0;
+///   void CutWindowLocked() BLAZEIT_REQUIRES(mu_);
+///   void Drain() BLAZEIT_EXCLUDES(mu_);
+///
+/// ci/check.sh compiles the tree with `clang++ -Wthread-safety -Werror`
+/// when clang is available (and ci/lint.py textually enforces that every
+/// `*Locked` function declares its requirement even when it is not).
+///
+/// The macros expand to nothing unless the compiler advertises the
+/// attributes, so GCC builds — including the ASan/UBSan/TSan lanes — see
+/// plain declarations with zero overhead.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define BLAZEIT_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef BLAZEIT_THREAD_ANNOTATION_
+#define BLAZEIT_THREAD_ANNOTATION_(x)  // not supported by this compiler
+#endif
+
+/// Declares a type to be a capability (util::Mutex is one); `x` names it
+/// in diagnostics, e.g. BLAZEIT_CAPABILITY("mutex").
+#define BLAZEIT_CAPABILITY(x) BLAZEIT_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (util::MutexLock and friends).
+#define BLAZEIT_SCOPED_CAPABILITY BLAZEIT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member may only be read or written while holding the given mutex.
+#define BLAZEIT_GUARDED_BY(x) BLAZEIT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex (the
+/// pointer itself may be read freely).
+#define BLAZEIT_PT_GUARDED_BY(x) BLAZEIT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the caller to hold the mutex(es) exclusively. Every
+/// `*Locked` helper must carry this (enforced by ci/lint.py).
+#define BLAZEIT_REQUIRES(...) \
+  BLAZEIT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function requires the caller to hold the mutex(es) at least shared.
+#define BLAZEIT_REQUIRES_SHARED(...) \
+  BLAZEIT_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and returns with them held.
+#define BLAZEIT_ACQUIRE(...) \
+  BLAZEIT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define BLAZEIT_ACQUIRE_SHARED(...) \
+  BLAZEIT_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases mutex(es) the caller held on entry.
+#define BLAZEIT_RELEASE(...) \
+  BLAZEIT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define BLAZEIT_RELEASE_SHARED(...) \
+  BLAZEIT_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds the capability iff the return
+/// value equals the first macro argument.
+#define BLAZEIT_TRY_ACQUIRE(...) \
+  BLAZEIT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the mutex(es) held (it takes them
+/// itself; calling it under them would self-deadlock). The annotation of
+/// choice for public APIs of a locking class.
+#define BLAZEIT_EXCLUDES(...) \
+  BLAZEIT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Assertion that the calling thread already holds the capability; the
+/// analysis treats it as held afterwards (util::Mutex::AssertHeld).
+#define BLAZEIT_ASSERT_CAPABILITY(x) \
+  BLAZEIT_THREAD_ANNOTATION_(assert_capability(x))
+#define BLAZEIT_ASSERT_SHARED_CAPABILITY(x) \
+  BLAZEIT_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability.
+#define BLAZEIT_RETURN_CAPABILITY(x) \
+  BLAZEIT_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis entirely — reserve for code whose
+/// protocol the analysis cannot express, with a comment saying why.
+#define BLAZEIT_NO_THREAD_SAFETY_ANALYSIS \
+  BLAZEIT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // BLAZEIT_UTIL_THREAD_ANNOTATIONS_H_

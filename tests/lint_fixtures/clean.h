@@ -1,0 +1,45 @@
+// lint-fixture-path: src/fixture/clean.h
+// Fixture for ci/lint.py --self-test: idiomatic code produces no findings.
+#ifndef BLAZEIT_FIXTURE_CLEAN_H_
+#define BLAZEIT_FIXTURE_CLEAN_H_
+
+#include "util/check.h"
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Good {
+ public:
+  void Check(int x) {
+    BLAZEIT_CHECK(x > 0) << "x must be positive";  // lint-expect: none
+    BLAZEIT_DCHECK(x < 100);                       // lint-expect: none
+  }
+
+  void Touch() BLAZEIT_EXCLUDES(mu_) {
+    blazeit::util::MutexLock lock(mu_);  // lint-expect: none
+    TouchLocked();
+  }
+
+  // Annotated lock contract: the rule accepts the declaration.
+  void TouchLocked() BLAZEIT_REQUIRES(mu_);  // lint-expect: none
+
+  // Annotation on the continuation line also counts.
+  void RebuildEverythingFromGroundTruthLocked(int which)
+      BLAZEIT_REQUIRES(mu_);  // lint-expect: none
+
+  // Tagged escape hatch: construction-time helper, no mutex exists yet.
+  void InitLocked();  // lint:allow-unannotated-locked ctor-only lint-expect: none
+
+ private:
+  blazeit::util::Mutex mu_;
+  int guarded_ BLAZEIT_GUARDED_BY(mu_) = 0;
+};
+
+/// The string "assert(" inside a literal is not a finding.
+inline const char* Describe() {
+  return "call assert( nothing )";  // lint-expect: none
+}
+
+}  // namespace fixture
+
+#endif  // BLAZEIT_FIXTURE_CLEAN_H_

@@ -1,0 +1,18 @@
+// lint-fixture-path: src/fixture/tagged.cc
+// Fixture for ci/lint.py --self-test: escape-hatch tags suppress findings
+// (and stay visible to reviewers on the offending line).
+
+#include <mutex>  // lint:allow-raw-mutex interop shim for a vendored API lint-expect: none
+
+namespace fixture {
+
+void Legacy() {
+  // Vendored PRNG comparison path, never feeds query outputs:
+  int r = rand();  // lint:allow-rand baseline comparison only lint-expect: none
+  (void)r;
+  long t = time(nullptr);  // lint:allow-wallclock log timestamp lint-expect: none
+  (void)t;
+  assert(t >= 0);  // lint:allow-bare-assert third-party macro shim lint-expect: none
+}
+
+}  // namespace fixture

@@ -1,0 +1,221 @@
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace blazeit {
+namespace util {
+namespace {
+
+TEST(MutexTest, LockUnlockAndAssertHeld) {
+  Mutex mu;
+  mu.Lock();
+  mu.AssertHeld();  // must not abort: we hold it
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  mu.AssertHeld();
+
+  // Another thread cannot take it while we hold it.
+  bool other_got_it = true;
+  std::thread t([&] { other_got_it = mu.TryLock(); });
+  t.join();
+  EXPECT_FALSE(other_got_it);
+
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockGuardsCriticalSection) {
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kIters; ++j) {
+        MutexLock lock(mu);
+        mu.AssertHeld();
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(MutexTest, MutexLockEarlyUnlockAndRelock) {
+  // The AdmissionQueue::RunPending protocol: release mid-scope, do
+  // unlocked work, re-acquire, and let the destructor release once.
+  Mutex mu;
+  MutexLock lock(mu);
+  mu.AssertHeld();
+  lock.Unlock();
+  ASSERT_TRUE(mu.TryLock());  // proof the early Unlock really released
+  mu.Unlock();
+  lock.Lock();
+  mu.AssertHeld();
+  // Destructor unlocks the re-acquired hold.
+}
+
+TEST(MutexTest, MutexLockDestructorSkipsWhenReleasedEarly) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+    lock.Unlock();
+  }  // destructor must not double-unlock
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SharedMutexTest, WriterExcludesWritersAndReaders) {
+  SharedMutex mu;
+  {
+    WriterLock lock(mu);
+    mu.AssertHeld();
+    mu.AssertReaderHeld();  // an exclusive hold satisfies the weaker claim
+  }
+  {
+    ReaderLock lock(mu);
+    mu.AssertReaderHeld();
+  }
+}
+
+TEST(SharedMutexTest, ReadersShareTheLock) {
+  SharedMutex mu;
+  ReaderLock outer(mu);
+  bool second_reader_entered = false;
+  std::thread t([&] {
+    ReaderLock inner(mu);
+    mu.AssertReaderHeld();
+    second_reader_entered = true;
+  });
+  t.join();
+  EXPECT_TRUE(second_reader_entered);
+}
+
+TEST(CondVarTest, WaitReacquiresTheMutex) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool observed_after_wait = false;
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    cv.Wait(mu, [&] { return ready; });
+    // The wait returned holding the mutex again: the runtime tracking
+    // must agree, and the guarded read must be safe.
+    mu.AssertHeld();
+    observed_after_wait = ready;
+  });
+
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyAll();
+  waiter.join();
+  EXPECT_TRUE(observed_after_wait);
+}
+
+TEST(CondVarTest, WaitForTimesOutStillHoldingTheMutex) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const bool result =
+      cv.WaitFor(mu, std::chrono::milliseconds(5), [] { return false; });
+  EXPECT_FALSE(result);
+  mu.AssertHeld();  // re-acquired on the timeout path too
+}
+
+TEST(CondVarTest, NotifyOneWakesAWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    cv.Wait(mu, [&] { return ready; });
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+}
+
+#if BLAZEIT_MUTEX_DEBUG && defined(GTEST_HAS_DEATH_TEST)
+
+TEST(MutexDeathTest, AssertHeldAbortsWhenNotHeld) {
+  Mutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "does not hold the mutex");
+}
+
+TEST(MutexDeathTest, AssertHeldAbortsFromAnotherThread) {
+  // Owner tracking is per thread: holding on thread A must not satisfy an
+  // assertion on thread B.
+  Mutex mu;
+  mu.Lock();
+  EXPECT_DEATH(
+      {
+        std::thread other([&] { mu.AssertHeld(); });
+        other.join();
+      },
+      "does not hold the mutex");
+  mu.Unlock();
+}
+
+TEST(MutexDeathTest, UnlockByNonOwnerAborts) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_DEATH(
+      {
+        std::thread other([&] { mu.Unlock(); });
+        other.join();
+      },
+      "does not hold the mutex");
+  mu.Unlock();
+}
+
+TEST(SharedMutexDeathTest, AssertHeldAbortsWithoutExclusiveHold) {
+  SharedMutex mu;
+  EXPECT_DEATH(mu.AssertHeld(), "does not hold the mutex exclusively");
+}
+
+TEST(SharedMutexDeathTest, AssertHeldAbortsUnderSharedHold) {
+  // A shared hold is not an exclusive hold.
+  SharedMutex mu;
+  ReaderLock lock(mu);
+  EXPECT_DEATH(mu.AssertHeld(), "does not hold the mutex exclusively");
+}
+
+TEST(SharedMutexDeathTest, AssertReaderHeldAbortsWhenUnheld) {
+  SharedMutex mu;
+  EXPECT_DEATH(mu.AssertReaderHeld(), "mutex is not held");
+}
+
+TEST(MutexLockDeathTest, DoubleEarlyUnlockAborts) {
+  Mutex mu;
+  EXPECT_DEATH(
+      {
+        MutexLock lock(mu);
+        lock.Unlock();
+        lock.Unlock();
+      },
+      "Unlock while not held");
+}
+
+#endif  // BLAZEIT_MUTEX_DEBUG && GTEST_HAS_DEATH_TEST
+
+}  // namespace
+}  // namespace util
+}  // namespace blazeit
